@@ -1,0 +1,209 @@
+package everest_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"everest/internal/base2"
+	"everest/internal/ekl"
+	"everest/internal/experiments"
+	"everest/internal/tensor"
+	"everest/internal/traffic"
+	"everest/internal/wrf"
+)
+
+// The BenchmarkE* benches regenerate each reproduction experiment
+// (DESIGN.md §4) and report its key metric, so `go test -bench=.` both
+// exercises the full system and emits the paper-shaped quantities.
+
+func benchExperiment(b *testing.B, fn func() (experiments.Table, error), metrics ...string) {
+	b.Helper()
+	var tab experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = fn()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, m := range metrics {
+		if v, ok := tab.KeyMetrics[m]; ok {
+			b.ReportMetric(v, m)
+		}
+	}
+}
+
+// BenchmarkE1_EKLKernel — Fig. 3 compactness & equivalence.
+func BenchmarkE1_EKLKernel(b *testing.B) {
+	benchExperiment(b, experiments.E1, "ekl_statements", "max_diff")
+}
+
+// BenchmarkE2_LoweringPipeline — Fig. 5 dialect lowering.
+func BenchmarkE2_LoweringPipeline(b *testing.B) {
+	benchExperiment(b, experiments.E2, "affine_for")
+}
+
+// BenchmarkE3_OlympusAblation — §V-C memory architecture ladder.
+func BenchmarkE3_OlympusAblation(b *testing.B) {
+	benchExperiment(b, experiments.E3, "speedup_+packing")
+}
+
+// BenchmarkE4_DataFormats — base2 accuracy/resource trade-off.
+func BenchmarkE4_DataFormats(b *testing.B) {
+	benchExperiment(b, experiments.E4, "lut_f64", "err_bf16")
+}
+
+// BenchmarkE5_Virtualization — §VI-B SR-IOV overhead.
+func BenchmarkE5_Virtualization(b *testing.B) {
+	benchExperiment(b, experiments.E5, "overhead_vf-passthrough", "overhead_virtio")
+}
+
+// BenchmarkE6_Scheduler — §VI-A resource manager.
+func BenchmarkE6_Scheduler(b *testing.B) {
+	benchExperiment(b, experiments.E6, "recovery_inflation")
+}
+
+// BenchmarkE7_Autotune — §VI-C mARGOt adaptation.
+func BenchmarkE7_Autotune(b *testing.B) {
+	benchExperiment(b, experiments.E7, "recovered_fpga")
+}
+
+// BenchmarkE8_AnomalyAutoML — §VII TPE vs random.
+func BenchmarkE8_AnomalyAutoML(b *testing.B) {
+	benchExperiment(b, experiments.E8, "tpe_f1", "random_f1")
+}
+
+// BenchmarkE9_PTDR — §VIII PTDR CPU vs FPGA.
+func BenchmarkE9_PTDR(b *testing.B) {
+	benchExperiment(b, experiments.E9, "speedup_100000")
+}
+
+// BenchmarkE10_MapMatching — §VIII placement exploration.
+func BenchmarkE10_MapMatching(b *testing.B) {
+	benchExperiment(b, experiments.E10, "proj_fpga_100000")
+}
+
+// BenchmarkE11_WRFEnsemble — §II-A accelerated WRF.
+func BenchmarkE11_WRFEnsemble(b *testing.B) {
+	benchExperiment(b, experiments.E11, "radiation_fraction", "step_speedup")
+}
+
+// BenchmarkE12_EnergyForecast — §II-B KRR backtest.
+func BenchmarkE12_EnergyForecast(b *testing.B) {
+	benchExperiment(b, experiments.E12, "krr_mae", "physical_mae")
+}
+
+// BenchmarkE13_AirQuality — §II-C correction pipeline.
+func BenchmarkE13_AirQuality(b *testing.B) {
+	benchExperiment(b, experiments.E13, "raw_logerr", "corrected_logerr")
+}
+
+// BenchmarkE14_TrafficModels — §II-D traffic suite.
+func BenchmarkE14_TrafficModels(b *testing.B) {
+	benchExperiment(b, experiments.E14, "match_accuracy", "cnn_mae")
+}
+
+// Micro-benchmarks of the hot substrate kernels.
+
+func BenchmarkEinsumMatMul64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.Random(rng, -1, 1, 64, 64)
+	y := tensor.Random(rng, -1, 1, 64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(x, y)
+	}
+}
+
+func BenchmarkPositEncodeDecode(b *testing.B) {
+	p, err := base2.NewPositFormat(16, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	vals := make([]float64, 1024)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 100
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := vals[i%len(vals)]
+		if p.Decode(p.Encode(v)) == -1 {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+func BenchmarkEKLInterpreterRRTMG(b *testing.B) {
+	k, err := ekl.ParseKernel(wrf.EKLSource())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	const nflav, nT, nP, nEta, nx, ng = 3, 12, 16, 9, 16, 8
+	intT := func(max int, shape ...int) *tensor.Tensor {
+		t := tensor.New(shape...)
+		for i := range t.Data() {
+			t.Data()[i] = float64(rng.Intn(max))
+		}
+		return t
+	}
+	bind := ekl.Binding{
+		Tensors: map[string]*tensor.Tensor{
+			"p":           tensor.Random(rng, 5000, 101325, nx),
+			"bnd_to_flav": intT(nflav, 2, 4),
+			"j_T":         intT(nT-2, nx),
+			"j_p":         intT(nP-3, nx),
+			"j_eta":       intT(nEta-2, nflav, nx),
+			"r_mix":       tensor.Random(rng, 0, 1, nflav, nx, 2),
+			"f_major":     tensor.Random(rng, 0, 1, nflav, nx, 2, 2, 2),
+			"k_major":     tensor.Random(rng, 0.1, 1, nT, nP, nEta, ng),
+		},
+		Scalars: map[string]float64{"bnd": 1},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.Run(bind); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkViterbiMatch(b *testing.B) {
+	net := traffic.GridNetwork(6, 6, 200, 1)
+	trace, err := traffic.SimulateTrip(net, 3, 8, 10, 80)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := traffic.MatchTrace(net, trace, 60, 10, 30, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPTDRMonteCarlo(b *testing.B) {
+	net := traffic.GridNetwork(6, 6, 200, 1)
+	profile := traffic.BuildProfile(net, 7)
+	route, _, err := net.ShortestPath(0, 35)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := traffic.MonteCarlo(net, profile, route, 8.5*3600, 1000, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWRFStep(b *testing.B) {
+	cfg := wrf.Config{NX: 16, NY: 16, NZ: 8, DT: 60, DX: 3000, RadiationEvery: 1}
+	s := wrf.NewState(cfg, 1)
+	rad := wrf.NewRadiation(1, cfg.NZ)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step(rad)
+	}
+}

@@ -1,0 +1,304 @@
+// Command basecamp is the single point of access to the EVEREST SDK (paper
+// §IV: "all tools within the SDK are wrapped under the basecamp command").
+//
+// Subcommands:
+//
+//	basecamp compile  -kernel <file.ekl|demo> [-backend vitis|bambu] [-format f32|f64|bf16|f16|fixed16|posit16] [-device alveo-u55c|alveo-u280|cloudfpga] [-emit mlir|olympus|driver]
+//	basecamp deploy   -nodes N     # compile demo kernel, stage it, plan a workflow
+//	basecamp dialects              # list the registered MLIR dialects (Fig. 5)
+//	basecamp anomaly  -trials N    # AutoML model selection on a synthetic stream
+//	basecamp bench                 # shortcut: run all reproduction experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"everest/internal/anomaly"
+	"everest/internal/base2"
+	"everest/internal/ekl"
+	"everest/internal/experiments"
+	"everest/internal/mlir"
+	"everest/internal/mlir/dialects"
+	"everest/internal/olympus"
+	"everest/internal/runtime"
+	"everest/internal/sdk"
+	"everest/internal/tensor"
+	"everest/internal/wrf"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "compile":
+		err = cmdCompile(os.Args[2:])
+	case "deploy":
+		err = cmdDeploy(os.Args[2:])
+	case "dialects":
+		err = cmdDialects()
+	case "anomaly":
+		err = cmdAnomaly(os.Args[2:])
+	case "bench":
+		err = cmdBench()
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "basecamp: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "basecamp: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: basecamp <compile|deploy|dialects|anomaly|bench> [flags]`)
+}
+
+func formatByName(name string) (base2.Format, error) {
+	switch strings.ToLower(name) {
+	case "", "f32":
+		return base2.Float32{}, nil
+	case "f64":
+		return base2.Float64{}, nil
+	case "bf16":
+		return base2.BF16(), nil
+	case "f16":
+		return base2.FP16(), nil
+	case "fixed16":
+		return base2.NewFixedFormat(4, 12)
+	case "posit16":
+		return base2.NewPositFormat(16, 1)
+	default:
+		return nil, fmt.Errorf("unknown format %q", name)
+	}
+}
+
+func cmdCompile(args []string) error {
+	fs := flag.NewFlagSet("compile", flag.ExitOnError)
+	kernelPath := fs.String("kernel", "demo", "EKL source file, or 'demo' for the RRTMG kernel")
+	backend := fs.String("backend", "vitis", "HLS backend: vitis or bambu")
+	format := fs.String("format", "f32", "datapath format")
+	device := fs.String("device", "alveo-u55c", "target device")
+	emit := fs.String("emit", "summary", "output: summary, mlir, olympus, or driver")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var src string
+	var binding ekl.Binding
+	if *kernelPath == "demo" {
+		src = wrf.EKLSource()
+		binding = demoBinding()
+	} else {
+		data, err := os.ReadFile(*kernelPath)
+		if err != nil {
+			return err
+		}
+		src = string(data)
+		k, err := ekl.ParseKernel(src)
+		if err != nil {
+			return err
+		}
+		// Shapes, not values, drive hardware generation: synthesize a
+		// binding with default extents for symbolic dimensions.
+		binding = sdk.GenericBinding(k, 16)
+	}
+
+	fmtF, err := formatByName(*format)
+	if err != nil {
+		return err
+	}
+	res, err := sdk.Compile(src, binding, sdk.CompileOptions{
+		Backend: *backend, Format: fmtF, Device: *device,
+		Olympus: olympus.Options{SharePLM: true, DoubleBuffer: true, Replicate: true, MaxReplicas: 8, PackData: true},
+	})
+	if err != nil {
+		return err
+	}
+	switch *emit {
+	case "mlir":
+		fmt.Println(res.Module.String())
+	case "olympus":
+		m, err := olympus.EmitModule(res.Design)
+		if err != nil {
+			return err
+		}
+		fmt.Println(m.String())
+	case "driver":
+		for _, line := range res.Design.HostCode {
+			fmt.Println(line)
+		}
+	default:
+		fmt.Printf("kernel   : %s (%d statements)\n", res.Kernel.Name, res.Kernel.SourceLines())
+		fmt.Printf("hls      : %s\n", res.Report.String())
+		cfg := res.Design.Bitstream.Config
+		fmt.Printf("olympus  : replicas=%d lanes=%d packed=%d doublebuf=%v plm=%dB\n",
+			cfg.Replicas, cfg.Lanes, cfg.PackedElements, cfg.DoubleBuffered, cfg.PLMBytes)
+		fmt.Printf("bitstream: %s (util %.1f%% of %s)\n",
+			res.Design.Bitstream.ID, res.Design.FitUtil*100, res.Design.Bitstream.Target)
+		for _, st := range res.PassStats {
+			fmt.Printf("pass     : %-16s %8v  (%d ops after)\n", st.Pass, st.Duration, st.OpsAfter)
+		}
+	}
+	return nil
+}
+
+func demoBinding() ekl.Binding {
+	rng := rand.New(rand.NewSource(1))
+	const nflav, nT, nP, nEta, nx, ng = 3, 12, 16, 9, 32, 16
+	intT := func(max int, shape ...int) *tensor.Tensor {
+		t := tensor.New(shape...)
+		for i := range t.Data() {
+			t.Data()[i] = float64(rng.Intn(max))
+		}
+		return t
+	}
+	return ekl.Binding{
+		Tensors: map[string]*tensor.Tensor{
+			"p":           tensor.Random(rng, 5000, 101325, nx),
+			"bnd_to_flav": intT(nflav, 2, 4),
+			"j_T":         intT(nT-2, nx),
+			"j_p":         intT(nP-3, nx),
+			"j_eta":       intT(nEta-2, nflav, nx),
+			"r_mix":       tensor.Random(rng, 0, 1, nflav, nx, 2),
+			"f_major":     tensor.Random(rng, 0, 1, nflav, nx, 2, 2, 2),
+			"k_major":     tensor.Random(rng, 0.1, 1, nT, nP, nEta, ng),
+		},
+		Scalars: map[string]float64{"bnd": 1},
+	}
+}
+
+func cmdDeploy(args []string) error {
+	fs := flag.NewFlagSet("deploy", flag.ExitOnError)
+	nodes := fs.Int("nodes", 2, "compute nodes in the simulated cluster")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s := sdk.New(sdk.DefaultCluster(*nodes))
+	res, err := sdk.Compile(wrf.EKLSource(), demoBinding(), sdk.CompileOptions{
+		Olympus: olympus.Options{SharePLM: true, DoubleBuffer: true, Replicate: true, MaxReplicas: 4, PackData: true},
+	})
+	if err != nil {
+		return err
+	}
+	if err := s.Publish(res); err != nil {
+		return err
+	}
+	dt, err := s.Deploy(res.Design.Bitstream.ID, "node00")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("staged %s on node00 in %.0f ms\n", res.Design.Bitstream.ID, dt*1000)
+
+	w := runtime.NewWorkflow()
+	if err := w.Submit(runtime.TaskSpec{Name: "prep", Flops: 5e9, OutputBytes: 1 << 24}); err != nil {
+		return err
+	}
+	if err := w.Submit(runtime.TaskSpec{
+		Name: "radiation", Deps: []string{"prep"},
+		Flops: 5e10, InputBytes: 1 << 24, OutputBytes: 1 << 22,
+		NeedsFPGA: true, BitstreamID: res.Design.Bitstream.ID,
+	}); err != nil {
+		return err
+	}
+	if err := w.Submit(runtime.TaskSpec{Name: "post", Deps: []string{"radiation"},
+		Flops: 1e9, InputBytes: 1 << 22}); err != nil {
+		return err
+	}
+	sched, err := s.NewScheduler(runtime.PolicyHEFT).Plan(w)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("makespan: %.3gs over %d tasks (%d transfers)\n",
+		sched.Makespan, len(sched.Assignments), sched.Transfers)
+	for _, a := range sched.Assignments {
+		target := "cpu"
+		if a.OnFPGA {
+			target = "fpga"
+		}
+		fmt.Printf("  %-10s %-8s %-5s [%.3g, %.3g]s\n", a.Task, a.Node, target, a.Start, a.End)
+	}
+	return nil
+}
+
+func cmdDialects() error {
+	ctx := mlir.NewContext()
+	dialects.RegisterAll(ctx)
+	fmt.Println("registered MLIR dialects (paper Fig. 5):")
+	for _, name := range ctx.DialectNames() {
+		fmt.Printf("  %s\n", name)
+	}
+	return nil
+}
+
+func cmdAnomaly(args []string) error {
+	fs := flag.NewFlagSet("anomaly", flag.ExitOnError)
+	trials := fs.Int("trials", 30, "AutoML trial budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(8))
+	train := tensor.New(250, 2)
+	for i := 0; i < 250; i++ {
+		train.Set(rng.NormFloat64(), i, 0)
+		train.Set(rng.NormFloat64()*0.5+1, i, 1)
+	}
+	val := tensor.New(250, 2)
+	labels := make([]bool, 250)
+	for i := 0; i < 250; i++ {
+		val.Set(rng.NormFloat64(), i, 0)
+		val.Set(rng.NormFloat64()*0.5+1, i, 1)
+	}
+	for k := 0; k < 12; k++ {
+		i := (k*19 + 5) % 250
+		val.Set(9+rng.Float64()*3, i, 0)
+		val.Set(-7-rng.Float64()*2, i, 1)
+		labels[i] = true
+	}
+	tpe, err := anomaly.NewTPE(anomaly.DetectorSpace(), 7)
+	if err != nil {
+		return err
+	}
+	res, err := anomaly.SelectModel(train, val, labels, 12.0/250, *trials, tpe)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("selected %s (F1=%.3f after %d trials)\n",
+		res.Best.Cats["detector"], res.BestF1, res.Trials)
+	node := &anomaly.DetectionNode{Detector: res.Detector}
+	if err := node.CalibrateThreshold(train, 0.05); err != nil {
+		return err
+	}
+	rep, err := node.Detect(val)
+	if err != nil {
+		return err
+	}
+	rep.Scores = nil // keep the JSON small
+	js, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	fmt.Println(js)
+	return nil
+}
+
+func cmdBench() error {
+	for _, exp := range experiments.All() {
+		tab, err := exp()
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.String())
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+// Command everest-bench regenerates the EVEREST reproduction experiment
+// tables (E1–E14, see DESIGN.md and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	everest-bench             # run every experiment
+//	everest-bench -only E3    # run one experiment
+//	everest-bench -list       # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"everest/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment (e.g. E3)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	all := experiments.All()
+	if *list {
+		for i := range all {
+			fmt.Printf("E%d\n", i+1)
+		}
+		return
+	}
+	failed := 0
+	for i, exp := range all {
+		id := fmt.Sprintf("E%d", i+1)
+		if *only != "" && !strings.EqualFold(*only, id) {
+			continue
+		}
+		tab, err := exp()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
+			failed++
+			continue
+		}
+		fmt.Println(tab.String())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

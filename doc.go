@@ -1,0 +1,28 @@
+// Package everest is a from-scratch Go reproduction of the EVEREST System
+// Development Kit ("A System Development Kit for Big Data Applications on
+// FPGA-based Clusters: The EVEREST Approach", DATE 2024, arXiv:2402.12612).
+//
+// The module implements the SDK's three pillars over a simulated FPGA
+// substrate (see DESIGN.md for the system inventory and the substitution
+// table, and EXPERIMENTS.md for the reproduced claims):
+//
+//   - the data-driven compilation framework: the EVEREST Kernel Language
+//     (internal/ekl), the ConDRust coordination language
+//     (internal/condrust), the MLIR dialect stack (internal/mlir,
+//     internal/mlir/dialects), custom number formats (internal/base2), HLS
+//     scheduling (internal/hls) and Olympus system generation
+//     (internal/olympus);
+//   - the virtualized runtime environment: platform models
+//     (internal/platform, internal/netsim), the Dask-like resource manager
+//     (internal/runtime), SR-IOV virtualization (internal/virt), and the
+//     mARGOt autotuner (internal/autotuner);
+//   - the anomaly detection service (internal/anomaly) with TPE AutoML.
+//
+// The four driving use cases are implemented as workloads: WRF-style
+// weather simulation (internal/wrf), renewable-energy prediction
+// (internal/energy), air-quality monitoring (internal/airquality), and
+// traffic modeling (internal/traffic).
+//
+// Entry points: the basecamp CLI (cmd/basecamp), the experiment harness
+// (cmd/everest-bench), and the runnable examples under examples/.
+package everest

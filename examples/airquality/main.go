@@ -1,0 +1,93 @@
+// Air quality: the industrial-site monitoring use case (§II-C) — Gaussian
+// plume ensemble forecast, ML error correction on the three observed
+// weather parameters, and the daily emission-reduction decision.
+//
+//	go run ./examples/airquality
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"everest/internal/airquality"
+)
+
+func main() {
+	sources := []airquality.Source{
+		{X: 0, Y: 0, Height: 40, RateGS: 80},
+		{X: 150, Y: 50, Height: 25, RateGS: 30},
+	}
+	receptors := []airquality.Receptor{
+		{X: 800, Y: 0, Z: 1.5},
+		{X: 1500, Y: 200, Z: 1.5},
+		{X: 2500, Y: -300, Z: 1.5},
+	}
+
+	// Control met forecast for a 3-day horizon plus training history.
+	hours := 24 * 9
+	met := make([]airquality.Weather, hours)
+	for h := 0; h < hours; h++ {
+		met[h] = airquality.Weather{
+			Hour:    h,
+			WindMS:  3 + 1.5*math.Sin(2*math.Pi*float64(h)/24),
+			WindDir: 0.3 * math.Sin(2*math.Pi*float64(h)/48),
+			TempC:   12 + 6*math.Sin(2*math.Pi*float64(h%24-6)/24),
+		}
+	}
+
+	// Ensemble of perturbed members (§VIII: perturbed weather fields).
+	members := airquality.Ensemble(met, 8, 3)
+	mean := airquality.EnsembleMeanForecast(sources, receptors, members)
+	fmt.Printf("ensemble: %d members, %d forecast hours\n", len(members), len(mean))
+
+	// Synthetic observations with weather-dependent model bias.
+	rng := rand.New(rand.NewSource(17))
+	observed := make([]float64, hours)
+	for i, v := range mean {
+		bias := math.Exp(-0.22*(met[i].WindMS-4) + 0.02*(met[i].TempC-12))
+		observed[i] = v * bias * math.Exp(rng.NormFloat64()*0.05)
+	}
+
+	// Train the corrector on the first 6 days, forecast the rest.
+	split := 24 * 6
+	corr, err := airquality.FitCorrector(mean[:split], observed[:split], met[:split])
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rawErr, corrErr float64
+	n := 0
+	for i := split; i < hours; i++ {
+		if mean[i] <= 0 || observed[i] <= 0 {
+			continue
+		}
+		rawErr += math.Abs(math.Log(mean[i] / observed[i]))
+		corrErr += math.Abs(math.Log(corr.Apply(mean[i], met[i]) / observed[i]))
+		n++
+	}
+	fmt.Printf("forecast log-error: raw %.3f -> corrected %.3f (%.0f%% reduction)\n",
+		rawErr/float64(n), corrErr/float64(n), (1-corrErr/rawErr)*100)
+
+	// Daily decision for the last 3 days.
+	threshold := 0.0
+	for _, v := range observed[:split] {
+		if v > threshold {
+			threshold = v
+		}
+	}
+	threshold *= 0.8
+	fmt.Printf("\npollution-peak threshold: %.1f µg/m³\n", threshold)
+	for d := split / 24; d < hours/24; d++ {
+		day := make([]float64, 24)
+		for h := 0; h < 24; h++ {
+			day[h] = corr.Apply(mean[d*24+h], met[d*24+h])
+		}
+		dec := airquality.PlanDay(day, threshold)
+		action := "normal operations"
+		if dec.Reduce {
+			action = "ACTIVATE emission reduction (~20 k€)"
+		}
+		fmt.Printf("  day %d: predicted max %.1f -> %s\n", d, dec.PredictedMax, action)
+	}
+}

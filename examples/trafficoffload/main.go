@@ -1,0 +1,88 @@
+// Traffic offload: run the paper's Fig. 4 map-matching pipeline as a
+// ConDRust dataflow program over real stage implementations, then explore
+// the compile-time CPU/FPGA placement of each stage (§VIII).
+//
+//	go run ./examples/trafficoffload
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"everest/internal/base2"
+	"everest/internal/condrust"
+	"everest/internal/hls"
+	"everest/internal/platform"
+	"everest/internal/sdk"
+	"everest/internal/traffic"
+)
+
+func main() {
+	net := traffic.GridNetwork(8, 8, 200, 1)
+
+	// 1. Parse the coordination program (Fig. 4) and build its dataflow.
+	prog, err := condrust.Parse(traffic.Fig4Source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fn := prog.Find("match_one")
+	graph, err := condrust.BuildGraph(fn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ConDRust graph: %d actors, depth %d, offload candidates: ",
+		len(graph.Nodes), graph.CriticalPathLen())
+	for _, n := range graph.OffloadCandidates() {
+		fmt.Printf("%s (path=%s) ", n.Fn, n.Attr.Path)
+	}
+	fmt.Println()
+
+	// 2. Execute the deterministic dataflow on a simulated trip.
+	trace, err := traffic.SimulateTrip(net, 7, 10, 10, 80)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg := traffic.MatchActors(net, 60, 10, 30, 4)
+	out, err := graph.Execute(reg, map[string]interface{}{
+		"gv": trace.Points, "mapcell": struct{}{},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := out.(*traffic.MatchResult)
+	fmt.Printf("map matching: %d GPS points, accuracy %.1f%%, %d road speeds observed\n",
+		len(trace.Points), traffic.MatchAccuracy(net, trace, res)*100, len(res.RoadSpeeds))
+
+	// 3. Compile-time placement exploration across batch sizes.
+	fmt.Println("\nplacement exploration (daily batch size sweep):")
+	for _, batch := range []int{10, 1000, 100000} {
+		stages := []sdk.StageCost{
+			{Name: "projection", Flops: float64(batch) * 40 * 2000 * 12, Offloadable: true,
+				Kernel: hls.Kernel{Name: "projection",
+					Nest: hls.LoopNest{TripCounts: []int{batch, 40, 2000},
+						Body: hls.OpMix{Adds: 4, Muls: 6, Divs: 1, Loads: 4, Stores: 1}},
+					Format: base2.Float32{}},
+				BytesIn: int64(batch) * 640, BytesOut: int64(batch) * 64},
+			{Name: "build_trellis", Flops: float64(batch) * 40 * 640, Offloadable: false},
+			{Name: "viterbi", Flops: float64(batch) * 40 * 64, Offloadable: false},
+			{Name: "interpolate", Flops: float64(batch) * 320, Offloadable: false},
+		}
+		ps, err := sdk.ExplorePlacement(stages, platform.XeonModel(), platform.AlveoU55C(), hls.VitisBackend{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  batch %-7d:", batch)
+		for _, p := range ps {
+			fmt.Printf(" %s=%s", p.Stage, p.Target)
+		}
+		fmt.Println()
+	}
+
+	// 4. Emit the dfg-dialect module for the compilation flow.
+	m, err := graph.EmitDFG()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndfg module: %d nodes, %d channels (verified)\n",
+		m.CountOps("dfg.node"), m.CountOps("dfg.channel"))
+}

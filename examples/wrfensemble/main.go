@@ -1,0 +1,91 @@
+// WRF ensemble: the weather-simulation use case (§II-A) — assimilate
+// observations, run an FPGA-accelerated ensemble through the resource
+// manager, and let the autotuner pick the radiation variant.
+//
+//	go run ./examples/wrfensemble
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"everest/internal/autotuner"
+	"everest/internal/platform"
+	"everest/internal/runtime"
+	"everest/internal/sdk"
+	"everest/internal/wrf"
+)
+
+func main() {
+	cfg := wrf.Config{NX: 16, NY: 16, NZ: 8, DT: 60, DX: 3000, RadiationEvery: 1}
+
+	// 1. Data assimilation improves the initial condition (§II-A).
+	exp, err := wrf.RunAssimilationExperiment(cfg, 10, 8, 40, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("3D-Var: background RMSE %.3f K -> analysis %.3f K\n",
+		exp.BackgroundRMSE, exp.AnalysisRMSE)
+
+	// 2. Ensemble forecast skill.
+	ens, err := wrf.RunEnsemble(cfg, 8, 30, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ensemble (%d members): spread %.3f K, mean RMSE %.3f K\n",
+		ens.Members, ens.Spread, ens.MeanRMSE)
+
+	// 3. Radiation cost share and Amdahl speedup from FPGA offload.
+	s := wrf.NewState(cfg, 11)
+	rad := wrf.NewRadiation(11, cfg.NZ)
+	s.Run(rad, 10)
+	frac := s.RadiationFraction()
+	const kernelSpeedup = 8.0
+	stepSpeedup := 1 / ((1 - frac) + frac/kernelSpeedup)
+	fmt.Printf("radiation: %.0f%% of step cost; FPGA x%.0f -> step speedup %.2fx\n",
+		frac*100, kernelSpeedup, stepSpeedup)
+
+	// 4. Schedule the ensemble over the simulated cluster.
+	cluster := sdk.DefaultCluster(4)
+	w := runtime.NewWorkflow()
+	if err := w.Submit(runtime.TaskSpec{Name: "analysis", Flops: 2e10, OutputBytes: 1 << 24}); err != nil {
+		log.Fatal(err)
+	}
+	var members []string
+	for m := 0; m < 8; m++ {
+		name := fmt.Sprintf("member%02d", m)
+		if err := w.Submit(runtime.TaskSpec{Name: name, Deps: []string{"analysis"},
+			Flops: 8e10, InputBytes: 1 << 24, OutputBytes: 1 << 24}); err != nil {
+			log.Fatal(err)
+		}
+		members = append(members, name)
+	}
+	if err := w.Submit(runtime.TaskSpec{Name: "postproc", Deps: members,
+		Flops: 5e9, InputBytes: 1 << 26}); err != nil {
+		log.Fatal(err)
+	}
+	sched, err := runtime.NewScheduler(cluster, platform.NewRegistry(), runtime.PolicyHEFT).Plan(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cluster plan: %d tasks, makespan %.3gs, imbalance %.2f\n",
+		len(sched.Assignments), sched.Makespan, sched.LoadImbalance())
+
+	// 5. mARGOt selects the radiation variant per environment (§VI-C).
+	knobs := []autotuner.Knob{{Name: "radiation", Values: []string{"cpu", "fpga"}}}
+	points := []autotuner.OperatingPoint{
+		{Config: autotuner.Config{"radiation": "cpu"},
+			Metrics: map[autotuner.Metric]float64{autotuner.MetricTimeMs: 240, autotuner.MetricEnergyJ: 80}},
+		{Config: autotuner.Config{"radiation": "fpga"},
+			Metrics: map[autotuner.Metric]float64{autotuner.MetricTimeMs: 32, autotuner.MetricEnergyJ: 18}},
+	}
+	at, err := autotuner.New(knobs, points,
+		[]autotuner.Goal{{Metric: autotuner.MetricTimeMs, Op: autotuner.LE, Value: 300}},
+		autotuner.Rank{Metric: autotuner.MetricEnergyJ, Minimize: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sel := at.Select()
+	fmt.Printf("autotuner: radiation variant = %s (%.0f ms, %.0f J)\n",
+		sel.Config["radiation"], sel.Metrics[autotuner.MetricTimeMs], sel.Metrics[autotuner.MetricEnergyJ])
+}

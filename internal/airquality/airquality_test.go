@@ -1,0 +1,224 @@
+package airquality
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func testSite() ([]Source, []Receptor) {
+	sources := []Source{
+		{X: 0, Y: 0, Height: 40, RateGS: 80},
+		{X: 150, Y: 50, Height: 25, RateGS: 30},
+	}
+	receptors := []Receptor{
+		{X: 800, Y: 0, Z: 1.5},
+		{X: 1500, Y: 200, Z: 1.5},
+		{X: 2500, Y: -300, Z: 1.5},
+		{X: -500, Y: 0, Z: 1.5},
+	}
+	return sources, receptors
+}
+
+func controlMet(hours int) []Weather {
+	met := make([]Weather, hours)
+	for h := 0; h < hours; h++ {
+		met[h] = Weather{
+			Hour:    h,
+			WindMS:  3 + 1.5*math.Sin(2*math.Pi*float64(h)/24),
+			WindDir: 0.2 * math.Sin(2*math.Pi*float64(h)/48),
+			TempC:   12 + 6*math.Sin(2*math.Pi*float64(h%24-6)/24),
+		}
+	}
+	return met
+}
+
+func TestPlumeBasicPhysics(t *testing.T) {
+	src := Source{Height: 30, RateGS: 100}
+	w := Weather{Hour: 12, WindMS: 4, WindDir: 0}
+	down := PlumeConcentration(src, Receptor{X: 1000, Y: 0, Z: 1.5}, w)
+	if down <= 0 {
+		t.Fatal("downwind receptor must see the plume")
+	}
+	up := PlumeConcentration(src, Receptor{X: -1000, Y: 0, Z: 1.5}, w)
+	if up != 0 {
+		t.Error("upwind receptor must see nothing")
+	}
+	// Off-axis less than on-axis.
+	off := PlumeConcentration(src, Receptor{X: 1000, Y: 400, Z: 1.5}, w)
+	if off >= down {
+		t.Error("crosswind offset must dilute")
+	}
+	// Stronger wind dilutes at the same geometry... at ground level more
+	// wind can also raise sigma class; compare within the same class (day,
+	// both >= 5 m/s -> class D).
+	c1 := PlumeConcentration(src, Receptor{X: 1000, Y: 0, Z: 1.5}, Weather{Hour: 12, WindMS: 5})
+	c2 := PlumeConcentration(src, Receptor{X: 1000, Y: 0, Z: 1.5}, Weather{Hour: 12, WindMS: 10})
+	if c2 >= c1 {
+		t.Error("doubling wind in the same stability class must dilute")
+	}
+}
+
+func TestStabilityTable(t *testing.T) {
+	if StabilityFromWeather(1, 12) != ClassA {
+		t.Error("calm day must be very unstable")
+	}
+	if StabilityFromWeather(1, 2) != ClassF {
+		t.Error("calm night must be very stable")
+	}
+	if StabilityFromWeather(8, 12) != ClassD {
+		t.Error("windy day must be neutral")
+	}
+}
+
+func TestSigmaMonotone(t *testing.T) {
+	for s := ClassA; s <= ClassF; s++ {
+		sy1, sz1 := sigmaYZ(s, 500)
+		sy2, sz2 := sigmaYZ(s, 2000)
+		if sy2 <= sy1 || sz2 <= sz1 {
+			t.Errorf("class %d: dispersion must grow with distance", s)
+		}
+	}
+	// Unstable classes disperse more.
+	syA, _ := sigmaYZ(ClassA, 1000)
+	syF, _ := sigmaYZ(ClassF, 1000)
+	if syA <= syF {
+		t.Error("class A must disperse more than class F")
+	}
+}
+
+func TestSiteForecastShape(t *testing.T) {
+	sources, receptors := testSite()
+	met := controlMet(48)
+	f := SiteForecast(sources, receptors, met)
+	if len(f) != 48 {
+		t.Fatal("one value per hour")
+	}
+	nonzero := 0
+	for _, v := range f {
+		if v < 0 {
+			t.Fatal("negative concentration")
+		}
+		if v > 0 {
+			nonzero++
+		}
+	}
+	if nonzero < 24 {
+		t.Errorf("only %d nonzero hours; plume should usually reach a receptor", nonzero)
+	}
+}
+
+func TestEnsembleSpread(t *testing.T) {
+	met := controlMet(72)
+	members := Ensemble(met, 8, 3)
+	if len(members) != 8 {
+		t.Fatal("member count wrong")
+	}
+	// Members must differ from control and from each other.
+	if members[0][10].WindMS == met[10].WindMS {
+		t.Error("perturbation missing")
+	}
+	if members[0][10].WindMS == members[1][10].WindMS {
+		t.Error("members must differ")
+	}
+	// Determinism.
+	again := Ensemble(met, 8, 3)
+	if members[3][20] != again[3][20] {
+		t.Error("ensemble generation must be deterministic per seed")
+	}
+}
+
+func TestCorrectorReducesError(t *testing.T) {
+	// E13: simulate "true" concentrations that differ from the model by a
+	// weather-dependent bias; the corrector must cut the error.
+	sources, receptors := testSite()
+	met := controlMet(24 * 6)
+	forecast := SiteForecast(sources, receptors, met)
+
+	rng := rand.New(rand.NewSource(17))
+	observed := make([]float64, len(forecast))
+	for i, v := range forecast {
+		// True bias: model over-predicts in strong wind, under in weak.
+		bias := math.Exp(0.25*(met[i].WindMS-4)*-1 + 0.02*(met[i].TempC-12))
+		observed[i] = v * bias * math.Exp(rng.NormFloat64()*0.05)
+	}
+
+	split := 24 * 4
+	corr, err := FitCorrector(forecast[:split], observed[:split], met[:split])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rawErr, corrErr float64
+	for i := split; i < len(forecast); i++ {
+		if observed[i] <= 0 || forecast[i] <= 0 {
+			continue
+		}
+		rawErr += math.Abs(math.Log(forecast[i] / observed[i]))
+		c := corr.Apply(forecast[i], met[i])
+		corrErr += math.Abs(math.Log(c / observed[i]))
+	}
+	if corrErr >= rawErr*0.7 {
+		t.Errorf("correction must cut log-error by >30%%: raw %g corrected %g", rawErr, corrErr)
+	}
+}
+
+func TestFitCorrectorValidation(t *testing.T) {
+	if _, err := FitCorrector([]float64{1}, []float64{1}, []Weather{{}}); err == nil {
+		t.Error("too little data must fail")
+	}
+	if _, err := FitCorrector([]float64{1, 2}, []float64{1}, []Weather{{}, {}}); err == nil {
+		t.Error("length mismatch must fail")
+	}
+	zeros := make([]float64, 20)
+	met := controlMet(20)
+	if _, err := FitCorrector(zeros, zeros, met); err == nil {
+		t.Error("all-zero concentrations must fail (no usable hours)")
+	}
+}
+
+func TestPlanDayAndCost(t *testing.T) {
+	d := PlanDay([]float64{10, 50, 20}, 40)
+	if !d.Reduce || d.PredictedMax != 50 {
+		t.Errorf("decision wrong: %+v", d)
+	}
+	d2 := PlanDay([]float64{10, 20}, 40)
+	if d2.Reduce {
+		t.Error("below threshold must not trigger")
+	}
+	decisions := []Decision{
+		{Reduce: true}, {Reduce: false}, {Reduce: true}, {Reduce: false},
+	}
+	truth := []float64{50, 50, 10, 10} // day0 hit, day1 miss, day2 false alarm, day3 correct
+	cost := DecisionCost(decisions, truth, 40, 20000, 100000)
+	want := 20000.0 + 100000 + 20000 + 0
+	if cost != want {
+		t.Errorf("cost = %g, want %g", cost, want)
+	}
+}
+
+func TestEnsembleMeanSmoother(t *testing.T) {
+	sources, receptors := testSite()
+	met := controlMet(48)
+	members := Ensemble(met, 12, 5)
+	mean := EnsembleMeanForecast(sources, receptors, members)
+	single := SiteForecast(sources, receptors, members[0])
+	if len(mean) != len(single) {
+		t.Fatal("length mismatch")
+	}
+	// The ensemble mean must have no greater hour-to-hour variance than a
+	// single member (averaging smooths).
+	varOf := func(xs []float64) float64 {
+		var dsum float64
+		for i := 1; i < len(xs); i++ {
+			d := xs[i] - xs[i-1]
+			dsum += d * d
+		}
+		return dsum
+	}
+	if varOf(mean) > varOf(single)*1.2 {
+		t.Error("ensemble mean should not be rougher than a member")
+	}
+	if EnsembleMeanForecast(sources, receptors, nil) != nil {
+		t.Error("empty ensemble must yield nil")
+	}
+}

@@ -1,0 +1,444 @@
+// Package anomaly implements the EVEREST anomaly detection service (paper
+// §VII): detectors deployable at any point of a workflow for input
+// sanitization and security-event detection, an AutoML model-selection node
+// built on the Tree-structured Parzen Estimator (the hyperparameter sampler
+// of Optuna, paper ref [1]), and a detection node that emits the indexes of
+// anomalous data points as JSON.
+package anomaly
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"everest/internal/tensor"
+)
+
+// Detector scores data points; higher scores are more anomalous.
+type Detector interface {
+	// Name identifies the detector family.
+	Name() string
+	// Fit trains on a sample matrix (rows = points, cols = features).
+	Fit(x *tensor.Tensor) error
+	// Score returns the anomaly score of one point.
+	Score(p []float64) (float64, error)
+}
+
+func checkMatrix(x *tensor.Tensor) (rows, cols int, err error) {
+	if x == nil || x.Rank() != 2 {
+		return 0, 0, fmt.Errorf("anomaly: want a rank-2 sample matrix")
+	}
+	rows, cols = x.Shape()[0], x.Shape()[1]
+	if rows < 2 || cols < 1 {
+		return 0, 0, fmt.Errorf("anomaly: need at least 2 samples and 1 feature, got %dx%d", rows, cols)
+	}
+	return rows, cols, nil
+}
+
+// ZScore scores a point by its maximum per-feature |z| value.
+type ZScore struct {
+	mean, std []float64
+}
+
+// Name implements Detector.
+func (*ZScore) Name() string { return "zscore" }
+
+// Fit implements Detector.
+func (z *ZScore) Fit(x *tensor.Tensor) error {
+	rows, cols, err := checkMatrix(x)
+	if err != nil {
+		return err
+	}
+	z.mean = make([]float64, cols)
+	z.std = make([]float64, cols)
+	for j := 0; j < cols; j++ {
+		s := 0.0
+		for i := 0; i < rows; i++ {
+			s += x.At(i, j)
+		}
+		mu := s / float64(rows)
+		v := 0.0
+		for i := 0; i < rows; i++ {
+			d := x.At(i, j) - mu
+			v += d * d
+		}
+		z.mean[j] = mu
+		z.std[j] = math.Sqrt(v/float64(rows)) + 1e-12
+	}
+	return nil
+}
+
+// Score implements Detector.
+func (z *ZScore) Score(p []float64) (float64, error) {
+	if len(p) != len(z.mean) {
+		return 0, fmt.Errorf("anomaly: zscore expects %d features, got %d", len(z.mean), len(p))
+	}
+	worst := 0.0
+	for j, v := range p {
+		if s := math.Abs(v-z.mean[j]) / z.std[j]; s > worst {
+			worst = s
+		}
+	}
+	return worst, nil
+}
+
+// IQR scores by distance beyond the per-feature interquartile fences,
+// scaled by K (the classic 1.5 factor is the default).
+type IQR struct {
+	K      float64
+	q1, q3 []float64
+	iqr    []float64
+}
+
+// Name implements Detector.
+func (*IQR) Name() string { return "iqr" }
+
+// Fit implements Detector.
+func (d *IQR) Fit(x *tensor.Tensor) error {
+	rows, cols, err := checkMatrix(x)
+	if err != nil {
+		return err
+	}
+	if d.K <= 0 {
+		d.K = 1.5
+	}
+	d.q1 = make([]float64, cols)
+	d.q3 = make([]float64, cols)
+	d.iqr = make([]float64, cols)
+	col := make([]float64, rows)
+	for j := 0; j < cols; j++ {
+		for i := 0; i < rows; i++ {
+			col[i] = x.At(i, j)
+		}
+		sort.Float64s(col)
+		d.q1[j] = quantile(col, 0.25)
+		d.q3[j] = quantile(col, 0.75)
+		d.iqr[j] = d.q3[j] - d.q1[j] + 1e-12
+	}
+	return nil
+}
+
+// Score implements Detector.
+func (d *IQR) Score(p []float64) (float64, error) {
+	if len(p) != len(d.q1) {
+		return 0, fmt.Errorf("anomaly: iqr expects %d features, got %d", len(d.q1), len(p))
+	}
+	worst := 0.0
+	for j, v := range p {
+		lo := d.q1[j] - d.K*d.iqr[j]
+		hi := d.q3[j] + d.K*d.iqr[j]
+		var s float64
+		switch {
+		case v < lo:
+			s = (lo - v) / d.iqr[j]
+		case v > hi:
+			s = (v - hi) / d.iqr[j]
+		}
+		if s > worst {
+			worst = s
+		}
+	}
+	return worst, nil
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mahalanobis scores by the Mahalanobis distance to the training
+// distribution (full covariance with ridge regularization).
+type Mahalanobis struct {
+	Ridge float64
+	mean  *tensor.Tensor
+	prec  *tensor.Tensor // inverse covariance
+}
+
+// Name implements Detector.
+func (*Mahalanobis) Name() string { return "mahalanobis" }
+
+// Fit implements Detector.
+func (m *Mahalanobis) Fit(x *tensor.Tensor) error {
+	_, cols, err := checkMatrix(x)
+	if err != nil {
+		return err
+	}
+	if m.Ridge <= 0 {
+		m.Ridge = 1e-6
+	}
+	m.mean = tensor.Mean2(x)
+	cov := tensor.Covariance(x)
+	for j := 0; j < cols; j++ {
+		cov.Set(cov.At(j, j)+m.Ridge, j, j)
+	}
+	prec, err := tensor.Inverse2(cov)
+	if err != nil {
+		return fmt.Errorf("anomaly: covariance not invertible: %w", err)
+	}
+	m.prec = prec
+	return nil
+}
+
+// Score implements Detector.
+func (m *Mahalanobis) Score(p []float64) (float64, error) {
+	if len(p) != m.mean.Size() {
+		return 0, fmt.Errorf("anomaly: mahalanobis expects %d features, got %d", m.mean.Size(), len(p))
+	}
+	d := make([]float64, len(p))
+	for j, v := range p {
+		d[j] = v - m.mean.At(j)
+	}
+	dv := tensor.FromData(d, len(d))
+	md := tensor.Dot(dv, tensor.MatVec(m.prec, dv))
+	if md < 0 {
+		md = 0
+	}
+	return math.Sqrt(md), nil
+}
+
+// IsolationForest is the classic isolation forest (Liu et al.): anomalies
+// isolate in few random splits. Score is 2^(-E[h]/c(n)) in (0,1).
+type IsolationForest struct {
+	Trees     int
+	SubSample int
+	Seed      int64
+	forest    []*isoNode
+	c         float64
+	dims      int
+}
+
+type isoNode struct {
+	feature     int
+	split       float64
+	size        int
+	left, right *isoNode
+}
+
+// Name implements Detector.
+func (*IsolationForest) Name() string { return "iforest" }
+
+// Fit implements Detector.
+func (f *IsolationForest) Fit(x *tensor.Tensor) error {
+	rows, cols, err := checkMatrix(x)
+	if err != nil {
+		return err
+	}
+	if f.Trees <= 0 {
+		f.Trees = 100
+	}
+	if f.SubSample <= 0 || f.SubSample > rows {
+		f.SubSample = min(256, rows)
+	}
+	f.dims = cols
+	rng := rand.New(rand.NewSource(f.Seed + 1))
+	maxDepth := int(math.Ceil(math.Log2(float64(f.SubSample)))) + 1
+
+	f.forest = f.forest[:0]
+	for t := 0; t < f.Trees; t++ {
+		idx := rng.Perm(rows)[:f.SubSample]
+		sample := make([][]float64, len(idx))
+		for i, r := range idx {
+			row := make([]float64, cols)
+			for j := 0; j < cols; j++ {
+				row[j] = x.At(r, j)
+			}
+			sample[i] = row
+		}
+		f.forest = append(f.forest, buildIsoTree(sample, 0, maxDepth, rng))
+	}
+	f.c = avgPathLength(f.SubSample)
+	return nil
+}
+
+func buildIsoTree(sample [][]float64, depth, maxDepth int, rng *rand.Rand) *isoNode {
+	n := len(sample)
+	if n <= 1 || depth >= maxDepth {
+		return &isoNode{size: n}
+	}
+	cols := len(sample[0])
+	feature := rng.Intn(cols)
+	lo, hi := sample[0][feature], sample[0][feature]
+	for _, row := range sample {
+		if row[feature] < lo {
+			lo = row[feature]
+		}
+		if row[feature] > hi {
+			hi = row[feature]
+		}
+	}
+	if hi <= lo {
+		return &isoNode{size: n}
+	}
+	split := lo + rng.Float64()*(hi-lo)
+	var left, right [][]float64
+	for _, row := range sample {
+		if row[feature] < split {
+			left = append(left, row)
+		} else {
+			right = append(right, row)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return &isoNode{size: n}
+	}
+	return &isoNode{
+		feature: feature, split: split, size: n,
+		left:  buildIsoTree(left, depth+1, maxDepth, rng),
+		right: buildIsoTree(right, depth+1, maxDepth, rng),
+	}
+}
+
+func pathLength(node *isoNode, p []float64, depth int) float64 {
+	if node.left == nil && node.right == nil {
+		return float64(depth) + avgPathLength(node.size)
+	}
+	if p[node.feature] < node.split {
+		return pathLength(node.left, p, depth+1)
+	}
+	return pathLength(node.right, p, depth+1)
+}
+
+// avgPathLength is c(n): the average path length of unsuccessful BST search.
+func avgPathLength(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	h := math.Log(float64(n-1)) + 0.5772156649
+	return 2*h - 2*float64(n-1)/float64(n)
+}
+
+// Score implements Detector.
+func (f *IsolationForest) Score(p []float64) (float64, error) {
+	if len(f.forest) == 0 {
+		return 0, fmt.Errorf("anomaly: iforest not fitted")
+	}
+	if len(p) != f.dims {
+		return 0, fmt.Errorf("anomaly: iforest expects %d features, got %d", f.dims, len(p))
+	}
+	sum := 0.0
+	for _, tree := range f.forest {
+		sum += pathLength(tree, p, 0)
+	}
+	mean := sum / float64(len(f.forest))
+	return math.Pow(2, -mean/f.c), nil
+}
+
+// LOF is the local outlier factor over the training set (Breunig et al.).
+type LOF struct {
+	K     int
+	data  [][]float64
+	kdist []float64
+	lrd   []float64
+}
+
+// Name implements Detector.
+func (*LOF) Name() string { return "lof" }
+
+// Fit implements Detector.
+func (l *LOF) Fit(x *tensor.Tensor) error {
+	rows, cols, err := checkMatrix(x)
+	if err != nil {
+		return err
+	}
+	if l.K <= 0 {
+		l.K = 10
+	}
+	if l.K >= rows {
+		l.K = rows - 1
+	}
+	l.data = make([][]float64, rows)
+	for i := 0; i < rows; i++ {
+		row := make([]float64, cols)
+		for j := 0; j < cols; j++ {
+			row[j] = x.At(i, j)
+		}
+		l.data[i] = row
+	}
+	// k-distance and local reachability density of every training point.
+	l.kdist = make([]float64, rows)
+	neigh := make([][]int, rows)
+	for i := 0; i < rows; i++ {
+		d := l.distancesFrom(l.data[i], i)
+		idx := argsort(d)
+		neigh[i] = idx[:l.K]
+		l.kdist[i] = d[idx[l.K-1]]
+	}
+	l.lrd = make([]float64, rows)
+	for i := 0; i < rows; i++ {
+		sum := 0.0
+		for _, j := range neigh[i] {
+			reach := math.Max(l.kdist[j], dist(l.data[i], l.data[j]))
+			sum += reach
+		}
+		l.lrd[i] = float64(l.K) / (sum + 1e-12)
+	}
+	return nil
+}
+
+func (l *LOF) distancesFrom(p []float64, exclude int) []float64 {
+	d := make([]float64, len(l.data))
+	for i, q := range l.data {
+		if i == exclude {
+			d[i] = math.Inf(1)
+			continue
+		}
+		d[i] = dist(p, q)
+	}
+	return d
+}
+
+// Score implements Detector.
+func (l *LOF) Score(p []float64) (float64, error) {
+	if len(l.data) == 0 {
+		return 0, fmt.Errorf("anomaly: lof not fitted")
+	}
+	if len(p) != len(l.data[0]) {
+		return 0, fmt.Errorf("anomaly: lof expects %d features, got %d", len(l.data[0]), len(p))
+	}
+	d := l.distancesFrom(p, -1)
+	idx := argsort(d)
+	k := l.K
+	sumReach := 0.0
+	sumLrd := 0.0
+	for _, j := range idx[:k] {
+		sumReach += math.Max(l.kdist[j], d[j])
+		sumLrd += l.lrd[j]
+	}
+	lrdP := float64(k) / (sumReach + 1e-12)
+	return (sumLrd / float64(k)) / (lrdP + 1e-12), nil
+}
+
+func dist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func argsort(v []float64) []int {
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return v[idx[a]] < v[idx[b]] })
+	return idx
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,160 @@
+package base2
+
+import (
+	"fmt"
+	"math"
+)
+
+// FixedFormat is a signed two's-complement fixed-point format with IntBits
+// integer bits (including the sign bit) and FracBits fractional bits. The
+// representable range is [-2^(IntBits-1), 2^(IntBits-1) - 2^-FracBits] with
+// resolution 2^-FracBits. Out-of-range values saturate, which is the usual
+// HLS ap_fixed behaviour.
+type FixedFormat struct {
+	IntBits  int
+	FracBits int
+}
+
+// NewFixedFormat validates and returns a fixed-point format.
+func NewFixedFormat(intBits, fracBits int) (FixedFormat, error) {
+	f := FixedFormat{IntBits: intBits, FracBits: fracBits}
+	if intBits < 1 || fracBits < 0 || intBits+fracBits > 63 {
+		return f, fmt.Errorf("base2: invalid fixed format <%d,%d>", intBits, fracBits)
+	}
+	return f, nil
+}
+
+// Name implements Format.
+func (f FixedFormat) Name() string { return fmt.Sprintf("fixed<%d,%d>", f.IntBits, f.FracBits) }
+
+// Bits implements Format.
+func (f FixedFormat) Bits() int { return f.IntBits + f.FracBits }
+
+// scale returns 2^FracBits.
+func (f FixedFormat) scale() float64 { return math.Ldexp(1, f.FracBits) }
+
+// maxRaw returns the largest raw value.
+func (f FixedFormat) maxRaw() int64 { return (int64(1) << (f.Bits() - 1)) - 1 }
+
+// minRaw returns the smallest raw value.
+func (f FixedFormat) minRaw() int64 { return -(int64(1) << (f.Bits() - 1)) }
+
+// Quantize implements Format: round-to-nearest-even with saturation.
+func (f FixedFormat) Quantize(x float64) float64 {
+	return f.FromRaw(f.ToRaw(x))
+}
+
+// ToRaw converts a float to the raw integer representation.
+func (f FixedFormat) ToRaw(x float64) int64 {
+	if math.IsNaN(x) {
+		return 0
+	}
+	scaled := x * f.scale()
+	r := math.RoundToEven(scaled)
+	if r > float64(f.maxRaw()) {
+		return f.maxRaw()
+	}
+	if r < float64(f.minRaw()) {
+		return f.minRaw()
+	}
+	return int64(r)
+}
+
+// FromRaw converts a raw integer back to float64.
+func (f FixedFormat) FromRaw(raw int64) float64 { return float64(raw) / f.scale() }
+
+// Fixed is a fixed-point value carrying its format.
+type Fixed struct {
+	Raw int64
+	Fmt FixedFormat
+}
+
+// NewFixed quantizes x into format f.
+func NewFixed(f FixedFormat, x float64) Fixed { return Fixed{Raw: f.ToRaw(x), Fmt: f} }
+
+// Float returns the value as float64.
+func (a Fixed) Float() float64 { return a.Fmt.FromRaw(a.Raw) }
+
+func (a Fixed) String() string { return fmt.Sprintf("%g:%s", a.Float(), a.Fmt.Name()) }
+
+func (a Fixed) sameFmt(b Fixed) error {
+	if a.Fmt != b.Fmt {
+		return fmt.Errorf("base2: format mismatch %s vs %s", a.Fmt.Name(), b.Fmt.Name())
+	}
+	return nil
+}
+
+func (f FixedFormat) saturate(raw int64) int64 {
+	if raw > f.maxRaw() {
+		return f.maxRaw()
+	}
+	if raw < f.minRaw() {
+		return f.minRaw()
+	}
+	return raw
+}
+
+// Add returns a+b with saturation. Formats must match.
+func (a Fixed) Add(b Fixed) (Fixed, error) {
+	if err := a.sameFmt(b); err != nil {
+		return Fixed{}, err
+	}
+	return Fixed{Raw: a.Fmt.saturate(a.Raw + b.Raw), Fmt: a.Fmt}, nil
+}
+
+// Sub returns a-b with saturation. Formats must match.
+func (a Fixed) Sub(b Fixed) (Fixed, error) {
+	if err := a.sameFmt(b); err != nil {
+		return Fixed{}, err
+	}
+	return Fixed{Raw: a.Fmt.saturate(a.Raw - b.Raw), Fmt: a.Fmt}, nil
+}
+
+// Mul returns a*b, rounding the product back into the shared format with
+// round-to-nearest-even on the shifted-out fraction bits.
+func (a Fixed) Mul(b Fixed) (Fixed, error) {
+	if err := a.sameFmt(b); err != nil {
+		return Fixed{}, err
+	}
+	// Full product has 2*FracBits fraction bits; shift back by FracBits.
+	prod := a.Raw * b.Raw
+	fb := a.Fmt.FracBits
+	if fb == 0 {
+		return Fixed{Raw: a.Fmt.saturate(prod), Fmt: a.Fmt}, nil
+	}
+	half := int64(1) << (fb - 1)
+	shifted := prod >> fb
+	rem := prod - (shifted << fb)
+	if rem < 0 {
+		rem += int64(1) << fb
+		shifted--
+	}
+	switch {
+	case rem > half, rem == half && shifted&1 == 1:
+		shifted++
+	}
+	return Fixed{Raw: a.Fmt.saturate(shifted), Fmt: a.Fmt}, nil
+}
+
+// Div returns a/b rounded to nearest, or an error on division by zero.
+func (a Fixed) Div(b Fixed) (Fixed, error) {
+	if err := a.sameFmt(b); err != nil {
+		return Fixed{}, err
+	}
+	if b.Raw == 0 {
+		return Fixed{}, fmt.Errorf("base2: fixed-point division by zero")
+	}
+	// Compute in float64 (exact for <= 53 significant bits) and re-quantize;
+	// hardware would use a shifted integer divide with the same result.
+	q := a.Float() / b.Float()
+	return NewFixed(a.Fmt, q), nil
+}
+
+// MaxValue returns the largest representable value.
+func (f FixedFormat) MaxValue() float64 { return f.FromRaw(f.maxRaw()) }
+
+// MinValue returns the smallest (most negative) representable value.
+func (f FixedFormat) MinValue() float64 { return f.FromRaw(f.minRaw()) }
+
+// Resolution returns the spacing between adjacent values (one ULP).
+func (f FixedFormat) Resolution() float64 { return 1 / f.scale() }

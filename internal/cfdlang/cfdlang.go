@@ -1,0 +1,507 @@
+// Package cfdlang implements the legacy CFDlang frontend of the EVEREST SDK
+// (paper §V-B; Rink et al., "CFDlang: High-level Code Generation for
+// High-order Methods in Fluid Dynamics", RWDSL 2018): a small tensor
+// language whose programs declare typed input/output tensors and combine
+// them with tensor products and dimension-pair contractions.
+//
+// Supported syntax (a faithful subset):
+//
+//	var input  A : [4 5]
+//	var input  B : [5 6]
+//	var output C : [4 6]
+//	C = (A * B) . [[2 3]]
+//
+// `*` is the tensor (outer) product, `+`/`-` are elementwise, and
+// `expr . [[i j] ...]` contracts the given 1-based dimension pairs — the
+// matmul above contracts dims 2 and 3 of the rank-4 product. Programs
+// evaluate against bound tensors and lower to the cfdlang MLIR dialect.
+package cfdlang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"everest/internal/mlir"
+	"everest/internal/mlir/dialects"
+	"everest/internal/tensor"
+)
+
+// Decl declares a named tensor.
+type Decl struct {
+	Name   string
+	Dims   []int
+	Output bool
+}
+
+// Expr is a CFDlang expression.
+type Expr interface{ cfdExpr() }
+
+// Ref references a declared tensor.
+type Ref struct{ Name string }
+
+// Binary combines two expressions: "*" tensor product, "+"/"-" elementwise.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Contract sums over 1-based dimension pairs of its operand.
+type Contract struct {
+	X     Expr
+	Pairs [][2]int
+}
+
+func (Ref) cfdExpr()      {}
+func (Binary) cfdExpr()   {}
+func (Contract) cfdExpr() {}
+
+// Stmt assigns an expression to a declared output tensor.
+type Stmt struct {
+	Target string
+	RHS    Expr
+}
+
+// Program is a parsed CFDlang program.
+type Program struct {
+	Decls []Decl
+	Stmts []Stmt
+}
+
+// Decl returns the declaration of name, or nil.
+func (p *Program) Decl(name string) *Decl {
+	for i := range p.Decls {
+		if p.Decls[i].Name == name {
+			return &p.Decls[i]
+		}
+	}
+	return nil
+}
+
+// Parse parses CFDlang source.
+func Parse(src string) (*Program, error) {
+	p := &Program{}
+	for ln, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, "var ") {
+			d, err := parseDecl(line)
+			if err != nil {
+				return nil, fmt.Errorf("cfdlang:%d: %w", ln+1, err)
+			}
+			if p.Decl(d.Name) != nil {
+				return nil, fmt.Errorf("cfdlang:%d: %q redeclared", ln+1, d.Name)
+			}
+			p.Decls = append(p.Decls, d)
+			continue
+		}
+		eq := strings.Index(line, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("cfdlang:%d: expected declaration or assignment", ln+1)
+		}
+		target := strings.TrimSpace(line[:eq])
+		d := p.Decl(target)
+		if d == nil {
+			return nil, fmt.Errorf("cfdlang:%d: assignment to undeclared %q", ln+1, target)
+		}
+		if !d.Output {
+			return nil, fmt.Errorf("cfdlang:%d: assignment to non-output %q", ln+1, target)
+		}
+		ep := &exprParser{src: []rune(line[eq+1:])}
+		e, err := ep.parseExpr()
+		if err != nil {
+			return nil, fmt.Errorf("cfdlang:%d: %w", ln+1, err)
+		}
+		ep.skip()
+		if ep.pos < len(ep.src) {
+			return nil, fmt.Errorf("cfdlang:%d: trailing input %q", ln+1, string(ep.src[ep.pos:]))
+		}
+		p.Stmts = append(p.Stmts, Stmt{Target: target, RHS: e})
+	}
+	if len(p.Stmts) == 0 {
+		return nil, fmt.Errorf("cfdlang: no statements")
+	}
+	return p, nil
+}
+
+func parseDecl(line string) (Decl, error) {
+	rest := strings.TrimSpace(strings.TrimPrefix(line, "var"))
+	var d Decl
+	switch {
+	case strings.HasPrefix(rest, "input "):
+		rest = strings.TrimPrefix(rest, "input ")
+	case strings.HasPrefix(rest, "output "):
+		rest = strings.TrimPrefix(rest, "output ")
+		d.Output = true
+	default:
+		return d, fmt.Errorf("expected 'input' or 'output'")
+	}
+	colon := strings.Index(rest, ":")
+	if colon < 0 {
+		return d, fmt.Errorf("expected ':' in declaration")
+	}
+	d.Name = strings.TrimSpace(rest[:colon])
+	if d.Name == "" {
+		return d, fmt.Errorf("missing name")
+	}
+	shape := strings.TrimSpace(rest[colon+1:])
+	if !strings.HasPrefix(shape, "[") || !strings.HasSuffix(shape, "]") {
+		return d, fmt.Errorf("expected shape [d1 d2 ...]")
+	}
+	for _, f := range strings.Fields(shape[1 : len(shape)-1]) {
+		n, err := strconv.Atoi(f)
+		if err != nil || n <= 0 {
+			return d, fmt.Errorf("bad dimension %q", f)
+		}
+		d.Dims = append(d.Dims, n)
+	}
+	if len(d.Dims) == 0 {
+		return d, fmt.Errorf("empty shape")
+	}
+	return d, nil
+}
+
+type exprParser struct {
+	src []rune
+	pos int
+}
+
+func (p *exprParser) skip() {
+	for p.pos < len(p.src) && unicode.IsSpace(p.src[p.pos]) {
+		p.pos++
+	}
+}
+
+func (p *exprParser) peek() rune {
+	p.skip()
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+// parseExpr := postfix (("*"|"+"|"-") postfix)*   (left associative)
+func (p *exprParser) parseExpr() (Expr, error) {
+	l, err := p.parsePostfix()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		c := p.peek()
+		if c != '*' && c != '+' && c != '-' {
+			return l, nil
+		}
+		p.pos++
+		r, err := p.parsePostfix()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: string(c), L: l, R: r}
+	}
+}
+
+// parsePostfix := primary (". [[i j] ...]")*
+func (p *exprParser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == '.' {
+		p.pos++
+		pairs, err := p.parsePairs()
+		if err != nil {
+			return nil, err
+		}
+		e = Contract{X: e, Pairs: pairs}
+	}
+	return e, nil
+}
+
+func (p *exprParser) parsePrimary() (Expr, error) {
+	c := p.peek()
+	if c == '(' {
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("expected ')'")
+		}
+		p.pos++
+		return e, nil
+	}
+	if unicode.IsLetter(c) || c == '_' {
+		start := p.pos
+		for p.pos < len(p.src) &&
+			(unicode.IsLetter(p.src[p.pos]) || unicode.IsDigit(p.src[p.pos]) || p.src[p.pos] == '_') {
+			p.pos++
+		}
+		return Ref{Name: string(p.src[start:p.pos])}, nil
+	}
+	return nil, fmt.Errorf("unexpected character %q in expression", c)
+}
+
+func (p *exprParser) parsePairs() ([][2]int, error) {
+	if p.peek() != '[' {
+		return nil, fmt.Errorf("expected '[[' after '.'")
+	}
+	p.pos++
+	var pairs [][2]int
+	for {
+		if p.peek() != '[' {
+			return nil, fmt.Errorf("expected '[' starting a pair")
+		}
+		p.pos++
+		a, err := p.parseInt()
+		if err != nil {
+			return nil, err
+		}
+		b, err := p.parseInt()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ']' {
+			return nil, fmt.Errorf("expected ']' closing a pair")
+		}
+		p.pos++
+		pairs = append(pairs, [2]int{a, b})
+		if p.peek() == ']' {
+			p.pos++
+			return pairs, nil
+		}
+	}
+}
+
+func (p *exprParser) parseInt() (int, error) {
+	p.skip()
+	start := p.pos
+	for p.pos < len(p.src) && unicode.IsDigit(p.src[p.pos]) {
+		p.pos++
+	}
+	if start == p.pos {
+		return 0, fmt.Errorf("expected integer")
+	}
+	return strconv.Atoi(string(p.src[start:p.pos]))
+}
+
+// Run evaluates the program on bound input tensors and returns the outputs.
+func (p *Program) Run(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	env := make(map[string]*tensor.Tensor)
+	for i := range p.Decls {
+		d := &p.Decls[i]
+		if d.Output {
+			continue
+		}
+		t, ok := inputs[d.Name]
+		if !ok {
+			return nil, fmt.Errorf("cfdlang: missing input %q", d.Name)
+		}
+		if !shapeEq(t.Shape(), d.Dims) {
+			return nil, fmt.Errorf("cfdlang: input %q has shape %v, declared %v",
+				d.Name, t.Shape(), d.Dims)
+		}
+		env[d.Name] = t
+	}
+	outs := make(map[string]*tensor.Tensor)
+	for _, s := range p.Stmts {
+		v, err := evalExpr(s.RHS, env)
+		if err != nil {
+			return nil, err
+		}
+		want := p.Decl(s.Target).Dims
+		if !shapeEq(v.Shape(), want) {
+			return nil, fmt.Errorf("cfdlang: %q computes shape %v, declared %v",
+				s.Target, v.Shape(), want)
+		}
+		env[s.Target] = v
+		outs[s.Target] = v
+	}
+	return outs, nil
+}
+
+func evalExpr(e Expr, env map[string]*tensor.Tensor) (*tensor.Tensor, error) {
+	switch t := e.(type) {
+	case Ref:
+		v, ok := env[t.Name]
+		if !ok {
+			return nil, fmt.Errorf("cfdlang: unknown tensor %q", t.Name)
+		}
+		return v, nil
+	case Binary:
+		l, err := evalExpr(t.L, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := evalExpr(t.R, env)
+		if err != nil {
+			return nil, err
+		}
+		switch t.Op {
+		case "+":
+			if !shapeEq(l.Shape(), r.Shape()) {
+				return nil, fmt.Errorf("cfdlang: '+' shape mismatch %v vs %v", l.Shape(), r.Shape())
+			}
+			return tensor.Add(l, r), nil
+		case "-":
+			if !shapeEq(l.Shape(), r.Shape()) {
+				return nil, fmt.Errorf("cfdlang: '-' shape mismatch %v vs %v", l.Shape(), r.Shape())
+			}
+			return tensor.Sub(l, r), nil
+		default: // tensor product
+			return outerProduct(l, r), nil
+		}
+	case Contract:
+		x, err := evalExpr(t.X, env)
+		if err != nil {
+			return nil, err
+		}
+		return contract(x, t.Pairs)
+	}
+	return nil, fmt.Errorf("cfdlang: unhandled expression %T", e)
+}
+
+// outerProduct returns the tensor product: dims concatenate.
+func outerProduct(a, b *tensor.Tensor) *tensor.Tensor {
+	shape := append(append([]int(nil), a.Shape()...), b.Shape()...)
+	out := tensor.New(shape...)
+	ad, bd, od := a.Data(), b.Data(), out.Data()
+	for i := range ad {
+		base := i * len(bd)
+		for j := range bd {
+			od[base+j] = ad[i] * bd[j]
+		}
+	}
+	return out
+}
+
+// contract sums over the given 1-based dimension pairs via the einsum
+// engine: paired dimensions share a letter and are dropped from the output.
+func contract(x *tensor.Tensor, pairs [][2]int) (*tensor.Tensor, error) {
+	rank := x.Rank()
+	if rank > 26 {
+		return nil, fmt.Errorf("cfdlang: rank %d too large", rank)
+	}
+	letters := make([]byte, rank)
+	for i := range letters {
+		letters[i] = byte('a' + i)
+	}
+	contracted := make([]bool, rank)
+	for _, pr := range pairs {
+		i, j := pr[0]-1, pr[1]-1
+		if i < 0 || j < 0 || i >= rank || j >= rank || i == j {
+			return nil, fmt.Errorf("cfdlang: bad contraction pair [%d %d] for rank %d", pr[0], pr[1], rank)
+		}
+		if contracted[i] || contracted[j] {
+			return nil, fmt.Errorf("cfdlang: dimension contracted twice in %v", pairs)
+		}
+		if x.Shape()[i] != x.Shape()[j] {
+			return nil, fmt.Errorf("cfdlang: contraction pair [%d %d] has extents %d vs %d",
+				pr[0], pr[1], x.Shape()[i], x.Shape()[j])
+		}
+		letters[j] = letters[i]
+		contracted[i], contracted[j] = true, true
+	}
+	var in, out strings.Builder
+	for i := 0; i < rank; i++ {
+		in.WriteByte(letters[i])
+		if !contracted[i] {
+			out.WriteByte(letters[i])
+		}
+	}
+	return tensor.Einsum(in.String()+"->"+out.String(), x)
+}
+
+func shapeEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EmitModule lowers the program to the cfdlang MLIR dialect (Fig. 5's
+// legacy frontend path); the module verifies under the registered dialects.
+func (p *Program) EmitModule(name string) (*mlir.Module, error) {
+	ctx := mlir.NewContext()
+	dialects.RegisterAll(ctx)
+	m := mlir.NewModule(ctx, name)
+	b := mlir.NewBuilder(ctx, m.Body())
+	prog := b.CreateWithRegions("cfdlang.prog", nil, nil, map[string]mlir.Attribute{
+		"sym_name": mlir.StringAttr(name),
+	}, 1)
+	pb := mlir.NewBuilder(ctx, prog.Regions[0].Entry())
+
+	vals := make(map[string]*mlir.Value)
+	for _, d := range p.Decls {
+		if d.Output {
+			continue
+		}
+		op := pb.Create("cfdlang.decl", nil,
+			[]mlir.Type{mlir.TensorOf(mlir.F64(), d.Dims...)},
+			map[string]mlir.Attribute{"name": mlir.StringAttr(d.Name)})
+		op.Result(0).SetName(d.Name)
+		vals[d.Name] = op.Result(0)
+	}
+	var emit func(e Expr) (*mlir.Value, error)
+	emit = func(e Expr) (*mlir.Value, error) {
+		switch t := e.(type) {
+		case Ref:
+			v, ok := vals[t.Name]
+			if !ok {
+				return nil, fmt.Errorf("cfdlang: unknown tensor %q in lowering", t.Name)
+			}
+			return v, nil
+		case Binary:
+			l, err := emit(t.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := emit(t.R)
+			if err != nil {
+				return nil, err
+			}
+			opName := "cfdlang.mul"
+			if t.Op == "+" || t.Op == "-" {
+				opName = "cfdlang.add"
+			}
+			op := pb.Create(opName, []*mlir.Value{l, r}, []mlir.Type{mlir.TensorOf(mlir.F64())}, nil)
+			return op.Result(0), nil
+		case Contract:
+			x, err := emit(t.X)
+			if err != nil {
+				return nil, err
+			}
+			var spec []string
+			for _, pr := range t.Pairs {
+				spec = append(spec, fmt.Sprintf("%d %d", pr[0], pr[1]))
+			}
+			op := pb.Create("cfdlang.contract", []*mlir.Value{x},
+				[]mlir.Type{mlir.TensorOf(mlir.F64())},
+				map[string]mlir.Attribute{"pairs": mlir.StringAttr(strings.Join(spec, ", "))})
+			return op.Result(0), nil
+		}
+		return nil, fmt.Errorf("cfdlang: unhandled expression in lowering")
+	}
+	for _, s := range p.Stmts {
+		v, err := emit(s.RHS)
+		if err != nil {
+			return nil, err
+		}
+		v.SetName(s.Target)
+		vals[s.Target] = v
+		pb.Create("cfdlang.out", []*mlir.Value{v}, nil,
+			map[string]mlir.Attribute{"name": mlir.StringAttr(s.Target)})
+	}
+	if err := m.Verify(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,279 @@
+package hls
+
+import (
+	"fmt"
+	"strings"
+
+	"everest/internal/base2"
+)
+
+// OpClass identifies an operator class for costing.
+type OpClass int
+
+// Operator classes.
+const (
+	OpAdd OpClass = iota
+	OpMul
+	OpDiv
+	OpCmp
+	OpSpecial // exp/log/sqrt
+	OpLoad
+	OpStore
+)
+
+// OpCost is the latency (cycles) and resource footprint of one operator
+// instance.
+type OpCost struct {
+	Latency int
+	Res     Resources
+}
+
+// Backend supplies the per-operator cost model of one HLS tool.
+type Backend interface {
+	// Name identifies the backend ("vitis", "bambu").
+	Name() string
+	// Cost returns the cost of an operator in the given number format.
+	Cost(op OpClass, f base2.Format) OpCost
+	// ClockMHz is the achievable clock for a datapath in format f.
+	ClockMHz(f base2.Format) float64
+	// SupportsFormat reports whether the backend can synthesize format f
+	// natively (the paper: Bambu integrates custom formats smoothly).
+	SupportsFormat(f base2.Format) bool
+}
+
+// formatClass buckets formats for the cost tables.
+type formatClass int
+
+const (
+	fcF64 formatClass = iota
+	fcF32
+	fcF16 // fp16/bf16/fp8
+	fcFixed
+	fcPosit
+)
+
+func classOf(f base2.Format) formatClass {
+	switch ff := f.(type) {
+	case base2.Float64:
+		return fcF64
+	case base2.Float32:
+		return fcF32
+	case base2.MiniFloat:
+		return fcF16
+	case base2.FixedFormat:
+		return fcFixed
+	case base2.PositFormat:
+		return fcPosit
+	default:
+		_ = ff
+		return fcF64
+	}
+}
+
+// widthScale scales LUT/FF costs with the storage width relative to 32 bit.
+func widthScale(f base2.Format, base int) int {
+	w := f.Bits()
+	v := base * w / 32
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// VitisBackend models AMD Vitis HLS: DSP-first mapping of arithmetic,
+// floating point via DSP macros, no native posit support (posit datapaths
+// must go through Bambu, matching the paper's tool split).
+type VitisBackend struct{}
+
+// Name implements Backend.
+func (VitisBackend) Name() string { return "vitis" }
+
+// SupportsFormat implements Backend.
+func (VitisBackend) SupportsFormat(f base2.Format) bool {
+	return classOf(f) != fcPosit
+}
+
+// ClockMHz implements Backend.
+func (VitisBackend) ClockMHz(f base2.Format) float64 {
+	switch classOf(f) {
+	case fcF64:
+		return 300
+	case fcF32:
+		return 333
+	case fcF16:
+		return 350
+	case fcFixed:
+		return 400
+	default:
+		return 250
+	}
+}
+
+// Cost implements Backend.
+func (VitisBackend) Cost(op OpClass, f base2.Format) OpCost {
+	fc := classOf(f)
+	switch op {
+	case OpAdd:
+		switch fc {
+		case fcF64:
+			return OpCost{8, Resources{LUT: 800, FF: 1000, DSP: 3}}
+		case fcF32:
+			return OpCost{5, Resources{LUT: 400, FF: 500, DSP: 2}}
+		case fcF16:
+			return OpCost{4, Resources{LUT: 250, FF: 300, DSP: 1}}
+		case fcFixed:
+			return OpCost{1, Resources{LUT: widthScale(f, 40), FF: widthScale(f, 40)}}
+		default:
+			return OpCost{6, Resources{LUT: 1200, FF: 900}}
+		}
+	case OpMul:
+		switch fc {
+		case fcF64:
+			return OpCost{9, Resources{LUT: 500, FF: 800, DSP: 11}}
+		case fcF32:
+			return OpCost{4, Resources{LUT: 250, FF: 400, DSP: 3}}
+		case fcF16:
+			return OpCost{3, Resources{LUT: 150, FF: 250, DSP: 1}}
+		case fcFixed:
+			return OpCost{2, Resources{LUT: widthScale(f, 30), FF: widthScale(f, 60), DSP: dspForFixed(f)}}
+		default:
+			return OpCost{7, Resources{LUT: 1500, FF: 1100, DSP: 2}}
+		}
+	case OpDiv:
+		switch fc {
+		case fcF64:
+			return OpCost{36, Resources{LUT: 3000, FF: 3500, DSP: 0}}
+		case fcF32:
+			return OpCost{16, Resources{LUT: 1500, FF: 1800}}
+		case fcF16:
+			return OpCost{10, Resources{LUT: 800, FF: 900}}
+		case fcFixed:
+			return OpCost{f.Bits() + 3, Resources{LUT: widthScale(f, 120), FF: widthScale(f, 150)}}
+		default:
+			return OpCost{30, Resources{LUT: 4000, FF: 3000}}
+		}
+	case OpCmp:
+		return OpCost{1, Resources{LUT: widthScale(f, 20), FF: widthScale(f, 10)}}
+	case OpSpecial:
+		switch fc {
+		case fcF64:
+			return OpCost{26, Resources{LUT: 4000, FF: 5000, DSP: 26}}
+		case fcF32:
+			return OpCost{14, Resources{LUT: 2000, FF: 2500, DSP: 12}}
+		default:
+			return OpCost{12, Resources{LUT: 1800, FF: 2000, DSP: 6}}
+		}
+	case OpLoad, OpStore:
+		return OpCost{2, Resources{LUT: 30, FF: 60}}
+	}
+	return OpCost{1, Resources{LUT: 10}}
+}
+
+func dspForFixed(f base2.Format) int {
+	// A DSP48 multiplies 18x27; wider fixed products cascade DSPs.
+	w := f.Bits()
+	switch {
+	case w <= 18:
+		return 1
+	case w <= 27:
+		return 2
+	default:
+		return 4
+	}
+}
+
+// BambuBackend models the Bambu open-source HLS compiler (paper ref [6]):
+// LUT-oriented datapaths, slightly deeper float pipelines, and native
+// support for custom formats (posit, arbitrary fixed) through its soft-float
+// and template libraries.
+type BambuBackend struct{}
+
+// Name implements Backend.
+func (BambuBackend) Name() string { return "bambu" }
+
+// SupportsFormat implements Backend.
+func (BambuBackend) SupportsFormat(f base2.Format) bool { return true }
+
+// ClockMHz implements Backend.
+func (BambuBackend) ClockMHz(f base2.Format) float64 {
+	switch classOf(f) {
+	case fcF64:
+		return 250
+	case fcF32:
+		return 280
+	case fcF16:
+		return 300
+	case fcFixed:
+		return 380
+	default:
+		return 260 // posit datapaths are competitive in Bambu
+	}
+}
+
+// Cost implements Backend.
+func (BambuBackend) Cost(op OpClass, f base2.Format) OpCost {
+	fc := classOf(f)
+	switch op {
+	case OpAdd:
+		switch fc {
+		case fcF64:
+			return OpCost{10, Resources{LUT: 1400, FF: 1500}}
+		case fcF32:
+			return OpCost{6, Resources{LUT: 700, FF: 800}}
+		case fcF16:
+			return OpCost{4, Resources{LUT: 400, FF: 450}}
+		case fcFixed:
+			return OpCost{1, Resources{LUT: widthScale(f, 40), FF: widthScale(f, 40)}}
+		default: // posit: regime decode + align + add + round
+			return OpCost{5, Resources{LUT: widthScale(f, 900), FF: widthScale(f, 700)}}
+		}
+	case OpMul:
+		switch fc {
+		case fcF64:
+			return OpCost{11, Resources{LUT: 900, FF: 1200, DSP: 9}}
+		case fcF32:
+			return OpCost{5, Resources{LUT: 450, FF: 600, DSP: 2}}
+		case fcF16:
+			return OpCost{3, Resources{LUT: 250, FF: 350, DSP: 1}}
+		case fcFixed:
+			return OpCost{2, Resources{LUT: widthScale(f, 35), FF: widthScale(f, 70), DSP: dspForFixed(f)}}
+		default: // posit
+			return OpCost{6, Resources{LUT: widthScale(f, 800), FF: widthScale(f, 600), DSP: 1}}
+		}
+	case OpDiv:
+		switch fc {
+		case fcFixed:
+			return OpCost{f.Bits() + 4, Resources{LUT: widthScale(f, 130), FF: widthScale(f, 160)}}
+		case fcPosit:
+			return OpCost{f.Bits() + 8, Resources{LUT: widthScale(f, 1200), FF: widthScale(f, 900)}}
+		case fcF64:
+			return OpCost{40, Resources{LUT: 4500, FF: 4000}}
+		default:
+			return OpCost{20, Resources{LUT: 2200, FF: 2000}}
+		}
+	case OpCmp:
+		return OpCost{1, Resources{LUT: widthScale(f, 22), FF: widthScale(f, 12)}}
+	case OpSpecial:
+		switch fc {
+		case fcF64:
+			return OpCost{30, Resources{LUT: 6000, FF: 6000, DSP: 12}}
+		default:
+			return OpCost{16, Resources{LUT: 3000, FF: 3000, DSP: 5}}
+		}
+	case OpLoad, OpStore:
+		return OpCost{2, Resources{LUT: 35, FF: 70}}
+	}
+	return OpCost{1, Resources{LUT: 12}}
+}
+
+// BackendByName resolves "vitis" or "bambu".
+func BackendByName(name string) (Backend, error) {
+	switch strings.ToLower(name) {
+	case "vitis":
+		return VitisBackend{}, nil
+	case "bambu":
+		return BambuBackend{}, nil
+	default:
+		return nil, fmt.Errorf("hls: unknown backend %q (want vitis or bambu)", name)
+	}
+}

@@ -1,0 +1,297 @@
+package mlir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestContextDialectRegistration(t *testing.T) {
+	ctx := NewContext()
+	if ctx.Dialect("builtin") == nil {
+		t.Fatal("builtin dialect must be pre-registered")
+	}
+	d := ctx.RegisterDialect("teil")
+	if again := ctx.RegisterDialect("teil"); again != d {
+		t.Error("re-registering a dialect must return the same instance")
+	}
+	names := ctx.DialectNames()
+	if len(names) != 2 || names[0] != "builtin" || names[1] != "teil" {
+		t.Errorf("DialectNames = %v, want [builtin teil]", names)
+	}
+}
+
+func TestOpRegistrationQualifiesName(t *testing.T) {
+	ctx := NewContext()
+	d := ctx.RegisterDialect("x")
+	d.RegisterOp(&OpInfo{Name: "foo", NumResults: 1})
+	info := d.OpInfo("foo")
+	if info == nil || info.Name != "x.foo" {
+		t.Fatalf("OpInfo name = %+v, want qualified x.foo", info)
+	}
+}
+
+func TestModuleBuildAndVerify(t *testing.T) {
+	ctx := NewContext()
+	m := NewModule(ctx, "test")
+	b := NewBuilder(ctx, m.Body())
+	_, _, fb := b.Func("f", FunctionType{Inputs: []Type{F64()}, Results: []Type{F64()}})
+	c := fb.ConstantFloat(2.0, F64())
+	fb.Return(c)
+	if err := m.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if m.FindFunc("f") == nil {
+		t.Error("FindFunc(f) returned nil")
+	}
+	if m.FindFunc("missing") != nil {
+		t.Error("FindFunc(missing) should return nil")
+	}
+}
+
+func TestVerifyRejectsUseBeforeDef(t *testing.T) {
+	ctx := NewContext()
+	m := NewModule(ctx, "bad")
+	b := NewBuilder(ctx, m.Body())
+	_, _, fb := b.Func("f", FunctionType{})
+	// Manufacture a value that was never defined in scope.
+	orphanOp := &Op{ctx: ctx, Dialect: "builtin", Name: "constant"}
+	orphan := &Value{id: ctx.newID(), typ: F64(), def: orphanOp}
+	fb.Create("builtin.return", []*Value{orphan}, nil, nil)
+	if err := m.Verify(); err == nil {
+		t.Fatal("Verify must reject use of undefined value")
+	}
+}
+
+func TestVerifyRejectsMisplacedTerminator(t *testing.T) {
+	ctx := NewContext()
+	m := NewModule(ctx, "bad")
+	b := NewBuilder(ctx, m.Body())
+	_, _, fb := b.Func("f", FunctionType{})
+	fb.Return()
+	fb.ConstantFloat(1, F64()) // op after terminator
+	err := m.Verify()
+	if err == nil {
+		t.Fatal("Verify must reject terminator before last op")
+	}
+	if !strings.Contains(err.Error(), "terminator") {
+		t.Errorf("error %v should mention terminator", err)
+	}
+}
+
+func TestVerifyArity(t *testing.T) {
+	ctx := NewContext()
+	d := ctx.RegisterDialect("x")
+	d.RegisterOp(&OpInfo{Name: "pair", MinOperands: 2, MaxOperands: 2, NumResults: 1})
+	m := NewModule(ctx, "m")
+	b := NewBuilder(ctx, m.Body())
+	_, _, fb := b.Func("f", FunctionType{})
+	v := fb.ConstantFloat(1, F64())
+	fb.Create("x.pair", []*Value{v}, []Type{F64()}, nil) // one operand, wants two
+	fb.Return()
+	if err := m.Verify(); err == nil {
+		t.Fatal("Verify must reject wrong operand arity")
+	}
+}
+
+func TestVerifySemanticHook(t *testing.T) {
+	ctx := NewContext()
+	m := NewModule(ctx, "m")
+	b := NewBuilder(ctx, m.Body())
+	// builtin.constant without a value attribute must fail.
+	op := b.Create("builtin.constant", nil, []Type{F64()}, nil)
+	_ = op
+	if err := m.Verify(); err == nil {
+		t.Fatal("builtin.constant without value must fail verification")
+	}
+}
+
+func TestPrinterDeterministic(t *testing.T) {
+	build := func() *Module {
+		ctx := NewContext()
+		m := NewModule(ctx, "p")
+		b := NewBuilder(ctx, m.Body())
+		_, _, fb := b.Func("f", FunctionType{Inputs: []Type{F64(), F64()}})
+		x := fb.ConstantFloat(1.5, F64())
+		y := fb.ConstantInt(3, I32())
+		op := fb.Create("builtin.call", []*Value{x, y}, []Type{F64()},
+			map[string]Attribute{"callee": StringAttr("g"), "zeta": IntAttr(1), "alpha": IntAttr(2)})
+		fb.Return(op.Result(0))
+		return m
+	}
+	a, b := build().String(), build().String()
+	if a != b {
+		t.Fatalf("printer output is nondeterministic:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.Contains(a, `"builtin.func"`) || !strings.Contains(a, `alpha = 2, callee = "g", zeta = 1`) {
+		t.Errorf("unexpected printed form:\n%s", a)
+	}
+}
+
+func TestWalkAndCount(t *testing.T) {
+	ctx := NewContext()
+	m := NewModule(ctx, "w")
+	b := NewBuilder(ctx, m.Body())
+	_, _, fb := b.Func("f", FunctionType{})
+	fb.ConstantFloat(1, F64())
+	fb.ConstantFloat(2, F64())
+	fb.Return()
+	if got := m.CountOps("builtin.constant"); got != 2 {
+		t.Errorf("CountOps(constant) = %d, want 2", got)
+	}
+	n := 0
+	m.Walk(func(*Op) { n++ })
+	// module + func + 2 constants + return
+	if n != 5 {
+		t.Errorf("Walk visited %d ops, want 5", n)
+	}
+}
+
+func TestDeadCodeElim(t *testing.T) {
+	ctx := NewContext()
+	m := NewModule(ctx, "dce")
+	b := NewBuilder(ctx, m.Body())
+	_, _, fb := b.Func("f", FunctionType{})
+	used := fb.ConstantFloat(1, F64())
+	fb.ConstantFloat(2, F64()) // dead
+	fb.Return(used)
+	pm := NewPassManager().Add(DeadCodeElim())
+	if err := pm.Run(m); err != nil {
+		t.Fatalf("dce: %v", err)
+	}
+	if got := m.CountOps("builtin.constant"); got != 1 {
+		t.Errorf("after DCE %d constants remain, want 1", got)
+	}
+	if len(pm.Stats) != 1 || pm.Stats[0].Pass != "dce" {
+		t.Errorf("pass stats not recorded: %+v", pm.Stats)
+	}
+}
+
+func TestPassManagerVerifiesBetweenPasses(t *testing.T) {
+	ctx := NewContext()
+	m := NewModule(ctx, "pm")
+	pm := NewPassManager().AddFunc("break-it", func(m *Module) error {
+		b := NewBuilder(ctx, m.Body())
+		b.Create("builtin.constant", nil, []Type{F64()}, nil) // invalid: no value
+		return nil
+	})
+	if err := pm.Run(m); err == nil {
+		t.Fatal("PassManager must fail verification after a breaking pass")
+	}
+}
+
+func TestReplaceAllUses(t *testing.T) {
+	ctx := NewContext()
+	m := NewModule(ctx, "r")
+	b := NewBuilder(ctx, m.Body())
+	_, _, fb := b.Func("f", FunctionType{})
+	a := fb.ConstantFloat(1, F64())
+	c := fb.ConstantFloat(2, F64())
+	ret := fb.Return(a)
+	m.ReplaceAllUses(a, c)
+	if ret.Operand(0) != c {
+		t.Error("ReplaceAllUses did not rewrite the return operand")
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	cases := []struct {
+		t    Type
+		want string
+	}{
+		{F64(), "f64"},
+		{BF16(), "bf16"},
+		{I32(), "i32"},
+		{IntegerType{Width: 8, Unsigned: true}, "ui8"},
+		{I1(), "i1"},
+		{Index(), "index"},
+		{TensorOf(F64(), 4, 8), "tensor<4x8xf64>"},
+		{MemRefOf(F32(), "hbm", 128), `memref<128xf32, "hbm">`},
+		{StreamType{Elem: F32(), Depth: 16}, "stream<f32, 16>"},
+		{FixedType{IntBits: 8, FracBits: 8}, "!base2.fixed<8,8>"},
+		{PositType{N: 16, ES: 1}, "!base2.posit<16,1>"},
+		{TensorType{Shape: []int{-1, 3}, Elem: F64()}, "tensor<?x3xf64>"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("%T String = %q, want %q", c.t, got, c.want)
+		}
+	}
+}
+
+func TestBitWidthOf(t *testing.T) {
+	cases := []struct {
+		t    Type
+		want int
+	}{
+		{F64(), 64}, {F32(), 32}, {BF16(), 16}, {I32(), 32}, {I1(), 1},
+		{Index(), 64}, {FixedType{IntBits: 6, FracBits: 10}, 16},
+		{PositType{N: 16, ES: 1}, 16}, {TensorOf(F64(), 2), 0},
+	}
+	for _, c := range cases {
+		if got := BitWidthOf(c.t); got != c.want {
+			t.Errorf("BitWidthOf(%s) = %d, want %d", c.t, got, c.want)
+		}
+	}
+}
+
+func TestTypesEqualProperty(t *testing.T) {
+	// Property: TensorOf(elem, dims...) equals itself structurally and
+	// differs when any dim changes.
+	f := func(a, b uint8) bool {
+		da, db := int(a%32)+1, int(b%32)+1
+		t1 := TensorOf(F64(), da, db)
+		t2 := TensorOf(F64(), da, db)
+		t3 := TensorOf(F64(), da, db+1)
+		return TypesEqual(t1, t2) && !TypesEqual(t1, t3)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAttrHelpers(t *testing.T) {
+	attrs := map[string]Attribute{
+		"i": IntAttr(7), "s": StringAttr("x"), "b": BoolAttr(true), "f": FloatAttr(2.5),
+	}
+	if GetInt(attrs, "i", 0) != 7 || GetInt(attrs, "missing", 9) != 9 {
+		t.Error("GetInt failed")
+	}
+	if GetString(attrs, "s", "") != "x" || GetString(attrs, "missing", "d") != "d" {
+		t.Error("GetString failed")
+	}
+	if !GetBool(attrs, "b", false) || GetBool(attrs, "missing", true) != true {
+		t.Error("GetBool failed")
+	}
+	if GetFloat(attrs, "f", 0) != 2.5 {
+		t.Error("GetFloat failed")
+	}
+	dict := DictAttr{"z": IntAttr(1), "a": IntAttr(2)}
+	if dict.String() != "{a = 2, z = 1}" {
+		t.Errorf("DictAttr not sorted: %s", dict.String())
+	}
+}
+
+func TestFunctionTypeString(t *testing.T) {
+	ft := FunctionType{Inputs: []Type{F64(), I32()}, Results: []Type{F32()}}
+	if got := ft.String(); got != "(f64, i32) -> (f32)" {
+		t.Errorf("FunctionType.String = %q", got)
+	}
+}
+
+func TestBlockArgsAndParents(t *testing.T) {
+	ctx := NewContext()
+	m := NewModule(ctx, "x")
+	b := NewBuilder(ctx, m.Body())
+	fn, entry, fb := b.Func("f", FunctionType{Inputs: []Type{F64()}})
+	if len(entry.Args) != 1 || !entry.Args[0].IsBlockArg() {
+		t.Fatal("Func must materialize block arguments")
+	}
+	c := fb.ConstantFloat(0, F64())
+	if c.DefiningOp() == nil || c.DefiningOp().ParentOp() != fn {
+		t.Error("ParentOp chain broken")
+	}
+	if fn.ParentBlock() != m.Body() {
+		t.Error("func's parent block must be module body")
+	}
+}

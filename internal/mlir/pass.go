@@ -1,0 +1,170 @@
+package mlir
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Pass is a module-level transformation or analysis.
+type Pass interface {
+	// Name identifies the pass in pipeline dumps ("ekl-to-teil").
+	Name() string
+	// Run mutates or analyses the module. Errors abort the pipeline.
+	Run(m *Module) error
+}
+
+// PassFunc adapts a function to the Pass interface.
+type PassFunc struct {
+	PassName string
+	Fn       func(m *Module) error
+}
+
+// Name returns the pass name.
+func (p PassFunc) Name() string { return p.PassName }
+
+// Run invokes the wrapped function.
+func (p PassFunc) Run(m *Module) error { return p.Fn(m) }
+
+// PassStat records one pass execution for diagnostics and the E2 experiment.
+type PassStat struct {
+	Pass     string
+	Duration time.Duration
+	OpsAfter int
+	Err      error
+}
+
+// PassManager runs a pipeline of passes with verification between stages.
+type PassManager struct {
+	passes      []Pass
+	VerifyEach  bool // verify the module after every pass (default true via NewPassManager)
+	Stats       []PassStat
+	DumpEachTo  *strings.Builder // optional: textual IR after each pass
+	FailOnStats bool
+}
+
+// NewPassManager returns a PassManager with per-pass verification enabled.
+func NewPassManager() *PassManager { return &PassManager{VerifyEach: true} }
+
+// Add appends passes to the pipeline and returns the manager for chaining.
+func (pm *PassManager) Add(passes ...Pass) *PassManager {
+	pm.passes = append(pm.passes, passes...)
+	return pm
+}
+
+// AddFunc appends a function pass.
+func (pm *PassManager) AddFunc(name string, fn func(m *Module) error) *PassManager {
+	return pm.Add(PassFunc{PassName: name, Fn: fn})
+}
+
+// Run executes the pipeline. On error it reports which pass failed. Stats
+// are recorded for each executed pass.
+func (pm *PassManager) Run(m *Module) error {
+	pm.Stats = pm.Stats[:0]
+	for _, p := range pm.passes {
+		start := time.Now()
+		err := p.Run(m)
+		stat := PassStat{Pass: p.Name(), Duration: time.Since(start), Err: err}
+		if err == nil {
+			n := 0
+			m.Walk(func(*Op) { n++ })
+			stat.OpsAfter = n
+		}
+		pm.Stats = append(pm.Stats, stat)
+		if err != nil {
+			return fmt.Errorf("pass %q failed: %w", p.Name(), err)
+		}
+		if pm.VerifyEach {
+			if err := m.Verify(); err != nil {
+				return fmt.Errorf("verification after pass %q failed: %w", p.Name(), err)
+			}
+		}
+		if pm.DumpEachTo != nil {
+			fmt.Fprintf(pm.DumpEachTo, "// ----- after %s -----\n%s\n", p.Name(), m.String())
+		}
+	}
+	return nil
+}
+
+// PipelineString renders the pipeline like "a,b,c" for logs.
+func (pm *PassManager) PipelineString() string {
+	names := make([]string, len(pm.passes))
+	for i, p := range pm.passes {
+		names[i] = p.Name()
+	}
+	return strings.Join(names, ",")
+}
+
+// ReplaceAllUses rewrites every use of old with new within the module.
+func (m *Module) ReplaceAllUses(old, new *Value) {
+	m.Walk(func(op *Op) {
+		for i, operand := range op.Operands {
+			if operand == old {
+				op.Operands[i] = new
+			}
+		}
+	})
+}
+
+// EraseOps removes ops matching pred from every block (results must be
+// unused or already replaced).
+func (m *Module) EraseOps(pred func(*Op) bool) int {
+	removed := 0
+	m.WalkBlocks(func(b *Block) {
+		kept := b.Ops[:0]
+		for _, op := range b.Ops {
+			if pred(op) {
+				removed++
+				continue
+			}
+			kept = append(kept, op)
+		}
+		b.Ops = kept
+	})
+	return removed
+}
+
+// DeadCodeElim removes side-effect-free ops whose results are all unused.
+// Side effects are conservatively assumed for ops with regions, terminators,
+// and any op name carrying "store", "write", "output", "yield" or "call".
+func DeadCodeElim() Pass {
+	return PassFunc{PassName: "dce", Fn: func(m *Module) error {
+		for {
+			used := make(map[*Value]bool)
+			m.Walk(func(op *Op) {
+				for _, v := range op.Operands {
+					used[v] = true
+				}
+			})
+			removed := m.EraseOps(func(op *Op) bool {
+				if len(op.Regions) > 0 || len(op.Results) == 0 {
+					return false
+				}
+				if hasSideEffectName(op) {
+					return false
+				}
+				if info := op.ctx.lookupOp(op.Dialect, op.Name); info != nil && info.Terminator {
+					return false
+				}
+				for _, r := range op.Results {
+					if used[r] {
+						return false
+					}
+				}
+				return true
+			})
+			if removed == 0 {
+				return nil
+			}
+		}
+	}}
+}
+
+func hasSideEffectName(op *Op) bool {
+	for _, frag := range []string{"store", "write", "output", "yield", "call", "push", "send"} {
+		if strings.Contains(op.Name, frag) {
+			return true
+		}
+	}
+	return false
+}

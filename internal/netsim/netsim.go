@@ -1,0 +1,120 @@
+// Package netsim models the 10 Gbps TCP/UDP network stack of the IBM
+// cloudFPGA platform (paper §III) and the ZRLMPI unified programming model
+// (Ringlein et al., FCCM 2020 — paper ref [21]): message passing between
+// network-attached FPGAs and hosts with hardware-agnostic synchronous
+// communication routines.
+//
+// Time is modelled in seconds; the packetization model charges per-MTU
+// framing overhead, which is what makes small messages latency-bound and
+// large messages bandwidth-bound — the behaviour the DOSA/ZRLMPI layer is
+// designed around.
+package netsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Stack is one transport configuration.
+type Stack struct {
+	Name          string
+	LineRateGbps  float64 // physical line rate
+	MTU           int     // payload bytes per frame
+	FrameOverhead int     // header bytes per frame (eth+ip+proto)
+	LatencyUs     float64 // one-way wire+stack latency
+	AckFactor     float64 // goodput derate for acknowledged transports
+}
+
+// TCP10G returns the cloudFPGA 10G TCP stack model.
+func TCP10G() Stack {
+	return Stack{Name: "tcp10g", LineRateGbps: 10, MTU: 1460, FrameOverhead: 78, LatencyUs: 25, AckFactor: 0.95}
+}
+
+// UDP10G returns the cloudFPGA 10G UDP stack model.
+func UDP10G() Stack {
+	return Stack{Name: "udp10g", LineRateGbps: 10, MTU: 1472, FrameOverhead: 66, LatencyUs: 20, AckFactor: 1.0}
+}
+
+// GoodputGBs returns the achievable payload bandwidth in GB/s.
+func (s Stack) GoodputGBs() float64 {
+	eff := float64(s.MTU) / float64(s.MTU+s.FrameOverhead)
+	return s.LineRateGbps / 8 * eff * s.AckFactor
+}
+
+// SendSeconds models a one-way transfer of n payload bytes.
+func (s Stack) SendSeconds(n int64) float64 {
+	if n < 0 {
+		n = 0
+	}
+	frames := (n + int64(s.MTU) - 1) / int64(s.MTU)
+	if frames == 0 {
+		frames = 1
+	}
+	wire := float64(n+frames*int64(s.FrameOverhead)) / (s.LineRateGbps / 8 * 1e9)
+	return s.LatencyUs*1e-6 + wire/s.AckFactor
+}
+
+// RoundTripSeconds models a request/response of the given payload sizes.
+func (s Stack) RoundTripSeconds(req, resp int64) float64 {
+	return s.SendSeconds(req) + s.SendSeconds(resp)
+}
+
+// World is a ZRLMPI communicator over `Ranks` endpoints (hosts or FPGAs).
+type World struct {
+	Ranks int
+	Stack Stack
+}
+
+// NewWorld validates and builds a communicator.
+func NewWorld(ranks int, s Stack) (World, error) {
+	if ranks < 1 {
+		return World{}, fmt.Errorf("netsim: world needs >= 1 rank, got %d", ranks)
+	}
+	return World{Ranks: ranks, Stack: s}, nil
+}
+
+// SendRecv models a point-to-point message of n bytes.
+func (w World) SendRecv(n int64) float64 { return w.Stack.SendSeconds(n) }
+
+// Broadcast models a binomial-tree broadcast of n bytes to all ranks.
+func (w World) Broadcast(n int64) float64 {
+	if w.Ranks <= 1 {
+		return 0
+	}
+	steps := math.Ceil(math.Log2(float64(w.Ranks)))
+	return steps * w.Stack.SendSeconds(n)
+}
+
+// AllReduce models a ring allreduce of n bytes: 2(p-1) steps moving n/p.
+func (w World) AllReduce(n int64) float64 {
+	p := w.Ranks
+	if p <= 1 {
+		return 0
+	}
+	chunk := n / int64(p)
+	if chunk < 1 {
+		chunk = 1
+	}
+	return float64(2*(p-1)) * w.Stack.SendSeconds(chunk)
+}
+
+// Gather models gathering n bytes from every rank at the root (serialized
+// arrivals on the root's link).
+func (w World) Gather(n int64) float64 {
+	if w.Ranks <= 1 {
+		return 0
+	}
+	return float64(w.Ranks-1) * w.Stack.SendSeconds(n)
+}
+
+// Scatter models the root sending n bytes to each rank.
+func (w World) Scatter(n int64) float64 { return w.Gather(n) }
+
+// Barrier models a dissemination barrier (log2 p rounds of empty messages).
+func (w World) Barrier() float64 {
+	if w.Ranks <= 1 {
+		return 0
+	}
+	steps := math.Ceil(math.Log2(float64(w.Ranks)))
+	return steps * w.Stack.SendSeconds(0)
+}

@@ -1,0 +1,104 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGoodputBelowLineRate(t *testing.T) {
+	for _, s := range []Stack{TCP10G(), UDP10G()} {
+		g := s.GoodputGBs()
+		if g <= 0 || g >= s.LineRateGbps/8 {
+			t.Errorf("%s goodput %g must be positive and below line rate", s.Name, g)
+		}
+	}
+	if UDP10G().GoodputGBs() <= TCP10G().GoodputGBs() {
+		t.Error("UDP goodput should exceed TCP goodput")
+	}
+}
+
+func TestSendSecondsSmallVsLarge(t *testing.T) {
+	s := TCP10G()
+	small := s.SendSeconds(64)
+	// Small messages are latency-dominated.
+	if small < s.LatencyUs*1e-6 {
+		t.Error("send cannot beat latency")
+	}
+	if small > 2*s.LatencyUs*1e-6 {
+		t.Errorf("64B send %g should be latency-dominated", small)
+	}
+	// Large messages approach goodput.
+	n := int64(1 << 30)
+	large := s.SendSeconds(n)
+	ideal := float64(n) / (s.GoodputGBs() * 1e9)
+	if large < ideal*0.95 || large > ideal*1.1 {
+		t.Errorf("1GiB send %g, ideal %g", large, ideal)
+	}
+}
+
+func TestSendMonotoneProperty(t *testing.T) {
+	s := UDP10G()
+	prop := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return s.SendSeconds(x) <= s.SendSeconds(y)+1e-15
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorldValidation(t *testing.T) {
+	if _, err := NewWorld(0, TCP10G()); err == nil {
+		t.Error("0 ranks must fail")
+	}
+	w, err := NewWorld(4, TCP10G())
+	if err != nil || w.Ranks != 4 {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectives(t *testing.T) {
+	w, _ := NewWorld(8, UDP10G())
+	single, _ := NewWorld(1, UDP10G())
+	if single.Broadcast(1<<20) != 0 || single.AllReduce(1<<20) != 0 || single.Barrier() != 0 {
+		t.Error("single-rank collectives must be free")
+	}
+	bc := w.Broadcast(1 << 20)
+	p2p := w.SendRecv(1 << 20)
+	if bc <= p2p {
+		t.Error("8-rank broadcast must cost more than one send")
+	}
+	if bc > 3.1*p2p {
+		t.Errorf("binomial broadcast should take ~log2(8)=3 steps, got %g vs %g", bc, p2p)
+	}
+	// Ring allreduce moves ~2n bytes regardless of p (for large n).
+	ar := w.AllReduce(1 << 24)
+	twice := 2 * w.SendRecv(1<<24)
+	if ar > twice*1.5 {
+		t.Errorf("ring allreduce %g should be near 2x send %g", ar, twice)
+	}
+	if w.Gather(1<<20) <= p2p {
+		t.Error("gather at root must serialize arrivals")
+	}
+	if w.Scatter(1<<10) != w.Gather(1<<10) {
+		t.Error("scatter and gather should be symmetric in this model")
+	}
+	if w.Barrier() <= 0 {
+		t.Error("barrier must cost time")
+	}
+}
+
+func TestAllReduceScalesGentlyWithRanks(t *testing.T) {
+	n := int64(1 << 26)
+	w2, _ := NewWorld(2, UDP10G())
+	w16, _ := NewWorld(16, UDP10G())
+	r2 := w2.AllReduce(n)
+	r16 := w16.AllReduce(n)
+	// Ring allreduce is nearly rank-independent for large messages.
+	if r16 > r2*2.5 {
+		t.Errorf("allreduce should scale gently: p=2 %g vs p=16 %g", r2, r16)
+	}
+}

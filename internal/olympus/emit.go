@@ -1,0 +1,63 @@
+package olympus
+
+import (
+	"everest/internal/mlir"
+	"everest/internal/mlir/dialects"
+)
+
+// EmitModule renders a Design as an olympus-dialect MLIR module (the form
+// of Fig. 5's "Coordination, integration, backend" layer). The module
+// verifies under the registered dialects.
+func EmitModule(d *Design) (*mlir.Module, error) {
+	ctx := mlir.NewContext()
+	dialects.RegisterAll(ctx)
+	m := mlir.NewModule(ctx, d.Bitstream.ID)
+	b := mlir.NewBuilder(ctx, m.Body())
+
+	sys := b.CreateWithRegions("olympus.system", nil, nil, map[string]mlir.Attribute{
+		"sym_name": mlir.StringAttr(d.Bitstream.ID),
+		"target":   mlir.StringAttr(d.Bitstream.Target),
+	}, 1)
+	sb := mlir.NewBuilder(ctx, sys.Regions[0].Entry())
+
+	cfg := d.Bitstream.Config
+	bus := sb.Create("olympus.bus", nil, []mlir.Type{mlir.StreamType{Elem: mlir.F64()}},
+		map[string]mlir.Attribute{
+			"width":  mlir.IntAttr(cfg.BusWidthBits),
+			"lanes":  mlir.IntAttr(cfg.Lanes),
+			"packed": mlir.IntAttr(cfg.PackedElements),
+		})
+
+	var plm *mlir.Op
+	if cfg.PLMBytes > 0 {
+		words := cfg.PLMBytes * 8 / int64(d.Bitstream.ElemBits)
+		if words < 1 {
+			words = 1
+		}
+		plm = sb.Create("olympus.plm", nil,
+			[]mlir.Type{mlir.MemRefOf(mlir.F64(), "plm", int(words))},
+			map[string]mlir.Attribute{
+				"words":  mlir.IntAttr(words),
+				"width":  mlir.IntAttr(d.Bitstream.ElemBits),
+				"shared": mlir.BoolAttr(cfg.PLMShared),
+				"double": mlir.BoolAttr(cfg.DoubleBuffered),
+			})
+	}
+
+	for r := 0; r < cfg.Replicas; r++ {
+		operands := []*mlir.Value{bus.Result(0)}
+		if plm != nil {
+			operands = append(operands, plm.Result(0))
+		}
+		sb.Create("olympus.kernel_inst", operands, nil, map[string]mlir.Attribute{
+			"kernel": mlir.StringAttr(d.Bitstream.Kernel),
+			"lane":   mlir.IntAttr(r % cfg.Lanes),
+		})
+	}
+	sb.Create("olympus.done", nil, nil, nil)
+
+	if err := m.Verify(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

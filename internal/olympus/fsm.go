@@ -1,0 +1,93 @@
+package olympus
+
+import (
+	"fmt"
+
+	"everest/internal/mlir"
+	"everest/internal/mlir/dialects"
+)
+
+// ControllerState describes one state of a generated memory controller.
+type ControllerState struct {
+	Name    string
+	Actions []string
+	Next    string
+}
+
+// ControllerSpec is the finite-state controller Olympus generates for the
+// data-movement infrastructure around a kernel (read/execute/write
+// pipelining of §V-C). Double buffering splits the transfer states into
+// ping/pong pairs that overlap with execution.
+type ControllerSpec struct {
+	Name   string
+	States []ControllerState
+}
+
+// Controller derives the memory-subsystem controller for a design.
+func Controller(d *Design) ControllerSpec {
+	cfg := d.Bitstream.Config
+	name := fmt.Sprintf("%s_ctrl", d.Bitstream.Kernel)
+	if !cfg.DoubleBuffered {
+		return ControllerSpec{
+			Name: name,
+			States: []ControllerState{
+				{Name: "idle", Actions: []string{"wait_start"}, Next: "load"},
+				{Name: "load", Actions: []string{"dma_read(in, plm)"}, Next: "exec"},
+				{Name: "exec", Actions: []string{"start_kernels", "wait_done"}, Next: "store"},
+				{Name: "store", Actions: []string{"dma_write(plm, out)"}, Next: "idle"},
+			},
+		}
+	}
+	return ControllerSpec{
+		Name: name,
+		States: []ControllerState{
+			{Name: "idle", Actions: []string{"wait_start"}, Next: "fill"},
+			{Name: "fill", Actions: []string{"dma_read(in[0], plm_ping)"}, Next: "steady"},
+			{Name: "steady", Actions: []string{
+				"start_kernels(plm_ping)",
+				"dma_read(in[k+1], plm_pong)",
+				"dma_write(plm_done, out[k-1])",
+				"swap(ping, pong)",
+			}, Next: "steady"},
+			{Name: "drain", Actions: []string{"wait_done", "dma_write(plm_ping, out[last])"}, Next: "idle"},
+		},
+	}
+}
+
+// EmitController renders the controller as an fsm-dialect MLIR module.
+func EmitController(spec ControllerSpec) (*mlir.Module, error) {
+	if len(spec.States) == 0 {
+		return nil, fmt.Errorf("olympus: controller %q has no states", spec.Name)
+	}
+	valid := make(map[string]bool, len(spec.States))
+	for _, st := range spec.States {
+		valid[st.Name] = true
+	}
+	ctx := mlir.NewContext()
+	dialects.RegisterAll(ctx)
+	m := mlir.NewModule(ctx, spec.Name)
+	b := mlir.NewBuilder(ctx, m.Body())
+	mach := b.CreateWithRegions("fsm.machine", nil, nil, map[string]mlir.Attribute{
+		"sym_name": mlir.StringAttr(spec.Name),
+	}, 1)
+	mb := mlir.NewBuilder(ctx, mach.Regions[0].Entry())
+	for _, st := range spec.States {
+		if st.Next != "" && !valid[st.Next] {
+			return nil, fmt.Errorf("olympus: state %q transitions to unknown state %q", st.Name, st.Next)
+		}
+		sop := mb.CreateWithRegions("fsm.state", nil, nil, map[string]mlir.Attribute{
+			"name": mlir.StringAttr(st.Name),
+		}, 1)
+		sb := mlir.NewBuilder(ctx, sop.Regions[0].Entry())
+		for _, a := range st.Actions {
+			sb.Create("fsm.action", nil, nil, map[string]mlir.Attribute{"do": mlir.StringAttr(a)})
+		}
+		if st.Next != "" {
+			sb.Create("fsm.transition", nil, nil, map[string]mlir.Attribute{"to": mlir.StringAttr(st.Next)})
+		}
+	}
+	if err := m.Verify(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,84 @@
+package olympus
+
+import (
+	"strings"
+	"testing"
+
+	"everest/internal/hls"
+	"everest/internal/platform"
+)
+
+func TestControllerSequential(t *testing.T) {
+	d, err := Generate(streamKernel(), hls.VitisBackend{}, platform.AlveoU55C(), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Controller(d)
+	if len(spec.States) != 4 {
+		t.Fatalf("sequential controller has %d states, want 4 (idle/load/exec/store)", len(spec.States))
+	}
+	names := make([]string, 0, 4)
+	for _, s := range spec.States {
+		names = append(names, s.Name)
+	}
+	if strings.Join(names, ",") != "idle,load,exec,store" {
+		t.Errorf("states = %v", names)
+	}
+}
+
+func TestControllerDoubleBuffered(t *testing.T) {
+	d, err := Generate(streamKernel(), hls.VitisBackend{}, platform.AlveoU55C(), nil, Options{DoubleBuffer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Controller(d)
+	// Steady state must overlap read/execute/write.
+	var steady *ControllerState
+	for i := range spec.States {
+		if spec.States[i].Name == "steady" {
+			steady = &spec.States[i]
+		}
+	}
+	if steady == nil {
+		t.Fatal("double-buffered controller needs a steady state")
+	}
+	joined := strings.Join(steady.Actions, ";")
+	for _, want := range []string{"start_kernels", "dma_read", "dma_write", "swap"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("steady state missing %q: %v", want, steady.Actions)
+		}
+	}
+}
+
+func TestEmitController(t *testing.T) {
+	d, err := Generate(streamKernel(), hls.VitisBackend{}, platform.AlveoU55C(), nil, Options{DoubleBuffer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := EmitController(Controller(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CountOps("fsm.state") != 4 {
+		t.Errorf("fsm.state count %d, want 4", m.CountOps("fsm.state"))
+	}
+	if m.CountOps("fsm.transition") != 4 {
+		t.Errorf("fsm.transition count %d, want 4", m.CountOps("fsm.transition"))
+	}
+	text := m.String()
+	if !strings.Contains(text, "fsm.machine") || !strings.Contains(text, `"swap(ping, pong)"`) {
+		t.Error("printed controller missing content")
+	}
+}
+
+func TestEmitControllerErrors(t *testing.T) {
+	if _, err := EmitController(ControllerSpec{Name: "x"}); err == nil {
+		t.Error("empty controller must fail")
+	}
+	bad := ControllerSpec{Name: "x", States: []ControllerState{
+		{Name: "a", Next: "ghost"},
+	}}
+	if _, err := EmitController(bad); err == nil {
+		t.Error("transition to unknown state must fail")
+	}
+}

@@ -1,0 +1,353 @@
+// Package onnxlite implements the ML-model entry point of the EVEREST SDK
+// (paper §V-A: "the SDK supports standard ONNX ML models"): a minimal
+// ONNX-like graph representation with shape inference, a reference executor,
+// and lowering into the jabbah MLIR dialect (the Operation Set Architecture
+// layer of Fig. 5 used to converge the ML frontends).
+package onnxlite
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"everest/internal/mlir"
+	"everest/internal/mlir/dialects"
+	"everest/internal/tensor"
+)
+
+// OpType enumerates the supported graph operators.
+type OpType string
+
+// Supported operators.
+const (
+	OpMatMul  OpType = "MatMul"
+	OpAdd     OpType = "Add"
+	OpRelu    OpType = "Relu"
+	OpConv2D  OpType = "Conv2D" // NHW (single channel) valid-padding conv
+	OpSoftmax OpType = "Softmax"
+	OpMaxPool OpType = "MaxPool" // 2x2, stride 2
+)
+
+// Node is one graph operator application.
+type Node struct {
+	Op     OpType   `json:"op"`
+	Name   string   `json:"name"`
+	Inputs []string `json:"inputs"`
+	Output string   `json:"output"`
+}
+
+// Model is an ONNX-like inference graph.
+type Model struct {
+	Name    string               `json:"name"`
+	Inputs  map[string][]int     `json:"inputs"` // name -> shape
+	Init    map[string][]float64 `json:"init"`   // weights (flattened)
+	InitDim map[string][]int     `json:"init_dim"`
+	Nodes   []Node               `json:"nodes"`
+	Outputs []string             `json:"outputs"`
+}
+
+// ParseJSON loads a model from its JSON serialization (the interchange form
+// standing in for protobuf ONNX files).
+func ParseJSON(data []byte) (*Model, error) {
+	var m Model
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("onnxlite: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Validate checks graph well-formedness: defined names, acyclic order,
+// known ops, weight shapes.
+func (m *Model) Validate() error {
+	if len(m.Nodes) == 0 {
+		return fmt.Errorf("onnxlite: model %q has no nodes", m.Name)
+	}
+	defined := make(map[string]bool)
+	for name := range m.Inputs {
+		defined[name] = true
+	}
+	for name, data := range m.Init {
+		dims, ok := m.InitDim[name]
+		if !ok {
+			return fmt.Errorf("onnxlite: initializer %q has no shape", name)
+		}
+		n := 1
+		for _, d := range dims {
+			n *= d
+		}
+		if n != len(data) {
+			return fmt.Errorf("onnxlite: initializer %q has %d values for shape %v", name, len(data), dims)
+		}
+		defined[name] = true
+	}
+	for _, n := range m.Nodes {
+		switch n.Op {
+		case OpMatMul, OpAdd, OpRelu, OpConv2D, OpSoftmax, OpMaxPool:
+		default:
+			return fmt.Errorf("onnxlite: unsupported op %q", n.Op)
+		}
+		for _, in := range n.Inputs {
+			if !defined[in] {
+				return fmt.Errorf("onnxlite: node %q uses undefined input %q", n.Name, in)
+			}
+		}
+		if defined[n.Output] {
+			return fmt.Errorf("onnxlite: output %q redefined", n.Output)
+		}
+		defined[n.Output] = true
+	}
+	for _, out := range m.Outputs {
+		if !defined[out] {
+			return fmt.Errorf("onnxlite: graph output %q undefined", out)
+		}
+	}
+	return nil
+}
+
+// Run executes the graph on the given inputs.
+func (m *Model) Run(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	env := make(map[string]*tensor.Tensor)
+	for name, shape := range m.Inputs {
+		t, ok := inputs[name]
+		if !ok {
+			return nil, fmt.Errorf("onnxlite: missing input %q", name)
+		}
+		if len(t.Shape()) != len(shape) {
+			return nil, fmt.Errorf("onnxlite: input %q rank mismatch", name)
+		}
+		env[name] = t
+	}
+	for name, data := range m.Init {
+		env[name] = tensor.FromData(append([]float64(nil), data...), m.InitDim[name]...)
+	}
+	for _, n := range m.Nodes {
+		args := make([]*tensor.Tensor, len(n.Inputs))
+		for i, in := range n.Inputs {
+			args[i] = env[in]
+		}
+		out, err := applyOp(n.Op, args)
+		if err != nil {
+			return nil, fmt.Errorf("onnxlite: node %q: %w", n.Name, err)
+		}
+		env[n.Output] = out
+	}
+	res := make(map[string]*tensor.Tensor, len(m.Outputs))
+	for _, out := range m.Outputs {
+		res[out] = env[out]
+	}
+	return res, nil
+}
+
+func applyOp(op OpType, args []*tensor.Tensor) (*tensor.Tensor, error) {
+	switch op {
+	case OpMatMul:
+		if len(args) != 2 || args[0].Rank() != 2 || args[1].Rank() != 2 {
+			return nil, fmt.Errorf("MatMul wants two rank-2 tensors")
+		}
+		if args[0].Shape()[1] != args[1].Shape()[0] {
+			return nil, fmt.Errorf("MatMul inner dims %d vs %d", args[0].Shape()[1], args[1].Shape()[0])
+		}
+		return tensor.MatMul(args[0], args[1]), nil
+	case OpAdd:
+		if len(args) != 2 {
+			return nil, fmt.Errorf("Add wants two tensors")
+		}
+		// Row-broadcast bias: (N,D) + (D).
+		if args[0].Rank() == 2 && args[1].Rank() == 1 && args[0].Shape()[1] == args[1].Shape()[0] {
+			out := args[0].Clone()
+			rows, cols := out.Shape()[0], out.Shape()[1]
+			for i := 0; i < rows; i++ {
+				for j := 0; j < cols; j++ {
+					out.Set(out.At(i, j)+args[1].At(j), i, j)
+				}
+			}
+			return out, nil
+		}
+		return tensor.Add(args[0], args[1]), nil
+	case OpRelu:
+		if len(args) != 1 {
+			return nil, fmt.Errorf("Relu wants one tensor")
+		}
+		return args[0].Map(func(v float64) float64 {
+			if v < 0 {
+				return 0
+			}
+			return v
+		}), nil
+	case OpConv2D:
+		if len(args) != 2 || args[0].Rank() != 2 || args[1].Rank() != 2 {
+			return nil, fmt.Errorf("Conv2D wants image and kernel, both rank-2")
+		}
+		return conv2d(args[0], args[1])
+	case OpSoftmax:
+		if len(args) != 1 || args[0].Rank() != 2 {
+			return nil, fmt.Errorf("Softmax wants one rank-2 tensor")
+		}
+		return softmaxRows(args[0]), nil
+	case OpMaxPool:
+		if len(args) != 1 || args[0].Rank() != 2 {
+			return nil, fmt.Errorf("MaxPool wants one rank-2 tensor")
+		}
+		return maxPool2(args[0]), nil
+	}
+	return nil, fmt.Errorf("unknown op %q", op)
+}
+
+func conv2d(img, k *tensor.Tensor) (*tensor.Tensor, error) {
+	ih, iw := img.Shape()[0], img.Shape()[1]
+	kh, kw := k.Shape()[0], k.Shape()[1]
+	if kh > ih || kw > iw {
+		return nil, fmt.Errorf("Conv2D kernel larger than image")
+	}
+	oh, ow := ih-kh+1, iw-kw+1
+	out := tensor.New(oh, ow)
+	for i := 0; i < oh; i++ {
+		for j := 0; j < ow; j++ {
+			s := 0.0
+			for a := 0; a < kh; a++ {
+				for b := 0; b < kw; b++ {
+					s += img.At(i+a, j+b) * k.At(a, b)
+				}
+			}
+			out.Set(s, i, j)
+		}
+	}
+	return out, nil
+}
+
+func softmaxRows(x *tensor.Tensor) *tensor.Tensor {
+	rows, cols := x.Shape()[0], x.Shape()[1]
+	out := tensor.New(rows, cols)
+	for i := 0; i < rows; i++ {
+		max := x.At(i, 0)
+		for j := 1; j < cols; j++ {
+			if x.At(i, j) > max {
+				max = x.At(i, j)
+			}
+		}
+		sum := 0.0
+		for j := 0; j < cols; j++ {
+			v := expFast(x.At(i, j) - max)
+			out.Set(v, i, j)
+			sum += v
+		}
+		for j := 0; j < cols; j++ {
+			out.Set(out.At(i, j)/sum, i, j)
+		}
+	}
+	return out
+}
+
+func maxPool2(x *tensor.Tensor) *tensor.Tensor {
+	h, w := x.Shape()[0]/2, x.Shape()[1]/2
+	out := tensor.New(h, w)
+	for i := 0; i < h; i++ {
+		for j := 0; j < w; j++ {
+			m := x.At(2*i, 2*j)
+			for a := 0; a < 2; a++ {
+				for b := 0; b < 2; b++ {
+					if v := x.At(2*i+a, 2*j+b); v > m {
+						m = v
+					}
+				}
+			}
+			out.Set(m, i, j)
+		}
+	}
+	return out
+}
+
+// Lower emits the model as a jabbah-dialect MLIR module: the OSA layer that
+// converges ML frontends before FPGA mapping (Ringlein et al., CAL 2023).
+func (m *Model) Lower() (*mlir.Module, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	ctx := mlir.NewContext()
+	dialects.RegisterAll(ctx)
+	mod := mlir.NewModule(ctx, m.Name)
+	b := mlir.NewBuilder(ctx, mod.Body())
+	gop := b.CreateWithRegions("jabbah.graph", nil, nil, map[string]mlir.Attribute{
+		"sym_name": mlir.StringAttr(m.Name),
+	}, 1)
+	gb := mlir.NewBuilder(ctx, gop.Regions[0].Entry())
+
+	vals := make(map[string]*mlir.Value)
+	mk := func(name string, shape []int, kind string) {
+		op := gb.Create("ekl.tensor", nil,
+			[]mlir.Type{mlir.TensorOf(mlir.F32(), shape...)},
+			map[string]mlir.Attribute{"name": mlir.StringAttr(name), "kind": mlir.StringAttr(kind)})
+		op.Result(0).SetName(name)
+		vals[name] = op.Result(0)
+	}
+	for name, shape := range m.Inputs {
+		mk(name, shape, "input")
+	}
+	for name := range m.Init {
+		mk(name, m.InitDim[name], "weight")
+	}
+	for _, n := range m.Nodes {
+		operands := make([]*mlir.Value, len(n.Inputs))
+		for i, in := range n.Inputs {
+			operands[i] = vals[in]
+		}
+		var opName string
+		attrs := map[string]mlir.Attribute{}
+		switch n.Op {
+		case OpMatMul:
+			opName = "jabbah.matmul"
+		case OpAdd:
+			opName = "jabbah.add"
+		case OpRelu:
+			opName = "jabbah.relu"
+		case OpConv2D:
+			opName = "jabbah.conv2d"
+		case OpSoftmax:
+			opName = "jabbah.softmax"
+		case OpMaxPool:
+			opName = "jabbah.pool"
+			attrs["kind"] = mlir.StringAttr("max")
+		}
+		op := gb.Create(opName, operands, []mlir.Type{mlir.TensorOf(mlir.F32())}, attrs)
+		op.Result(0).SetName(n.Output)
+		vals[n.Output] = op.Result(0)
+	}
+	outs := make([]*mlir.Value, len(m.Outputs))
+	for i, o := range m.Outputs {
+		outs[i] = vals[o]
+	}
+	gb.Create("jabbah.output", outs, nil, nil)
+	if err := mod.Verify(); err != nil {
+		return nil, err
+	}
+	return mod, nil
+}
+
+// MLP2 builds a small two-layer perceptron model (the quickstart's demo
+// network): x(N,D) -> MatMul W1 -> Add b1 -> Relu -> MatMul W2 -> Softmax.
+func MLP2(name string, d, hidden, classes int, weights map[string][]float64) *Model {
+	return &Model{
+		Name:   name,
+		Inputs: map[string][]int{"x": {1, d}},
+		Init: map[string][]float64{
+			"w1": weights["w1"], "b1": weights["b1"],
+			"w2": weights["w2"],
+		},
+		InitDim: map[string][]int{
+			"w1": {d, hidden}, "b1": {hidden}, "w2": {hidden, classes},
+		},
+		Nodes: []Node{
+			{Op: OpMatMul, Name: "fc1", Inputs: []string{"x", "w1"}, Output: "h0"},
+			{Op: OpAdd, Name: "bias1", Inputs: []string{"h0", "b1"}, Output: "h1"},
+			{Op: OpRelu, Name: "act1", Inputs: []string{"h1"}, Output: "h2"},
+			{Op: OpMatMul, Name: "fc2", Inputs: []string{"h2", "w2"}, Output: "logits"},
+			{Op: OpSoftmax, Name: "prob", Inputs: []string{"logits"}, Output: "probs"},
+		},
+		Outputs: []string{"probs"},
+	}
+}
+
+func expFast(x float64) float64 { return math.Exp(x) }

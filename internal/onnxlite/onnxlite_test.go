@@ -1,0 +1,174 @@
+package onnxlite
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"everest/internal/tensor"
+)
+
+func testMLP() *Model {
+	rng := rand.New(rand.NewSource(1))
+	w := func(n int) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = rng.NormFloat64() * 0.5
+		}
+		return out
+	}
+	return MLP2("mlp", 4, 8, 3, map[string][]float64{
+		"w1": w(4 * 8), "b1": w(8), "w2": w(8 * 3),
+	})
+}
+
+func TestValidateAndRunMLP(t *testing.T) {
+	m := testMLP()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.FromData([]float64{0.5, -1, 2, 0.1}, 1, 4)
+	out, err := m.Run(map[string]*tensor.Tensor{"x": x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := out["probs"]
+	if probs.Shape()[1] != 3 {
+		t.Fatalf("probs shape %v", probs.Shape())
+	}
+	sum := probs.Sum()
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("softmax must sum to 1, got %g", sum)
+	}
+	for _, v := range probs.Data() {
+		if v <= 0 || v >= 1 {
+			t.Errorf("probability %g out of (0,1)", v)
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []func(m *Model){
+		func(m *Model) { m.Nodes = nil },
+		func(m *Model) { m.Nodes[0].Inputs = []string{"ghost", "w1"} },
+		func(m *Model) { m.Nodes[1].Output = "h0" }, // redefinition
+		func(m *Model) { m.Outputs = []string{"ghost"} },
+		func(m *Model) { m.Nodes[0].Op = "Gemm" },
+		func(m *Model) { m.Init["w1"] = []float64{1, 2} }, // shape mismatch
+		func(m *Model) { delete(m.InitDim, "w1") },
+	}
+	for i, mutate := range cases {
+		m := testMLP()
+		mutate(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: Validate must fail", i)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	m := testMLP()
+	if _, err := m.Run(nil); err == nil {
+		t.Error("missing input must fail")
+	}
+	bad := tensor.New(4)
+	if _, err := m.Run(map[string]*tensor.Tensor{"x": bad}); err == nil {
+		t.Error("rank mismatch must fail")
+	}
+}
+
+func TestConv2DAndPool(t *testing.T) {
+	m := &Model{
+		Name:    "conv",
+		Inputs:  map[string][]int{"img": {4, 4}},
+		Init:    map[string][]float64{"k": {1, 0, 0, 1}},
+		InitDim: map[string][]int{"k": {2, 2}},
+		Nodes: []Node{
+			{Op: OpConv2D, Name: "c", Inputs: []string{"img", "k"}, Output: "f"},
+			{Op: OpRelu, Name: "r", Inputs: []string{"f"}, Output: "a"},
+		},
+		Outputs: []string{"a"},
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	img := tensor.FromData([]float64{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 4, 4)
+	out, err := m.Run(map[string]*tensor.Tensor{"img": img})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := out["a"]
+	if f.Shape()[0] != 3 || f.Shape()[1] != 3 {
+		t.Fatalf("conv output shape %v, want 3x3", f.Shape())
+	}
+	// Kernel [[1,0],[0,1]]: out[0][0] = img[0][0] + img[1][1] = 7.
+	if f.At(0, 0) != 7 {
+		t.Errorf("conv value %g, want 7", f.At(0, 0))
+	}
+}
+
+func TestMaxPool(t *testing.T) {
+	x := tensor.FromData([]float64{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 4, 4)
+	out, err := applyOp(OpMaxPool, []*tensor.Tensor{x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(0, 0) != 6 || out.At(1, 1) != 16 {
+		t.Errorf("maxpool wrong: %v", out.Data())
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	src := `{
+	  "name": "tiny",
+	  "inputs": {"x": [1, 2]},
+	  "init": {"w": [1, 0, 0, 1]},
+	  "init_dim": {"w": [2, 2]},
+	  "nodes": [{"op": "MatMul", "name": "mm", "inputs": ["x", "w"], "output": "y"}],
+	  "outputs": ["y"]
+	}`
+	m, err := ParseJSON([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.FromData([]float64{3, 4}, 1, 2)
+	out, err := m.Run(map[string]*tensor.Tensor{"x": x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["y"].At(0, 0) != 3 || out["y"].At(0, 1) != 4 {
+		t.Errorf("identity matmul wrong: %v", out["y"].Data())
+	}
+	if _, err := ParseJSON([]byte("{not json")); err == nil {
+		t.Error("bad JSON must fail")
+	}
+}
+
+func TestLowerToJabbah(t *testing.T) {
+	m := testMLP()
+	mod, err := m.Lower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.CountOps("jabbah.matmul") != 2 {
+		t.Errorf("matmul count = %d, want 2", mod.CountOps("jabbah.matmul"))
+	}
+	if mod.CountOps("jabbah.softmax") != 1 || mod.CountOps("jabbah.relu") != 1 {
+		t.Error("activation ops missing")
+	}
+	text := mod.String()
+	if !strings.Contains(text, "jabbah.graph") {
+		t.Error("printed module missing jabbah.graph")
+	}
+}

@@ -1,0 +1,112 @@
+package platform
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"everest/internal/hls"
+)
+
+// SystemConfig captures the FPGA system architecture Olympus generated
+// around a kernel (paper §V-C): private local memories, bus organization,
+// replication, and transfer scheduling.
+type SystemConfig struct {
+	Replicas       int   // kernel instances on the fabric
+	BusWidthBits   int   // memory bus width
+	Lanes          int   // bus lanes serving the replicas
+	PackedElements int   // elements packed per bus beat (1 = unpacked)
+	DoubleBuffered bool  // overlap transfer and compute
+	PLMBytes       int64 // on-fabric private local memory footprint
+	PLMShared      bool  // buffers share storage across kernel phases
+}
+
+// Validate checks internal consistency.
+func (c SystemConfig) Validate() error {
+	if c.Replicas < 1 {
+		return fmt.Errorf("platform: config needs >= 1 replica")
+	}
+	if c.Lanes < 1 || c.BusWidthBits < 1 {
+		return fmt.Errorf("platform: config needs positive bus width and lanes")
+	}
+	if c.BusWidthBits%c.Lanes != 0 {
+		return fmt.Errorf("platform: bus width %d not divisible into %d lanes", c.BusWidthBits, c.Lanes)
+	}
+	if c.PackedElements < 1 {
+		return fmt.Errorf("platform: packed elements must be >= 1")
+	}
+	return nil
+}
+
+// Bitstream is the deployable artifact: the HLS report of the kernel plus
+// the generated system architecture. (A real bitstream is opaque; what the
+// paper evaluates is exactly this architectural content.)
+type Bitstream struct {
+	ID       string
+	Kernel   string
+	Target   string // device name it was generated for
+	Report   hls.Report
+	Config   SystemConfig
+	ElemBits int // datapath element width
+}
+
+// TotalResources returns the fabric resources of the full system: replicas
+// plus the memory subsystem (PLMs, lane controllers, DMA engines).
+func (b Bitstream) TotalResources() hls.Resources {
+	r := b.Report.Resources.Scale(b.Config.Replicas)
+	// Lane controllers and DMA engine overhead.
+	r = r.Add(hls.Resources{LUT: 2000 + 500*b.Config.Lanes, FF: 3000 + 700*b.Config.Lanes})
+	plm := b.Config.PLMBytes
+	if b.Config.DoubleBuffered {
+		plm *= 2
+	}
+	r = r.Add(hls.Resources{BRAM: int((plm + 2047) / 2048)})
+	return r
+}
+
+// Registry stores bitstreams by ID, mimicking the deployment store the
+// LEXIS-based flow pushes artifacts into (paper §IV).
+type Registry struct {
+	mu sync.RWMutex
+	m  map[string]Bitstream
+}
+
+// NewRegistry returns an empty bitstream registry.
+func NewRegistry() *Registry { return &Registry{m: make(map[string]Bitstream)} }
+
+// Put stores a bitstream (overwrites by ID).
+func (r *Registry) Put(b Bitstream) error {
+	if b.ID == "" {
+		return fmt.Errorf("platform: bitstream needs an ID")
+	}
+	if err := b.Config.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m[b.ID] = b
+	return nil
+}
+
+// Get fetches a bitstream by ID.
+func (r *Registry) Get(id string) (Bitstream, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	b, ok := r.m[id]
+	if !ok {
+		return Bitstream{}, fmt.Errorf("platform: no bitstream %q", id)
+	}
+	return b, nil
+}
+
+// IDs returns all stored bitstream IDs, sorted.
+func (r *Registry) IDs() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ids := make([]string, 0, len(r.m))
+	for id := range r.m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

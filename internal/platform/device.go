@@ -1,0 +1,181 @@
+// Package platform models the EVEREST target systems (paper §III): PCIe-
+// attached AMD Alveo cards with HBM and the Xilinx Runtime (XRT), and IBM
+// cloudFPGA network-attached FPGAs on a 10 Gbps TCP/UDP fabric.
+//
+// Real hardware is replaced by calibrated analytical models (substitution
+// table in DESIGN.md): device resource capacities and memory/link bandwidth
+// numbers follow the boards' public data sheets, and execution time is
+// derived from the HLS report plus the memory system model. All time is
+// modelled (seconds as float64), never wall clock, so experiments are
+// deterministic.
+package platform
+
+import (
+	"fmt"
+
+	"everest/internal/hls"
+)
+
+// Attachment distinguishes how a device reaches its host.
+type Attachment int
+
+// Attachment kinds.
+const (
+	// PCIeAttached devices (Alveo) transfer via the host PCIe link.
+	PCIeAttached Attachment = iota
+	// NetworkAttached devices (cloudFPGA) are reached over TCP/UDP and have
+	// no local host (disaggregated).
+	NetworkAttached
+)
+
+func (a Attachment) String() string {
+	if a == NetworkAttached {
+		return "network"
+	}
+	return "pcie"
+}
+
+// MemorySpec describes one device memory system.
+type MemorySpec struct {
+	Kind          string  // "hbm2", "ddr4"
+	Channels      int     // pseudo-channels for HBM
+	BandwidthGBs  float64 // aggregate peak bandwidth, GB/s
+	LatencyNs     float64 // access latency
+	SizeBytes     int64
+	PortWidthBits int // AXI port width per channel
+}
+
+// ChannelBandwidthGBs returns the per-channel share of the peak bandwidth.
+func (m MemorySpec) ChannelBandwidthGBs() float64 {
+	if m.Channels == 0 {
+		return m.BandwidthGBs
+	}
+	return m.BandwidthGBs / float64(m.Channels)
+}
+
+// LinkSpec describes a host or network link.
+type LinkSpec struct {
+	Kind         string  // "pcie3x16", "tcp10g"
+	BandwidthGBs float64 // effective payload bandwidth, GB/s
+	LatencyUs    float64 // one-way latency
+}
+
+// TransferSeconds returns the modelled time to move n bytes over the link.
+func (l LinkSpec) TransferSeconds(n int64) float64 {
+	if n <= 0 {
+		return l.LatencyUs * 1e-6
+	}
+	return l.LatencyUs*1e-6 + float64(n)/(l.BandwidthGBs*1e9)
+}
+
+// Device is one FPGA card model.
+type Device struct {
+	Name       string
+	Attachment Attachment
+	Capacity   hls.Resources
+	Memory     MemorySpec
+	Host       LinkSpec // PCIe link (PCIeAttached) or network link (NetworkAttached)
+	FabricMHz  float64  // achievable fabric clock ceiling
+}
+
+func (d *Device) String() string {
+	return fmt.Sprintf("%s (%s, %s)", d.Name, d.Attachment, d.Memory.Kind)
+}
+
+// AlveoU55C returns the model of an AMD Alveo U55C: HBM2 card used by the
+// paper's PTDR and map-matching deployments (§VIII).
+func AlveoU55C() *Device {
+	return &Device{
+		Name:       "alveo-u55c",
+		Attachment: PCIeAttached,
+		Capacity:   hls.Resources{LUT: 1303680, FF: 2607360, DSP: 9024, BRAM: 4032},
+		Memory: MemorySpec{
+			Kind: "hbm2", Channels: 32, BandwidthGBs: 460, LatencyNs: 120,
+			SizeBytes: 16 << 30, PortWidthBits: 256,
+		},
+		Host:      LinkSpec{Kind: "pcie3x16", BandwidthGBs: 12, LatencyUs: 5},
+		FabricMHz: 450,
+	}
+}
+
+// AlveoU280 returns the model of an AMD Alveo U280 (HBM2 + DDR4).
+func AlveoU280() *Device {
+	return &Device{
+		Name:       "alveo-u280",
+		Attachment: PCIeAttached,
+		Capacity:   hls.Resources{LUT: 1304000, FF: 2607000, DSP: 9024, BRAM: 4032},
+		Memory: MemorySpec{
+			Kind: "hbm2", Channels: 32, BandwidthGBs: 460, LatencyNs: 128,
+			SizeBytes: 8 << 30, PortWidthBits: 256,
+		},
+		Host:      LinkSpec{Kind: "pcie4x8", BandwidthGBs: 14, LatencyUs: 4},
+		FabricMHz: 450,
+	}
+}
+
+// CloudFPGA returns the model of an IBM cloudFPGA node (Ringlein et al.,
+// FPL 2019): a standalone Kintex-class FPGA attached directly to the data
+// center network with a 10 Gbps TCP/UDP stack.
+func CloudFPGA() *Device {
+	return &Device{
+		Name:       "cloudfpga-ku060",
+		Attachment: NetworkAttached,
+		Capacity:   hls.Resources{LUT: 331680, FF: 663360, DSP: 2760, BRAM: 2160},
+		Memory: MemorySpec{
+			Kind: "ddr4", Channels: 2, BandwidthGBs: 38, LatencyNs: 90,
+			SizeBytes: 8 << 30, PortWidthBits: 512,
+		},
+		Host:      LinkSpec{Kind: "tcp10g", BandwidthGBs: 1.1, LatencyUs: 25},
+		FabricMHz: 322,
+	}
+}
+
+// DeviceByName resolves a catalog device.
+func DeviceByName(name string) (*Device, error) {
+	switch name {
+	case "alveo-u55c", "u55c":
+		return AlveoU55C(), nil
+	case "alveo-u280", "u280":
+		return AlveoU280(), nil
+	case "cloudfpga", "cloudfpga-ku060":
+		return CloudFPGA(), nil
+	default:
+		return nil, fmt.Errorf("platform: unknown device %q", name)
+	}
+}
+
+// CPUModel is the software baseline executor: a host core that retires a
+// bounded number of floating-point operations per second. Used for the
+// CPU-vs-FPGA experiments (E9, E10).
+type CPUModel struct {
+	Name             string
+	GFLOPs           float64 // sustained scalar GFLOP/s per core
+	Cores            int
+	MemBWGBs         float64
+	LaunchOverheadUs float64
+}
+
+// XeonModel returns a model of the paper's Intel Xeon host nodes.
+func XeonModel() CPUModel {
+	return CPUModel{Name: "xeon-gold", GFLOPs: 3.2, Cores: 16, MemBWGBs: 80, LaunchOverheadUs: 1}
+}
+
+// EPYCModel returns a model of the paper's AMD EPYC host nodes.
+func EPYCModel() CPUModel {
+	return CPUModel{Name: "epyc", GFLOPs: 3.0, Cores: 32, MemBWGBs: 120, LaunchOverheadUs: 1}
+}
+
+// TimeSeconds models running `flops` floating-point operations touching
+// `bytes` of memory on n cores (n <= Cores; 0 means all).
+func (c CPUModel) TimeSeconds(flops float64, bytes int64, n int) float64 {
+	if n <= 0 || n > c.Cores {
+		n = c.Cores
+	}
+	compute := flops / (c.GFLOPs * 1e9 * float64(n))
+	mem := float64(bytes) / (c.MemBWGBs * 1e9)
+	t := compute
+	if mem > t {
+		t = mem
+	}
+	return c.LaunchOverheadUs*1e-6 + t
+}

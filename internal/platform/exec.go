@@ -1,0 +1,131 @@
+package platform
+
+import (
+	"fmt"
+	"math"
+)
+
+// Workload describes one invocation of a deployed kernel system.
+type Workload struct {
+	BytesIn  int64 // host -> device payload
+	BytesOut int64 // device -> host payload
+	// Batches splits the payload into equal batches; double buffering
+	// overlaps batch k+1's transfer with batch k's compute.
+	Batches int
+}
+
+// Timeline is the modelled execution breakdown of one workload run.
+type Timeline struct {
+	TransferIn  float64 // seconds moving inputs
+	Compute     float64 // seconds of kernel execution (all batches)
+	TransferOut float64 // seconds moving outputs
+	Total       float64 // end-to-end seconds (overlap-aware)
+	MemoryBound bool    // compute was limited by memory bandwidth
+	EffBWGBs    float64 // effective memory bandwidth seen by the kernel
+}
+
+func (t Timeline) String() string {
+	return fmt.Sprintf("in=%.3gs compute=%.3gs out=%.3gs total=%.3gs (membound=%v, effBW=%.1fGB/s)",
+		t.TransferIn, t.Compute, t.TransferOut, t.Total, t.MemoryBound, t.EffBWGBs)
+}
+
+// Execute models running a bitstream on a device.
+//
+// The model captures the effects Olympus optimizes for (paper §V-C):
+//
+//   - replication divides compute cycles across instances, but each replica
+//     needs its own data stream: the memory system sustains Lanes concurrent
+//     streams, so replicas beyond the lane count queue;
+//   - data packing raises the usable fraction of each bus beat from
+//     elemBits/busWidth to packed*elemBits/busWidth;
+//   - double buffering overlaps per-batch transfers with compute;
+//   - network-attached devices pay the (much slower) network link for
+//     transfers but are otherwise identical, exposing the compute/byte
+//     crossover of E9.
+func Execute(dev *Device, bs Bitstream, wl Workload) (Timeline, error) {
+	if err := bs.Config.Validate(); err != nil {
+		return Timeline{}, err
+	}
+	if !bs.TotalResources().FitsIn(dev.Capacity) {
+		return Timeline{}, fmt.Errorf("platform: bitstream %q does not fit on %s (%s > %s)",
+			bs.ID, dev.Name, bs.TotalResources(), dev.Capacity)
+	}
+	batches := wl.Batches
+	if batches < 1 {
+		batches = 1
+	}
+
+	cfg := bs.Config
+	clockHz := bs.Report.ClockMHz * 1e6
+	if dev.FabricMHz*1e6 < clockHz {
+		clockHz = dev.FabricMHz * 1e6
+	}
+
+	// Pure compute: the HLS latency covers the whole iteration space once;
+	// replicas split it. Parallelism beyond the lane count still computes
+	// but waits on data, handled through the bandwidth bound below.
+	computePure := float64(bs.Report.LatencyCycle) / clockHz / float64(cfg.Replicas)
+
+	// Memory bound: bytes touched per run = in + out (PLM-resident
+	// intermediates excluded). The usable bandwidth scales with beat
+	// utilization and with how many lanes the replicas can actually drive.
+	beatUtil := float64(cfg.PackedElements*bs.ElemBits) / float64(cfg.BusWidthBits)
+	if beatUtil > 1 {
+		beatUtil = 1
+	}
+	activeLanes := cfg.Lanes
+	if cfg.Replicas < activeLanes {
+		activeLanes = cfg.Replicas
+	}
+	laneShare := float64(activeLanes) / float64(cfg.Lanes)
+	// Raw stream bandwidth: the DRAM side shared across lanes, capped by
+	// what the active AXI ports can move per cycle. Unused beat bits are
+	// wasted on both paths, so beat utilization scales the raw figure.
+	rawBW := dev.Memory.BandwidthGBs * 1e9 * laneShare
+	portBW := float64(cfg.BusWidthBits/8/cfg.Lanes) * clockHz * float64(activeLanes)
+	if portBW < rawBW {
+		rawBW = portBW
+	}
+	effBW := rawBW * beatUtil
+	memTime := float64(wl.BytesIn+wl.BytesOut) / effBW
+
+	compute := computePure
+	memoryBound := false
+	if memTime > compute {
+		compute = memTime
+		memoryBound = true
+	}
+
+	tIn := dev.Host.TransferSeconds(wl.BytesIn)
+	tOut := dev.Host.TransferSeconds(wl.BytesOut)
+
+	var total float64
+	if cfg.DoubleBuffered && batches > 1 {
+		// Steady state: stages overlap; the slowest stage dominates, plus
+		// pipeline fill and drain of the faster stages.
+		perIn := tIn / float64(batches)
+		perC := compute / float64(batches)
+		perOut := tOut / float64(batches)
+		slowest := math.Max(perIn, math.Max(perC, perOut))
+		total = slowest*float64(batches) + (perIn + perC + perOut - slowest)
+	} else {
+		total = tIn + compute + tOut
+	}
+
+	return Timeline{
+		TransferIn:  tIn,
+		Compute:     compute,
+		TransferOut: tOut,
+		Total:       total,
+		MemoryBound: memoryBound,
+		EffBWGBs:    effBW / 1e9,
+	}, nil
+}
+
+// Throughput returns processed bytes per second for a timeline.
+func Throughput(wl Workload, tl Timeline) float64 {
+	if tl.Total <= 0 {
+		return 0
+	}
+	return float64(wl.BytesIn+wl.BytesOut) / tl.Total
+}

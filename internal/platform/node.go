@@ -1,0 +1,139 @@
+package platform
+
+import (
+	"fmt"
+	"sync"
+)
+
+// SimClock is the logical clock shared by the simulated cluster. All times
+// are modelled seconds; nothing sleeps.
+type SimClock struct {
+	mu  sync.Mutex
+	now float64
+}
+
+// Now returns the current modelled time.
+func (c *SimClock) Now() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by dt seconds and returns the new time.
+func (c *SimClock) Advance(dt float64) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if dt > 0 {
+		c.now += dt
+	}
+	return c.now
+}
+
+// AdvanceTo moves the clock to t if t is in the future.
+func (c *SimClock) AdvanceTo(t float64) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t > c.now {
+		c.now = t
+	}
+	return c.now
+}
+
+// Node is one computing node of the EVEREST cluster: a CPU plus attached
+// FPGA devices, with an XRT-like programming interface.
+type Node struct {
+	Name    string
+	CPU     CPUModel
+	Devices []*Device
+
+	mu         sync.Mutex
+	programmed map[int]Bitstream // device index -> loaded bitstream
+	busyUntil  map[int]float64   // device index -> modelled time it frees up
+}
+
+// NewNode builds a node.
+func NewNode(name string, cpu CPUModel, devices ...*Device) *Node {
+	return &Node{
+		Name: name, CPU: cpu, Devices: devices,
+		programmed: make(map[int]Bitstream),
+		busyUntil:  make(map[int]float64),
+	}
+}
+
+// Program loads a bitstream onto device idx (XRT xclLoadXclbin analogue).
+// Reprogramming takes modelled time returned as seconds.
+func (n *Node) Program(idx int, bs Bitstream) (float64, error) {
+	if idx < 0 || idx >= len(n.Devices) {
+		return 0, fmt.Errorf("platform: node %s has no device %d", n.Name, idx)
+	}
+	if !bs.TotalResources().FitsIn(n.Devices[idx].Capacity) {
+		return 0, fmt.Errorf("platform: bitstream %q does not fit on %s", bs.ID, n.Devices[idx].Name)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.programmed[idx] = bs
+	// Full-device configuration takes O(100ms); partial reconfiguration
+	// (cloudFPGA, Ringlein FPL'19) is faster.
+	if n.Devices[idx].Attachment == NetworkAttached {
+		return 0.040, nil
+	}
+	return 0.120, nil
+}
+
+// Programmed returns the loaded bitstream for device idx.
+func (n *Node) Programmed(idx int) (Bitstream, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	bs, ok := n.programmed[idx]
+	return bs, ok
+}
+
+// RunKernel executes the loaded bitstream with the workload, returning the
+// timeline. The caller accounts the time on its own clock.
+func (n *Node) RunKernel(idx int, wl Workload) (Timeline, error) {
+	n.mu.Lock()
+	bs, ok := n.programmed[idx]
+	n.mu.Unlock()
+	if !ok {
+		return Timeline{}, fmt.Errorf("platform: device %d of %s is not programmed", idx, n.Name)
+	}
+	return Execute(n.Devices[idx], bs, wl)
+}
+
+// RunCPU models a software execution on n cores.
+func (n *Node) RunCPU(flops float64, bytes int64, cores int) float64 {
+	return n.CPU.TimeSeconds(flops, bytes, cores)
+}
+
+// Cluster is a set of nodes joined by a data-center network.
+type Cluster struct {
+	Nodes   []*Node
+	Network LinkSpec
+	Clock   SimClock
+}
+
+// NewCluster builds a cluster with a default 100 Gbps data-center fabric.
+func NewCluster(nodes ...*Node) *Cluster {
+	return &Cluster{
+		Nodes:   nodes,
+		Network: LinkSpec{Kind: "eth100g", BandwidthGBs: 11, LatencyUs: 3},
+	}
+}
+
+// FindNode returns the node with the given name, or nil.
+func (c *Cluster) FindNode(name string) *Node {
+	for _, n := range c.Nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// TransferSeconds models moving bytes between two nodes.
+func (c *Cluster) TransferSeconds(from, to string, bytes int64) float64 {
+	if from == to {
+		return 0
+	}
+	return c.Network.TransferSeconds(bytes)
+}

@@ -1,0 +1,277 @@
+package platform
+
+import (
+	"testing"
+	"testing/quick"
+
+	"everest/internal/hls"
+)
+
+func testBitstream(replicas, lanes, packed int, double bool) Bitstream {
+	return Bitstream{
+		ID: "test", Kernel: "k", Target: "alveo-u55c",
+		Report: hls.Report{
+			Kernel: "k", Backend: "vitis",
+			LatencyCycle: 1 << 20, II: 1, IterLatency: 10,
+			Resources: hls.Resources{LUT: 10000, FF: 12000, DSP: 30, BRAM: 16},
+			ClockMHz:  300,
+		},
+		Config: SystemConfig{
+			Replicas: replicas, BusWidthBits: 512, Lanes: lanes,
+			PackedElements: packed, DoubleBuffered: double, PLMBytes: 1 << 16,
+		},
+		ElemBits: 64,
+	}
+}
+
+func TestDeviceCatalog(t *testing.T) {
+	for _, name := range []string{"alveo-u55c", "alveo-u280", "cloudfpga"} {
+		d, err := DeviceByName(name)
+		if err != nil || d == nil {
+			t.Fatalf("DeviceByName(%s): %v", name, err)
+		}
+		if d.Capacity.LUT == 0 || d.Memory.BandwidthGBs == 0 {
+			t.Errorf("%s has empty specs", name)
+		}
+	}
+	if _, err := DeviceByName("stratix"); err == nil {
+		t.Error("unknown device must error")
+	}
+	if AlveoU55C().Attachment != PCIeAttached {
+		t.Error("U55C must be PCIe attached")
+	}
+	if CloudFPGA().Attachment != NetworkAttached {
+		t.Error("cloudFPGA must be network attached")
+	}
+}
+
+func TestLinkTransfer(t *testing.T) {
+	l := LinkSpec{BandwidthGBs: 10, LatencyUs: 5}
+	if got := l.TransferSeconds(0); got < 4.9e-6 || got > 5.1e-6 {
+		t.Errorf("zero-byte transfer = %g, want ~latency only", got)
+	}
+	got := l.TransferSeconds(10 * 1e9)
+	if got < 1.0 || got > 1.001 {
+		t.Errorf("10GB over 10GB/s = %g, want ~1s", got)
+	}
+}
+
+func TestExecuteBasics(t *testing.T) {
+	dev := AlveoU55C()
+	bs := testBitstream(1, 1, 1, false)
+	wl := Workload{BytesIn: 1 << 26, BytesOut: 1 << 24}
+	tl, err := Execute(dev, bs, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Total <= 0 || tl.Compute <= 0 || tl.TransferIn <= 0 {
+		t.Errorf("degenerate timeline: %+v", tl)
+	}
+	if tl.Total < tl.TransferIn+tl.Compute {
+		t.Error("unbuffered total must include transfer + compute")
+	}
+}
+
+func TestExecuteRejectsOverflow(t *testing.T) {
+	dev := CloudFPGA()
+	bs := testBitstream(1, 1, 1, false)
+	bs.Report.Resources = hls.Resources{LUT: 10 << 20} // enormous
+	if _, err := Execute(dev, bs, Workload{BytesIn: 1}); err == nil {
+		t.Error("oversized bitstream must be rejected")
+	}
+	bad := testBitstream(0, 1, 1, false)
+	if _, err := Execute(dev, bad, Workload{}); err == nil {
+		t.Error("invalid config must be rejected")
+	}
+}
+
+func TestDoubleBufferingOverlaps(t *testing.T) {
+	dev := AlveoU55C()
+	seq := testBitstream(1, 1, 1, false)
+	dbl := testBitstream(1, 1, 1, true)
+	wl := Workload{BytesIn: 1 << 28, BytesOut: 1 << 28, Batches: 16}
+	t1, err := Execute(dev, seq, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := Execute(dev, dbl, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2.Total >= t1.Total {
+		t.Errorf("double buffering must overlap: %g vs %g", t2.Total, t1.Total)
+	}
+}
+
+func TestReplicationSpeedsCompute(t *testing.T) {
+	dev := AlveoU55C()
+	one := testBitstream(1, 1, 8, false)
+	four := testBitstream(4, 4, 8, false)
+	wl := Workload{BytesIn: 1 << 20, BytesOut: 1 << 20}
+	t1, err := Execute(dev, one, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t4, err := Execute(dev, four, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t4.Compute >= t1.Compute {
+		t.Errorf("replication must cut compute: %g vs %g", t4.Compute, t1.Compute)
+	}
+}
+
+func TestPackingRaisesEffectiveBandwidth(t *testing.T) {
+	dev := AlveoU55C()
+	unpacked := testBitstream(1, 1, 1, false)
+	packed := testBitstream(1, 1, 8, false)
+	wl := Workload{BytesIn: 1 << 30, BytesOut: 1 << 28}
+	t1, err := Execute(dev, unpacked, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := Execute(dev, packed, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2.EffBWGBs <= t1.EffBWGBs {
+		t.Errorf("packing must raise effective bandwidth: %g vs %g", t2.EffBWGBs, t1.EffBWGBs)
+	}
+}
+
+func TestNetworkAttachedPaysLinkCost(t *testing.T) {
+	wl := Workload{BytesIn: 1 << 28, BytesOut: 1 << 26}
+	bsA := testBitstream(1, 1, 8, false)
+	tlA, err := Execute(AlveoU55C(), bsA, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bsC := testBitstream(1, 1, 8, false)
+	bsC.Report.Resources = hls.Resources{LUT: 5000, FF: 5000, DSP: 10, BRAM: 8}
+	tlC, err := Execute(CloudFPGA(), bsC, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tlC.TransferIn <= tlA.TransferIn {
+		t.Error("10G network transfers must be slower than PCIe")
+	}
+}
+
+func TestNodeProgramAndRun(t *testing.T) {
+	n := NewNode("n0", XeonModel(), AlveoU55C())
+	bs := testBitstream(1, 1, 1, false)
+	if _, err := n.RunKernel(0, Workload{BytesIn: 1}); err == nil {
+		t.Error("running an unprogrammed device must fail")
+	}
+	dt, err := n.Program(0, bs)
+	if err != nil || dt <= 0 {
+		t.Fatalf("Program: %v (%g)", err, dt)
+	}
+	if _, ok := n.Programmed(0); !ok {
+		t.Error("Programmed must report the bitstream")
+	}
+	if _, err := n.RunKernel(0, Workload{BytesIn: 1 << 20}); err != nil {
+		t.Errorf("RunKernel: %v", err)
+	}
+	if _, err := n.Program(5, bs); err == nil {
+		t.Error("bad device index must fail")
+	}
+}
+
+func TestCPUModel(t *testing.T) {
+	cpu := XeonModel()
+	t1 := cpu.TimeSeconds(1e9, 0, 1)
+	tAll := cpu.TimeSeconds(1e9, 0, 0)
+	if tAll >= t1 {
+		t.Error("more cores must be faster for compute-bound work")
+	}
+	// Memory-bound work does not scale with cores.
+	m1 := cpu.TimeSeconds(1, 80e9, 1)
+	if m1 < 0.99 {
+		t.Errorf("80GB over 80GB/s should take ~1s, got %g", m1)
+	}
+}
+
+func TestSimClock(t *testing.T) {
+	var c SimClock
+	if c.Now() != 0 {
+		t.Error("clock must start at 0")
+	}
+	c.Advance(1.5)
+	c.Advance(-1) // ignored
+	if c.Now() != 1.5 {
+		t.Error("Advance wrong")
+	}
+	c.AdvanceTo(1.0) // ignored (past)
+	c.AdvanceTo(2.0)
+	if c.Now() != 2.0 {
+		t.Error("AdvanceTo wrong")
+	}
+}
+
+func TestClusterTransfer(t *testing.T) {
+	c := NewCluster(NewNode("a", XeonModel()), NewNode("b", XeonModel()))
+	if c.TransferSeconds("a", "a", 1<<30) != 0 {
+		t.Error("same-node transfer must be free")
+	}
+	if c.TransferSeconds("a", "b", 1<<30) <= 0 {
+		t.Error("cross-node transfer must cost time")
+	}
+	if c.FindNode("a") == nil || c.FindNode("zz") != nil {
+		t.Error("FindNode broken")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	bs := testBitstream(1, 1, 1, false)
+	if err := r.Put(bs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Get("test")
+	if err != nil || got.Kernel != "k" {
+		t.Errorf("Get: %v", err)
+	}
+	if _, err := r.Get("nope"); err == nil {
+		t.Error("missing ID must error")
+	}
+	if err := r.Put(Bitstream{}); err == nil {
+		t.Error("empty ID must error")
+	}
+	if ids := r.IDs(); len(ids) != 1 || ids[0] != "test" {
+		t.Errorf("IDs = %v", ids)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []SystemConfig{
+		{Replicas: 0, BusWidthBits: 512, Lanes: 1, PackedElements: 1},
+		{Replicas: 1, BusWidthBits: 0, Lanes: 1, PackedElements: 1},
+		{Replicas: 1, BusWidthBits: 512, Lanes: 3, PackedElements: 1},
+		{Replicas: 1, BusWidthBits: 512, Lanes: 1, PackedElements: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d must be invalid", i)
+		}
+	}
+}
+
+func TestMoreBatchesNeverSlowerProperty(t *testing.T) {
+	dev := AlveoU55C()
+	prop := func(b uint8) bool {
+		batches := int(b%16) + 2
+		bs := testBitstream(1, 1, 1, true)
+		wl1 := Workload{BytesIn: 1 << 28, BytesOut: 1 << 28, Batches: 1}
+		wlN := Workload{BytesIn: 1 << 28, BytesOut: 1 << 28, Batches: batches}
+		t1, err1 := Execute(dev, bs, wl1)
+		tn, err2 := Execute(dev, bs, wlN)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return tn.Total <= t1.Total+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,393 @@
+// Package runtime implements the EVEREST resource manager (paper §VI-A):
+// a Dask-like task-graph API over the simulated heterogeneous cluster, a
+// cost-aware list scheduler that (1) respects dependencies and resource
+// requests, (2) load-balances, (3) inserts inter-node data transfers, and
+// (4) monitors the cluster and reschedules tasks when a node fails.
+//
+// The public API mirrors the paper's description: applications submit tasks
+// with minimal modification ("Dask-like API ... extended with
+// EVEREST-specific features, mainly to specify the resource requests and the
+// possibility of kernel fine-tuning").
+package runtime
+
+import (
+	"fmt"
+	"sort"
+
+	"everest/internal/platform"
+)
+
+// TaskSpec describes one workflow task and its EVEREST resource request.
+type TaskSpec struct {
+	Name string
+	Deps []string
+
+	// Software cost model.
+	Flops       float64
+	InputBytes  int64
+	OutputBytes int64
+	Cores       int
+
+	// EVEREST extension: FPGA offload request. When BitstreamID is set and
+	// a node with a programmed device is available, the task runs there.
+	NeedsFPGA   bool
+	BitstreamID string
+
+	// Knobs forwards fine-tuning parameters to the autotuner layer.
+	Knobs map[string]string
+}
+
+// Workflow is a DAG of tasks (the Dask graph).
+type Workflow struct {
+	tasks map[string]*TaskSpec
+	order []string
+}
+
+// NewWorkflow returns an empty workflow.
+func NewWorkflow() *Workflow {
+	return &Workflow{tasks: make(map[string]*TaskSpec)}
+}
+
+// Submit adds a task; dependencies must already be submitted.
+func (w *Workflow) Submit(spec TaskSpec) error {
+	if spec.Name == "" {
+		return fmt.Errorf("runtime: task needs a name")
+	}
+	if _, dup := w.tasks[spec.Name]; dup {
+		return fmt.Errorf("runtime: duplicate task %q", spec.Name)
+	}
+	for _, d := range spec.Deps {
+		if _, ok := w.tasks[d]; !ok {
+			return fmt.Errorf("runtime: task %q depends on unknown task %q", spec.Name, d)
+		}
+	}
+	cp := spec
+	w.tasks[spec.Name] = &cp
+	w.order = append(w.order, spec.Name)
+	return nil
+}
+
+// Tasks returns task names in submission order.
+func (w *Workflow) Tasks() []string { return append([]string(nil), w.order...) }
+
+// Get returns a task spec.
+func (w *Workflow) Get(name string) (*TaskSpec, bool) {
+	t, ok := w.tasks[name]
+	return t, ok
+}
+
+// Len returns the number of tasks.
+func (w *Workflow) Len() int { return len(w.order) }
+
+// Policy selects the scheduling strategy.
+type Policy int
+
+// Scheduling policies.
+const (
+	// PolicyHEFT ranks tasks by upward rank and picks the node with the
+	// earliest finish time including transfer costs.
+	PolicyHEFT Policy = iota
+	// PolicyFIFO assigns tasks in submission order to the first free node
+	// (the E6 baseline).
+	PolicyFIFO
+)
+
+func (p Policy) String() string {
+	if p == PolicyFIFO {
+		return "fifo"
+	}
+	return "heft"
+}
+
+// Assignment records one scheduled task execution.
+type Assignment struct {
+	Task    string
+	Node    string
+	Start   float64
+	End     float64
+	OnFPGA  bool
+	Restart bool // true if this run replaces one lost to a node failure
+}
+
+// Schedule is the result of planning a workflow.
+type Schedule struct {
+	Assignments []Assignment
+	Makespan    float64
+	Transfers   int   // inter-node dependency transfers
+	MovedBytes  int64 // total bytes moved between nodes
+	Policy      Policy
+}
+
+// ByTask returns the (final) assignment of each task.
+func (s *Schedule) ByTask() map[string]Assignment {
+	m := make(map[string]Assignment, len(s.Assignments))
+	for _, a := range s.Assignments {
+		m[a.Task] = a
+	}
+	return m
+}
+
+// NodeFailure injects a node failure at a modelled time (E6 failure test).
+type NodeFailure struct {
+	Node   string
+	AtTime float64
+}
+
+// Scheduler plans workflows onto a cluster.
+type Scheduler struct {
+	Cluster  *platform.Cluster
+	Registry *platform.Registry
+	Policy   Policy
+	Failures []NodeFailure
+}
+
+// NewScheduler builds a scheduler.
+func NewScheduler(c *platform.Cluster, reg *platform.Registry, p Policy) *Scheduler {
+	return &Scheduler{Cluster: c, Registry: reg, Policy: p}
+}
+
+// taskCost models one task's execution time on a node.
+func (s *Scheduler) taskCost(t *TaskSpec, n *platform.Node) (float64, bool) {
+	if t.NeedsFPGA && t.BitstreamID != "" {
+		for idx := range n.Devices {
+			if bs, ok := n.Programmed(idx); ok && bs.ID == t.BitstreamID {
+				tl, err := n.RunKernel(idx, platform.Workload{
+					BytesIn: t.InputBytes, BytesOut: t.OutputBytes, Batches: 4,
+				})
+				if err == nil {
+					return tl.Total, true
+				}
+			}
+		}
+	}
+	return n.RunCPU(t.Flops, t.InputBytes+t.OutputBytes, t.Cores), false
+}
+
+// Plan schedules the workflow and returns the schedule. The plan is
+// deterministic: ties break on node order, then task submission order.
+func (s *Scheduler) Plan(w *Workflow) (*Schedule, error) {
+	if w.Len() == 0 {
+		return &Schedule{Policy: s.Policy}, nil
+	}
+	order, err := s.taskOrder(w)
+	if err != nil {
+		return nil, err
+	}
+
+	failAt := make(map[string]float64)
+	for _, f := range s.Failures {
+		failAt[f.Node] = f.AtTime
+	}
+
+	sched := &Schedule{Policy: s.Policy}
+	nodeFree := make(map[string]float64) // node -> earliest idle time
+	taskDone := make(map[string]float64) // task -> completion time
+	taskNode := make(map[string]string)  // task -> node holding its output
+	alive := func(node string, until float64) bool {
+		t, failed := failAt[node]
+		return !failed || until <= t
+	}
+
+	for _, name := range order {
+		task := w.tasks[name]
+		bestNode := ""
+		bestEnd := 0.0
+		bestStart := 0.0
+		bestFPGA := false
+		bestBytes := int64(0)
+		bestTransfers := 0
+
+		for _, n := range s.Cluster.Nodes {
+			// Ready time: all deps done plus any transfer of their outputs.
+			ready := nodeFree[n.Name]
+			var moved int64
+			transfers := 0
+			for _, d := range task.Deps {
+				arrive := taskDone[d]
+				if taskNode[d] != n.Name {
+					dep := w.tasks[d]
+					arrive += s.Cluster.TransferSeconds(taskNode[d], n.Name, dep.OutputBytes)
+					moved += dep.OutputBytes
+					transfers++
+				}
+				if arrive > ready {
+					ready = arrive
+				}
+			}
+			cost, onFPGA := s.taskCost(task, n)
+			end := ready + cost
+			if !alive(n.Name, end) {
+				continue // node dies before completing this task
+			}
+			better := bestNode == "" || end < bestEnd ||
+				(end == bestEnd && onFPGA && !bestFPGA)
+			if s.Policy == PolicyFIFO {
+				// FIFO: first node that is idle at the dep-ready time wins;
+				// approximated by earliest start rather than earliest end.
+				better = bestNode == "" || ready < bestStart
+			}
+			if better {
+				bestNode, bestEnd, bestStart = n.Name, end, ready
+				bestFPGA, bestBytes, bestTransfers = onFPGA, moved, transfers
+			}
+		}
+		if bestNode == "" {
+			return nil, fmt.Errorf("runtime: no alive node can run task %q", name)
+		}
+		sched.Assignments = append(sched.Assignments, Assignment{
+			Task: name, Node: bestNode, Start: bestStart, End: bestEnd, OnFPGA: bestFPGA,
+		})
+		nodeFree[bestNode] = bestEnd
+		taskDone[name] = bestEnd
+		taskNode[name] = bestNode
+		sched.Transfers += bestTransfers
+		sched.MovedBytes += bestBytes
+		if bestEnd > sched.Makespan {
+			sched.Makespan = bestEnd
+		}
+	}
+	return sched, nil
+}
+
+// taskOrder returns tasks in scheduling priority order: HEFT uses upward
+// rank (critical path to exit), FIFO uses submission order. Both respect
+// dependencies.
+func (s *Scheduler) taskOrder(w *Workflow) ([]string, error) {
+	// Topological check (submission order already guarantees acyclicity
+	// because deps must pre-exist, but verify defensively).
+	indeg := make(map[string]int)
+	children := make(map[string][]string)
+	for _, name := range w.order {
+		t := w.tasks[name]
+		indeg[name] = len(t.Deps)
+		for _, d := range t.Deps {
+			children[d] = append(children[d], name)
+		}
+	}
+	if s.Policy == PolicyFIFO {
+		return append([]string(nil), w.order...), nil
+	}
+
+	// Upward rank with a representative node cost.
+	ref := s.Cluster.Nodes[0]
+	rank := make(map[string]float64)
+	var compute func(name string) float64
+	compute = func(name string) float64 {
+		if r, ok := rank[name]; ok {
+			return r
+		}
+		t := w.tasks[name]
+		cost, _ := s.taskCost(t, ref)
+		best := 0.0
+		for _, c := range children[name] {
+			if r := compute(c); r > best {
+				best = r
+			}
+		}
+		rank[name] = cost + best
+		return rank[name]
+	}
+	for _, name := range w.order {
+		compute(name)
+	}
+
+	// Priority order: higher rank first, but never before dependencies.
+	names := append([]string(nil), w.order...)
+	sort.SliceStable(names, func(i, j int) bool { return rank[names[i]] > rank[names[j]] })
+	var out []string
+	done := make(map[string]bool)
+	remaining := names
+	for len(remaining) > 0 {
+		progressed := false
+		var next []string
+		for _, name := range remaining {
+			readyNow := true
+			for _, d := range w.tasks[name].Deps {
+				if !done[d] {
+					readyNow = false
+					break
+				}
+			}
+			if readyNow {
+				out = append(out, name)
+				done[name] = true
+				progressed = true
+			} else {
+				next = append(next, name)
+			}
+		}
+		if !progressed {
+			return nil, fmt.Errorf("runtime: dependency cycle detected")
+		}
+		remaining = next
+	}
+	return out, nil
+}
+
+// PlanWithRecovery plans the workflow, then replays the injected node
+// failures: any task that would finish after its node's failure time is
+// rescheduled onto the surviving nodes (its restart is recorded). Completed
+// outputs survive failures (the runtime checkpoints task outputs to the
+// shared data layer on completion).
+func (s *Scheduler) PlanWithRecovery(w *Workflow) (*Schedule, error) {
+	if len(s.Failures) == 0 {
+		return s.Plan(w)
+	}
+	// First pass without failures to find which tasks are hit.
+	clean := *s
+	clean.Failures = nil
+	base, err := clean.Plan(w)
+	if err != nil {
+		return nil, err
+	}
+	failAt := make(map[string]float64)
+	for _, f := range s.Failures {
+		failAt[f.Node] = f.AtTime
+	}
+	hit := make(map[string]bool)
+	for _, a := range base.Assignments {
+		if t, failed := failAt[a.Node]; failed && a.End > t {
+			hit[a.Task] = true
+		}
+	}
+	if len(hit) == 0 {
+		return base, nil
+	}
+	// Second pass with failures active plans the hit tasks (and everything
+	// after them) away from dead nodes.
+	re, err := s.Plan(w)
+	if err != nil {
+		return nil, err
+	}
+	for i := range re.Assignments {
+		if hit[re.Assignments[i].Task] {
+			re.Assignments[i].Restart = true
+		}
+	}
+	return re, nil
+}
+
+// LoadImbalance returns the ratio busiest/least-busy node time in the
+// schedule across nodes that received work (1.0 = perfectly balanced).
+func (s *Schedule) LoadImbalance() float64 {
+	busy := make(map[string]float64)
+	for _, a := range s.Assignments {
+		busy[a.Node] += a.End - a.Start
+	}
+	if len(busy) == 0 {
+		return 1
+	}
+	min, max := -1.0, 0.0
+	for _, b := range busy {
+		if min < 0 || b < min {
+			min = b
+		}
+		if b > max {
+			max = b
+		}
+	}
+	if min <= 0 {
+		return max
+	}
+	return max / min
+}

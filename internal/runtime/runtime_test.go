@@ -1,0 +1,309 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+
+	"everest/internal/hls"
+	"everest/internal/platform"
+)
+
+func testCluster(nodes int) *platform.Cluster {
+	var ns []*platform.Node
+	for i := 0; i < nodes; i++ {
+		ns = append(ns, platform.NewNode(nodeName(i), platform.XeonModel(), platform.AlveoU55C()))
+	}
+	return platform.NewCluster(ns...)
+}
+
+func nodeName(i int) string { return string(rune('a'+i)) + "-node" }
+
+func chainWorkflow(t *testing.T, n int) *Workflow {
+	t.Helper()
+	w := NewWorkflow()
+	for i := 0; i < n; i++ {
+		spec := TaskSpec{Name: taskName(i), Flops: 1e9, InputBytes: 1 << 20, OutputBytes: 1 << 20}
+		if i > 0 {
+			spec.Deps = []string{taskName(i - 1)}
+		}
+		if err := w.Submit(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return w
+}
+
+func forkJoinWorkflow(t *testing.T, width int) *Workflow {
+	t.Helper()
+	w := NewWorkflow()
+	if err := w.Submit(TaskSpec{Name: "src", Flops: 1e8, OutputBytes: 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	var mids []string
+	for i := 0; i < width; i++ {
+		name := "mid" + taskName(i)
+		if err := w.Submit(TaskSpec{Name: name, Deps: []string{"src"},
+			Flops: 2e9, InputBytes: 1 << 20, OutputBytes: 1 << 20}); err != nil {
+			t.Fatal(err)
+		}
+		mids = append(mids, name)
+	}
+	if err := w.Submit(TaskSpec{Name: "sink", Deps: mids, Flops: 1e8, InputBytes: 1 << 22}); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func taskName(i int) string { return "t" + string(rune('0'+i%10)) + string(rune('a'+i/10)) }
+
+func TestWorkflowValidation(t *testing.T) {
+	w := NewWorkflow()
+	if err := w.Submit(TaskSpec{}); err == nil {
+		t.Error("empty name must fail")
+	}
+	if err := w.Submit(TaskSpec{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Submit(TaskSpec{Name: "a"}); err == nil {
+		t.Error("duplicate must fail")
+	}
+	if err := w.Submit(TaskSpec{Name: "b", Deps: []string{"zz"}}); err == nil {
+		t.Error("unknown dep must fail")
+	}
+}
+
+func TestPlanChainRespectsDependencies(t *testing.T) {
+	w := chainWorkflow(t, 5)
+	s := NewScheduler(testCluster(3), platform.NewRegistry(), PolicyHEFT)
+	sched, err := s.Plan(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byTask := sched.ByTask()
+	for i := 1; i < 5; i++ {
+		prev := byTask[taskName(i-1)]
+		cur := byTask[taskName(i)]
+		if cur.Start < prev.End-1e-12 {
+			t.Errorf("task %d starts before its dependency ends: %g < %g", i, cur.Start, prev.End)
+		}
+	}
+	if sched.Makespan <= 0 {
+		t.Error("makespan must be positive")
+	}
+}
+
+func TestForkJoinUsesMultipleNodes(t *testing.T) {
+	w := forkJoinWorkflow(t, 8)
+	s := NewScheduler(testCluster(4), platform.NewRegistry(), PolicyHEFT)
+	sched, err := s.Plan(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := make(map[string]bool)
+	for _, a := range sched.Assignments {
+		used[a.Node] = true
+	}
+	if len(used) < 3 {
+		t.Errorf("fork-join should spread over nodes, used %d", len(used))
+	}
+	if sched.Transfers == 0 {
+		t.Error("cross-node assignment must record transfers")
+	}
+}
+
+func TestHEFTBeatsFIFOOnHeterogeneousDAG(t *testing.T) {
+	// A DAG with a long critical chain and cheap side tasks: HEFT should
+	// prioritize the chain, FIFO interleaves and inflates the makespan.
+	w := NewWorkflow()
+	mustSubmit := func(spec TaskSpec) {
+		if err := w.Submit(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustSubmit(TaskSpec{Name: "cheap1", Flops: 1e8})
+	mustSubmit(TaskSpec{Name: "cheap2", Flops: 1e8})
+	mustSubmit(TaskSpec{Name: "chainA", Flops: 4e10})
+	mustSubmit(TaskSpec{Name: "chainB", Deps: []string{"chainA"}, Flops: 4e10})
+	mustSubmit(TaskSpec{Name: "chainC", Deps: []string{"chainB"}, Flops: 4e10})
+	mustSubmit(TaskSpec{Name: "join", Deps: []string{"cheap1", "cheap2", "chainC"}, Flops: 1e8})
+
+	cluster := testCluster(2)
+	heft, err := NewScheduler(cluster, platform.NewRegistry(), PolicyHEFT).Plan(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fifo, err := NewScheduler(cluster, platform.NewRegistry(), PolicyFIFO).Plan(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heft.Makespan > fifo.Makespan+1e-9 {
+		t.Errorf("HEFT (%g) must not lose to FIFO (%g)", heft.Makespan, fifo.Makespan)
+	}
+}
+
+func TestLoadBalancing(t *testing.T) {
+	// 16 independent equal tasks on 4 nodes must balance well.
+	w := NewWorkflow()
+	for i := 0; i < 16; i++ {
+		if err := w.Submit(TaskSpec{Name: taskName(i), Flops: 1e10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := NewScheduler(testCluster(4), platform.NewRegistry(), PolicyHEFT)
+	sched, err := s.Plan(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imb := sched.LoadImbalance(); imb > 1.5 {
+		t.Errorf("load imbalance %g too high for uniform tasks", imb)
+	}
+}
+
+func TestFailureRecovery(t *testing.T) {
+	w := chainWorkflow(t, 6)
+	cluster := testCluster(3)
+	base, err := NewScheduler(cluster, platform.NewRegistry(), PolicyHEFT).Plan(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail the node that runs the chain midway.
+	victim := base.Assignments[2].Node
+	failTime := base.Assignments[2].Start + 1e-9
+
+	s := NewScheduler(cluster, platform.NewRegistry(), PolicyHEFT)
+	s.Failures = []NodeFailure{{Node: victim, AtTime: failTime}}
+	rec, err := s.PlanWithRecovery(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restarted := 0
+	for _, a := range rec.Assignments {
+		if a.Restart {
+			restarted++
+			if a.Node == victim && a.End > failTime {
+				t.Errorf("restarted task %s placed on the dead node", a.Task)
+			}
+		}
+	}
+	if restarted == 0 {
+		t.Error("failure must cause at least one restart")
+	}
+	if rec.Makespan < base.Makespan {
+		t.Error("recovered schedule cannot be faster than failure-free plan")
+	}
+	if rec.Makespan > base.Makespan*3 {
+		t.Errorf("recovery makespan inflation too high: %g vs %g", rec.Makespan, base.Makespan)
+	}
+}
+
+func TestAllNodesDeadFails(t *testing.T) {
+	w := chainWorkflow(t, 2)
+	s := NewScheduler(testCluster(1), platform.NewRegistry(), PolicyHEFT)
+	s.Failures = []NodeFailure{{Node: nodeName(0), AtTime: 0}}
+	if _, err := s.Plan(w); err == nil {
+		t.Error("planning with all nodes dead must fail")
+	}
+}
+
+func fpgaBitstream() platform.Bitstream {
+	return platform.Bitstream{
+		ID: "bs-ptdr", Kernel: "ptdr", Target: "alveo-u55c",
+		Report: hls.Report{
+			LatencyCycle: 1 << 18, II: 1, IterLatency: 12,
+			Resources: hls.Resources{LUT: 50000, FF: 60000, DSP: 120, BRAM: 64},
+			ClockMHz:  300,
+		},
+		Config: platform.SystemConfig{
+			Replicas: 4, BusWidthBits: 512, Lanes: 4, PackedElements: 8,
+			DoubleBuffered: true, PLMBytes: 1 << 18,
+		},
+		ElemBits: 64,
+	}
+}
+
+func TestFPGAOffloadPreferred(t *testing.T) {
+	cluster := testCluster(2)
+	reg := platform.NewRegistry()
+	bs := fpgaBitstream()
+	if err := reg.Put(bs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cluster.Nodes[0].Program(0, bs); err != nil {
+		t.Fatal(err)
+	}
+
+	w := NewWorkflow()
+	if err := w.Submit(TaskSpec{
+		Name: "mc", Flops: 5e11, InputBytes: 1 << 24, OutputBytes: 1 << 20,
+		NeedsFPGA: true, BitstreamID: "bs-ptdr",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sched, err := NewScheduler(cluster, reg, PolicyHEFT).Plan(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sched.Assignments[0]
+	if !a.OnFPGA {
+		t.Error("FPGA-requesting task should run on the FPGA node")
+	}
+	if a.Node != cluster.Nodes[0].Name {
+		t.Errorf("task placed on %s, want FPGA node", a.Node)
+	}
+}
+
+func TestDeploymentStage(t *testing.T) {
+	cluster := testCluster(2)
+	reg := platform.NewRegistry()
+	if err := reg.Put(fpgaBitstream()); err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorkflow()
+	if err := w.Submit(TaskSpec{Name: "mc", Flops: 1e11}); err != nil {
+		t.Fatal(err)
+	}
+	d := &Deployment{Workflow: "traffic", Nodes: []string{cluster.Nodes[0].Name}}
+	d.MarkOffload("mc", "bs-ptdr")
+	dt, err := d.Stage(w, cluster, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt <= 0 {
+		t.Error("staging must take modelled time")
+	}
+	spec, _ := w.Get("mc")
+	if !spec.NeedsFPGA || spec.BitstreamID != "bs-ptdr" {
+		t.Error("staging must rewrite the task spec")
+	}
+	js, err := d.JSON()
+	if err != nil || !strings.Contains(js, "bs-ptdr") {
+		t.Errorf("descriptor JSON wrong: %v %s", err, js)
+	}
+}
+
+func TestDeploymentErrors(t *testing.T) {
+	cluster := testCluster(1)
+	reg := platform.NewRegistry()
+	w := NewWorkflow()
+	if err := w.Submit(TaskSpec{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	d := &Deployment{Nodes: []string{cluster.Nodes[0].Name}}
+	d.MarkOffload("zz", "bs")
+	if _, err := d.Stage(w, cluster, reg); err == nil {
+		t.Error("unknown task must fail")
+	}
+	d2 := &Deployment{Nodes: []string{cluster.Nodes[0].Name}}
+	d2.MarkOffload("a", "missing-bs")
+	if _, err := d2.Stage(w, cluster, reg); err == nil {
+		t.Error("unknown bitstream must fail")
+	}
+}
+
+func TestEmptyWorkflowPlan(t *testing.T) {
+	s := NewScheduler(testCluster(1), platform.NewRegistry(), PolicyHEFT)
+	sched, err := s.Plan(NewWorkflow())
+	if err != nil || sched.Makespan != 0 {
+		t.Errorf("empty plan: %v %v", sched, err)
+	}
+}

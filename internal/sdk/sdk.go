@@ -1,0 +1,298 @@
+// Package sdk is the EVEREST SDK façade (paper §IV): the single point of
+// access wrapped by the basecamp command. It composes the data-driven
+// compilation framework (ekl → MLIR → HLS → Olympus), the deployment layer
+// (bitstream registry + LEXIS-style descriptors), and the virtualized
+// runtime (cluster, resource manager, autotuner).
+package sdk
+
+import (
+	"fmt"
+	"sort"
+
+	"everest/internal/autotuner"
+	"everest/internal/base2"
+	"everest/internal/ekl"
+	"everest/internal/hls"
+	"everest/internal/mlir"
+	"everest/internal/olympus"
+	"everest/internal/platform"
+	"everest/internal/runtime"
+	"everest/internal/tensor"
+)
+
+// CompileOptions selects the flow configuration for one kernel.
+type CompileOptions struct {
+	Backend string       // "vitis" or "bambu" (default vitis)
+	Format  base2.Format // datapath format (default f32)
+	Device  string       // target device name (default alveo-u55c)
+	Olympus olympus.Options
+}
+
+// CompileResult is everything the flow produced for one kernel.
+type CompileResult struct {
+	Kernel    *ekl.Kernel
+	Module    *mlir.Module // lowered EKL module (ekl -> teil -> affine)
+	HLSKernel hls.Kernel
+	Report    hls.Report
+	Design    *olympus.Design
+	PassStats []mlir.PassStat
+}
+
+// Compile runs the full data-driven compilation flow of §V on an EKL kernel
+// source: parse/check, shape-specialize against the binding, lower through
+// the MLIR dialect stack, HLS-schedule, and generate the FPGA system
+// architecture. The resulting bitstream is returned inside the Design.
+func Compile(src string, binding ekl.Binding, opt CompileOptions) (*CompileResult, error) {
+	k, err := ekl.ParseKernel(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := k.Check(); err != nil {
+		return nil, err
+	}
+	module, res, err := ekl.Lower(k, binding)
+	if err != nil {
+		return nil, err
+	}
+	pm := mlir.NewPassManager().Add(ekl.LowerToTeIL(), ekl.LowerToAffine())
+	if err := pm.Run(module); err != nil {
+		return nil, err
+	}
+
+	backendName := opt.Backend
+	if backendName == "" {
+		backendName = "vitis"
+	}
+	backend, err := hls.BackendByName(backendName)
+	if err != nil {
+		return nil, err
+	}
+	format := opt.Format
+	if format == nil {
+		format = base2.Float32{}
+	}
+	deviceName := opt.Device
+	if deviceName == "" {
+		deviceName = "alveo-u55c"
+	}
+	dev, err := platform.DeviceByName(deviceName)
+	if err != nil {
+		return nil, err
+	}
+
+	hk := hls.FromEKLKernel(k, res, format)
+	report, err := hls.Schedule(hk, hls.Directives{PipelineEnabled: true,
+		TargetII: opt.Olympus.TargetII, Unroll: opt.Olympus.Unroll}, backend)
+	if err != nil {
+		return nil, err
+	}
+
+	// PLM planning: every tensor the kernel touches, phased by statement
+	// order (inputs phase 0, intermediates/outputs phase 1).
+	var buffers []olympus.Buffer
+	elemBytes := int64((format.Bits() + 7) / 8)
+	for _, in := range k.Inputs {
+		if t, ok := res.All[in.Name]; ok {
+			buffers = append(buffers, olympus.Buffer{
+				Name: in.Name, Bytes: int64(t.Size()) * elemBytes, Phase: 0,
+			})
+		}
+	}
+	for _, out := range k.Outputs {
+		if t, ok := res.All[out.Name]; ok {
+			buffers = append(buffers, olympus.Buffer{
+				Name: out.Name, Bytes: int64(t.Size()) * elemBytes, Phase: 1,
+			})
+		}
+	}
+	design, err := olympus.Generate(hk, backend, dev, buffers, opt.Olympus)
+	if err != nil {
+		return nil, err
+	}
+	return &CompileResult{
+		Kernel: k, Module: module, HLSKernel: hk,
+		Report: report, Design: design, PassStats: pm.Stats,
+	}, nil
+}
+
+// GenericBinding synthesizes a valid binding for a kernel from its
+// declarations: symbolic dimensions get symDefault, literal dimensions are
+// kept, index tensors are zero-filled (always in range), value tensors get
+// small deterministic pseudo-random data, and parameters take their
+// defaults (or 1 for defaultless iparams, 0.5 otherwise). This is what lets
+// `basecamp compile -kernel file.ekl` work without a caller-provided data
+// set: the shapes, not the values, drive hardware generation.
+func GenericBinding(k *ekl.Kernel, symDefault int) ekl.Binding {
+	if symDefault < 2 {
+		symDefault = 16
+	}
+	b := ekl.Binding{
+		Tensors: make(map[string]*tensor.Tensor),
+		Scalars: make(map[string]float64),
+	}
+	seed := uint64(0x9e3779b97f4a7c15)
+	next := func() float64 {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		return float64(seed%1000)/1000 + 0.001
+	}
+	for _, in := range k.Inputs {
+		shape := make([]int, len(in.Dims))
+		for i, d := range in.Dims {
+			if d.Sym != "" {
+				shape[i] = symDefault
+			} else {
+				shape[i] = d.Size
+			}
+		}
+		t := tensor.New(shape...)
+		if !in.IsIndex {
+			for i := range t.Data() {
+				t.Data()[i] = next()
+			}
+		}
+		b.Tensors[in.Name] = t
+	}
+	for _, p := range k.Params {
+		switch {
+		case p.HasDef:
+			b.Scalars[p.Name] = p.Default
+		case p.IsInt:
+			b.Scalars[p.Name] = 1
+		default:
+			b.Scalars[p.Name] = 0.5
+		}
+	}
+	return b
+}
+
+// SDK bundles the runtime-side state: the bitstream registry and cluster.
+type SDK struct {
+	Registry *platform.Registry
+	Cluster  *platform.Cluster
+}
+
+// New builds an SDK instance over a cluster.
+func New(cluster *platform.Cluster) *SDK {
+	return &SDK{Registry: platform.NewRegistry(), Cluster: cluster}
+}
+
+// DefaultCluster builds the paper-like testbed: `n` Xeon nodes with one
+// Alveo U55C each, plus one network-attached cloudFPGA node.
+func DefaultCluster(n int) *platform.Cluster {
+	var nodes []*platform.Node
+	for i := 0; i < n; i++ {
+		nodes = append(nodes, platform.NewNode(fmt.Sprintf("node%02d", i),
+			platform.XeonModel(), platform.AlveoU55C()))
+	}
+	nodes = append(nodes, platform.NewNode("cloudfpga0", platform.EPYCModel(), platform.CloudFPGA()))
+	return platform.NewCluster(nodes...)
+}
+
+// Publish stores a compiled design's bitstream in the registry.
+func (s *SDK) Publish(res *CompileResult) error {
+	return s.Registry.Put(res.Design.Bitstream)
+}
+
+// Deploy stages a bitstream onto the named node and returns the staging
+// time.
+func (s *SDK) Deploy(bitstreamID, node string) (float64, error) {
+	bs, err := s.Registry.Get(bitstreamID)
+	if err != nil {
+		return 0, err
+	}
+	n := s.Cluster.FindNode(node)
+	if n == nil {
+		return 0, fmt.Errorf("sdk: unknown node %q", node)
+	}
+	for idx := range n.Devices {
+		if dt, err := n.Program(idx, bs); err == nil {
+			return dt, nil
+		}
+	}
+	return 0, fmt.Errorf("sdk: no device on %q fits bitstream %q", node, bitstreamID)
+}
+
+// NewScheduler returns a resource manager over the SDK's cluster.
+func (s *SDK) NewScheduler(policy runtime.Policy) *runtime.Scheduler {
+	return runtime.NewScheduler(s.Cluster, s.Registry, policy)
+}
+
+// Placement is one CPU/FPGA allocation choice for a sub-kernel (E10).
+type Placement struct {
+	Stage   string
+	Target  string  // "cpu" or "fpga"
+	TimeSec float64 // modelled execution time
+}
+
+// StageCost describes one pipeline stage for placement exploration.
+type StageCost struct {
+	Name        string
+	Flops       float64 // software work
+	Offloadable bool
+	// FPGA costs (only used when Offloadable).
+	Kernel   hls.Kernel
+	BytesIn  int64
+	BytesOut int64
+}
+
+// ReconfigSeconds is the modelled bitstream configuration cost an FPGA
+// placement pays once per batch in the flexible multi-kernel setting (XRT
+// xclbin load, ~120 ms). It is what keeps small batches on the CPU.
+const ReconfigSeconds = 0.120
+
+// ExplorePlacement decides, at compile time, where to run each stage of a
+// pipeline: it compares the modelled CPU time against the FPGA time
+// (including transfers and per-batch reconfiguration) and picks the faster
+// target — the §VIII "transparently decide at compile time where to
+// allocate the kernels (FPGA or CPU)" exploration.
+func ExplorePlacement(stages []StageCost, cpu platform.CPUModel, dev *platform.Device, backend hls.Backend) ([]Placement, error) {
+	var out []Placement
+	for _, st := range stages {
+		cpuTime := cpu.TimeSeconds(st.Flops, st.BytesIn+st.BytesOut, 1)
+		choice := Placement{Stage: st.Name, Target: "cpu", TimeSec: cpuTime}
+		if st.Offloadable {
+			design, err := olympus.Generate(st.Kernel, backend, dev, nil, olympus.Options{
+				SharePLM: true, DoubleBuffer: true, Replicate: true, MaxReplicas: 8, PackData: true,
+			})
+			if err == nil {
+				tl, err := platform.Execute(dev, design.Bitstream, platform.Workload{
+					BytesIn: st.BytesIn, BytesOut: st.BytesOut, Batches: 4,
+				})
+				if err == nil && ReconfigSeconds+tl.Total < cpuTime {
+					choice = Placement{Stage: st.Name, Target: "fpga", TimeSec: ReconfigSeconds + tl.Total}
+				}
+			}
+		}
+		out = append(out, choice)
+	}
+	return out, nil
+}
+
+// TuneTask applies the autotuner's current best configuration to a task's
+// knobs — the paper's "possibility of kernel fine-tuning" through the
+// Dask-like API (§VI-A). The selected knob values are merged into
+// spec.Knobs; existing keys set explicitly by the user are kept.
+func TuneTask(at *autotuner.Autotuner, spec *runtime.TaskSpec) autotuner.OperatingPoint {
+	sel := at.Select()
+	if spec.Knobs == nil {
+		spec.Knobs = make(map[string]string, len(sel.Config))
+	}
+	for k, v := range sel.Config {
+		if _, userSet := spec.Knobs[k]; !userSet {
+			spec.Knobs[k] = v
+		}
+	}
+	return sel
+}
+
+// PlacementSummary renders placements as stable text rows.
+func PlacementSummary(ps []Placement) []string {
+	rows := make([]string, 0, len(ps))
+	for _, p := range ps {
+		rows = append(rows, fmt.Sprintf("%-14s -> %-4s (%.3gs)", p.Stage, p.Target, p.TimeSec))
+	}
+	sort.Strings(rows)
+	return rows
+}

@@ -1,0 +1,180 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// CNN is a small 1-D convolutional network for road-speed prediction
+// (§II-D: "a convolutional neural network for training the road speed
+// prediction model"): input window of past speeds → conv(kernel k, C
+// channels) → ReLU → position-aware dense layer → next-interval speed.
+// Inputs and targets are normalized internally by a scale learned in Fit.
+type CNN struct {
+	Window   int // input length
+	Kernel   int
+	Channels int
+
+	convW [][]float64 // Channels x Kernel
+	convB []float64   // Channels
+	fcW   [][]float64 // Channels x outLen (position-aware read-out)
+	fcB   float64
+	norm  float64 // input/target scale
+}
+
+// NewCNN builds a network with seeded He-style initialization.
+func NewCNN(window, kernel, channels int, seed int64) (*CNN, error) {
+	if kernel > window || kernel < 2 || channels < 1 {
+		return nil, fmt.Errorf("traffic: bad cnn shape (window=%d kernel=%d channels=%d)",
+			window, kernel, channels)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c := &CNN{Window: window, Kernel: kernel, Channels: channels, norm: 1}
+	outLen := window - kernel + 1
+	scale := math.Sqrt(2 / float64(kernel))
+	for ch := 0; ch < channels; ch++ {
+		w := make([]float64, kernel)
+		for i := range w {
+			w[i] = rng.NormFloat64() * scale
+		}
+		c.convW = append(c.convW, w)
+		fw := make([]float64, outLen)
+		for i := range fw {
+			fw[i] = rng.NormFloat64() * math.Sqrt(2/float64(channels*outLen))
+		}
+		c.fcW = append(c.fcW, fw)
+	}
+	c.convB = make([]float64, channels)
+	return c, nil
+}
+
+// forward computes the (normalized) prediction and intermediate
+// activations; xn must already be normalized.
+func (c *CNN) forward(xn []float64) (pred float64, convOut [][]float64) {
+	outLen := c.Window - c.Kernel + 1
+	convOut = make([][]float64, c.Channels)
+	pred = c.fcB
+	for ch := 0; ch < c.Channels; ch++ {
+		convOut[ch] = make([]float64, outLen)
+		for t := 0; t < outLen; t++ {
+			a := c.convB[ch]
+			for k := 0; k < c.Kernel; k++ {
+				a += c.convW[ch][k] * xn[t+k]
+			}
+			if a < 0 {
+				a = 0 // ReLU
+			}
+			convOut[ch][t] = a
+			pred += c.fcW[ch][t] * a
+		}
+	}
+	return pred, convOut
+}
+
+// Predict returns the network output for an input window.
+func (c *CNN) Predict(x []float64) (float64, error) {
+	if len(x) != c.Window {
+		return 0, fmt.Errorf("traffic: cnn expects window %d, got %d", c.Window, len(x))
+	}
+	xn := make([]float64, len(x))
+	for i, v := range x {
+		xn[i] = v / c.norm
+	}
+	p, _ := c.forward(xn)
+	return p * c.norm, nil
+}
+
+// trainStep performs one SGD step on normalized (xn, yn) and returns the
+// squared error before the update.
+func (c *CNN) trainStep(xn []float64, yn, lr float64) float64 {
+	pred, convOut := c.forward(xn)
+	err := pred - yn
+	loss := err * err
+	outLen := c.Window - c.Kernel + 1
+	for ch := 0; ch < c.Channels; ch++ {
+		for t := 0; t < outLen; t++ {
+			gradFc := err * convOut[ch][t]
+			if convOut[ch][t] > 0 {
+				g := err * c.fcW[ch][t]
+				for k := 0; k < c.Kernel; k++ {
+					c.convW[ch][k] -= lr * g * xn[t+k]
+				}
+				c.convB[ch] -= lr * g
+			}
+			c.fcW[ch][t] -= lr * gradFc
+		}
+	}
+	c.fcB -= lr * err
+	return loss
+}
+
+// Fit trains for epochs passes over the sample set, learning the
+// normalization scale from the targets. It returns the final mean loss (in
+// normalized units).
+func (c *CNN) Fit(xs [][]float64, ys []float64, epochs int, lr float64) (float64, error) {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return 0, fmt.Errorf("traffic: cnn training set mismatch")
+	}
+	maxAbs := 1e-12
+	for _, y := range ys {
+		if a := math.Abs(y); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	c.norm = maxAbs
+	xn := make([][]float64, len(xs))
+	yn := make([]float64, len(ys))
+	for i := range xs {
+		if len(xs[i]) != c.Window {
+			return 0, fmt.Errorf("traffic: cnn sample %d has window %d, want %d", i, len(xs[i]), c.Window)
+		}
+		row := make([]float64, c.Window)
+		for j, v := range xs[i] {
+			row[j] = v / c.norm
+		}
+		xn[i] = row
+		yn[i] = ys[i] / c.norm
+	}
+	last := 0.0
+	for e := 0; e < epochs; e++ {
+		total := 0.0
+		for i := range xn {
+			total += c.trainStep(xn[i], yn[i], lr)
+		}
+		last = total / float64(len(xn))
+	}
+	return last, nil
+}
+
+// DailySpeedCurve synthesizes one weekday of 15-minute mean speeds for a
+// road segment: free flow at night, two rush-hour dips, plus noise.
+func DailySpeedCurve(freeFlow float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	const bins = 96 // 24h / 15min
+	out := make([]float64, bins)
+	for b := 0; b < bins; b++ {
+		h := float64(b) / 4
+		v := freeFlow
+		// Morning and evening rush dips.
+		v -= 0.45 * freeFlow * math.Exp(-(h-8.5)*(h-8.5)/2)
+		v -= 0.55 * freeFlow * math.Exp(-(h-17.5)*(h-17.5)/3)
+		v += rng.NormFloat64() * freeFlow * 0.04
+		if v < 1 {
+			v = 1
+		}
+		out[b] = v
+	}
+	return out
+}
+
+// WindowDataset slices daily curves into (window, next-value) samples.
+func WindowDataset(curves [][]float64, window int) (xs [][]float64, ys []float64) {
+	for _, curve := range curves {
+		for t := 0; t+window < len(curve); t++ {
+			xs = append(xs, curve[t:t+window])
+			ys = append(ys, curve[t+window])
+		}
+	}
+	return xs, ys
+}

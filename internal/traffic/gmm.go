@@ -1,0 +1,278 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// GMM is a diagonal-covariance Gaussian mixture over feature vectors with
+// support for incomplete observations (NaN entries are marginalized out),
+// matching the paper's "Gaussian Mixture model for an alternative traffic
+// prediction with incomplete data" (§II-D).
+type GMM struct {
+	K      int
+	Dim    int
+	Weight []float64   // K
+	Mean   [][]float64 // K x Dim
+	Var    [][]float64 // K x Dim (diagonal)
+}
+
+// NewGMM allocates a mixture with K components over Dim features.
+func NewGMM(k, dim int) *GMM {
+	g := &GMM{K: k, Dim: dim}
+	g.Weight = make([]float64, k)
+	g.Mean = make([][]float64, k)
+	g.Var = make([][]float64, k)
+	for i := 0; i < k; i++ {
+		g.Mean[i] = make([]float64, dim)
+		g.Var[i] = make([]float64, dim)
+	}
+	return g
+}
+
+// logCompDensity returns the log density of x under component k, using only
+// the observed (non-NaN) dimensions.
+func (g *GMM) logCompDensity(k int, x []float64) float64 {
+	ll := 0.0
+	for d, v := range x {
+		if math.IsNaN(v) {
+			continue // marginalize missing dimension
+		}
+		vr := g.Var[k][d]
+		diff := v - g.Mean[k][d]
+		ll += -0.5*math.Log(2*math.Pi*vr) - diff*diff/(2*vr)
+	}
+	return ll
+}
+
+// LogLikelihood returns the total data log likelihood.
+func (g *GMM) LogLikelihood(data [][]float64) float64 {
+	total := 0.0
+	for _, x := range data {
+		total += g.logPoint(x)
+	}
+	return total
+}
+
+func (g *GMM) logPoint(x []float64) float64 {
+	best := math.Inf(-1)
+	logs := make([]float64, g.K)
+	for k := 0; k < g.K; k++ {
+		logs[k] = math.Log(g.Weight[k]+1e-300) + g.logCompDensity(k, x)
+		if logs[k] > best {
+			best = logs[k]
+		}
+	}
+	sum := 0.0
+	for _, l := range logs {
+		sum += math.Exp(l - best)
+	}
+	return best + math.Log(sum)
+}
+
+// Fit runs EM for maxIter iterations (or until the likelihood improvement
+// drops below tol) and returns the per-iteration log likelihoods.
+func (g *GMM) Fit(data [][]float64, seed int64, maxIter int, tol float64) ([]float64, error) {
+	if len(data) < g.K*2 {
+		return nil, fmt.Errorf("traffic: gmm needs at least %d samples, got %d", g.K*2, len(data))
+	}
+	for _, x := range data {
+		if len(x) != g.Dim {
+			return nil, fmt.Errorf("traffic: gmm dim mismatch")
+		}
+		allMissing := true
+		for _, v := range x {
+			if !math.IsNaN(v) {
+				allMissing = false
+				break
+			}
+		}
+		if allMissing {
+			return nil, fmt.Errorf("traffic: sample with all features missing")
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Init: random data points as means, global variance.
+	globalMean := make([]float64, g.Dim)
+	globalVar := make([]float64, g.Dim)
+	counts := make([]float64, g.Dim)
+	for _, x := range data {
+		for d, v := range x {
+			if !math.IsNaN(v) {
+				globalMean[d] += v
+				counts[d]++
+			}
+		}
+	}
+	for d := range globalMean {
+		if counts[d] > 0 {
+			globalMean[d] /= counts[d]
+		}
+	}
+	for _, x := range data {
+		for d, v := range x {
+			if !math.IsNaN(v) {
+				diff := v - globalMean[d]
+				globalVar[d] += diff * diff
+			}
+		}
+	}
+	for d := range globalVar {
+		if counts[d] > 1 {
+			globalVar[d] = globalVar[d]/counts[d] + 1e-6
+		} else {
+			globalVar[d] = 1
+		}
+	}
+	// k-means++-style seeding over observed dimensions: later centers are
+	// drawn with probability proportional to squared distance from the
+	// nearest existing center, preventing mode collapse.
+	obsDist2 := func(a, b []float64) float64 {
+		s, cnt := 0.0, 0
+		for d := range a {
+			if math.IsNaN(a[d]) || math.IsNaN(b[d]) {
+				continue
+			}
+			diff := (a[d] - b[d]) / math.Sqrt(globalVar[d])
+			s += diff * diff
+			cnt++
+		}
+		if cnt == 0 {
+			return 0
+		}
+		return s / float64(cnt)
+	}
+	centers := [][]float64{data[rng.Intn(len(data))]}
+	for len(centers) < g.K {
+		weights := make([]float64, len(data))
+		total := 0.0
+		for i, x := range data {
+			best := math.Inf(1)
+			for _, c := range centers {
+				if d := obsDist2(x, c); d < best {
+					best = d
+				}
+			}
+			weights[i] = best
+			total += best
+		}
+		pick := 0
+		if total > 0 {
+			r := rng.Float64() * total
+			acc := 0.0
+			for i, w := range weights {
+				acc += w
+				if acc >= r {
+					pick = i
+					break
+				}
+			}
+		} else {
+			pick = rng.Intn(len(data))
+		}
+		centers = append(centers, data[pick])
+	}
+	for k := 0; k < g.K; k++ {
+		g.Weight[k] = 1 / float64(g.K)
+		src := centers[k]
+		for d := 0; d < g.Dim; d++ {
+			if math.IsNaN(src[d]) {
+				g.Mean[k][d] = globalMean[d] + rng.NormFloat64()*math.Sqrt(globalVar[d])
+			} else {
+				g.Mean[k][d] = src[d]
+			}
+			g.Var[k][d] = globalVar[d]
+		}
+	}
+
+	resp := make([][]float64, len(data))
+	for i := range resp {
+		resp[i] = make([]float64, g.K)
+	}
+	var history []float64
+	prev := math.Inf(-1)
+	for iter := 0; iter < maxIter; iter++ {
+		// E step.
+		for i, x := range data {
+			best := math.Inf(-1)
+			for k := 0; k < g.K; k++ {
+				resp[i][k] = math.Log(g.Weight[k]+1e-300) + g.logCompDensity(k, x)
+				if resp[i][k] > best {
+					best = resp[i][k]
+				}
+			}
+			sum := 0.0
+			for k := 0; k < g.K; k++ {
+				resp[i][k] = math.Exp(resp[i][k] - best)
+				sum += resp[i][k]
+			}
+			for k := 0; k < g.K; k++ {
+				resp[i][k] /= sum
+			}
+		}
+		// M step (missing dims contribute nothing to that dim's stats).
+		for k := 0; k < g.K; k++ {
+			nk := 0.0
+			for i := range data {
+				nk += resp[i][k]
+			}
+			g.Weight[k] = nk / float64(len(data))
+			for d := 0; d < g.Dim; d++ {
+				wsum, w := 0.0, 0.0
+				for i, x := range data {
+					if math.IsNaN(x[d]) {
+						continue
+					}
+					wsum += resp[i][k] * x[d]
+					w += resp[i][k]
+				}
+				if w > 1e-12 {
+					g.Mean[k][d] = wsum / w
+				}
+				vsum := 0.0
+				for i, x := range data {
+					if math.IsNaN(x[d]) {
+						continue
+					}
+					diff := x[d] - g.Mean[k][d]
+					vsum += resp[i][k] * diff * diff
+				}
+				if w > 1e-12 {
+					g.Var[k][d] = vsum/w + 1e-6
+				}
+			}
+		}
+		ll := g.LogLikelihood(data)
+		history = append(history, ll)
+		if ll-prev < tol && iter > 0 {
+			break
+		}
+		prev = ll
+	}
+	return history, nil
+}
+
+// Predict returns the mixture-mean of dimension d conditioned on the
+// observed entries of x (with x[d] typically NaN): the prediction-with-
+// incomplete-data operation.
+func (g *GMM) Predict(x []float64, d int) float64 {
+	logs := make([]float64, g.K)
+	best := math.Inf(-1)
+	for k := 0; k < g.K; k++ {
+		logs[k] = math.Log(g.Weight[k]+1e-300) + g.logCompDensity(k, x)
+		if logs[k] > best {
+			best = logs[k]
+		}
+	}
+	sum := 0.0
+	for k := 0; k < g.K; k++ {
+		logs[k] = math.Exp(logs[k] - best)
+		sum += logs[k]
+	}
+	out := 0.0
+	for k := 0; k < g.K; k++ {
+		out += logs[k] / sum * g.Mean[k][d]
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package virt
+
+import (
+	"testing"
+
+	"everest/internal/hls"
+	"everest/internal/platform"
+)
+
+func testNode(t *testing.T) *platform.Node {
+	t.Helper()
+	n := platform.NewNode("hv0", platform.XeonModel(), platform.AlveoU55C())
+	bs := platform.Bitstream{
+		ID: "bs", Kernel: "k", Target: "alveo-u55c",
+		Report: hls.Report{LatencyCycle: 1 << 22, II: 1, IterLatency: 8,
+			Resources: hls.Resources{LUT: 10000, FF: 10000, DSP: 20, BRAM: 10}, ClockMHz: 300},
+		Config: platform.SystemConfig{Replicas: 1, BusWidthBits: 512, Lanes: 1,
+			PackedElements: 8, PLMBytes: 1 << 16},
+		ElemBits: 64,
+	}
+	if _, err := n.Program(0, bs); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestHypervisorSetup(t *testing.T) {
+	if _, err := NewHypervisor(testNode(t), 0); err == nil {
+		t.Error("zero VFs must fail")
+	}
+	h, err := NewHypervisor(testNode(t), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := h.Query()
+	if st.FreeVFs[0] != 4 {
+		t.Errorf("free VFs = %d, want 4", st.FreeVFs[0])
+	}
+}
+
+func TestVMLifecycle(t *testing.T) {
+	h, _ := NewHypervisor(testNode(t), 2)
+	if _, err := h.DefineVM("", 1); err == nil {
+		t.Error("unnamed VM must fail")
+	}
+	vm, err := h.DefineVM("guest1", 4)
+	if err != nil || vm.Name != "guest1" {
+		t.Fatal(err)
+	}
+	if _, err := h.DefineVM("guest1", 2); err == nil {
+		t.Error("duplicate VM must fail")
+	}
+	if err := h.DestroyVM("guest1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.DestroyVM("guest1"); err == nil {
+		t.Error("double destroy must fail")
+	}
+}
+
+func TestPlugUnplug(t *testing.T) {
+	h, _ := NewHypervisor(testNode(t), 2)
+	if _, err := h.DefineVM("g1", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.DefineVM("g2", 2); err != nil {
+		t.Fatal(err)
+	}
+	dt, err := h.PlugVF("g1", 0)
+	if err != nil || dt != HotplugSeconds {
+		t.Fatalf("PlugVF: %v (%g)", err, dt)
+	}
+	if _, err := h.PlugVF("g1", 0); err != nil {
+		t.Fatal(err)
+	}
+	// Pool of 2 exhausted.
+	if _, err := h.PlugVF("g2", 0); err == nil {
+		t.Error("exhausted VF pool must fail (SR-IOV static nature)")
+	}
+	// Unplug frees one for g2: the dynamic mechanism of §VI-B.
+	if _, err := h.UnplugVF("g1", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.PlugVF("g2", 0); err != nil {
+		t.Errorf("freed VF must be pluggable: %v", err)
+	}
+	st := h.Query()
+	if st.PlugOps != 4 {
+		t.Errorf("plug ops = %d, want 4", st.PlugOps)
+	}
+	if _, err := h.UnplugVF("g2", 5); err == nil {
+		t.Error("unplug of unheld device must fail")
+	}
+	if _, err := h.PlugVF("ghost", 0); err == nil {
+		t.Error("plug into unknown VM must fail")
+	}
+}
+
+func TestIOPathOverheads(t *testing.T) {
+	h, _ := NewHypervisor(testNode(t), 2)
+	if _, err := h.DefineVM("g1", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.PlugVF("g1", 0); err != nil {
+		t.Fatal(err)
+	}
+	wl := platform.Workload{BytesIn: 1 << 26, BytesOut: 1 << 24}
+
+	native, err := h.RunAccelerated("g1", 0, wl, Native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vf, err := h.RunAccelerated("g1", 0, wl, VFPassthrough)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vio, err := h.RunAccelerated("g1", 0, wl, VirtIO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vf.Total <= native.Total {
+		t.Error("VF passthrough must cost a little over native")
+	}
+	// Near-native: within 5% on the total (I/O-dominated workload).
+	if vf.Total > native.Total*1.05 {
+		t.Errorf("VF passthrough overhead too high: %g vs %g", vf.Total, native.Total)
+	}
+	if vio.Total <= vf.Total {
+		t.Error("virtio path must be slower than VF passthrough")
+	}
+}
+
+func TestVFRequiredForPassthrough(t *testing.T) {
+	h, _ := NewHypervisor(testNode(t), 1)
+	if _, err := h.DefineVM("g1", 1); err != nil {
+		t.Fatal(err)
+	}
+	wl := platform.Workload{BytesIn: 1 << 20}
+	if _, err := h.RunAccelerated("g1", 0, wl, VFPassthrough); err == nil {
+		t.Error("passthrough without a VF must fail")
+	}
+	if _, err := h.RunAccelerated("g1", 0, wl, VirtIO); err != nil {
+		t.Errorf("virtio path needs no VF: %v", err)
+	}
+}
+
+func TestRebalance(t *testing.T) {
+	h, _ := NewHypervisor(testNode(t), 4)
+	if _, err := h.DefineVM("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.DefineVM("b", 1); err != nil {
+		t.Fatal(err)
+	}
+	dt, err := h.Rebalance(map[string]map[int]int{
+		"a": {0: 3},
+		"b": {0: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt <= 0 {
+		t.Error("rebalance must take hot-plug time")
+	}
+	st := h.Query()
+	if st.VMs[0].VFs != 3 || st.VMs[1].VFs != 1 {
+		t.Errorf("rebalance result wrong: %+v", st.VMs)
+	}
+	// Shift demand: a shrinks, b grows.
+	if _, err := h.Rebalance(map[string]map[int]int{
+		"a": {0: 1},
+		"b": {0: 3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st = h.Query()
+	if st.VMs[0].VFs != 1 || st.VMs[1].VFs != 3 {
+		t.Errorf("second rebalance wrong: %+v", st.VMs)
+	}
+}
+
+func TestQueryDeterministicOrder(t *testing.T) {
+	h, _ := NewHypervisor(testNode(t), 2)
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		if _, err := h.DefineVM(name, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := h.Query()
+	if st.VMs[0].Name != "alpha" || st.VMs[2].Name != "zeta" {
+		t.Errorf("VM order must be sorted: %+v", st.VMs)
+	}
+}

@@ -1,0 +1,144 @@
+package wrf
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"everest/internal/tensor"
+)
+
+// Observation is one temperature measurement from a station (radar,
+// authoritative or non-authoritative weather station — §VIII).
+type Observation struct {
+	I, J, K int
+	Value   float64
+	ErrStd  float64
+}
+
+// SampleObservations extracts noisy observations of the truth state at
+// nStations random columns (all levels observed).
+func SampleObservations(truth *State, nStations int, noiseStd float64, seed int64) []Observation {
+	rng := rand.New(rand.NewSource(seed))
+	var obs []Observation
+	for s := 0; s < nStations; s++ {
+		i := rng.Intn(truth.Cfg.NX)
+		j := rng.Intn(truth.Cfg.NY)
+		for k := 0; k < truth.Cfg.NZ; k++ {
+			obs = append(obs, Observation{
+				I: i, J: j, K: k,
+				Value:  truth.T.At(i, j, k) + rng.NormFloat64()*noiseStd,
+				ErrStd: noiseStd,
+			})
+		}
+	}
+	return obs
+}
+
+// Assimilate3DVar performs one WRFDA-like 3D-Var analysis step on the
+// background state. Each observation spreads its innovation over a Gaussian
+// localization of the given radius (grid cells); where observation
+// footprints overlap, innovations are combined as a weighted mean (so dense
+// networks do not overshoot), and the optimal-interpolation gain
+// B/(B+R) weights background versus observation error.
+func Assimilate3DVar(background *State, obs []Observation, bgErrStd, radius float64) (*State, error) {
+	if bgErrStd <= 0 || radius <= 0 {
+		return nil, fmt.Errorf("wrf: 3dvar needs positive background error and radius")
+	}
+	analysis := background.Clone()
+	cfg := background.Cfg
+	num := tensor.New(cfg.NX, cfg.NY, cfg.NZ)
+	den := tensor.New(cfg.NX, cfg.NY, cfg.NZ)
+	span := int(radius * 3)
+	for _, o := range obs {
+		if o.I < 0 || o.I >= cfg.NX || o.J < 0 || o.J >= cfg.NY || o.K < 0 || o.K >= cfg.NZ {
+			return nil, fmt.Errorf("wrf: observation outside grid (%d,%d,%d)", o.I, o.J, o.K)
+		}
+		innovation := o.Value - background.T.At(o.I, o.J, o.K)
+		for di := -span; di <= span; di++ {
+			for dj := -span; dj <= span; dj++ {
+				i := o.I + di
+				j := o.J + dj
+				if i < 0 || i >= cfg.NX || j < 0 || j >= cfg.NY {
+					continue
+				}
+				dist2 := float64(di*di + dj*dj)
+				w := math.Exp(-dist2 / (2 * radius * radius))
+				num.Set(num.At(i, j, o.K)+w*innovation, i, j, o.K)
+				den.Set(den.At(i, j, o.K)+w, i, j, o.K)
+			}
+		}
+	}
+	gain := bgErrStd * bgErrStd / (bgErrStd*bgErrStd + meanObsErr(obs))
+	for i := 0; i < cfg.NX; i++ {
+		for j := 0; j < cfg.NY; j++ {
+			for k := 0; k < cfg.NZ; k++ {
+				d := den.At(i, j, k)
+				if d <= 0 {
+					continue
+				}
+				meanInnov := num.At(i, j, k) / d
+				conf := d
+				if conf > 1 {
+					conf = 1
+				}
+				cur := analysis.T.At(i, j, k)
+				analysis.T.Set(cur+gain*conf*meanInnov, i, j, k)
+			}
+		}
+	}
+	return analysis, nil
+}
+
+func meanObsErr(obs []Observation) float64 {
+	if len(obs) == 0 {
+		return 1
+	}
+	s := 0.0
+	for _, o := range obs {
+		s += o.ErrStd * o.ErrStd
+	}
+	return s / float64(len(obs))
+}
+
+// AssimilationExperiment runs the E11 assimilation test: truth and a
+// perturbed background evolve freely; assimilating observations must pull
+// the analysis closer to the truth than the background was.
+type AssimilationExperiment struct {
+	BackgroundRMSE    float64
+	AnalysisRMSE      float64
+	ForecastRMSEFree  float64 // forecast RMSE without assimilation
+	ForecastRMSEAssim float64 // forecast RMSE starting from the analysis
+}
+
+// RunAssimilationExperiment executes the full cycle.
+func RunAssimilationExperiment(cfg Config, spinup, forecast int, nStations int, seed int64) (*AssimilationExperiment, error) {
+	rad := NewRadiation(seed, cfg.NZ)
+	truth := NewState(cfg, seed)
+	truth.Run(rad, spinup)
+	// Background: the truth contaminated by a large-amplitude IC error (the
+	// situation data assimilation exists to fix).
+	background := truth.Clone()
+	perturb(background, seed+1, 1.0)
+
+	obs := SampleObservations(truth, nStations, 0.3, seed+2)
+	analysis, err := Assimilate3DVar(background, obs, 1.0, 2.0)
+	if err != nil {
+		return nil, err
+	}
+
+	exp := &AssimilationExperiment{
+		BackgroundRMSE: RMSE(background, truth),
+		AnalysisRMSE:   RMSE(analysis, truth),
+	}
+
+	freeFc := background.Clone()
+	assimFc := analysis.Clone()
+	truthFc := truth.Clone()
+	freeFc.Run(rad, forecast)
+	assimFc.Run(rad, forecast)
+	truthFc.Run(rad, forecast)
+	exp.ForecastRMSEFree = RMSE(freeFc, truthFc)
+	exp.ForecastRMSEAssim = RMSE(assimFc, truthFc)
+	return exp, nil
+}

@@ -1,0 +1,67 @@
+package wrf
+
+import (
+	"fmt"
+
+	"everest/internal/netsim"
+)
+
+// DistributedPlan models running an ensemble across network-attached FPGA
+// nodes with ZRLMPI-style communication (paper §III, §V-C: cloudFPGA +
+// hardware-agnostic synchronous communication routines): the initial
+// condition is broadcast, members run in parallel waves, and the ensemble
+// statistics are reduced back.
+type DistributedPlan struct {
+	Members     int
+	Ranks       int
+	StateBytes  int64
+	StepSeconds float64 // per-member integration time for the window
+	Steps       int
+}
+
+// DistributedResult is the modelled timing breakdown.
+type DistributedResult struct {
+	Broadcast float64 // IC distribution
+	Compute   float64 // parallel member integration (waves)
+	Reduce    float64 // ensemble statistics allreduce
+	Total     float64
+	Waves     int
+}
+
+// RunDistributed models the plan over a ZRLMPI world.
+func RunDistributed(p DistributedPlan, w netsim.World) (*DistributedResult, error) {
+	if p.Members < 1 || p.Ranks < 1 {
+		return nil, fmt.Errorf("wrf: distributed plan needs members and ranks")
+	}
+	if w.Ranks != p.Ranks {
+		return nil, fmt.Errorf("wrf: world has %d ranks, plan expects %d", w.Ranks, p.Ranks)
+	}
+	waves := (p.Members + p.Ranks - 1) / p.Ranks
+	res := &DistributedResult{Waves: waves}
+	res.Broadcast = w.Broadcast(p.StateBytes)
+	res.Compute = float64(waves) * p.StepSeconds * float64(p.Steps)
+	res.Reduce = w.AllReduce(p.StateBytes)
+	res.Total = res.Broadcast + res.Compute + res.Reduce
+	return res, nil
+}
+
+// ScalingTable returns the total time for rank counts 1..maxRanks, the
+// strong-scaling sweep of the network-attached deployment.
+func ScalingTable(members int, stateBytes int64, stepSeconds float64, steps, maxRanks int) ([]DistributedResult, error) {
+	var out []DistributedResult
+	for r := 1; r <= maxRanks; r *= 2 {
+		w, err := netsim.NewWorld(r, netsim.UDP10G())
+		if err != nil {
+			return nil, err
+		}
+		res, err := RunDistributed(DistributedPlan{
+			Members: members, Ranks: r, StateBytes: stateBytes,
+			StepSeconds: stepSeconds, Steps: steps,
+		}, w)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *res)
+	}
+	return out, nil
+}

@@ -1,0 +1,62 @@
+package wrf
+
+import (
+	"testing"
+
+	"everest/internal/netsim"
+)
+
+func TestRunDistributedBasics(t *testing.T) {
+	w, err := netsim.NewWorld(4, netsim.UDP10G())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunDistributed(DistributedPlan{
+		Members: 8, Ranks: 4, StateBytes: 1 << 22, StepSeconds: 0.05, Steps: 10,
+	}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Waves != 2 {
+		t.Errorf("8 members on 4 ranks = %d waves, want 2", res.Waves)
+	}
+	if res.Total <= res.Compute {
+		t.Error("total must include communication")
+	}
+	if res.Broadcast <= 0 || res.Reduce <= 0 {
+		t.Error("collectives must cost time")
+	}
+}
+
+func TestRunDistributedValidation(t *testing.T) {
+	w, _ := netsim.NewWorld(2, netsim.UDP10G())
+	if _, err := RunDistributed(DistributedPlan{Members: 0, Ranks: 2}, w); err == nil {
+		t.Error("zero members must fail")
+	}
+	if _, err := RunDistributed(DistributedPlan{Members: 4, Ranks: 4}, w); err == nil {
+		t.Error("rank mismatch must fail")
+	}
+}
+
+func TestScalingImprovesThenSaturates(t *testing.T) {
+	// Strong scaling: more ranks cut compute linearly until communication
+	// dominates; total time must be non-increasing through the compute-
+	// bound region and the speedup must be sublinear at high rank counts.
+	table, err := ScalingTable(16, 1<<22, 0.05, 10, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table) != 5 { // ranks 1,2,4,8,16
+		t.Fatalf("table rows = %d", len(table))
+	}
+	if table[1].Total >= table[0].Total {
+		t.Error("2 ranks must beat 1 rank on a compute-bound ensemble")
+	}
+	speedup16 := table[0].Total / table[4].Total
+	if speedup16 <= 4 {
+		t.Errorf("16-rank speedup %.1f too small", speedup16)
+	}
+	if speedup16 >= 16 {
+		t.Errorf("16-rank speedup %.1f cannot be superlinear (communication must bite)", speedup16)
+	}
+}

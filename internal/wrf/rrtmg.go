@@ -1,0 +1,180 @@
+package wrf
+
+import (
+	"math"
+	"math/rand"
+
+	"everest/internal/tensor"
+)
+
+// Radiation is the RRTMG-proxy gas-optics scheme: the kernel the EVEREST
+// kernel language was designed around (paper §V-A1, Fig. 3). Per column it
+// computes the major-absorber optical depth by trilinear interpolation into
+// a k-distribution table — the
+//
+//	tau = Σ_dT Σ_dp Σ_dη  r·α·k[T+dT, p+dp, η+dη, g]
+//
+// contraction of Fig. 3 — then applies a Newtonian heating tendency derived
+// from the column optical depth.
+type Radiation struct {
+	NGpt  int // spectral g-points
+	NT    int // temperature table size
+	NP    int // pressure table size
+	NEta  int // mixing-fraction table size
+	NFlav int // absorber flavours
+
+	kMajor    *tensor.Tensor // (NT, NP, NEta, NGpt)
+	bndToFlav *tensor.Tensor // (2, bands)
+	pressRef  []float64      // reference pressure per level
+	tempRef   []float64      // temperature table axis
+	// HeatRate scales the radiative tendency.
+	HeatRate float64
+	// Strato is the tropopause pressure threshold of the Fig. 3 select.
+	Strato float64
+}
+
+// NewRadiation builds a seeded gas-optics table set for a grid with nz
+// levels.
+func NewRadiation(seed int64, nz int) *Radiation {
+	rng := rand.New(rand.NewSource(seed))
+	r := &Radiation{
+		NGpt: 16, NT: 12, NP: 16, NEta: 9, NFlav: 3,
+		HeatRate: 0.002, Strato: 9600,
+	}
+	r.kMajor = tensor.Random(rng, 0.1, 1.0, r.NT, r.NP, r.NEta, r.NGpt)
+	r.bndToFlav = tensor.New(2, 4)
+	for i := 0; i < 2; i++ {
+		for b := 0; b < 4; b++ {
+			r.bndToFlav.Set(float64(rng.Intn(r.NFlav)), i, b)
+		}
+	}
+	r.pressRef = make([]float64, nz)
+	for k := 0; k < nz; k++ {
+		// Exponential pressure profile from 101325 Pa down to ~8000 Pa.
+		r.pressRef[k] = 101325 * math.Exp(-2.5*float64(k)/float64(nz))
+	}
+	r.tempRef = make([]float64, r.NT)
+	for i := range r.tempRef {
+		r.tempRef[i] = 180 + 15*float64(i) // 180..345 K
+	}
+	return r
+}
+
+// ColumnTau computes the per-g-point optical depth of one column, the
+// Fig. 3 computation. tOfK gives the temperature at each level.
+func (r *Radiation) ColumnTau(tOfK []float64, qOfK []float64) []float64 {
+	tau := make([]float64, r.NGpt)
+	const bnd = 1
+	for k := range tOfK {
+		p := r.pressRef[k]
+		iStrato := 0
+		if p <= r.Strato {
+			iStrato = 1
+		}
+		iFlav := int(r.bndToFlav.At(iStrato, bnd))
+
+		// Index re-association: locate table positions.
+		jT := clampInt(int((tOfK[k]-r.tempRef[0])/15), 0, r.NT-2)
+		jp := clampInt(int(float64(r.NP-2)*(1-p/101325)), 0, r.NP-3)
+		eta := qOfK[k] / 10
+		jEta := clampInt(int(eta*float64(r.NEta-2)), 0, r.NEta-2)
+
+		// Interpolation weights (the r·α factors of Fig. 3).
+		wT := (tOfK[k] - r.tempRef[jT]) / 15
+		wT = math.Max(0, math.Min(1, wT))
+		wE := eta*float64(r.NEta-2) - float64(jEta)
+		wE = math.Max(0, math.Min(1, wE))
+
+		for g := 0; g < r.NGpt; g++ {
+			acc := 0.0
+			for dT := 0; dT < 2; dT++ {
+				for dp := 0; dp < 2; dp++ {
+					for dE := 0; dE < 2; dE++ {
+						rmix := lerpw(wE, dE) * (0.5 + 0.5*eta)
+						fmaj := lerpw(wT, dT) * 0.5
+						acc += rmix * fmaj *
+							r.kMajor.At(jT+dT, jp+iStrato+dp, jEta+dE, g)
+					}
+				}
+			}
+			tau[g] += acc * float64(iFlav+1) / float64(r.NFlav)
+		}
+	}
+	return tau
+}
+
+func lerpw(w float64, d int) float64 {
+	if d == 0 {
+		return 1 - w
+	}
+	return w
+}
+
+// Apply computes radiation for every column and applies the heating
+// tendency; it returns the modelled FLOP count (the quantity the paper's
+// 30%-of-cycles claim is about).
+func (r *Radiation) Apply(s *State) float64 {
+	cfg := s.Cfg
+	tCol := make([]float64, cfg.NZ)
+	qCol := make([]float64, cfg.NZ)
+	for i := 0; i < cfg.NX; i++ {
+		for j := 0; j < cfg.NY; j++ {
+			for k := 0; k < cfg.NZ; k++ {
+				tCol[k] = s.T.At(i, j, k)
+				qCol[k] = s.Q.At(i, j, k)
+			}
+			tau := r.ColumnTau(tCol, qCol)
+			// Column-integrated optical depth drives Newtonian
+			// cooling/heating toward the radiative equilibrium profile.
+			tauSum := 0.0
+			for _, v := range tau {
+				tauSum += v
+			}
+			tauMean := tauSum / float64(r.NGpt)
+			for k := 0; k < cfg.NZ; k++ {
+				eq := 300 - 55*float64(k)/float64(cfg.NZ) - 5*tauMean/float64(cfg.NZ)
+				dT := r.HeatRate * (eq - s.T.At(i, j, k))
+				s.T.Set(s.T.At(i, j, k)+dT, i, j, k)
+			}
+		}
+	}
+	// FLOPs: per column per level per g-point: 2*2*2 entries × ~5 ops,
+	// plus heating (~4 per cell).
+	perColumn := float64(cfg.NZ) * (float64(r.NGpt)*8*5 + 12)
+	return perColumn * float64(cfg.NX*cfg.NY)
+}
+
+// EKLSource returns the radiation kernel expressed in the EVEREST Kernel
+// Language (the Fig. 3 form) for the E1 experiment.
+func EKLSource() string {
+	return `
+kernel tau_major {
+  input p           : [X]
+  input bnd_to_flav : [2, NBND] index
+  input j_T         : [X] index
+  input j_p         : [X] index
+  input j_eta       : [NFLAV, X] index
+  input r_mix       : [NFLAV, X, E]
+  input f_major     : [NFLAV, X, T, PP, E]
+  input k_major     : [NT, NP, NETA, G]
+  param strato = 9600.0
+  iparam bnd
+  i_strato = select(p[x] <= strato, 1, 0)
+  i_flav[x] = bnd_to_flav[i_strato[x], bnd]
+  tau_abs = sum(t, pp, e) r_mix[i_flav[x], x, e]
+          * f_major[i_flav[x], x, t, pp, e]
+          * k_major[j_T[x]+t, j_p[x]+i_strato[x]+pp, j_eta[i_flav[x], x]+e, g]
+  output tau_abs[x, g]
+}
+`
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

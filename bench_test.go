@@ -7,6 +7,8 @@ import (
 	"everest/internal/base2"
 	"everest/internal/ekl"
 	"everest/internal/experiments"
+	"everest/internal/runtime"
+	"everest/internal/sdk"
 	"everest/internal/tensor"
 	"everest/internal/traffic"
 	"everest/internal/wrf"
@@ -101,6 +103,47 @@ func BenchmarkE13_AirQuality(b *testing.B) {
 // BenchmarkE14_TrafficModels — §II-D traffic suite.
 func BenchmarkE14_TrafficModels(b *testing.B) {
 	benchExperiment(b, experiments.E14, "match_accuracy", "cnn_mae")
+}
+
+// BenchmarkConcurrentWorkflows exercises the concurrent multi-tenant engine:
+// each iteration submits 8 mixed workflows to a Server over an 8-node
+// cluster, waits for them all, and compares the modelled completion time
+// against running the same workflows back-to-back through the serial
+// planner. The reported speedup_x8 metric is the acceptance number (>= 2x).
+func BenchmarkConcurrentWorkflows(b *testing.B) {
+	const workflows = 8
+	ws := make([]*runtime.Workflow, workflows)
+	for i := range ws {
+		ws[i] = sdk.SyntheticWorkflow(i)
+	}
+	serial, err := sdk.New(sdk.DefaultCluster(8)).SerialMakespan(runtime.PolicyHEFT, ws...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	speedup := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv := sdk.New(sdk.DefaultCluster(8)).NewServer(sdk.ServerConfig{Policy: runtime.PolicyHEFT})
+		subs := make([]*sdk.Submission, workflows)
+		for j := range subs {
+			sub, err := srv.Submit("bench", "", sdk.SyntheticWorkflow(j))
+			if err != nil {
+				b.Fatal(err)
+			}
+			subs[j] = sub
+		}
+		if err := srv.Start(); err != nil {
+			b.Fatal(err)
+		}
+		for _, sub := range subs {
+			if _, err := sub.Wait(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		stats := srv.Shutdown()
+		speedup = serial / stats.Makespan
+	}
+	b.ReportMetric(speedup, "speedup_x8")
 }
 
 // Micro-benchmarks of the hot substrate kernels.

@@ -5,6 +5,7 @@
 //
 //	basecamp compile  -kernel <file.ekl|demo> [-backend vitis|bambu] [-format f32|f64|bf16|f16|fixed16|posit16] [-device alveo-u55c|alveo-u280|cloudfpga] [-emit mlir|olympus|driver]
 //	basecamp deploy   -nodes N     # compile demo kernel, stage it, plan a workflow
+//	basecamp serve    -workflows N -concurrency K   # concurrent multi-tenant runtime demo
 //	basecamp dialects              # list the registered MLIR dialects (Fig. 5)
 //	basecamp anomaly  -trials N    # AutoML model selection on a synthetic stream
 //	basecamp bench                 # shortcut: run all reproduction experiments
@@ -15,7 +16,9 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
 	"everest/internal/anomaly"
 	"everest/internal/base2"
@@ -41,6 +44,8 @@ func main() {
 		err = cmdCompile(os.Args[2:])
 	case "deploy":
 		err = cmdDeploy(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "dialects":
 		err = cmdDialects()
 	case "anomaly":
@@ -61,7 +66,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: basecamp <compile|deploy|dialects|anomaly|bench> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: basecamp <compile|deploy|serve|dialects|anomaly|bench> [flags]`)
 }
 
 func formatByName(name string) (base2.Format, error) {
@@ -228,6 +233,116 @@ func cmdDeploy(args []string) error {
 		}
 		fmt.Printf("  %-10s %-8s %-5s [%.3g, %.3g]s\n", a.Task, a.Node, target, a.Start, a.End)
 	}
+	return nil
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	workflows := fs.Int("workflows", 16, "workflows to submit")
+	concurrency := fs.Int("concurrency", 8, "max workflows in flight (0 = unlimited)")
+	nodes := fs.Int("nodes", 8, "compute nodes in the simulated cluster")
+	policyName := fs.String("policy", "heft", "placement policy: heft or fifo")
+	tenants := fs.Int("tenants", 4, "tenants sharing the cluster")
+	failNode := fs.String("fail", "", "inject a node failure, e.g. node00@0.5")
+	trace := fs.Bool("trace", false, "print engine events")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workflows < 1 || *tenants < 1 || *nodes < 1 {
+		return fmt.Errorf("serve: workflows, tenants and nodes must be positive")
+	}
+	var policy runtime.Policy
+	switch strings.ToLower(*policyName) {
+	case "heft":
+		policy = runtime.PolicyHEFT
+	case "fifo":
+		policy = runtime.PolicyFIFO
+	default:
+		return fmt.Errorf("serve: unknown policy %q", *policyName)
+	}
+	var failures []runtime.NodeFailure
+	if *failNode != "" {
+		parts := strings.SplitN(*failNode, "@", 2)
+		f := runtime.NodeFailure{Node: parts[0], AtTime: 0.5}
+		if len(parts) == 2 {
+			if _, err := fmt.Sscanf(parts[1], "%g", &f.AtTime); err != nil {
+				return fmt.Errorf("serve: bad -fail time %q", parts[1])
+			}
+		}
+		failures = append(failures, f)
+	}
+
+	// Serial baseline: the same workflows planned one at a time and run
+	// back-to-back — what the runtime did before it became concurrent.
+	s := sdk.New(sdk.DefaultCluster(*nodes))
+	for _, f := range failures {
+		if s.Cluster.FindNode(f.Node) == nil {
+			return fmt.Errorf("serve: -fail references unknown node %q", f.Node)
+		}
+	}
+	ws := make([]*runtime.Workflow, *workflows)
+	for i := range ws {
+		ws[i] = sdk.SyntheticWorkflow(i)
+	}
+	serial, err := s.SerialMakespan(policy, ws...)
+	if err != nil {
+		return err
+	}
+
+	cfg := sdk.ServerConfig{Policy: policy, MaxConcurrent: *concurrency, Failures: failures}
+	if *trace {
+		cfg.Trace = func(ev runtime.Event) {
+			fmt.Printf("  [%8.4fs] %-13s wf=%-12s task=%-8s node=%s\n",
+				ev.Time, ev.Kind, ev.Workflow, ev.Task, ev.Node)
+		}
+	}
+	srv := s.NewServer(cfg)
+	tenantName := func(i int) string { return fmt.Sprintf("tenant%02d", i%*tenants) }
+	subs := make([]*sdk.Submission, *workflows)
+	for i := range subs {
+		sub, err := srv.Submit(tenantName(i), "", sdk.SyntheticWorkflow(i))
+		if err != nil {
+			return err
+		}
+		subs[i] = sub
+	}
+	wallStart := time.Now()
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	transfers, moved := 0, int64(0)
+	for i, sub := range subs {
+		sched, err := sub.Wait()
+		if err != nil {
+			return fmt.Errorf("serve: workflow %d: %w", i, err)
+		}
+		transfers += sched.Transfers
+		moved += sched.MovedBytes
+	}
+	stats := srv.Shutdown()
+	wall := time.Since(wallStart)
+
+	fmt.Printf("cluster    : %d compute nodes + cloudfpga0 (%d total)\n",
+		*nodes, len(s.Cluster.Nodes))
+	fmt.Printf("workflows  : %d across %d tenants (policy %s, concurrency %d)\n",
+		stats.Completed, len(stats.Tenants), policy, *concurrency)
+	fmt.Printf("serial     : %.3gs modelled, back-to-back\n", serial)
+	fmt.Printf("concurrent : %.3gs modelled\n", stats.Makespan)
+	if stats.Makespan > 0 {
+		fmt.Printf("speedup    : %.2fx\n", serial/stats.Makespan)
+	}
+	fmt.Printf("transfers  : %d batched, %.1f MB moved\n", transfers, float64(moved)/1e6)
+	var names []string
+	for name := range stats.Tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ts := stats.Tenants[name]
+		fmt.Printf("  %-10s : %d done, %d failed, last finish %.3gs\n",
+			name, ts.Completed, ts.Failed, ts.LastFinish)
+	}
+	fmt.Printf("wall time  : %s\n", wall.Round(time.Millisecond))
 	return nil
 }
 

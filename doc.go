@@ -14,8 +14,11 @@
 //     (internal/olympus);
 //   - the virtualized runtime environment: platform models
 //     (internal/platform, internal/netsim), the Dask-like resource manager
-//     (internal/runtime), SR-IOV virtualization (internal/virt), and the
-//     mARGOt autotuner (internal/autotuner);
+//     with both a serial HEFT planner and a concurrent multi-tenant
+//     execution engine (internal/runtime), the multi-workflow submission
+//     server (internal/sdk.Server, exposed as `basecamp serve`), SR-IOV
+//     virtualization (internal/virt), and the mARGOt autotuner
+//     (internal/autotuner);
 //   - the anomaly detection service (internal/anomaly) with TPE AutoML.
 //
 // The four driving use cases are implemented as workloads: WRF-style

@@ -1,0 +1,3 @@
+module everest
+
+go 1.24

@@ -49,6 +49,8 @@ type Node struct {
 	mu         sync.Mutex
 	programmed map[int]Bitstream // device index -> loaded bitstream
 	busyUntil  map[int]float64   // device index -> modelled time it frees up
+	failed     bool
+	failedAt   float64
 }
 
 // NewNode builds a node.
@@ -105,6 +107,78 @@ func (n *Node) RunCPU(flops float64, bytes int64, cores int) float64 {
 	return n.CPU.TimeSeconds(flops, bytes, cores)
 }
 
+// ClaimDevice reserves device idx from modelled time `at` for `dur` seconds
+// and returns the actual [start, end] window. Claims serialize: if the
+// device is still busy at `at`, the claim queues behind the current owner.
+// This is the executor hook that lets concurrent workflow engines share one
+// physical accelerator safely.
+func (n *Node) ClaimDevice(idx int, at, dur float64) (start, end float64, err error) {
+	if idx < 0 || idx >= len(n.Devices) {
+		return 0, 0, fmt.Errorf("platform: node %s has no device %d", n.Name, idx)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	start = at
+	if b := n.busyUntil[idx]; b > start {
+		start = b
+	}
+	end = start + dur
+	n.busyUntil[idx] = end
+	return start, end, nil
+}
+
+// ResetDeviceClaims clears all device reservations, returning every device
+// to idle at modelled time zero. Engines call it when they take ownership of
+// a cluster so stale claims from a previous run do not inflate start times.
+func (n *Node) ResetDeviceClaims() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for idx := range n.busyUntil {
+		delete(n.busyUntil, idx)
+	}
+}
+
+// DeviceFreeAt returns the modelled time device idx becomes idle.
+func (n *Node) DeviceFreeAt(idx int) float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.busyUntil[idx]
+}
+
+// Fail marks the node as failed at modelled time t (monitor hook: the
+// resource manager's failure detector calls this, executors consult
+// FailedAt or Alive). Only the earliest failure time is kept.
+func (n *Node) Fail(t float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.failed || t < n.failedAt {
+		n.failed = true
+		n.failedAt = t
+	}
+}
+
+// Heal clears the failure state (tests and re-provisioning flows).
+func (n *Node) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.failed = false
+	n.failedAt = 0
+}
+
+// FailedAt reports whether the node has failed and, if so, when.
+func (n *Node) FailedAt() (float64, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.failedAt, n.failed
+}
+
+// Alive reports whether the node is still up at modelled time t.
+func (n *Node) Alive(t float64) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return !n.failed || t <= n.failedAt
+}
+
 // Cluster is a set of nodes joined by a data-center network.
 type Cluster struct {
 	Nodes   []*Node
@@ -136,4 +210,16 @@ func (c *Cluster) TransferSeconds(from, to string, bytes int64) float64 {
 		return 0
 	}
 	return c.Network.TransferSeconds(bytes)
+}
+
+// BatchTransferSeconds models moving the coalesced outputs of `deps`
+// dependencies from one node to another as a single bulk transfer: the link
+// latency is paid once instead of once per dependency. This is the hook the
+// concurrent engine uses to batch inter-node transfers; the per-dependency
+// cost it avoids is (deps-1) extra latencies.
+func (c *Cluster) BatchTransferSeconds(from, to string, totalBytes int64, deps int) float64 {
+	if from == to || deps <= 0 {
+		return 0
+	}
+	return c.Network.TransferSeconds(totalBytes)
 }

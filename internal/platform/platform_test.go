@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -273,5 +274,85 @@ func TestMoreBatchesNeverSlowerProperty(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestNodeFailureState(t *testing.T) {
+	n := NewNode("n0", XeonModel())
+	if _, failed := n.FailedAt(); failed {
+		t.Error("fresh node must not be failed")
+	}
+	if !n.Alive(1e9) {
+		t.Error("fresh node must be alive at any time")
+	}
+	n.Fail(5.0)
+	n.Fail(7.0) // later failure must not move the time forward
+	if at, failed := n.FailedAt(); !failed || at != 5.0 {
+		t.Errorf("FailedAt = %v %v, want 5 true", at, failed)
+	}
+	if !n.Alive(5.0) || n.Alive(5.1) {
+		t.Error("node must be alive up to the failure time and dead after")
+	}
+	n.Fail(2.0) // earlier failure wins
+	if at, _ := n.FailedAt(); at != 2.0 {
+		t.Errorf("earliest failure must be kept, got %v", at)
+	}
+	n.Heal()
+	if !n.Alive(1e9) {
+		t.Error("healed node must be alive")
+	}
+}
+
+func TestClaimDeviceSerializes(t *testing.T) {
+	n := NewNode("n0", XeonModel(), AlveoU55C())
+	s1, e1, err := n.ClaimDevice(0, 1.0, 2.0)
+	if err != nil || s1 != 1.0 || e1 != 3.0 {
+		t.Fatalf("first claim: [%v,%v] %v", s1, e1, err)
+	}
+	// Overlapping claim queues behind the first.
+	s2, e2, err := n.ClaimDevice(0, 2.0, 1.0)
+	if err != nil || s2 != 3.0 || e2 != 4.0 {
+		t.Fatalf("second claim must queue: [%v,%v] %v", s2, e2, err)
+	}
+	if free := n.DeviceFreeAt(0); free != 4.0 {
+		t.Errorf("DeviceFreeAt = %v, want 4", free)
+	}
+	if _, _, err := n.ClaimDevice(1, 0, 1); err == nil {
+		t.Error("claiming a missing device must fail")
+	}
+}
+
+func TestClaimDeviceRaceSafety(t *testing.T) {
+	n := NewNode("n0", XeonModel(), AlveoU55C())
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := n.ClaimDevice(0, 0, 1.0); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if free := n.DeviceFreeAt(0); free != 32.0 {
+		t.Errorf("32 serialized unit claims must end at 32, got %v", free)
+	}
+}
+
+func TestBatchTransferSeconds(t *testing.T) {
+	c := NewCluster(NewNode("a", XeonModel()), NewNode("b", XeonModel()))
+	bytes := int64(1 << 20)
+	single := c.TransferSeconds("a", "b", bytes)
+	batched := c.BatchTransferSeconds("a", "b", 4*bytes, 4)
+	perDep := 4 * single
+	if batched >= perDep {
+		t.Errorf("batched transfer (%g) must beat 4 separate transfers (%g)", batched, perDep)
+	}
+	if got := c.BatchTransferSeconds("a", "a", bytes, 2); got != 0 {
+		t.Errorf("same-node batch must be free, got %g", got)
+	}
+	if got := c.BatchTransferSeconds("a", "b", bytes, 0); got != 0 {
+		t.Errorf("zero-dep batch must be free, got %g", got)
 	}
 }

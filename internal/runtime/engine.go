@@ -1,0 +1,724 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"everest/internal/platform"
+)
+
+// This file implements the concurrent half of the resource manager: an
+// event-driven engine that multiplexes many workflows (tenants) onto one
+// simulated cluster. The serial Scheduler in runtime.go plans a single
+// workflow ahead of time; the Engine executes many of them online, with
+// per-node work queues, one executor goroutine per node, batched inter-node
+// transfers, and reactive rescheduling when a node fails mid-run. All time
+// is modelled seconds (never wall clock). Execution is genuinely
+// concurrent, so the exact placement can vary with report interleaving
+// across runs; correctness properties (dependency order, fairness, the
+// multiplexing speedup) hold for every interleaving, and tests assert
+// those rather than exact schedules.
+
+// EventKind classifies engine trace events.
+type EventKind int
+
+// Engine trace event kinds.
+const (
+	// EventSubmit fires when a workflow enters the engine.
+	EventSubmit EventKind = iota
+	// EventTaskDone fires when a task completes on its node.
+	EventTaskDone
+	// EventTransfer fires once per batched inter-node dependency transfer.
+	EventTransfer
+	// EventNodeFailure fires the first time the engine observes a node death.
+	EventNodeFailure
+	// EventReschedule fires when a task lost to a failure is re-queued.
+	EventReschedule
+	// EventWorkflowDone fires when the last task of a workflow completes.
+	EventWorkflowDone
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventSubmit:
+		return "submit"
+	case EventTaskDone:
+		return "task-done"
+	case EventTransfer:
+		return "transfer"
+	case EventNodeFailure:
+		return "node-failure"
+	case EventReschedule:
+		return "reschedule"
+	case EventWorkflowDone:
+		return "workflow-done"
+	}
+	return "unknown"
+}
+
+// Event is one engine trace record. Trace callbacks run on the dispatcher
+// goroutine, so they observe events in a consistent order and need no
+// locking of their own.
+type Event struct {
+	Kind     EventKind
+	Workflow string
+	Tenant   string
+	Task     string
+	Node     string
+	Time     float64 // modelled seconds
+}
+
+// EngineConfig configures a concurrent engine.
+type EngineConfig struct {
+	// Policy selects node placement: PolicyHEFT picks the earliest modelled
+	// finish time, PolicyFIFO the earliest modelled start time.
+	Policy Policy
+	// Failures are node deaths injected at engine start. The dispatcher has
+	// no advance knowledge of them: tasks are dispatched normally, lost when
+	// the node dies under them, and rescheduled onto the survivors.
+	Failures []NodeFailure
+	// Trace, when set, receives every engine event (dispatcher goroutine).
+	Trace func(Event)
+}
+
+// Future is the handle returned for one workflow submission. Wait blocks
+// until the workflow drains and returns its realized schedule.
+type Future struct {
+	done chan struct{}
+
+	// Written once by the dispatcher before close(done).
+	sched *Schedule
+	err   error
+
+	// Immutable submission metadata.
+	Name   string
+	Tenant string
+}
+
+// Wait blocks until the workflow completes and returns its schedule.
+func (f *Future) Wait() (*Schedule, error) {
+	<-f.done
+	return f.sched, f.err
+}
+
+// Done returns a channel closed when the workflow has completed.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// SubmitOptions name a submission and its tenant for fairness accounting.
+type SubmitOptions struct {
+	Name   string // workflow name (defaults to wf<N>)
+	Tenant string // fairness domain (defaults to "default")
+}
+
+// Engine executes many workflows concurrently over a simulated cluster.
+type Engine struct {
+	cluster *platform.Cluster
+	reg     *platform.Registry
+	cfg     EngineConfig
+
+	submitCh chan *wfState
+	reportCh chan execReport
+	doneCh   chan struct{} // closed when the dispatcher exits
+
+	queues map[string]*workQueue
+	execWG sync.WaitGroup
+
+	mu      sync.Mutex
+	started bool
+	closed  bool
+	nextID  int
+	subWG   sync.WaitGroup // submissions in flight toward submitCh
+}
+
+// NewEngine builds an engine over a cluster and bitstream registry.
+func NewEngine(c *platform.Cluster, reg *platform.Registry, cfg EngineConfig) *Engine {
+	return &Engine{
+		cluster:  c,
+		reg:      reg,
+		cfg:      cfg,
+		submitCh: make(chan *wfState, 64),
+		reportCh: make(chan execReport, 64),
+		doneCh:   make(chan struct{}),
+		queues:   make(map[string]*workQueue),
+	}
+}
+
+// Start spawns one executor goroutine per node plus the dispatcher loop. It
+// takes ownership of the cluster: stale failure state and device claims
+// left by a previous engine run are cleared before cfg.Failures are
+// applied.
+func (e *Engine) Start() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		return fmt.Errorf("runtime: engine already started")
+	}
+	if len(e.cluster.Nodes) == 0 {
+		return fmt.Errorf("runtime: engine needs at least one node")
+	}
+	e.started = true
+	for _, n := range e.cluster.Nodes {
+		n.Heal()
+		n.ResetDeviceClaims()
+	}
+	for _, f := range e.cfg.Failures {
+		if n := e.cluster.FindNode(f.Node); n != nil {
+			n.Fail(f.AtTime)
+		}
+	}
+	for _, n := range e.cluster.Nodes {
+		q := newWorkQueue()
+		e.queues[n.Name] = q
+		e.execWG.Add(1)
+		go e.runExecutor(n, q)
+	}
+	go e.dispatch()
+	return nil
+}
+
+// Submit hands a workflow to the engine and returns its result future. The
+// workflow must not be mutated after submission. Submissions made before
+// Start queue up and are placed together — fairly across tenants — when the
+// engine starts.
+func (e *Engine) Submit(w *Workflow, opt SubmitOptions) (*Future, error) {
+	if w == nil {
+		return nil, fmt.Errorf("runtime: nil workflow")
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("runtime: engine shut down")
+	}
+	e.nextID++
+	id := e.nextID
+	e.subWG.Add(1)
+	e.mu.Unlock()
+
+	name := opt.Name
+	if name == "" {
+		name = fmt.Sprintf("wf%d", id)
+	}
+	tenant := opt.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+	st := newWFState(w, name, tenant, &Future{
+		done: make(chan struct{}), Name: name, Tenant: tenant,
+	})
+	e.submitCh <- st
+	e.subWG.Done()
+	return st.fut, nil
+}
+
+// Shutdown waits for every submitted workflow to drain, then stops the
+// executors and the dispatcher. It is safe to call once.
+func (e *Engine) Shutdown() {
+	e.mu.Lock()
+	if !e.started || e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.subWG.Wait() // no more sends into submitCh
+	close(e.submitCh)
+	<-e.doneCh
+}
+
+// FailNode injects a node failure while the engine runs (best-effort: tasks
+// that already completed in modelled time are unaffected). Prefer
+// EngineConfig.Failures for deterministic experiments.
+func (e *Engine) FailNode(name string, at float64) error {
+	n := e.cluster.FindNode(name)
+	if n == nil {
+		return fmt.Errorf("runtime: unknown node %q", name)
+	}
+	n.Fail(at)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// per-workflow bookkeeping
+
+type wfState struct {
+	name   string
+	tenant string
+	tasks  map[string]*TaskSpec
+	order  []string
+
+	remaining map[string]int      // task -> unfinished dep count
+	children  map[string][]string // task -> dependents
+	doneAt    map[string]float64  // task -> completion time
+	locAt     map[string]string   // task -> node holding its output
+	pending   int                 // tasks not yet completed
+	finished  bool
+
+	sched *Schedule
+	fut   *Future
+}
+
+func newWFState(w *Workflow, name, tenant string, fut *Future) *wfState {
+	st := &wfState{
+		name:      name,
+		tenant:    tenant,
+		tasks:     make(map[string]*TaskSpec, w.Len()),
+		order:     w.Tasks(),
+		remaining: make(map[string]int, w.Len()),
+		children:  make(map[string][]string),
+		doneAt:    make(map[string]float64, w.Len()),
+		locAt:     make(map[string]string, w.Len()),
+		pending:   w.Len(),
+		sched:     &Schedule{},
+		fut:       fut,
+	}
+	// Snapshot specs so callers mutating the workflow later cannot race the
+	// executors.
+	for name, t := range w.tasks {
+		cp := *t
+		st.tasks[name] = &cp
+		st.remaining[name] = len(t.Deps)
+		for _, d := range t.Deps {
+			st.children[d] = append(st.children[d], name)
+		}
+	}
+	return st
+}
+
+// readyItem is one dispatchable task waiting in a tenant's fairness queue.
+type readyItem struct {
+	wf       *wfState
+	task     string
+	restart  bool
+	minStart float64 // earliest allowed start (failure recovery floor)
+}
+
+// execRequest is one unit of work handed to a node executor.
+type execRequest struct {
+	wf      *wfState
+	task    *TaskSpec
+	ready   float64 // dep outputs available on this node (incl. transfers)
+	restart bool
+	moved   int64 // bytes this placement pulls from other nodes
+	groups  int   // batched transfers feeding this placement
+}
+
+// execReport is an executor's completion (or loss) notice.
+type execReport struct {
+	wf      *wfState
+	task    *TaskSpec
+	node    string
+	start   float64
+	end     float64
+	onFPGA  bool
+	restart bool
+	moved   int64   // bytes the completed placement pulled from other nodes
+	groups  int     // batched transfers that fed it
+	lost    bool    // node died before the task finished
+	failAt  float64 // when (only meaningful if lost)
+}
+
+// ---------------------------------------------------------------------------
+// dispatcher
+
+// dispatchState is the dispatcher goroutine's private view of the cluster.
+type dispatchState struct {
+	nodeFree map[string]float64 // estimated earliest idle time per node
+	dead     map[string]bool    // observed node deaths
+	deadAt   map[string]float64
+
+	// ready queues, one per tenant, drained round-robin.
+	queues  map[string][]readyItem
+	tenants []string // round-robin ring (insertion order)
+	rrNext  int
+
+	active map[*wfState]bool
+}
+
+func (e *Engine) dispatch() {
+	defer close(e.doneCh)
+	ds := &dispatchState{
+		nodeFree: make(map[string]float64, len(e.cluster.Nodes)),
+		dead:     make(map[string]bool),
+		deadAt:   make(map[string]float64),
+		queues:   make(map[string][]readyItem),
+		active:   make(map[*wfState]bool),
+	}
+	submitCh := e.submitCh
+	for submitCh != nil || len(ds.active) > 0 {
+		select {
+		case st, ok := <-submitCh:
+			if !ok {
+				submitCh = nil
+			} else {
+				e.onSubmit(ds, st)
+			}
+		case rep := <-e.reportCh:
+			e.onReport(ds, rep)
+		}
+		// Slurp every already-pending event before placing anything, so a
+		// burst of near-simultaneous submissions from several tenants lands
+		// in the fairness queues together and is drained round-robin instead
+		// of first-come-first-served.
+	slurp:
+		for {
+			select {
+			case st, ok := <-submitCh:
+				if !ok {
+					submitCh = nil
+				} else {
+					e.onSubmit(ds, st)
+				}
+			case rep := <-e.reportCh:
+				e.onReport(ds, rep)
+			default:
+				break slurp
+			}
+		}
+		e.drainReady(ds)
+	}
+	for _, q := range e.queues {
+		q.close()
+	}
+	// Executors may still be draining queued work for workflows that already
+	// finished with an error; keep consuming their reports so they never
+	// block on reportCh while we wait for them to exit.
+	execDone := make(chan struct{})
+	go func() {
+		e.execWG.Wait()
+		close(execDone)
+	}()
+	for {
+		select {
+		case <-e.reportCh:
+		case <-execDone:
+			return
+		}
+	}
+}
+
+func (e *Engine) trace(ev Event) {
+	if e.cfg.Trace != nil {
+		e.cfg.Trace(ev)
+	}
+}
+
+func (e *Engine) onSubmit(ds *dispatchState, st *wfState) {
+	e.trace(Event{Kind: EventSubmit, Workflow: st.name, Tenant: st.tenant})
+	if st.pending == 0 { // empty workflow completes immediately
+		st.sched.Policy = e.cfg.Policy
+		e.finish(ds, st, nil)
+		return
+	}
+	ds.active[st] = true
+	st.sched.Policy = e.cfg.Policy
+	if !containsTenant(ds.tenants, st.tenant) {
+		ds.tenants = append(ds.tenants, st.tenant)
+	}
+	for _, name := range st.order {
+		if st.remaining[name] == 0 {
+			ds.queues[st.tenant] = append(ds.queues[st.tenant], readyItem{wf: st, task: name})
+		}
+	}
+}
+
+func containsTenant(ts []string, t string) bool {
+	for _, x := range ts {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Engine) onReport(ds *dispatchState, rep execReport) {
+	st := rep.wf
+	if rep.lost {
+		// First observation of this node's death: mark it and trace.
+		if !ds.dead[rep.node] {
+			ds.dead[rep.node] = true
+			ds.deadAt[rep.node] = rep.failAt
+			e.trace(Event{Kind: EventNodeFailure, Node: rep.node, Time: rep.failAt})
+		}
+		if st.finished {
+			return
+		}
+		// Re-queue the lost task; it may not start before the failure time
+		// (the monitor only learns of the loss when the node dies).
+		e.trace(Event{
+			Kind: EventReschedule, Workflow: st.name, Tenant: st.tenant,
+			Task: rep.task.Name, Node: rep.node, Time: rep.failAt,
+		})
+		ds.queues[st.tenant] = append(ds.queues[st.tenant], readyItem{
+			wf: st, task: rep.task.Name, restart: true, minStart: rep.failAt,
+		})
+		return
+	}
+	if st.finished {
+		return
+	}
+	if free := ds.nodeFree[rep.node]; rep.end > free {
+		ds.nodeFree[rep.node] = rep.end
+	}
+	st.sched.Assignments = append(st.sched.Assignments, Assignment{
+		Task: rep.task.Name, Node: rep.node, Start: rep.start, End: rep.end,
+		OnFPGA: rep.onFPGA, Restart: rep.restart,
+	})
+	st.sched.Transfers += rep.groups
+	st.sched.MovedBytes += rep.moved
+	if rep.end > st.sched.Makespan {
+		st.sched.Makespan = rep.end
+	}
+	st.doneAt[rep.task.Name] = rep.end
+	st.locAt[rep.task.Name] = rep.node
+	st.pending--
+	e.trace(Event{
+		Kind: EventTaskDone, Workflow: st.name, Tenant: st.tenant,
+		Task: rep.task.Name, Node: rep.node, Time: rep.end,
+	})
+	for _, child := range st.children[rep.task.Name] {
+		st.remaining[child]--
+		if st.remaining[child] == 0 {
+			ds.queues[st.tenant] = append(ds.queues[st.tenant], readyItem{wf: st, task: child})
+		}
+	}
+	if st.pending == 0 {
+		e.finish(ds, st, nil)
+	}
+}
+
+func (e *Engine) finish(ds *dispatchState, st *wfState, err error) {
+	if st.finished {
+		return
+	}
+	st.finished = true
+	delete(ds.active, st)
+	sort.SliceStable(st.sched.Assignments, func(i, j int) bool {
+		return st.sched.Assignments[i].Start < st.sched.Assignments[j].Start
+	})
+	st.fut.sched = st.sched
+	st.fut.err = err
+	e.trace(Event{
+		Kind: EventWorkflowDone, Workflow: st.name, Tenant: st.tenant,
+		Time: st.sched.Makespan,
+	})
+	close(st.fut.done)
+}
+
+// drainReady places every queued ready task, visiting tenants round-robin so
+// no tenant's burst can starve the others.
+func (e *Engine) drainReady(ds *dispatchState) {
+	for {
+		item, ok := e.nextFair(ds)
+		if !ok {
+			return
+		}
+		if item.wf.finished {
+			continue
+		}
+		e.place(ds, item)
+	}
+}
+
+// nextFair pops the next ready task in round-robin tenant order.
+func (e *Engine) nextFair(ds *dispatchState) (readyItem, bool) {
+	n := len(ds.tenants)
+	for i := 0; i < n; i++ {
+		t := ds.tenants[(ds.rrNext+i)%n]
+		q := ds.queues[t]
+		if len(q) == 0 {
+			continue
+		}
+		item := q[0]
+		ds.queues[t] = q[1:]
+		ds.rrNext = (ds.rrNext + i + 1) % n
+		return item, true
+	}
+	return readyItem{}, false
+}
+
+// place chooses a node for one ready task, records the batched dependency
+// transfers, and enqueues the task on that node's work queue.
+func (e *Engine) place(ds *dispatchState, item readyItem) {
+	st := item.wf
+	task := st.tasks[item.task]
+
+	bestNode := ""
+	bestReady, bestEnd := 0.0, 0.0
+	bestBytes := int64(0)
+	bestGroups := 0
+	for _, n := range e.cluster.Nodes {
+		if ds.dead[n.Name] {
+			continue
+		}
+		ready, moved, groups := e.readyOn(st, task, n.Name)
+		if item.minStart > ready {
+			ready = item.minStart
+		}
+		if free := ds.nodeFree[n.Name]; free > ready {
+			ready = free
+		}
+		cost, _, _ := costOn(task, n)
+		end := ready + cost
+		better := bestNode == "" || end < bestEnd
+		if e.cfg.Policy == PolicyFIFO {
+			better = bestNode == "" || ready < bestReady
+		}
+		if better {
+			bestNode, bestReady, bestEnd = n.Name, ready, end
+			bestBytes, bestGroups = moved, groups
+		}
+	}
+	if bestNode == "" {
+		e.finish(ds, st, fmt.Errorf("runtime: no alive node can run task %q of %s", item.task, st.name))
+		return
+	}
+	ds.nodeFree[bestNode] = bestEnd
+	if bestGroups > 0 {
+		e.trace(Event{
+			Kind: EventTransfer, Workflow: st.name, Tenant: st.tenant,
+			Task: item.task, Node: bestNode, Time: bestReady,
+		})
+	}
+	// Transfer stats are accounted on completion (onReport), not here: a
+	// placement lost to a node failure is re-placed and would otherwise
+	// count its transfers twice.
+	e.queues[bestNode].push(execRequest{
+		wf: st, task: task, ready: bestReady, restart: item.restart,
+		moved: bestBytes, groups: bestGroups,
+	})
+}
+
+// readyOn returns when task's dependency outputs are all available on the
+// named node, batching the outputs that live on the same source node into a
+// single bulk transfer (one link latency per source instead of one per
+// dependency).
+func (e *Engine) readyOn(st *wfState, task *TaskSpec, node string) (ready float64, moved int64, groups int) {
+	type group struct {
+		latest float64
+		bytes  int64
+		count  int
+	}
+	bySrc := make(map[string]*group)
+	var srcs []string
+	for _, d := range task.Deps {
+		src := st.locAt[d]
+		g := bySrc[src]
+		if g == nil {
+			g = &group{}
+			bySrc[src] = g
+			srcs = append(srcs, src)
+		}
+		if t := st.doneAt[d]; t > g.latest {
+			g.latest = t
+		}
+		g.bytes += st.tasks[d].OutputBytes
+		g.count++
+	}
+	for _, src := range srcs {
+		g := bySrc[src]
+		arrive := g.latest
+		if src != node {
+			arrive += e.cluster.BatchTransferSeconds(src, node, g.bytes, g.count)
+			moved += g.bytes
+			groups++
+		}
+		if arrive > ready {
+			ready = arrive
+		}
+	}
+	return ready, moved, groups
+}
+
+// ---------------------------------------------------------------------------
+// node executors
+
+// runExecutor is the goroutine owning one node: it drains the node's work
+// queue in FIFO order, advances the node's local modelled clock, claims FPGA
+// devices through the platform hooks, and reports completions (or losses,
+// once the node's injected failure time passes) back to the dispatcher.
+func (e *Engine) runExecutor(n *platform.Node, q *workQueue) {
+	defer e.execWG.Done()
+	clock := 0.0 // node-local modelled time: earliest idle
+	for {
+		req, ok := q.pop()
+		if !ok {
+			return
+		}
+		start := req.ready
+		if clock > start {
+			start = clock
+		}
+		cost, onFPGA, devIdx := costOn(req.task, n)
+		var end float64
+		if onFPGA {
+			s, f, err := n.ClaimDevice(devIdx, start, cost)
+			if err == nil {
+				start, end = s, f
+			} else {
+				end = start + cost
+			}
+		} else {
+			end = start + cost
+		}
+		if failAt, failed := n.FailedAt(); failed && end > failAt {
+			// The node dies under this task: everything queued here is lost.
+			clock = failAt
+			e.reportCh <- execReport{
+				wf: req.wf, task: req.task, node: n.Name,
+				restart: req.restart, lost: true, failAt: failAt,
+			}
+			continue
+		}
+		clock = end
+		e.reportCh <- execReport{
+			wf: req.wf, task: req.task, node: n.Name,
+			start: start, end: end, onFPGA: onFPGA, restart: req.restart,
+			moved: req.moved, groups: req.groups,
+		}
+	}
+}
+
+// workQueue is an unbounded FIFO of execution requests. Pushes never block,
+// so the dispatcher can never deadlock against a busy executor.
+type workQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []execRequest
+	closed bool
+}
+
+func newWorkQueue() *workQueue {
+	q := &workQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *workQueue) push(r execRequest) {
+	q.mu.Lock()
+	q.items = append(q.items, r)
+	q.cond.Signal()
+	q.mu.Unlock()
+}
+
+func (q *workQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// pop blocks until an item is available or the queue is closed and drained.
+func (q *workQueue) pop() (execRequest, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return execRequest{}, false
+	}
+	r := q.items[0]
+	q.items = q.items[1:]
+	return r, true
+}

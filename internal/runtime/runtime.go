@@ -4,6 +4,14 @@
 // requests, (2) load-balances, (3) inserts inter-node data transfers, and
 // (4) monitors the cluster and reschedules tasks when a node fails.
 //
+// Two execution layers share the Workflow/TaskSpec API. Scheduler is the
+// serial planner: it maps one workflow ahead of time and returns its
+// Schedule. Engine is the concurrent engine: an event-driven dispatcher
+// with per-node work queues and one executor goroutine per node that
+// multiplexes many workflows from many tenants onto the same cluster, with
+// batched inter-node transfers, round-robin tenant fairness, and reactive
+// rescheduling when a node fails mid-run.
+//
 // The public API mirrors the paper's description: applications submit tasks
 // with minimal modification ("Dask-like API ... extended with
 // EVEREST-specific features, mainly to specify the resource requests and the
@@ -148,6 +156,15 @@ func NewScheduler(c *platform.Cluster, reg *platform.Registry, p Policy) *Schedu
 
 // taskCost models one task's execution time on a node.
 func (s *Scheduler) taskCost(t *TaskSpec, n *platform.Node) (float64, bool) {
+	cost, onFPGA, _ := costOn(t, n)
+	return cost, onFPGA
+}
+
+// costOn models task t's execution time on node n. When the task requests
+// FPGA offload and the bitstream is programmed on one of n's devices, it
+// returns the kernel time and the device index; otherwise the CPU time and
+// device index -1. Shared by the serial planner and the concurrent engine.
+func costOn(t *TaskSpec, n *platform.Node) (cost float64, onFPGA bool, devIdx int) {
 	if t.NeedsFPGA && t.BitstreamID != "" {
 		for idx := range n.Devices {
 			if bs, ok := n.Programmed(idx); ok && bs.ID == t.BitstreamID {
@@ -155,12 +172,12 @@ func (s *Scheduler) taskCost(t *TaskSpec, n *platform.Node) (float64, bool) {
 					BytesIn: t.InputBytes, BytesOut: t.OutputBytes, Batches: 4,
 				})
 				if err == nil {
-					return tl.Total, true
+					return tl.Total, true, idx
 				}
 			}
 		}
 	}
-	return n.RunCPU(t.Flops, t.InputBytes+t.OutputBytes, t.Cores), false
+	return n.RunCPU(t.Flops, t.InputBytes+t.OutputBytes, t.Cores), false, -1
 }
 
 // Plan schedules the workflow and returns the schedule. The plan is

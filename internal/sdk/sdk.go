@@ -2,7 +2,8 @@
 // access wrapped by the basecamp command. It composes the data-driven
 // compilation framework (ekl → MLIR → HLS → Olympus), the deployment layer
 // (bitstream registry + LEXIS-style descriptors), and the virtualized
-// runtime (cluster, resource manager, autotuner).
+// runtime (cluster, resource manager, autotuner) — including Server, the
+// concurrent multi-tenant workflow front exposed as `basecamp serve`.
 package sdk
 
 import (

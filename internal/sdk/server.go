@@ -1,0 +1,229 @@
+package sdk
+
+import (
+	"fmt"
+	"sync"
+
+	"everest/internal/runtime"
+)
+
+// Server is the multi-tenant submission front of the virtualized runtime
+// (paper §VI-A): it accepts many concurrent workflow submissions, bounds how
+// many execute at once, keeps tenants fair through the engine's round-robin
+// ready queues, and hands each caller a future for its result. It is the
+// layer `basecamp serve` exposes.
+type Server struct {
+	sdk   *SDK
+	eng   *runtime.Engine
+	slots chan struct{} // admission semaphore; nil when unlimited
+
+	mu        sync.Mutex
+	started   bool
+	closed    bool
+	submitted int
+	completed int
+	failed    int
+	tenants   map[string]*TenantStats
+	makespan  float64
+
+	wg sync.WaitGroup // outstanding submissions
+}
+
+// ServerConfig configures a Server.
+type ServerConfig struct {
+	// Policy selects the engine's placement strategy (default PolicyHEFT).
+	Policy runtime.Policy
+	// MaxConcurrent bounds how many workflows execute simultaneously
+	// (admission control); 0 means unlimited.
+	MaxConcurrent int
+	// Failures are node deaths injected at start (engine semantics).
+	Failures []runtime.NodeFailure
+	// Trace receives engine events when set.
+	Trace func(runtime.Event)
+}
+
+// TenantStats aggregates one tenant's submissions.
+type TenantStats struct {
+	Submitted  int
+	Completed  int
+	Failed     int
+	LastFinish float64 // modelled completion time of the tenant's last workflow
+}
+
+// ServerStats is a snapshot of the server's counters.
+type ServerStats struct {
+	Submitted int
+	Completed int
+	Failed    int
+	// Makespan is the modelled time at which the last completed workflow
+	// finished — the engine-wide completion time of everything served so far.
+	Makespan float64
+	Tenants  map[string]TenantStats
+}
+
+// NewServer builds a server over the SDK's cluster and registry.
+func (s *SDK) NewServer(cfg ServerConfig) *Server {
+	srv := &Server{
+		sdk: s,
+		eng: runtime.NewEngine(s.Cluster, s.Registry, runtime.EngineConfig{
+			Policy: cfg.Policy, Failures: cfg.Failures, Trace: cfg.Trace,
+		}),
+		tenants: make(map[string]*TenantStats),
+	}
+	if cfg.MaxConcurrent > 0 {
+		srv.slots = make(chan struct{}, cfg.MaxConcurrent)
+	}
+	return srv
+}
+
+// Start brings the engine up. Submissions made before Start queue.
+func (srv *Server) Start() error {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if srv.started {
+		return fmt.Errorf("sdk: server already started")
+	}
+	srv.started = true
+	return srv.eng.Start()
+}
+
+// Submission is the caller's handle on one submitted workflow.
+type Submission struct {
+	Name   string
+	Tenant string
+
+	done  chan struct{}
+	sched *runtime.Schedule
+	err   error
+}
+
+// Wait blocks until the workflow completes and returns its schedule.
+func (sub *Submission) Wait() (*runtime.Schedule, error) {
+	<-sub.done
+	return sub.sched, sub.err
+}
+
+// Done returns a channel closed when the workflow has completed.
+func (sub *Submission) Done() <-chan struct{} { return sub.done }
+
+// Submit accepts a workflow on behalf of a tenant. It never blocks the
+// caller: admission control (MaxConcurrent) is applied by a per-submission
+// goroutine, so over-limit submissions queue instead of failing.
+func (srv *Server) Submit(tenant, name string, w *runtime.Workflow) (*Submission, error) {
+	if w == nil {
+		return nil, fmt.Errorf("sdk: nil workflow")
+	}
+	if tenant == "" {
+		tenant = "default"
+	}
+	srv.mu.Lock()
+	if srv.closed {
+		srv.mu.Unlock()
+		return nil, fmt.Errorf("sdk: server shut down")
+	}
+	srv.submitted++
+	if name == "" {
+		name = fmt.Sprintf("%s/wf%d", tenant, srv.submitted)
+	}
+	ts := srv.tenants[tenant]
+	if ts == nil {
+		ts = &TenantStats{}
+		srv.tenants[tenant] = ts
+	}
+	ts.Submitted++
+	srv.wg.Add(1)
+	srv.mu.Unlock()
+
+	sub := &Submission{Name: name, Tenant: tenant, done: make(chan struct{})}
+	go func() {
+		defer srv.wg.Done()
+		if srv.slots != nil {
+			srv.slots <- struct{}{}
+			defer func() { <-srv.slots }()
+		}
+		fut, err := srv.eng.Submit(w, runtime.SubmitOptions{Name: name, Tenant: tenant})
+		if err == nil {
+			sub.sched, sub.err = fut.Wait()
+		} else {
+			sub.err = err
+		}
+		srv.record(sub)
+		close(sub.done)
+	}()
+	return sub, nil
+}
+
+func (srv *Server) record(sub *Submission) {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	ts := srv.tenants[sub.Tenant]
+	if sub.err != nil {
+		srv.failed++
+		ts.Failed++
+		return
+	}
+	srv.completed++
+	ts.Completed++
+	if sub.sched.Makespan > ts.LastFinish {
+		ts.LastFinish = sub.sched.Makespan
+	}
+	if sub.sched.Makespan > srv.makespan {
+		srv.makespan = sub.sched.Makespan
+	}
+}
+
+// Stats returns a snapshot of the server counters.
+func (srv *Server) Stats() ServerStats {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	out := ServerStats{
+		Submitted: srv.submitted,
+		Completed: srv.completed,
+		Failed:    srv.failed,
+		Makespan:  srv.makespan,
+		Tenants:   make(map[string]TenantStats, len(srv.tenants)),
+	}
+	for name, ts := range srv.tenants {
+		out.Tenants[name] = *ts
+	}
+	return out
+}
+
+// Shutdown refuses new submissions, waits for in-flight workflows to drain,
+// stops the engine, and returns the final stats. Calling Shutdown on a
+// server that was never started first starts the engine, so submissions
+// queued before Start still drain instead of hanging their waiters.
+func (srv *Server) Shutdown() ServerStats {
+	srv.mu.Lock()
+	if srv.closed {
+		srv.mu.Unlock()
+		return srv.Stats()
+	}
+	srv.closed = true
+	started := srv.started
+	srv.started = true
+	srv.mu.Unlock()
+	if !started {
+		_ = srv.eng.Start()
+	}
+	srv.wg.Wait()
+	srv.eng.Shutdown()
+	return srv.Stats()
+}
+
+// SerialMakespan models the pre-engine baseline: each workflow planned alone
+// by the serial list scheduler and executed back-to-back, so the total is
+// the sum of the individual makespans. It is the denominator of the
+// multiplexing speedup `basecamp serve` and the benchmarks report.
+func (s *SDK) SerialMakespan(policy runtime.Policy, ws ...*runtime.Workflow) (float64, error) {
+	total := 0.0
+	sched := s.NewScheduler(policy)
+	for i, w := range ws {
+		plan, err := sched.Plan(w)
+		if err != nil {
+			return 0, fmt.Errorf("sdk: serial plan of workflow %d: %w", i, err)
+		}
+		total += plan.Makespan
+	}
+	return total, nil
+}

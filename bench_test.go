@@ -2,6 +2,7 @@ package everest_test
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 
 	"everest/internal/base2"
@@ -120,7 +121,7 @@ func BenchmarkConcurrentWorkflows(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	speedup := 0.0
+	var speedups []float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		srv := sdk.New(sdk.DefaultCluster(8)).NewServer(sdk.ServerConfig{Policy: runtime.PolicyHEFT})
@@ -141,9 +142,46 @@ func BenchmarkConcurrentWorkflows(b *testing.B) {
 			}
 		}
 		stats := srv.Shutdown()
-		speedup = serial / stats.Makespan
+		speedups = append(speedups, serial/stats.Makespan)
 	}
-	b.ReportMetric(speedup, "speedup_x8")
+	b.ReportMetric(median(speedups), "speedup_x8")
+}
+
+// BenchmarkAdaptivePlacement exercises the closed autotuner→engine→virt
+// loop: each iteration serves the E-adapt scenario — FPGA-leaning
+// workflows hit mid-run by an accelerator unplug and a node slowdown —
+// once with static placement and once adaptively, on identical clusters
+// and fault scripts. The reported speedup_adaptive metric is the
+// acceptance number (>= 1.3x; the committed baseline in BENCH_2.json is
+// what CI's bench gate compares against).
+func BenchmarkAdaptivePlacement(b *testing.B) {
+	sc := sdk.DefaultAdaptiveScenario()
+	var speedups, makespans []float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		static, err := sc.Run(false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		adaptive, err := sc.Run(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedups = append(speedups, static.Makespan/adaptive.Makespan)
+		makespans = append(makespans, adaptive.Makespan)
+	}
+	// The scenario is exactly deterministic (sequential serving over
+	// modelled-time fault timelines), so every iteration yields the same
+	// ratio; the median is reported for uniformity with the genuinely
+	// interleaving-variant BenchmarkConcurrentWorkflows.
+	b.ReportMetric(median(speedups), "speedup_adaptive")
+	b.ReportMetric(median(makespans), "modelled_s")
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
 }
 
 // Micro-benchmarks of the hot substrate kernels.

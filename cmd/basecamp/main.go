@@ -5,7 +5,8 @@
 //
 //	basecamp compile  -kernel <file.ekl|demo> [-backend vitis|bambu] [-format f32|f64|bf16|f16|fixed16|posit16] [-device alveo-u55c|alveo-u280|cloudfpga] [-emit mlir|olympus|driver]
 //	basecamp deploy   -nodes N     # compile demo kernel, stage it, plan a workflow
-//	basecamp serve    -workflows N -concurrency K   # concurrent multi-tenant runtime demo
+//	basecamp serve    -workflows N -concurrency K [-adaptive]   # concurrent multi-tenant runtime demo
+//	basecamp adapt    -workflows N # adaptive vs static placement under injected faults
 //	basecamp dialects              # list the registered MLIR dialects (Fig. 5)
 //	basecamp anomaly  -trials N    # AutoML model selection on a synthetic stream
 //	basecamp bench                 # shortcut: run all reproduction experiments
@@ -46,6 +47,8 @@ func main() {
 		err = cmdDeploy(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "adapt":
+		err = cmdAdapt(os.Args[2:])
 	case "dialects":
 		err = cmdDialects()
 	case "anomaly":
@@ -66,7 +69,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: basecamp <compile|deploy|serve|dialects|anomaly|bench> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: basecamp <compile|deploy|serve|adapt|dialects|anomaly|bench> [flags]`)
 }
 
 func formatByName(name string) (base2.Format, error) {
@@ -245,6 +248,7 @@ func cmdServe(args []string) error {
 	tenants := fs.Int("tenants", 4, "tenants sharing the cluster")
 	failNode := fs.String("fail", "", "inject a node failure, e.g. node00@0.5")
 	trace := fs.Bool("trace", false, "print engine events")
+	adaptive := fs.Bool("adaptive", false, "variant-aware scheduling against live monitors")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -289,11 +293,14 @@ func cmdServe(args []string) error {
 		return err
 	}
 
-	cfg := sdk.ServerConfig{Policy: policy, MaxConcurrent: *concurrency, Failures: failures}
+	cfg := sdk.ServerConfig{
+		Policy: policy, MaxConcurrent: *concurrency, Failures: failures,
+		Adaptive: *adaptive,
+	}
 	if *trace {
 		cfg.Trace = func(ev runtime.Event) {
-			fmt.Printf("  [%8.4fs] %-13s wf=%-12s task=%-8s node=%s\n",
-				ev.Time, ev.Kind, ev.Workflow, ev.Task, ev.Node)
+			fmt.Printf("  [%8.4fs] %-13s wf=%-12s task=%-8s node=%-10s %s\n",
+				ev.Time, ev.Kind, ev.Workflow, ev.Task, ev.Node, ev.Detail)
 		}
 	}
 	srv := s.NewServer(cfg)
@@ -324,8 +331,12 @@ func cmdServe(args []string) error {
 
 	fmt.Printf("cluster    : %d compute nodes + cloudfpga0 (%d total)\n",
 		*nodes, len(s.Cluster.Nodes))
-	fmt.Printf("workflows  : %d across %d tenants (policy %s, concurrency %d)\n",
-		stats.Completed, len(stats.Tenants), policy, *concurrency)
+	mode := "static"
+	if *adaptive {
+		mode = "adaptive"
+	}
+	fmt.Printf("workflows  : %d across %d tenants (policy %s, concurrency %d, %s)\n",
+		stats.Completed, len(stats.Tenants), policy, *concurrency, mode)
 	fmt.Printf("serial     : %.3gs modelled, back-to-back\n", serial)
 	fmt.Printf("concurrent : %.3gs modelled\n", stats.Makespan)
 	if stats.Makespan > 0 {
@@ -339,10 +350,85 @@ func cmdServe(args []string) error {
 	sort.Strings(names)
 	for _, name := range names {
 		ts := stats.Tenants[name]
-		fmt.Printf("  %-10s : %d done, %d failed, last finish %.3gs\n",
-			name, ts.Completed, ts.Failed, ts.LastFinish)
+		fmt.Printf("  %-10s : %d done, %d failed, last finish %.3gs%s\n",
+			name, ts.Completed, ts.Failed, ts.LastFinish, tenantAdaptSummary(ts))
 	}
 	fmt.Printf("wall time  : %s\n", wall.Round(time.Millisecond))
+	return nil
+}
+
+// tenantAdaptSummary renders a tenant's adaptation stats, empty when the
+// run had none (static mode without faults). Static runs with faults have
+// reschedule/fallback counts but no variants; the variants clause is
+// omitted then.
+func tenantAdaptSummary(ts sdk.TenantStats) string {
+	if len(ts.Variants) == 0 && ts.Reschedules == 0 && ts.Fallbacks == 0 {
+		return ""
+	}
+	variants := ""
+	if len(ts.Variants) > 0 {
+		var vars []string
+		for v, n := range ts.Variants {
+			vars = append(vars, fmt.Sprintf("%s:%d", v, n))
+		}
+		sort.Strings(vars)
+		variants = fmt.Sprintf("variants [%s], ", strings.Join(vars, " "))
+	}
+	return fmt.Sprintf(", %s%d resched, %d fallback",
+		variants, ts.Reschedules, ts.Fallbacks)
+}
+
+// cmdAdapt runs the E-adapt comparison: the same FPGA-leaning workflows
+// and mid-run faults (accelerator unplug + node slowdown) served twice,
+// statically and adaptively, printing both makespans and the adaptation
+// activity.
+func cmdAdapt(args []string) error {
+	fs := flag.NewFlagSet("adapt", flag.ExitOnError)
+	def := sdk.DefaultAdaptiveScenario()
+	workflows := fs.Int("workflows", def.Workflows, "workflows to submit")
+	nodes := fs.Int("nodes", def.Nodes, "compute nodes in the simulated cluster")
+	fpgaNodes := fs.Int("fpga-nodes", def.FPGANodes, "nodes the bitstream is staged on")
+	tenants := fs.Int("tenants", def.Tenants, "tenants sharing the cluster")
+	slow := fs.Float64("slow", def.Slowdown, "load factor hitting the last compute node")
+	faultAt := fs.Float64("fault-at", def.FaultAt, "modelled time the faults take effect")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sc := sdk.AdaptiveScenario{
+		Workflows: *workflows, Nodes: *nodes, FPGANodes: *fpgaNodes,
+		Tenants: *tenants, Slowdown: *slow, FaultAt: *faultAt,
+	}
+	static, err := sc.Run(false)
+	if err != nil {
+		return err
+	}
+	adaptive, err := sc.Run(true)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario   : %d workflows, %d nodes (%d with FPGA), %d tenants\n",
+		sc.Workflows, sc.Nodes, sc.FPGANodes, sc.Tenants)
+	fmt.Printf("faults     : unplug FPGA of node00 + %.3gx slowdown of node%02d, from t=%.3gs\n",
+		sc.Slowdown, sc.Nodes-1, sc.FaultAt)
+	fmt.Printf("static     : %.4gs modelled\n", static.Makespan)
+	fmt.Printf("adaptive   : %.4gs modelled\n", adaptive.Makespan)
+	if adaptive.Makespan > 0 {
+		fmt.Printf("speedup    : %.2fx\n", static.Makespan/adaptive.Makespan)
+	}
+	var names []string
+	for name := range adaptive.Stats.Tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  %-10s : %s\n", name,
+			strings.TrimPrefix(tenantAdaptSummary(adaptive.Stats.Tenants[name]), ", "))
+	}
+	fmt.Println("node health (adaptive run):")
+	for _, h := range adaptive.Health {
+		fmt.Printf("  %-10s : %2d tasks, ewma %.3gs, load est %.2fx, devices %d/%d\n",
+			h.Node, h.Tasks, h.EWMALatency, h.SlowdownEst, h.DevicesOnline, h.DevicesTotal)
+	}
 	return nil
 }
 

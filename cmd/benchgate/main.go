@@ -1,0 +1,196 @@
+// Command benchgate is the CI bench-regression gate: it parses `go test
+// -bench` output, compares selected benchmark metrics against a committed
+// baseline (BENCH_2.json), and exits non-zero when a metric regresses
+// beyond the tolerance.
+//
+//	go test -bench . -benchtime 10x -run xxx . | tee bench.out
+//	go run ./cmd/benchgate -baseline BENCH_2.json -input bench.out
+//	go run ./cmd/benchgate -baseline BENCH_2.json -input bench.out -update
+//
+// The gated metrics are the modelled quantities the benchmarks report
+// (speedups, makespans) rather than ns/op: modelled numbers are
+// machine-independent, so the gate stays meaningful across CI runners.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the committed reference the gate compares against.
+type Baseline struct {
+	// Tolerance is the allowed relative regression (0.25 = 25%).
+	Tolerance  float64              `json:"tolerance"`
+	Benchmarks map[string]Reference `json:"benchmarks"`
+}
+
+// Reference pins one benchmark metric.
+type Reference struct {
+	Metric         string  `json:"metric"`
+	HigherIsBetter bool    `json:"higher_is_better"`
+	Value          float64 `json:"value"`
+}
+
+// parseBench extracts per-benchmark metric values from `go test -bench`
+// text output. Lines look like:
+//
+//	BenchmarkFoo-8   10   123456 ns/op   2.35 speedup_x8   0.58 modelled_s
+//
+// The "-8" GOMAXPROCS suffix is stripped; value/unit pairs after the
+// iteration count become the metric map (ns/op included).
+func parseBench(r io.Reader) (map[string]map[string]float64, error) {
+	out := make(map[string]map[string]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // not an iteration count: not a result line
+		}
+		metrics := out[name]
+		if metrics == nil {
+			metrics = make(map[string]float64)
+			out[name] = metrics
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			metrics[fields[i+1]] = v
+		}
+	}
+	return out, sc.Err()
+}
+
+// check compares observed metrics against the baseline and returns one
+// human-readable verdict line per gated benchmark plus the overall pass.
+func check(base Baseline, observed map[string]map[string]float64) (lines []string, ok bool) {
+	tol := base.Tolerance
+	if tol <= 0 {
+		tol = 0.25
+	}
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ok = true
+	for _, name := range names {
+		ref := base.Benchmarks[name]
+		got, found := observed[name][ref.Metric]
+		if !found {
+			lines = append(lines, fmt.Sprintf("FAIL %s: metric %q missing from bench output", name, ref.Metric))
+			ok = false
+			continue
+		}
+		var regressed bool
+		var change float64
+		if ref.Value != 0 {
+			change = (got - ref.Value) / ref.Value
+		}
+		if ref.HigherIsBetter {
+			regressed = got < ref.Value*(1-tol)
+		} else {
+			regressed = got > ref.Value*(1+tol)
+		}
+		verdict := "ok  "
+		if regressed {
+			verdict = "FAIL"
+			ok = false
+		}
+		lines = append(lines, fmt.Sprintf("%s %s: %s = %.4g (baseline %.4g, %+.1f%%, tolerance %.0f%%)",
+			verdict, name, ref.Metric, got, ref.Value, change*100, tol*100))
+	}
+	return lines, ok
+}
+
+// update rewrites the baseline's values from the observed metrics,
+// keeping metric names, directions, and tolerance.
+func update(base Baseline, observed map[string]map[string]float64) (Baseline, error) {
+	for name, ref := range base.Benchmarks {
+		got, found := observed[name][ref.Metric]
+		if !found {
+			return base, fmt.Errorf("benchgate: metric %q of %s missing from bench output", ref.Metric, name)
+		}
+		ref.Value = got
+		base.Benchmarks[name] = ref
+	}
+	return base, nil
+}
+
+func run(baselinePath, inputPath string, doUpdate bool, stdout io.Writer) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("benchgate: bad baseline %s: %w", baselinePath, err)
+	}
+	if len(base.Benchmarks) == 0 {
+		return fmt.Errorf("benchgate: baseline %s gates no benchmarks", baselinePath)
+	}
+	var in io.Reader = os.Stdin
+	if inputPath != "" && inputPath != "-" {
+		f, err := os.Open(inputPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	observed, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if doUpdate {
+		updated, err := update(base, observed)
+		if err != nil {
+			return err
+		}
+		out, err := json.MarshalIndent(updated, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(baselinePath, append(out, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "benchgate: wrote %s\n", baselinePath)
+		return nil
+	}
+	lines, ok := check(base, observed)
+	for _, l := range lines {
+		fmt.Fprintln(stdout, l)
+	}
+	if !ok {
+		return fmt.Errorf("benchgate: benchmark regression beyond tolerance")
+	}
+	return nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_2.json", "committed baseline JSON")
+	input := flag.String("input", "-", "bench output file ('-' = stdin)")
+	doUpdate := flag.Bool("update", false, "rewrite the baseline from the bench output instead of checking")
+	flag.Parse()
+	if err := run(*baseline, *input, *doUpdate, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+}

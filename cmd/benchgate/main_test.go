@@ -1,0 +1,120 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: everest
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkConcurrentWorkflows 	      10	    291766 ns/op	         2.350 speedup_x8
+BenchmarkAdaptivePlacement-8   	      10	    723624 ns/op	         0.5860 modelled_s	        13.49 speedup_adaptive
+BenchmarkEinsumMatMul64-8      	    5000	    240000 ns/op
+PASS
+ok  	everest	0.015s
+`
+
+func sampleBaseline(concurrent, adaptive float64) Baseline {
+	return Baseline{
+		Tolerance: 0.25,
+		Benchmarks: map[string]Reference{
+			"BenchmarkConcurrentWorkflows": {Metric: "speedup_x8", HigherIsBetter: true, Value: concurrent},
+			"BenchmarkAdaptivePlacement":   {Metric: "speedup_adaptive", HigherIsBetter: true, Value: adaptive},
+		},
+	}
+}
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := got["BenchmarkConcurrentWorkflows"]["speedup_x8"]; v != 2.35 {
+		t.Errorf("speedup_x8 = %g, want 2.35", v)
+	}
+	if v := got["BenchmarkAdaptivePlacement"]["speedup_adaptive"]; v != 13.49 {
+		t.Errorf("speedup_adaptive = %g, want 13.49 (suffix must strip)", v)
+	}
+	if v := got["BenchmarkAdaptivePlacement"]["modelled_s"]; v != 0.586 {
+		t.Errorf("modelled_s = %g, want 0.586", v)
+	}
+	if v := got["BenchmarkEinsumMatMul64"]["ns/op"]; v != 240000 {
+		t.Errorf("ns/op = %g, want 240000", v)
+	}
+}
+
+func TestCheckPassAndFail(t *testing.T) {
+	observed, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within tolerance: observed 2.35 vs baseline 2.5 is a 6% dip.
+	if lines, ok := check(sampleBaseline(2.5, 13.0), observed); !ok {
+		t.Errorf("small dip must pass:\n%s", strings.Join(lines, "\n"))
+	}
+	// Beyond tolerance: observed 2.35 vs baseline 4.0 is a 41% dip.
+	lines, ok := check(sampleBaseline(4.0, 13.0), observed)
+	if ok {
+		t.Error("41%% regression must fail")
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "FAIL BenchmarkConcurrentWorkflows") {
+		t.Errorf("verdicts missing failure:\n%s", joined)
+	}
+	// A gated benchmark absent from the output must fail.
+	base := sampleBaseline(2.0, 13.0)
+	base.Benchmarks["BenchmarkGhost"] = Reference{Metric: "speedup", HigherIsBetter: true, Value: 1}
+	if _, ok := check(base, observed); ok {
+		t.Error("missing benchmark must fail")
+	}
+	// Lower-is-better direction.
+	base = Baseline{Benchmarks: map[string]Reference{
+		"BenchmarkAdaptivePlacement": {Metric: "modelled_s", HigherIsBetter: false, Value: 0.3},
+	}}
+	if _, ok := check(base, observed); ok {
+		t.Error("0.586s vs 0.3s baseline (lower-is-better) must fail")
+	}
+}
+
+func TestRunAndUpdate(t *testing.T) {
+	dir := t.TempDir()
+	baselinePath := filepath.Join(dir, "BENCH.json")
+	inputPath := filepath.Join(dir, "bench.out")
+	raw, err := json.Marshal(sampleBaseline(99, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(baselinePath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(inputPath, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sink strings.Builder
+	if err := run(baselinePath, inputPath, false, &sink); err == nil {
+		t.Error("check against inflated baseline must fail")
+	}
+	// Update rewrites the values; the same check then passes.
+	if err := run(baselinePath, inputPath, true, &sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(baselinePath, inputPath, false, &sink); err != nil {
+		t.Errorf("check after update must pass: %v", err)
+	}
+	var updated Baseline
+	raw, err = os.ReadFile(baselinePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &updated); err != nil {
+		t.Fatal(err)
+	}
+	if v := updated.Benchmarks["BenchmarkAdaptivePlacement"].Value; v != 13.49 {
+		t.Errorf("updated value = %g, want 13.49", v)
+	}
+}

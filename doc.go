@@ -12,13 +12,16 @@
 //     internal/mlir/dialects), custom number formats (internal/base2), HLS
 //     scheduling (internal/hls) and Olympus system generation
 //     (internal/olympus);
-//   - the virtualized runtime environment: platform models
-//     (internal/platform, internal/netsim), the Dask-like resource manager
-//     with both a serial HEFT planner and a concurrent multi-tenant
-//     execution engine (internal/runtime), the multi-workflow submission
-//     server (internal/sdk.Server, exposed as `basecamp serve`), SR-IOV
-//     virtualization (internal/virt), and the mARGOt autotuner
-//     (internal/autotuner);
+//   - the virtualized runtime environment: platform models and per-node
+//     monitors (internal/platform, internal/netsim), the Dask-like
+//     resource manager with a serial HEFT planner and a concurrent
+//     multi-tenant execution engine whose adaptive mode closes the
+//     autotuner→engine→virt loop — per-workflow variant tuners, learned
+//     node load, and SR-IOV hot-plug events driving placement
+//     (internal/runtime), the multi-workflow submission server
+//     (internal/sdk.Server, exposed as `basecamp serve [-adaptive]` and
+//     `basecamp adapt`), SR-IOV virtualization with hot-plug notifications
+//     (internal/virt), and the mARGOt autotuner (internal/autotuner);
 //   - the anomaly detection service (internal/anomaly) with TPE AutoML.
 //
 // The four driving use cases are implemented as workloads: WRF-style

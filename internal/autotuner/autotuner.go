@@ -238,6 +238,25 @@ func (a *Autotuner) Observe(c Config, m Metric, value float64) error {
 	return nil
 }
 
+// Scale multiplies a configuration's expected metric by factor — the
+// degradation hook the resource manager pulls when the environment changes
+// abruptly (e.g. an SR-IOV unplug makes the fpga variant's expected time
+// jump without waiting for a slow probe to confirm it).
+func (a *Autotuner) Scale(c Config, m Metric, factor float64) error {
+	if factor <= 0 {
+		return fmt.Errorf("autotuner: scale factor must be positive, got %g", factor)
+	}
+	key := c.Key()
+	p, ok := a.points[key]
+	if !ok {
+		return fmt.Errorf("autotuner: scale of unknown operating point %q", key)
+	}
+	if v, had := p.Metrics[m]; had {
+		p.Metrics[m] = v * factor
+	}
+	return nil
+}
+
 // Observations returns how many observations a configuration has received.
 func (a *Autotuner) Observations(c Config) int { return a.observations[c.Key()] }
 

@@ -1,0 +1,195 @@
+package autotuner
+
+import (
+	"fmt"
+	"sync"
+)
+
+// KnobImpl is the knob name a variant Tuner controls: the implementation
+// choice of one workload ("impl" ∈ {cpu1, cpu16, fpga} in the paper's E7
+// scenario).
+const KnobImpl = "impl"
+
+// Variant seeds one implementation choice with its design-time expected
+// latency.
+type Variant struct {
+	Name       string
+	ExpectedMs float64
+}
+
+// Tuner is the concurrency-safe mARGOt instance the adaptive engine embeds
+// per workload: one "impl" knob whose operating points carry expected
+// execution latency, ranked minimize-time. The engine consults Best/
+// Expected on every dispatch, feeds Observe from completions, and reacts to
+// hot-plug events through Degrade/SetAvailable — so variant selection
+// tracks the live environment instead of the static plan.
+type Tuner struct {
+	mu       sync.Mutex
+	at       *Autotuner
+	seeds    map[string]float64 // variant -> design-time expected ms
+	disabled map[string]bool    // variants currently unreachable (no device)
+	order    []string
+}
+
+// NewTuner builds a variant tuner from design-time knowledge.
+func NewTuner(variants []Variant) (*Tuner, error) {
+	if len(variants) == 0 {
+		return nil, fmt.Errorf("autotuner: tuner needs at least one variant")
+	}
+	values := make([]string, 0, len(variants))
+	points := make([]OperatingPoint, 0, len(variants))
+	seeds := make(map[string]float64, len(variants))
+	for _, v := range variants {
+		if v.Name == "" || v.ExpectedMs <= 0 {
+			return nil, fmt.Errorf("autotuner: variant needs a name and positive expected latency")
+		}
+		if _, dup := seeds[v.Name]; dup {
+			return nil, fmt.Errorf("autotuner: duplicate variant %q", v.Name)
+		}
+		values = append(values, v.Name)
+		seeds[v.Name] = v.ExpectedMs
+		points = append(points, OperatingPoint{
+			Config:  Config{KnobImpl: v.Name},
+			Metrics: map[Metric]float64{MetricTimeMs: v.ExpectedMs},
+		})
+	}
+	at, err := New(
+		[]Knob{{Name: KnobImpl, Values: values}},
+		points, nil,
+		Rank{Metric: MetricTimeMs, Minimize: true},
+	)
+	if err != nil {
+		return nil, err
+	}
+	return &Tuner{at: at, seeds: seeds, disabled: make(map[string]bool), order: values}, nil
+}
+
+// Variants returns the variant names in seed order.
+func (t *Tuner) Variants() []string {
+	return append([]string(nil), t.order...)
+}
+
+// Best returns the available variant with the lowest expected latency.
+// When every variant is disabled it falls back to the overall best — the
+// graceful degradation mARGOt applies when no point is feasible.
+func (t *Tuner) Best() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	best, bestAny := "", ""
+	bestV, bestAnyV := 0.0, 0.0
+	for _, p := range t.at.Points() {
+		name := p.Config[KnobImpl]
+		v := p.Metrics[MetricTimeMs]
+		if bestAny == "" || v < bestAnyV {
+			bestAny, bestAnyV = name, v
+		}
+		if t.disabled[name] {
+			continue
+		}
+		if best == "" || v < bestV {
+			best, bestV = name, v
+		}
+	}
+	if best == "" {
+		return bestAny
+	}
+	return best
+}
+
+// Expected returns the current expected latency of a variant in ms (0 for
+// unknown variants).
+func (t *Tuner) Expected(name string) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, p := range t.at.Points() {
+		if p.Config[KnobImpl] == name {
+			return p.Metrics[MetricTimeMs]
+		}
+	}
+	return 0
+}
+
+// Drift returns expected/seed for a variant: the learned multiplicative
+// deviation of the live environment from the design-time model (1 = on
+// model). Schedulers scale their per-task nominal estimates by it.
+func (t *Tuner) Drift(name string) float64 {
+	seed := t.seeds[name]
+	if seed <= 0 {
+		return 1
+	}
+	exp := t.Expected(name)
+	if exp <= 0 {
+		return 1
+	}
+	return exp / seed
+}
+
+// Available reports whether a variant is currently selectable.
+func (t *Tuner) Available(name string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, known := t.seeds[name]
+	return known && !t.disabled[name]
+}
+
+// SetAvailable masks or unmasks a variant (e.g. fpga when the last VF of
+// the last programmed device is unplugged cluster-wide).
+func (t *Tuner) SetAvailable(name string, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, known := t.seeds[name]; !known {
+		return
+	}
+	if ok {
+		delete(t.disabled, name)
+	} else {
+		t.disabled[name] = true
+	}
+}
+
+// Observe feeds one measured latency (ms) for a variant back into the
+// knowledge base.
+func (t *Tuner) Observe(name string, ms float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_ = t.at.Observe(Config{KnobImpl: name}, MetricTimeMs, ms)
+}
+
+// Observations returns how many measurements a variant has received.
+func (t *Tuner) Observations(name string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.at.Observations(Config{KnobImpl: name})
+}
+
+// Degrade multiplies a variant's expected latency by factor — the immediate
+// reaction to an environment event, ahead of the next observation.
+func (t *Tuner) Degrade(name string, factor float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_ = t.at.Scale(Config{KnobImpl: name}, MetricTimeMs, factor)
+}
+
+// ResetExpected restores a variant's expected latency to its design-time
+// seed. A degraded-then-deselected variant receives no observations, so a
+// Degrade could otherwise never decay; the resource manager calls this
+// when the environment event that caused the degradation is undone (e.g.
+// the accelerator is replugged).
+func (t *Tuner) ResetExpected(name string) {
+	seed, known := t.seeds[name]
+	if !known {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := 0.0
+	for _, p := range t.at.Points() {
+		if p.Config[KnobImpl] == name {
+			cur = p.Metrics[MetricTimeMs]
+			break
+		}
+	}
+	if cur > 0 {
+		_ = t.at.Scale(Config{KnobImpl: name}, MetricTimeMs, seed/cur)
+	}
+}

@@ -1,0 +1,156 @@
+package platform
+
+import (
+	"sort"
+	"sync"
+)
+
+// Monitor is the per-node observation layer of the adaptive resource
+// manager (paper §VI-A/§VI-C): it aggregates what actually happened on each
+// node — task completions, their latencies, and the ratio of observed to
+// nominal execution time — so schedulers and autotuners can react to the
+// current environment instead of the design-time model.
+//
+// The slowdown estimate is learned, not read: the monitor never looks at
+// the fault injected via Node.SetSlowdown, it infers the factor from the
+// observed/nominal ratio of completed software tasks (EWMA). A freshly
+// slowed node therefore mispredicts for its first task or two and then
+// converges, which is exactly the adaptation transient experiment E-adapt
+// measures.
+type Monitor struct {
+	cluster *Cluster
+
+	mu    sync.Mutex
+	stats map[string]*nodeObs
+}
+
+// nodeObs is one node's accumulated observations.
+type nodeObs struct {
+	tasks       int
+	ewmaLatency float64
+	ewmaRatio   float64 // observed/nominal software execution time
+	hasRatio    bool
+}
+
+// ewmaAlpha weights new observations; 0.5 matches the autotuner's default
+// so both adaptation loops react at the same rate.
+const ewmaAlpha = 0.5
+
+// NewMonitor builds a monitor over a cluster.
+func NewMonitor(c *Cluster) *Monitor {
+	return &Monitor{cluster: c, stats: make(map[string]*nodeObs)}
+}
+
+func (m *Monitor) obs(node string) *nodeObs {
+	o := m.stats[node]
+	if o == nil {
+		o = &nodeObs{}
+		m.stats[node] = o
+	}
+	return o
+}
+
+// Reset discards all accumulated observations. An engine taking ownership
+// of a cluster calls it alongside Heal/ResetCondition: load learned during
+// a previous run is stale evidence for the next one.
+func (m *Monitor) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k := range m.stats {
+		delete(m.stats, k)
+	}
+}
+
+// RecordTask records one completed task's modelled latency on a node.
+func (m *Monitor) RecordTask(node string, latency float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	o := m.obs(node)
+	if o.tasks == 0 {
+		o.ewmaLatency = latency
+	} else {
+		o.ewmaLatency = (1-ewmaAlpha)*o.ewmaLatency + ewmaAlpha*latency
+	}
+	o.tasks++
+}
+
+// ObserveRatio feeds one observed/nominal execution-time pair for a
+// software task. Nominal is the design-time cost model's prediction; the
+// ratio tracks the node's real load.
+func (m *Monitor) ObserveRatio(node string, observed, nominal float64) {
+	if nominal <= 0 {
+		return
+	}
+	ratio := observed / nominal
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	o := m.obs(node)
+	if !o.hasRatio {
+		o.ewmaRatio = ratio
+		o.hasRatio = true
+	} else {
+		o.ewmaRatio = (1-ewmaAlpha)*o.ewmaRatio + ewmaAlpha*ratio
+	}
+}
+
+// SlowdownEstimate returns the learned load factor of a node (1 = nominal
+// until evidence arrives).
+func (m *Monitor) SlowdownEstimate(node string) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	o := m.stats[node]
+	if o == nil || !o.hasRatio || o.ewmaRatio < 1 {
+		return 1
+	}
+	return o.ewmaRatio
+}
+
+// DeviceAvailable reports whether device idx of the named node is attached,
+// and the node alive, right now.
+func (m *Monitor) DeviceAvailable(node string, idx int) bool {
+	n := m.cluster.FindNode(node)
+	if n == nil {
+		return false
+	}
+	if _, failed := n.FailedAt(); failed {
+		return false
+	}
+	return n.DeviceOnline(idx)
+}
+
+// NodeHealth is one node's monitor snapshot.
+type NodeHealth struct {
+	Node          string
+	Tasks         int     // completed tasks observed
+	EWMALatency   float64 // modelled seconds
+	SlowdownEst   float64 // learned load factor (>= 1)
+	DevicesOnline int
+	DevicesTotal  int
+	Failed        bool
+}
+
+// Snapshot returns the health of every cluster node, sorted by name.
+func (m *Monitor) Snapshot() []NodeHealth {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]NodeHealth, 0, len(m.cluster.Nodes))
+	for _, n := range m.cluster.Nodes {
+		h := NodeHealth{Node: n.Name, SlowdownEst: 1, DevicesTotal: len(n.Devices)}
+		if o := m.stats[n.Name]; o != nil {
+			h.Tasks = o.tasks
+			h.EWMALatency = o.ewmaLatency
+			if o.hasRatio && o.ewmaRatio > 1 {
+				h.SlowdownEst = o.ewmaRatio
+			}
+		}
+		for idx := range n.Devices {
+			if n.DeviceOnline(idx) {
+				h.DevicesOnline++
+			}
+		}
+		_, h.Failed = n.FailedAt()
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}

@@ -51,6 +51,19 @@ type Node struct {
 	busyUntil  map[int]float64   // device index -> modelled time it frees up
 	failed     bool
 	failedAt   float64
+	// Condition faults are timelines in modelled time, not booleans: a
+	// task is priced by the state at its own modelled start, so a fault
+	// stamped at time T never applies retroactively to work modelled
+	// before T, whatever the wall-clock order executors observe events in
+	// (same principle as failed/failedAt).
+	slowHist []condChange         // CPU load-factor change history
+	devHist  map[int][]condChange // device index -> attachment change history
+}
+
+// condChange is one modelled-time transition of a node condition.
+type condChange struct {
+	at    float64
+	value float64 // slowdown factor, or 0/1 for detached/attached
 }
 
 // NewNode builds a node.
@@ -59,7 +72,36 @@ func NewNode(name string, cpu CPUModel, devices ...*Device) *Node {
 		Name: name, CPU: cpu, Devices: devices,
 		programmed: make(map[int]Bitstream),
 		busyUntil:  make(map[int]float64),
+		devHist:    make(map[int][]condChange),
 	}
+}
+
+// condAt returns the value of a condition history at modelled time t (the
+// change with the greatest at <= t wins; def if none applies). Histories
+// are time-sorted by construction (clampMonotonic), so the backward scan
+// stops at the first applicable entry — the newest wins ties because it
+// was appended last.
+func condAt(hist []condChange, t, def float64) float64 {
+	for i := len(hist) - 1; i >= 0; i-- {
+		if hist[i].at <= t {
+			return hist[i].value
+		}
+	}
+	return def
+}
+
+// clampMonotonic floors `at` to the history's latest transition time:
+// transitions are state changes observed in order, so one stamped earlier
+// than an already-recorded change (completion-count fault triggers see
+// task-done times in report order, not modelled order) takes effect at the
+// recorded frontier instead of rewriting the past — where condAt would
+// never see it as the latest state. The invariant this maintains is what
+// keeps histories sorted, so the last entry is the frontier.
+func clampMonotonic(hist []condChange, at float64) float64 {
+	if n := len(hist); n > 0 && hist[n-1].at > at {
+		return hist[n-1].at
+	}
+	return at
 }
 
 // Program loads a bitstream onto device idx (XRT xclLoadXclbin analogue).
@@ -102,19 +144,112 @@ func (n *Node) RunKernel(idx int, wl Workload) (Timeline, error) {
 	return Execute(n.Devices[idx], bs, wl)
 }
 
-// RunCPU models a software execution on n cores.
+// RunCPU models a software execution on n cores at the node's nominal
+// (design-time) speed. Planners use it for estimates that deliberately
+// ignore the current load.
 func (n *Node) RunCPU(flops float64, bytes int64, cores int) float64 {
 	return n.CPU.TimeSeconds(flops, bytes, cores)
 }
 
-// ClaimDevice reserves device idx from modelled time `at` for `dur` seconds
-// and returns the actual [start, end] window. Claims serialize: if the
-// device is still busy at `at`, the claim queues behind the current owner.
-// This is the executor hook that lets concurrent workflow engines share one
-// physical accelerator safely.
-func (n *Node) ClaimDevice(idx int, at, dur float64) (start, end float64, err error) {
+// RunCPULiveAt models a software execution on n cores starting at modelled
+// time `at`, under the load in effect then: the nominal time scaled by the
+// slowdown factor. Executors pay this; whether a scheduler *predicts* it
+// depends on whether it consults the monitors (the adaptive engine does,
+// the static one does not).
+func (n *Node) RunCPULiveAt(flops float64, bytes int64, cores int, at float64) float64 {
+	return n.CPU.TimeSeconds(flops, bytes, cores) * n.SlowdownAt(at)
+}
+
+// SetSlowdown sets the node's CPU load multiplier from modelled time `at`
+// onward (1 = nominal, 2 = every software execution takes twice as long).
+// Factors below 1 clamp to 1: the model has no overclocking.
+func (n *Node) SetSlowdown(factor, at float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.slowHist = append(n.slowHist, condChange{at: clampMonotonic(n.slowHist, at), value: factor})
+}
+
+// SlowdownAt returns the CPU load multiplier in effect at modelled time t.
+func (n *Node) SlowdownAt(t float64) float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return condAt(n.slowHist, t, 1)
+}
+
+// Slowdown returns the most recently set CPU load multiplier.
+func (n *Node) Slowdown() float64 {
+	return n.SlowdownAt(maxModelledTime)
+}
+
+// maxModelledTime queries a condition timeline's latest state.
+const maxModelledTime = 1e300
+
+// SetDeviceOffline marks device idx as detached (off=true) or reattached
+// from modelled time `at` onward, reporting whether the latest state
+// actually changed — the check and the timeline append are one atomic
+// step, so concurrent callers cannot both observe "changed". An offline
+// device keeps its programmed bitstream — replugging a VF brings the
+// accelerator back without reconfiguration — but cannot execute kernels
+// while detached.
+func (n *Node) SetDeviceOffline(idx int, off bool, at float64) (changed bool, err error) {
 	if idx < 0 || idx >= len(n.Devices) {
-		return 0, 0, fmt.Errorf("platform: node %s has no device %d", n.Name, idx)
+		return false, fmt.Errorf("platform: node %s has no device %d", n.Name, idx)
+	}
+	v := 1.0
+	if off {
+		v = 0
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if condAt(n.devHist[idx], maxModelledTime, 1) == v {
+		return false, nil
+	}
+	n.devHist[idx] = append(n.devHist[idx], condChange{at: clampMonotonic(n.devHist[idx], at), value: v})
+	return true, nil
+}
+
+// DeviceOnlineAt reports whether device idx is attached at modelled time t.
+func (n *Node) DeviceOnlineAt(idx int, t float64) bool {
+	if idx < 0 || idx >= len(n.Devices) {
+		return false
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return condAt(n.devHist[idx], t, 1) != 0
+}
+
+// DeviceOnline reports whether device idx is attached in the latest state.
+func (n *Node) DeviceOnline(idx int) bool {
+	return n.DeviceOnlineAt(idx, maxModelledTime)
+}
+
+// ResetCondition clears load and attachment fault timelines (slowdown back
+// to nominal, all devices online). Engines call it with Heal and
+// ResetDeviceClaims when they take ownership of a cluster.
+func (n *Node) ResetCondition() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.slowHist = nil
+	for k := range n.devHist {
+		delete(n.devHist, k)
+	}
+}
+
+// ClaimDeviceAt reserves device idx from modelled time `at` for `dur`
+// seconds and returns the actual [start, end] window. Claims serialize: if
+// the device is still busy at `at`, the claim queues behind the current
+// owner. The reservation is made only if the device is still attached at
+// the granted start (otherwise ok=false and nothing is reserved) — so a
+// claim that would queue past a detach never leaves a phantom busy window
+// blocking work after a replug; the attachment check and the reservation
+// are one atomic step. This is the executor hook that lets concurrent
+// workflow engines share one physical accelerator safely.
+func (n *Node) ClaimDeviceAt(idx int, at, dur float64) (start, end float64, ok bool, err error) {
+	if idx < 0 || idx >= len(n.Devices) {
+		return 0, 0, false, fmt.Errorf("platform: node %s has no device %d", n.Name, idx)
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -122,9 +257,12 @@ func (n *Node) ClaimDevice(idx int, at, dur float64) (start, end float64, err er
 	if b := n.busyUntil[idx]; b > start {
 		start = b
 	}
+	if condAt(n.devHist[idx], start, 1) == 0 {
+		return 0, 0, false, nil
+	}
 	end = start + dur
 	n.busyUntil[idx] = end
-	return start, end, nil
+	return start, end, true, nil
 }
 
 // ResetDeviceClaims clears all device reservations, returning every device

@@ -305,20 +305,30 @@ func TestNodeFailureState(t *testing.T) {
 
 func TestClaimDeviceSerializes(t *testing.T) {
 	n := NewNode("n0", XeonModel(), AlveoU55C())
-	s1, e1, err := n.ClaimDevice(0, 1.0, 2.0)
-	if err != nil || s1 != 1.0 || e1 != 3.0 {
-		t.Fatalf("first claim: [%v,%v] %v", s1, e1, err)
+	s1, e1, ok, err := n.ClaimDeviceAt(0, 1.0, 2.0)
+	if err != nil || !ok || s1 != 1.0 || e1 != 3.0 {
+		t.Fatalf("first claim: [%v,%v] %v %v", s1, e1, ok, err)
 	}
 	// Overlapping claim queues behind the first.
-	s2, e2, err := n.ClaimDevice(0, 2.0, 1.0)
-	if err != nil || s2 != 3.0 || e2 != 4.0 {
-		t.Fatalf("second claim must queue: [%v,%v] %v", s2, e2, err)
+	s2, e2, ok, err := n.ClaimDeviceAt(0, 2.0, 1.0)
+	if err != nil || !ok || s2 != 3.0 || e2 != 4.0 {
+		t.Fatalf("second claim must queue: [%v,%v] %v %v", s2, e2, ok, err)
 	}
 	if free := n.DeviceFreeAt(0); free != 4.0 {
 		t.Errorf("DeviceFreeAt = %v, want 4", free)
 	}
-	if _, _, err := n.ClaimDevice(1, 0, 1); err == nil {
+	if _, _, _, err := n.ClaimDeviceAt(1, 0, 1); err == nil {
 		t.Error("claiming a missing device must fail")
+	}
+	// A claim that would queue past a detach makes no reservation.
+	if _, err := n.SetDeviceOffline(0, true, 3.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok, err := n.ClaimDeviceAt(0, 2.0, 1.0); err != nil || ok {
+		t.Fatalf("claim queuing past the detach must refuse: ok=%v err=%v", ok, err)
+	}
+	if free := n.DeviceFreeAt(0); free != 4.0 {
+		t.Errorf("refused claim must leave no phantom window, free=%v", free)
 	}
 }
 
@@ -329,8 +339,8 @@ func TestClaimDeviceRaceSafety(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, _, err := n.ClaimDevice(0, 0, 1.0); err != nil {
-				t.Error(err)
+			if _, _, ok, err := n.ClaimDeviceAt(0, 0, 1.0); err != nil || !ok {
+				t.Error(ok, err)
 			}
 		}()
 	}

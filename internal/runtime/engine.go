@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"everest/internal/autotuner"
 	"everest/internal/platform"
 )
 
@@ -37,6 +38,16 @@ const (
 	EventReschedule
 	// EventWorkflowDone fires when the last task of a workflow completes.
 	EventWorkflowDone
+	// EventDeviceUnplug fires when an accelerator is detached from a node
+	// (SR-IOV VF unplug surfaced through the engine control API).
+	EventDeviceUnplug
+	// EventDevicePlug fires when a detached accelerator comes back.
+	EventDevicePlug
+	// EventNodeSlowdown fires when a node's load factor changes.
+	EventNodeSlowdown
+	// EventVariant fires on each adaptive placement; Detail names the
+	// implementation variant the tuner selected.
+	EventVariant
 )
 
 func (k EventKind) String() string {
@@ -53,6 +64,14 @@ func (k EventKind) String() string {
 		return "reschedule"
 	case EventWorkflowDone:
 		return "workflow-done"
+	case EventDeviceUnplug:
+		return "device-unplug"
+	case EventDevicePlug:
+		return "device-plug"
+	case EventNodeSlowdown:
+		return "node-slowdown"
+	case EventVariant:
+		return "variant"
 	}
 	return "unknown"
 }
@@ -67,6 +86,7 @@ type Event struct {
 	Task     string
 	Node     string
 	Time     float64 // modelled seconds
+	Detail   string  // event-specific: variant name, device, slowdown factor
 }
 
 // EngineConfig configures a concurrent engine.
@@ -78,8 +98,22 @@ type EngineConfig struct {
 	// no advance knowledge of them: tasks are dispatched normally, lost when
 	// the node dies under them, and rescheduled onto the survivors.
 	Failures []NodeFailure
+	// Events are environment changes (unplug/plug, slowdown) scripted at
+	// start as modelled-time condition timelines, so executors price them
+	// deterministically. The static engine's placement ignores them (its
+	// estimates are design-time); the adaptive engine sees their latest
+	// state through the live checks.
+	Events []EnvEvent
 	// Trace, when set, receives every engine event (dispatcher goroutine).
 	Trace func(Event)
+	// Adaptive closes the autotuner→engine→virt loop: every placement
+	// consults a per-workflow variant tuner and the node monitors instead of
+	// the design-time cost model, and hot-plug events invalidate queued
+	// placements (see adaptive.go).
+	Adaptive bool
+	// Monitor collects per-node observations; the engine creates its own
+	// when nil. Sharing one lets callers read node health after a run.
+	Monitor *platform.Monitor
 }
 
 // Future is the handle returned for one workflow submission. Wait blocks
@@ -121,6 +155,17 @@ type Engine struct {
 	reportCh chan execReport
 	doneCh   chan struct{} // closed when the dispatcher exits
 
+	// Environment events (plug/unplug, slowdown) arrive through an
+	// unbounded ordered queue: sendCtrl must never block, because control
+	// calls are legal from the dispatcher's own trace callbacks (fault
+	// scripts) and from hot-plug subscriber goroutines. ctrlSig (capacity
+	// 1) wakes the dispatcher.
+	ctrlMu  sync.Mutex
+	ctrlQ   []ctrlMsg
+	ctrlSig chan struct{}
+
+	monitor *platform.Monitor
+
 	queues map[string]*workQueue
 	execWG sync.WaitGroup
 
@@ -133,16 +178,25 @@ type Engine struct {
 
 // NewEngine builds an engine over a cluster and bitstream registry.
 func NewEngine(c *platform.Cluster, reg *platform.Registry, cfg EngineConfig) *Engine {
+	mon := cfg.Monitor
+	if mon == nil {
+		mon = platform.NewMonitor(c)
+	}
 	return &Engine{
 		cluster:  c,
 		reg:      reg,
 		cfg:      cfg,
+		monitor:  mon,
 		submitCh: make(chan *wfState, 64),
 		reportCh: make(chan execReport, 64),
+		ctrlSig:  make(chan struct{}, 1),
 		doneCh:   make(chan struct{}),
 		queues:   make(map[string]*workQueue),
 	}
 }
+
+// Monitor returns the engine's per-node observation layer.
+func (e *Engine) Monitor() *platform.Monitor { return e.monitor }
 
 // Start spawns one executor goroutine per node plus the dispatcher loop. It
 // takes ownership of the cluster: stale failure state and device claims
@@ -161,12 +215,23 @@ func (e *Engine) Start() error {
 	for _, n := range e.cluster.Nodes {
 		n.Heal()
 		n.ResetDeviceClaims()
+		n.ResetCondition()
+	}
+	e.monitor.Reset() // stale load evidence dies with the previous run
+	// Start is the ownership boundary: ResetCondition above wiped attachment
+	// and load faults, so environment events queued before Start are stale
+	// and must not degrade tuners for devices that are back online.
+	e.takeCtrl()
+	select {
+	case <-e.ctrlSig:
+	default:
 	}
 	for _, f := range e.cfg.Failures {
 		if n := e.cluster.FindNode(f.Node); n != nil {
 			n.Fail(f.AtTime)
 		}
 	}
+	e.applyEnvEvents()
 	for _, n := range e.cluster.Nodes {
 		q := newWorkQueue()
 		e.queues[n.Name] = q
@@ -254,6 +319,9 @@ type wfState struct {
 	pending   int                 // tasks not yet completed
 	finished  bool
 
+	// tuner is the per-workflow mARGOt instance (adaptive mode only).
+	tuner *autotuner.Tuner
+
 	sched *Schedule
 	fut   *Future
 }
@@ -299,23 +367,28 @@ type execRequest struct {
 	task    *TaskSpec
 	ready   float64 // dep outputs available on this node (incl. transfers)
 	restart bool
-	moved   int64 // bytes this placement pulls from other nodes
-	groups  int   // batched transfers feeding this placement
+	moved   int64   // bytes this placement pulls from other nodes
+	groups  int     // batched transfers feeding this placement
+	variant string  // implementation variant ("" = as submitted)
+	estDur  float64 // dispatcher's estimated duration (nodeFree reclaim)
 }
 
 // execReport is an executor's completion (or loss) notice.
 type execReport struct {
-	wf      *wfState
-	task    *TaskSpec
-	node    string
-	start   float64
-	end     float64
-	onFPGA  bool
-	restart bool
-	moved   int64   // bytes the completed placement pulled from other nodes
-	groups  int     // batched transfers that fed it
-	lost    bool    // node died before the task finished
-	failAt  float64 // when (only meaningful if lost)
+	wf       *wfState
+	task     *TaskSpec
+	node     string
+	start    float64
+	end      float64
+	onFPGA   bool
+	restart  bool
+	moved    int64   // bytes the completed placement pulled from other nodes
+	groups   int     // batched transfers that fed it
+	lost     bool    // node died before the task finished
+	failAt   float64 // when (only meaningful if lost)
+	variant  string  // implementation variant requested ("" = as submitted)
+	nominal  float64 // design-time cost of what actually ran (load learning)
+	fellBack bool    // FPGA placement executed on CPU (device detached)
 }
 
 // ---------------------------------------------------------------------------
@@ -355,6 +428,7 @@ func (e *Engine) dispatch() {
 			}
 		case rep := <-e.reportCh:
 			e.onReport(ds, rep)
+		case <-e.ctrlSig:
 		}
 		// Slurp every already-pending event before placing anything, so a
 		// burst of near-simultaneous submissions from several tenants lands
@@ -371,9 +445,13 @@ func (e *Engine) dispatch() {
 				}
 			case rep := <-e.reportCh:
 				e.onReport(ds, rep)
+			case <-e.ctrlSig:
 			default:
 				break slurp
 			}
+		}
+		for _, msg := range e.takeCtrl() {
+			e.onCtrl(ds, msg)
 		}
 		e.drainReady(ds)
 	}
@@ -391,6 +469,8 @@ func (e *Engine) dispatch() {
 	for {
 		select {
 		case <-e.reportCh:
+		case <-e.ctrlSig:
+			e.takeCtrl() // late control events are dropped, never block
 		case <-execDone:
 			return
 		}
@@ -412,6 +492,9 @@ func (e *Engine) onSubmit(ds *dispatchState, st *wfState) {
 	}
 	ds.active[st] = true
 	st.sched.Policy = e.cfg.Policy
+	if e.cfg.Adaptive {
+		st.tuner = e.newWorkflowTuner(st)
+	}
 	if !containsTenant(ds.tenants, st.tenant) {
 		ds.tenants = append(ds.tenants, st.tenant)
 	}
@@ -449,6 +532,7 @@ func (e *Engine) onReport(ds *dispatchState, rep execReport) {
 			Kind: EventReschedule, Workflow: st.name, Tenant: st.tenant,
 			Task: rep.task.Name, Node: rep.node, Time: rep.failAt,
 		})
+		st.sched.Adapt.Reschedules++
 		ds.queues[st.tenant] = append(ds.queues[st.tenant], readyItem{
 			wf: st, task: rep.task.Name, restart: true, minStart: rep.failAt,
 		})
@@ -459,6 +543,30 @@ func (e *Engine) onReport(ds *dispatchState, rep execReport) {
 	}
 	if free := ds.nodeFree[rep.node]; rep.end > free {
 		ds.nodeFree[rep.node] = rep.end
+	}
+	// Feed the observation layers, split by what each owns: the monitor
+	// learns per-node load from software completions (observed/nominal),
+	// the tuner learns per-variant health — only the fpga variant, whose
+	// fallback-to-software blowups are exactly the degradation signal;
+	// software variants' live cost is already per-node nominal × monitor
+	// load, and feeding their raw latencies into the tuner would mix task
+	// sizes into the estimate and double-count node load.
+	dur := rep.end - rep.start
+	e.monitor.RecordTask(rep.node, dur)
+	if !rep.onFPGA {
+		e.monitor.ObserveRatio(rep.node, dur, rep.nominal)
+	}
+	if st.tuner != nil && rep.variant == VariantFPGA {
+		st.tuner.Observe(rep.variant, dur*1000)
+	}
+	if rep.variant != "" {
+		if st.sched.Adapt.VariantCounts == nil {
+			st.sched.Adapt.VariantCounts = make(map[string]int)
+		}
+		st.sched.Adapt.VariantCounts[rep.variant]++
+	}
+	if rep.fellBack {
+		st.sched.Adapt.Fallbacks++
 	}
 	st.sched.Assignments = append(st.sched.Assignments, Assignment{
 		Task: rep.task.Name, Node: rep.node, Start: rep.start, End: rep.end,
@@ -537,13 +645,29 @@ func (e *Engine) nextFair(ds *dispatchState) (readyItem, bool) {
 	return readyItem{}, false
 }
 
-// place chooses a node for one ready task, records the batched dependency
-// transfers, and enqueues the task on that node's work queue.
+// place chooses a node (and, in adaptive mode, an implementation variant)
+// for one ready task, records the batched dependency transfers, and
+// enqueues the task on that node's work queue. The static path estimates
+// every node with the design-time cost model (costOn); the adaptive path
+// ranges over the workflow tuner's admissible variants estimated against
+// the live environment (estimateVariant).
 func (e *Engine) place(ds *dispatchState, item readyItem) {
 	st := item.wf
 	task := st.tasks[item.task]
+	adaptive := e.cfg.Adaptive && st.tuner != nil
+	variants := []string{""} // "" = as submitted (static path)
+	if adaptive {
+		variants = e.variantsFor(st, task)
+	}
+	estimate := func(n *platform.Node, v string, ready float64) (float64, bool) {
+		cost, _, _ := costOn(task, n)
+		return cost, true
+	}
+	if adaptive {
+		estimate = e.variantEstimator(st, task)
+	}
 
-	bestNode := ""
+	bestNode, bestVariant := "", ""
 	bestReady, bestEnd := 0.0, 0.0
 	bestBytes := int64(0)
 	bestGroups := 0
@@ -558,15 +682,23 @@ func (e *Engine) place(ds *dispatchState, item readyItem) {
 		if free := ds.nodeFree[n.Name]; free > ready {
 			ready = free
 		}
-		cost, _, _ := costOn(task, n)
-		end := ready + cost
-		better := bestNode == "" || end < bestEnd
-		if e.cfg.Policy == PolicyFIFO {
-			better = bestNode == "" || ready < bestReady
-		}
-		if better {
-			bestNode, bestReady, bestEnd = n.Name, ready, end
-			bestBytes, bestGroups = moved, groups
+		for _, v := range variants {
+			est, ok := estimate(n, v, ready)
+			if !ok {
+				continue
+			}
+			end := ready + est
+			better := bestNode == "" || end < bestEnd
+			if e.cfg.Policy == PolicyFIFO {
+				// FIFO places by earliest start; variants on one node tie
+				// on start, so the estimate breaks the tie among them.
+				better = bestNode == "" || ready < bestReady ||
+					(adaptive && ready == bestReady && end < bestEnd)
+			}
+			if better {
+				bestNode, bestVariant, bestReady, bestEnd = n.Name, v, ready, end
+				bestBytes, bestGroups = moved, groups
+			}
 		}
 	}
 	if bestNode == "" {
@@ -580,12 +712,19 @@ func (e *Engine) place(ds *dispatchState, item readyItem) {
 			Task: item.task, Node: bestNode, Time: bestReady,
 		})
 	}
+	if adaptive {
+		e.trace(Event{
+			Kind: EventVariant, Workflow: st.name, Tenant: st.tenant,
+			Task: item.task, Node: bestNode, Time: bestReady, Detail: bestVariant,
+		})
+	}
 	// Transfer stats are accounted on completion (onReport), not here: a
 	// placement lost to a node failure is re-placed and would otherwise
 	// count its transfers twice.
 	e.queues[bestNode].push(execRequest{
 		wf: st, task: task, ready: bestReady, restart: item.restart,
-		moved: bestBytes, groups: bestGroups,
+		moved: bestBytes, groups: bestGroups, variant: bestVariant,
+		estDur: bestEnd - bestReady,
 	})
 }
 
@@ -649,13 +788,21 @@ func (e *Engine) runExecutor(n *platform.Node, q *workQueue) {
 		if clock > start {
 			start = clock
 		}
-		cost, onFPGA, devIdx := costOn(req.task, n)
+		// Execution pays the live cost priced at the task's modelled start:
+		// the load and attachment in effect then. An FPGA placement whose
+		// device was unplugged by its start falls back to software.
+		cost, nominal, onFPGA, devIdx, fellBack := costLive(req.task, n, req.variant, start)
 		var end float64
 		if onFPGA {
-			s, f, err := n.ClaimDevice(devIdx, start, cost)
-			if err == nil {
+			s, f, ok, err := n.ClaimDeviceAt(devIdx, start, cost)
+			if err == nil && ok {
 				start, end = s, f
 			} else {
+				// The claim would queue past a detach (or failed): the
+				// device is gone by the time it is this task's turn, so it
+				// degrades to the as-submitted software fallback after all.
+				onFPGA, fellBack = false, true
+				cost, nominal = softwareFallback(req.task, n, start)
 				end = start + cost
 			}
 		} else {
@@ -675,6 +822,7 @@ func (e *Engine) runExecutor(n *platform.Node, q *workQueue) {
 			wf: req.wf, task: req.task, node: n.Name,
 			start: start, end: end, onFPGA: onFPGA, restart: req.restart,
 			moved: req.moved, groups: req.groups,
+			variant: req.variant, nominal: nominal, fellBack: fellBack,
 		}
 	}
 }
@@ -699,6 +847,26 @@ func (q *workQueue) push(r execRequest) {
 	q.items = append(q.items, r)
 	q.cond.Signal()
 	q.mu.Unlock()
+}
+
+// steal removes and returns every queued (not yet running) request matching
+// the predicate. The dispatcher uses it to invalidate placements when an
+// environment event makes them stale — e.g. FPGA work queued on a node
+// whose accelerator was just unplugged.
+func (q *workQueue) steal(match func(execRequest) bool) []execRequest {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var stolen []execRequest
+	kept := q.items[:0]
+	for _, r := range q.items {
+		if match(r) {
+			stolen = append(stolen, r)
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	q.items = kept
+	return stolen
 }
 
 func (q *workQueue) close() {

@@ -124,6 +124,19 @@ type Schedule struct {
 	Transfers   int   // inter-node dependency transfers
 	MovedBytes  int64 // total bytes moved between nodes
 	Policy      Policy
+	Adapt       AdaptStats // adaptation and recovery activity (engine runs)
+}
+
+// AdaptStats summarizes one workflow's adaptation activity under the
+// concurrent engine: which implementation variants its tasks ran as
+// (adaptive mode only — static runs never select variants), how many
+// placements had to be redone after environment events or failures, and
+// how many FPGA placements executed in software because the device was
+// gone by the time they ran (static runs under faults pay these too).
+type AdaptStats struct {
+	VariantCounts map[string]int // completed tasks per selected variant
+	Reschedules   int            // placements invalidated and redone
+	Fallbacks     int            // FPGA placements that executed on CPU
 }
 
 // ByTask returns the (final) assignment of each task.
@@ -160,22 +173,14 @@ func (s *Scheduler) taskCost(t *TaskSpec, n *platform.Node) (float64, bool) {
 	return cost, onFPGA
 }
 
-// costOn models task t's execution time on node n. When the task requests
-// FPGA offload and the bitstream is programmed on one of n's devices, it
-// returns the kernel time and the device index; otherwise the CPU time and
-// device index -1. Shared by the serial planner and the concurrent engine.
+// costOn models task t's execution time on node n with the design-time
+// model: nominal CPU speed, and FPGA offload assumed reachable whenever the
+// bitstream is programmed (attachment faults are invisible to it). Shared
+// by the serial planner and the static engine's placement estimates; live
+// execution costs come from costLive (adaptive.go).
 func costOn(t *TaskSpec, n *platform.Node) (cost float64, onFPGA bool, devIdx int) {
-	if t.NeedsFPGA && t.BitstreamID != "" {
-		for idx := range n.Devices {
-			if bs, ok := n.Programmed(idx); ok && bs.ID == t.BitstreamID {
-				tl, err := n.RunKernel(idx, platform.Workload{
-					BytesIn: t.InputBytes, BytesOut: t.OutputBytes, Batches: 4,
-				})
-				if err == nil {
-					return tl.Total, true, idx
-				}
-			}
-		}
+	if c, idx, ok := fpgaCostOn(t, n, designTime); ok {
+		return c, true, idx
 	}
 	return n.RunCPU(t.Flops, t.InputBytes+t.OutputBytes, t.Cores), false, -1
 }

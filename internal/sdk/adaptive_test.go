@@ -1,0 +1,169 @@
+package sdk
+
+import (
+	"testing"
+
+	"everest/internal/runtime"
+	"everest/internal/virt"
+)
+
+func TestAdaptiveScenarioValidation(t *testing.T) {
+	bad := []AdaptiveScenario{
+		{Workflows: 0, Nodes: 4, FPGANodes: 1},
+		{Workflows: 1, Nodes: 1, FPGANodes: 1},
+		{Workflows: 1, Nodes: 4, FPGANodes: 0},
+		{Workflows: 1, Nodes: 4, FPGANodes: 5},
+		{Workflows: 1, Nodes: 4, FPGANodes: 1, Slowdown: 0.5},
+	}
+	for _, sc := range bad {
+		if _, err := sc.Run(true); err == nil {
+			t.Errorf("scenario %+v must fail validation", sc)
+		}
+	}
+}
+
+// TestAdaptiveBeatsStaticUnderFaults is the E-adapt acceptance claim: the
+// same workloads, cluster, and mid-run faults (accelerator unplug + node
+// slowdown), served adaptively, finish at least 1.3x sooner than under
+// static placement.
+func TestAdaptiveBeatsStaticUnderFaults(t *testing.T) {
+	sc := DefaultAdaptiveScenario()
+	static, err := sc.Run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := sc.Run(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if static.Stats.Completed != sc.Workflows || adaptive.Stats.Completed != sc.Workflows {
+		t.Fatalf("completions: static %d adaptive %d, want %d",
+			static.Stats.Completed, adaptive.Stats.Completed, sc.Workflows)
+	}
+	speedup := static.Makespan / adaptive.Makespan
+	if speedup < 1.3 {
+		t.Fatalf("adaptive speedup %.2fx (static %.3gs, adaptive %.3gs), want >= 1.3x",
+			speedup, static.Makespan, adaptive.Makespan)
+	}
+	// The adaptive run reports per-tenant variant counts; the static run
+	// must not (it never consults the tuner) but records its fallbacks.
+	for name, ts := range adaptive.Stats.Tenants {
+		if len(ts.Variants) == 0 {
+			t.Errorf("tenant %s has no variant stats", name)
+		}
+	}
+	staticFallbacks := 0
+	for _, ts := range static.Stats.Tenants {
+		if len(ts.Variants) != 0 {
+			t.Errorf("static run reported variants: %+v", ts.Variants)
+		}
+		staticFallbacks += ts.Fallbacks
+	}
+	if staticFallbacks == 0 {
+		t.Error("static run under an unplug must pay FPGA fallbacks")
+	}
+}
+
+// TestServerFaultScript checks the completion-count trigger fires each
+// fault exactly once and the health snapshot reflects it.
+func TestServerFaultScript(t *testing.T) {
+	s := New(DefaultCluster(2))
+	slowNode := s.Cluster.Nodes[1].Name
+	srv := s.NewServer(ServerConfig{
+		Policy: runtime.PolicyHEFT,
+		Faults: []Fault{{Kind: runtime.EnvSlowdown, AfterTasks: 2, Node: slowNode, Factor: 4}},
+	})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		sub, err := srv.Submit("t", "", SyntheticWorkflow(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sub.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.Shutdown()
+	if got := s.Cluster.FindNode(slowNode).Slowdown(); got != 4 {
+		t.Errorf("slowdown after fault script = %g, want 4", got)
+	}
+	snap := srv.Monitor().Snapshot()
+	if len(snap) != len(s.Cluster.Nodes) {
+		t.Fatalf("snapshot covers %d nodes, want %d", len(snap), len(s.Cluster.Nodes))
+	}
+}
+
+// TestAttachHypervisor drives the full virt→engine path: unplugging the
+// last VF detaches the device from the engine's world, replugging restores
+// it.
+func TestAttachHypervisor(t *testing.T) {
+	s := New(DefaultCluster(2))
+	bs := ScenarioBitstream()
+	if err := s.Registry.Put(bs); err != nil {
+		t.Fatal(err)
+	}
+	node := s.Cluster.Nodes[0]
+	if _, err := s.Deploy(bs.ID, node.Name); err != nil {
+		t.Fatal(err)
+	}
+	hyp, err := virt.NewHypervisor(node, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hyp.DefineVM("guest", 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hyp.PlugVF("guest", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := s.NewServer(ServerConfig{Policy: runtime.PolicyHEFT, Adaptive: true})
+	srv.AttachHypervisor(hyp, nil)
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Engine start resets attachment state; the VF is still plugged, so the
+	// device starts online.
+	if !node.DeviceOnline(0) {
+		t.Fatal("device must start online")
+	}
+	srv.Shutdown()
+
+	// Pre-Start desync case: the last VF is unplugged before Start, so the
+	// ownership reset would mark the device attached — Start must re-derive
+	// the detached state from the hypervisor's VF table.
+	if _, err := hyp.UnplugVF("guest", 0); err != nil {
+		t.Fatal(err)
+	}
+	srv = s.NewServer(ServerConfig{Policy: runtime.PolicyHEFT, Adaptive: true})
+	srv.AttachHypervisor(hyp, nil)
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if node.DeviceOnline(0) {
+		t.Fatal("device unplugged before Start must come up detached")
+	}
+	// Restore the VF so the live unplug/replug sequence below starts from
+	// an attached device.
+	if _, err := hyp.PlugVF("guest", 0); err != nil {
+		t.Fatal(err)
+	}
+	if !node.DeviceOnline(0) {
+		t.Fatal("replug must reattach the device")
+	}
+	if _, err := hyp.UnplugVF("guest", 0); err != nil {
+		t.Fatal(err)
+	}
+	if node.DeviceOnline(0) {
+		t.Error("unplugging the last VF must detach the device")
+	}
+	if _, err := hyp.PlugVF("guest", 0); err != nil {
+		t.Fatal(err)
+	}
+	if !node.DeviceOnline(0) {
+		t.Error("replugging the first VF must reattach the device")
+	}
+	srv.Shutdown()
+}

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"sync"
 
+	"everest/internal/platform"
 	"everest/internal/runtime"
+	"everest/internal/virt"
 )
 
 // Server is the multi-tenant submission front of the virtualized runtime
@@ -25,6 +27,7 @@ type Server struct {
 	failed    int
 	tenants   map[string]*TenantStats
 	makespan  float64
+	hyps      []*virt.Hypervisor // attached via AttachHypervisor
 
 	wg sync.WaitGroup // outstanding submissions
 }
@@ -40,6 +43,17 @@ type ServerConfig struct {
 	Failures []runtime.NodeFailure
 	// Trace receives engine events when set.
 	Trace func(runtime.Event)
+	// Adaptive enables variant-aware scheduling: every placement consults
+	// the per-workflow autotuner and the node monitors, and hot-plug events
+	// invalidate stale placements (engine adaptive mode).
+	Adaptive bool
+	// Faults is a script of environment events injected while the server
+	// runs, each triggered after a number of completed tasks (see Fault).
+	Faults []Fault
+	// Events are modelled-time environment changes scripted at start
+	// (engine semantics; deterministic, unlike the completion-triggered
+	// Faults).
+	Events []runtime.EnvEvent
 }
 
 // TenantStats aggregates one tenant's submissions.
@@ -48,6 +62,11 @@ type TenantStats struct {
 	Completed  int
 	Failed     int
 	LastFinish float64 // modelled completion time of the tenant's last workflow
+
+	// Adaptation activity across the tenant's completed workflows.
+	Reschedules int            // placements invalidated and redone
+	Fallbacks   int            // FPGA placements that executed on CPU
+	Variants    map[string]int // completed tasks per selected variant
 }
 
 // ServerStats is a snapshot of the server's counters.
@@ -64,27 +83,62 @@ type ServerStats struct {
 // NewServer builds a server over the SDK's cluster and registry.
 func (s *SDK) NewServer(cfg ServerConfig) *Server {
 	srv := &Server{
-		sdk: s,
-		eng: runtime.NewEngine(s.Cluster, s.Registry, runtime.EngineConfig{
-			Policy: cfg.Policy, Failures: cfg.Failures, Trace: cfg.Trace,
-		}),
+		sdk:     s,
 		tenants: make(map[string]*TenantStats),
 	}
+	trace := cfg.Trace
+	if len(cfg.Faults) > 0 {
+		trace = srv.faultDriver(cfg.Faults, cfg.Trace)
+	}
+	srv.eng = runtime.NewEngine(s.Cluster, s.Registry, runtime.EngineConfig{
+		Policy: cfg.Policy, Failures: cfg.Failures, Trace: trace,
+		Adaptive: cfg.Adaptive, Events: cfg.Events,
+	})
 	if cfg.MaxConcurrent > 0 {
 		srv.slots = make(chan struct{}, cfg.MaxConcurrent)
 	}
 	return srv
 }
 
-// Start brings the engine up. Submissions made before Start queue.
+// Monitor exposes the engine's per-node observation layer (health
+// snapshots for CLIs and tests).
+func (srv *Server) Monitor() *platform.Monitor { return srv.eng.Monitor() }
+
+// UnplugDevice detaches an accelerator mid-run (engine control API).
+func (srv *Server) UnplugDevice(node string, dev int, at float64) error {
+	return srv.eng.UnplugDevice(node, dev, at)
+}
+
+// PlugDevice reattaches an accelerator mid-run.
+func (srv *Server) PlugDevice(node string, dev int, at float64) error {
+	return srv.eng.PlugDevice(node, dev, at)
+}
+
+// SetNodeSlowdown changes a node's load factor mid-run.
+func (srv *Server) SetNodeSlowdown(node string, factor, at float64) error {
+	return srv.eng.SetNodeSlowdown(node, factor, at)
+}
+
+// Start brings the engine up. Submissions made before Start queue. The
+// engine's ownership reset marks every device attached; Start then
+// re-derives attachment from any hypervisors attached before it ran.
 func (srv *Server) Start() error {
 	srv.mu.Lock()
-	defer srv.mu.Unlock()
 	if srv.started {
+		srv.mu.Unlock()
 		return fmt.Errorf("sdk: server already started")
 	}
 	srv.started = true
-	return srv.eng.Start()
+	// The engine starts under srv.mu so a concurrent Shutdown serializes
+	// behind it (it must observe a fully started engine to stop it);
+	// syncHypervisors runs after release because it takes srv.mu itself.
+	err := srv.eng.Start()
+	srv.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	srv.syncHypervisors()
+	return nil
 }
 
 // Submission is the caller's handle on one submitted workflow.
@@ -170,6 +224,14 @@ func (srv *Server) record(sub *Submission) {
 	if sub.sched.Makespan > srv.makespan {
 		srv.makespan = sub.sched.Makespan
 	}
+	ts.Reschedules += sub.sched.Adapt.Reschedules
+	ts.Fallbacks += sub.sched.Adapt.Fallbacks
+	for v, n := range sub.sched.Adapt.VariantCounts {
+		if ts.Variants == nil {
+			ts.Variants = make(map[string]int)
+		}
+		ts.Variants[v] += n
+	}
 }
 
 // Stats returns a snapshot of the server counters.
@@ -184,7 +246,14 @@ func (srv *Server) Stats() ServerStats {
 		Tenants:   make(map[string]TenantStats, len(srv.tenants)),
 	}
 	for name, ts := range srv.tenants {
-		out.Tenants[name] = *ts
+		cp := *ts
+		if ts.Variants != nil {
+			cp.Variants = make(map[string]int, len(ts.Variants))
+			for v, n := range ts.Variants {
+				cp.Variants[v] = n
+			}
+		}
+		out.Tenants[name] = cp
 	}
 	return out
 }
@@ -205,6 +274,7 @@ func (srv *Server) Shutdown() ServerStats {
 	srv.mu.Unlock()
 	if !started {
 		_ = srv.eng.Start()
+		srv.syncHypervisors()
 	}
 	srv.wg.Wait()
 	srv.eng.Shutdown()

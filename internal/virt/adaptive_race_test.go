@@ -1,0 +1,162 @@
+package virt_test
+
+import (
+	"sync"
+	"testing"
+
+	"everest/internal/runtime"
+	"everest/internal/sdk"
+	"everest/internal/virt"
+)
+
+// TestUnplugRacedAgainstDispatch hammers the adaptation loop from both
+// ends at once: a stream of FPGA workflows drains through the engine while
+// two goroutines plug and unplug the accelerators' VFs through the
+// hypervisors. Every workflow must still complete with a full, dependency-
+// ordered schedule, and the run must be -race clean. Tasks whose device
+// vanished under them either reschedule (adaptive invalidation) or degrade
+// to software — both end in a valid schedule.
+func TestUnplugRacedAgainstDispatch(t *testing.T) {
+	s := sdk.New(sdk.DefaultCluster(3))
+	bs := sdk.ScenarioBitstream()
+	if err := s.Registry.Put(bs); err != nil {
+		t.Fatal(err)
+	}
+	hyps := make([]*virt.Hypervisor, 2)
+	for i := range hyps {
+		node := s.Cluster.Nodes[i]
+		if _, err := s.Deploy(bs.ID, node.Name); err != nil {
+			t.Fatal(err)
+		}
+		h, err := virt.NewHypervisor(node, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.DefineVM("guest", 4); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.PlugVF("guest", 0); err != nil {
+			t.Fatal(err)
+		}
+		hyps[i] = h
+	}
+
+	srv := s.NewServer(sdk.ServerConfig{Policy: runtime.PolicyHEFT, Adaptive: true})
+	for _, h := range hyps {
+		srv.AttachHypervisor(h, nil)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	const workflows = 24
+	subs := make([]*sdk.Submission, workflows)
+	var wg sync.WaitGroup
+	// Two pluggers cycling their hypervisor's VF while dispatch runs. The
+	// cycle count is bounded: hot-plug events are rare in the modelled
+	// world, and an unthrottled spam loop would only measure how fast the
+	// engine's (unbounded, never-blocking) control queue can absorb it.
+	for _, h := range hyps {
+		wg.Add(1)
+		go func(h *virt.Hypervisor) {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				if _, err := h.UnplugVF("guest", 0); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := h.PlugVF("guest", 0); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(h)
+	}
+	for i := range subs {
+		sub, err := srv.Submit("racer", "", sdk.AdaptiveWorkflow(i, bs.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs[i] = sub
+	}
+	for i, sub := range subs {
+		sched, err := sub.Wait()
+		if err != nil {
+			t.Fatalf("workflow %d: %v", i, err)
+		}
+		if len(sched.Assignments) != 4 {
+			t.Fatalf("workflow %d: %d assignments, want 4", i, len(sched.Assignments))
+		}
+		byTask := sched.ByTask()
+		for _, mc := range []string{"mc0", "mc1"} {
+			if byTask[mc].Start < byTask["prep"].End-1e-12 {
+				t.Errorf("workflow %d: %s starts before prep ends", i, mc)
+			}
+		}
+	}
+	wg.Wait()
+	stats := srv.Shutdown()
+	if stats.Completed != workflows || stats.Failed != 0 {
+		t.Fatalf("completed %d failed %d, want %d/0", stats.Completed, stats.Failed, workflows)
+	}
+}
+
+// TestConcurrentUnplugMidTaskReschedules pins the deterministic half of
+// the race: FPGA work queued behind a long-running task is invalidated by
+// an unplug and must be rescheduled off the dead accelerator rather than
+// silently degrading on it.
+func TestConcurrentUnplugMidTaskReschedules(t *testing.T) {
+	s := sdk.New(sdk.DefaultCluster(2))
+	bs := sdk.ScenarioBitstream()
+	if err := s.Registry.Put(bs); err != nil {
+		t.Fatal(err)
+	}
+	node := s.Cluster.Nodes[0]
+	if _, err := s.Deploy(bs.ID, node.Name); err != nil {
+		t.Fatal(err)
+	}
+	srv := s.NewServer(sdk.ServerConfig{
+		Policy: runtime.PolicyHEFT, Adaptive: true,
+		// Unplug the only accelerator after the first completion.
+		Faults: []sdk.Fault{{Kind: runtime.EnvUnplug, AfterTasks: 1, Node: node.Name}},
+	})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	w := runtime.NewWorkflow()
+	prev := ""
+	for _, name := range []string{"k0", "k1", "k2", "k3"} {
+		spec := runtime.TaskSpec{
+			Name: name, Flops: 5e10, InputBytes: 1 << 22, OutputBytes: 1 << 20,
+			NeedsFPGA: true, BitstreamID: bs.ID,
+		}
+		if prev != "" {
+			spec.Deps = []string{prev}
+		}
+		if err := w.Submit(spec); err != nil {
+			t.Fatal(err)
+		}
+		prev = name
+	}
+	sub, err := srv.Submit("t", "chain", w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := sub.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Shutdown()
+	byTask := sched.ByTask()
+	if !byTask["k0"].OnFPGA {
+		t.Error("k0 must run on the FPGA before the unplug")
+	}
+	for _, name := range []string{"k1", "k2", "k3"} {
+		if byTask[name].OnFPGA {
+			t.Errorf("%s ran on the FPGA after its device was unplugged", name)
+		}
+	}
+	if sched.Adapt.Fallbacks != 0 {
+		t.Errorf("adaptive chain paid %d fallbacks, want 0 (reschedule instead)", sched.Adapt.Fallbacks)
+	}
+}

@@ -92,16 +92,51 @@ type VM struct {
 // VFCount returns how many VFs the VM holds.
 func (v *VM) VFCount() int { return len(v.vfs) }
 
+// HotplugKind classifies hot-plug notifications.
+type HotplugKind int
+
+// Hot-plug notification kinds.
+const (
+	// VFPlugged fires when a VF is assigned to a VM.
+	VFPlugged HotplugKind = iota
+	// VFUnplugged fires when a VF is removed from a VM.
+	VFUnplugged
+)
+
+func (k HotplugKind) String() string {
+	if k == VFUnplugged {
+		return "vf-unplugged"
+	}
+	return "vf-plugged"
+}
+
+// HotplugEvent is one VF plug/unplug notification. AssignedVFs reports how
+// many VFs of the device remain assigned to any VM after the operation —
+// zero on an unplug means the accelerator just became unreachable from
+// every guest, which is what the resource manager's adaptation loop keys
+// on.
+type HotplugEvent struct {
+	Kind        HotplugKind
+	Node        string
+	VM          string
+	Device      int
+	FreeVFs     int // free VFs left in the device's SR-IOV pool
+	AssignedVFs int // VFs of the device still assigned to some VM
+}
+
 // Hypervisor is the per-node virtualization stack: QEMU-KVM plus the
 // libvirtd agent exposing the control API to the resource manager and the
 // autotuner.
 type Hypervisor struct {
 	Node *platform.Node
 
-	mu      sync.Mutex
-	pfs     []*PF
-	vms     map[string]*VM
-	plugOps int // statistics: number of plug/unplug operations
+	mu        sync.Mutex
+	pfs       []*PF
+	vms       map[string]*VM
+	plugOps   int // statistics: number of plug/unplug operations
+	subs      []func(HotplugEvent)
+	pending   []HotplugEvent // events enqueued under mu, delivered in order
+	notifying bool           // one goroutine drains pending at a time
 }
 
 // NewHypervisor creates a hypervisor over a node, exposing maxVFs virtual
@@ -123,6 +158,67 @@ func NewHypervisor(node *platform.Node, maxVFs int) (*Hypervisor, error) {
 	return h, nil
 }
 
+// Subscribe registers a hot-plug listener (the libvirtd event stream the
+// resource manager attaches to). Events are delivered in mutation order,
+// outside the hypervisor lock, so callbacks may call back into the
+// hypervisor or the engine. Delivery happens on whichever plug/unplug
+// goroutine holds the drain at the time: with concurrent pluggers, a
+// PlugVF/UnplugVF call can return before its own event has been delivered
+// (another goroutine delivers it, still in order).
+func (h *Hypervisor) Subscribe(fn func(HotplugEvent)) {
+	if fn == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.subs = append(h.subs, fn)
+}
+
+// drain delivers pending notifications in enqueue order. Events are
+// appended to h.pending under the same lock that mutates VF state, so
+// delivery order always matches mutation order even when several
+// goroutines plug and unplug concurrently; a single drainer at a time
+// guarantees no two callbacks interleave out of order. Callbacks run
+// without the lock held, so they may call back into the hypervisor — a
+// nested plug/unplug enqueues its event and returns, and the outer drain
+// delivers it.
+func (h *Hypervisor) drain() {
+	h.mu.Lock()
+	if h.notifying {
+		h.mu.Unlock()
+		return
+	}
+	h.notifying = true
+	for len(h.pending) > 0 {
+		ev := h.pending[0]
+		h.pending = h.pending[1:]
+		subs := append(make([]func(HotplugEvent), 0, len(h.subs)), h.subs...)
+		h.mu.Unlock()
+		for _, fn := range subs {
+			fn(ev)
+		}
+		h.mu.Lock()
+	}
+	h.notifying = false
+	h.mu.Unlock()
+}
+
+// deviceVFState counts the device's free and assigned VFs. Callers hold
+// h.mu.
+func (h *Hypervisor) deviceVFState(device int) (free, assigned int) {
+	if device < 0 || device >= len(h.pfs) {
+		return 0, 0
+	}
+	for _, vf := range h.pfs[device].VFs {
+		if vf.Assigned == "" {
+			free++
+		} else {
+			assigned++
+		}
+	}
+	return free, assigned
+}
+
 // DefineVM creates a guest (virsh define + start analogue).
 func (h *Hypervisor) DefineVM(name string, vcpus int) (*VM, error) {
 	if name == "" || vcpus < 1 {
@@ -138,18 +234,33 @@ func (h *Hypervisor) DefineVM(name string, vcpus int) (*VM, error) {
 	return vm, nil
 }
 
-// DestroyVM removes a guest, releasing its VFs.
+// DestroyVM removes a guest, releasing its VFs (one unplug notification
+// per released VF).
 func (h *Hypervisor) DestroyVM(name string) error {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	vm, ok := h.vms[name]
 	if !ok {
+		h.mu.Unlock()
 		return fmt.Errorf("virt: no VM %q", name)
 	}
-	for _, vf := range vm.vfs {
+	ids := make([]int, 0, len(vm.vfs))
+	for id := range vm.vfs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids) // deterministic release (and notification) order
+	for _, id := range ids {
+		vf := vm.vfs[id]
 		vf.Assigned = ""
+		h.plugOps++
+		free, assigned := h.deviceVFState(vf.Device)
+		h.pending = append(h.pending, HotplugEvent{
+			Kind: VFUnplugged, Node: h.Node.Name, VM: name, Device: vf.Device,
+			FreeVFs: free, AssignedVFs: assigned,
+		})
 	}
 	delete(h.vms, name)
+	h.mu.Unlock()
+	h.drain()
 	return nil
 }
 
@@ -157,12 +268,13 @@ func (h *Hypervisor) DestroyVM(name string) error {
 // mechanism of §VI-B). Returns the modelled hot-plug time.
 func (h *Hypervisor) PlugVF(vmName string, device int) (float64, error) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	vm, ok := h.vms[vmName]
 	if !ok {
+		h.mu.Unlock()
 		return 0, fmt.Errorf("virt: no VM %q", vmName)
 	}
 	if device < 0 || device >= len(h.pfs) {
+		h.mu.Unlock()
 		return 0, fmt.Errorf("virt: no device %d", device)
 	}
 	for _, vf := range h.pfs[device].VFs {
@@ -170,18 +282,26 @@ func (h *Hypervisor) PlugVF(vmName string, device int) (float64, error) {
 			vf.Assigned = vmName
 			vm.vfs[vf.ID] = vf
 			h.plugOps++
+			free, assigned := h.deviceVFState(device)
+			h.pending = append(h.pending, HotplugEvent{
+				Kind: VFPlugged, Node: h.Node.Name, VM: vmName, Device: device,
+				FreeVFs: free, AssignedVFs: assigned,
+			})
+			h.mu.Unlock()
+			h.drain()
 			return HotplugSeconds, nil
 		}
 	}
+	h.mu.Unlock()
 	return 0, fmt.Errorf("virt: no free VF on device %d (SR-IOV pool exhausted)", device)
 }
 
 // UnplugVF removes one VF of the device from the VM.
 func (h *Hypervisor) UnplugVF(vmName string, device int) (float64, error) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	vm, ok := h.vms[vmName]
 	if !ok {
+		h.mu.Unlock()
 		return 0, fmt.Errorf("virt: no VM %q", vmName)
 	}
 	for id, vf := range vm.vfs {
@@ -189,9 +309,17 @@ func (h *Hypervisor) UnplugVF(vmName string, device int) (float64, error) {
 			vf.Assigned = ""
 			delete(vm.vfs, id)
 			h.plugOps++
+			free, assigned := h.deviceVFState(device)
+			h.pending = append(h.pending, HotplugEvent{
+				Kind: VFUnplugged, Node: h.Node.Name, VM: vmName, Device: device,
+				FreeVFs: free, AssignedVFs: assigned,
+			})
+			h.mu.Unlock()
+			h.drain()
 			return HotplugSeconds, nil
 		}
 	}
+	h.mu.Unlock()
 	return 0, fmt.Errorf("virt: VM %q holds no VF of device %d", vmName, device)
 }
 
@@ -240,10 +368,11 @@ func (h *Hypervisor) RunAccelerated(vmName string, device int, wl platform.Workl
 // autotuner consume ("the node ... can respond to queries about available
 // resources and the system's current status").
 type NodeStatus struct {
-	Node    string
-	VMs     []VMStatus
-	FreeVFs map[int]int // device -> free VF count
-	PlugOps int
+	Node        string
+	VMs         []VMStatus
+	FreeVFs     map[int]int // device -> free VF count
+	AssignedVFs map[int]int // device -> VFs currently held by guests
+	PlugOps     int
 }
 
 // VMStatus summarizes one guest.
@@ -257,7 +386,10 @@ type VMStatus struct {
 func (h *Hypervisor) Query() NodeStatus {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	st := NodeStatus{Node: h.Node.Name, FreeVFs: make(map[int]int), PlugOps: h.plugOps}
+	st := NodeStatus{
+		Node: h.Node.Name, FreeVFs: make(map[int]int),
+		AssignedVFs: make(map[int]int), PlugOps: h.plugOps,
+	}
 	names := make([]string, 0, len(h.vms))
 	for name := range h.vms {
 		names = append(names, name)
@@ -268,7 +400,9 @@ func (h *Hypervisor) Query() NodeStatus {
 		st.VMs = append(st.VMs, VMStatus{Name: vm.Name, VCPUs: vm.VCPUs, VFs: len(vm.vfs)})
 	}
 	for _, pf := range h.pfs {
-		st.FreeVFs[pf.Device] = len(pf.FreeVFs())
+		free := len(pf.FreeVFs())
+		st.FreeVFs[pf.Device] = free
+		st.AssignedVFs[pf.Device] = len(pf.VFs) - free
 	}
 	return st
 }

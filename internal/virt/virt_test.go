@@ -1,6 +1,7 @@
 package virt
 
 import (
+	"sync"
 	"testing"
 
 	"everest/internal/hls"
@@ -189,5 +190,132 @@ func TestQueryDeterministicOrder(t *testing.T) {
 	st := h.Query()
 	if st.VMs[0].Name != "alpha" || st.VMs[2].Name != "zeta" {
 		t.Errorf("VM order must be sorted: %+v", st.VMs)
+	}
+}
+
+func TestHotplugEvents(t *testing.T) {
+	h, _ := NewHypervisor(testNode(t), 2)
+	var events []HotplugEvent
+	h.Subscribe(func(ev HotplugEvent) { events = append(events, ev) })
+	h.Subscribe(nil) // ignored
+
+	if _, err := h.DefineVM("guest1", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.PlugVF("guest1", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.PlugVF("guest1", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.UnplugVF("guest1", 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3: %+v", len(events), events)
+	}
+	first := events[0]
+	if first.Kind != VFPlugged || first.Node != "hv0" || first.VM != "guest1" ||
+		first.Device != 0 || first.FreeVFs != 1 || first.AssignedVFs != 1 {
+		t.Errorf("first event: %+v", first)
+	}
+	last := events[2]
+	if last.Kind != VFUnplugged || last.FreeVFs != 1 || last.AssignedVFs != 1 {
+		t.Errorf("unplug event: %+v", last)
+	}
+	if last.Kind.String() != "vf-unplugged" || first.Kind.String() != "vf-plugged" {
+		t.Errorf("kind strings: %v %v", last.Kind, first.Kind)
+	}
+
+	// Destroying the VM releases the remaining VF: the AssignedVFs count
+	// dropping to zero is the signal the resource manager keys on.
+	events = nil
+	if err := h.DestroyVM("guest1"); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Kind != VFUnplugged || events[0].AssignedVFs != 0 {
+		t.Fatalf("destroy events: %+v", events)
+	}
+	// A subscriber may call back into the hypervisor without deadlocking.
+	h.Subscribe(func(ev HotplugEvent) { h.Query() })
+	if _, err := h.DefineVM("guest2", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.PlugVF("guest2", 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHotplugOrderingNestedCallback pins delivery order: a subscriber that
+// mutates VF state from inside a callback sees its event delivered after
+// the one in flight, in mutation order.
+func TestHotplugOrderingNestedCallback(t *testing.T) {
+	h, _ := NewHypervisor(testNode(t), 2)
+	if _, err := h.DefineVM("guest", 2); err != nil {
+		t.Fatal(err)
+	}
+	var order []HotplugKind
+	nested := false
+	h.Subscribe(func(ev HotplugEvent) {
+		order = append(order, ev.Kind)
+		if !nested {
+			nested = true
+			if _, err := h.PlugVF("guest", 0); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if _, err := h.UnplugVF("guest", 0); err == nil {
+		t.Fatal("unplug with no VF must fail before any event")
+	}
+	if _, err := h.PlugVF("guest", 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != VFPlugged || order[1] != VFPlugged {
+		t.Fatalf("delivery order: %v, want [vf-plugged vf-plugged]", order)
+	}
+}
+
+// TestHotplugOrderingConcurrent races two VMs plugging and unplugging VFs
+// of the same device: because events are enqueued under the state lock and
+// drained in order, the last delivered AssignedVFs count must match the
+// device's final state.
+func TestHotplugOrderingConcurrent(t *testing.T) {
+	h, _ := NewHypervisor(testNode(t), 4)
+	for _, vm := range []string{"vm-a", "vm-b"} {
+		if _, err := h.DefineVM(vm, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var mu sync.Mutex
+	last := -1
+	h.Subscribe(func(ev HotplugEvent) {
+		mu.Lock()
+		last = ev.AssignedVFs
+		mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	for _, vm := range []string{"vm-a", "vm-b"} {
+		wg.Add(1)
+		go func(vm string) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if _, err := h.PlugVF(vm, 0); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := h.UnplugVF(vm, 0); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(vm)
+	}
+	wg.Wait()
+	st := h.Query()
+	mu.Lock()
+	defer mu.Unlock()
+	if want := 4 - st.FreeVFs[0]; last != want {
+		t.Fatalf("last delivered AssignedVFs = %d, want %d (final state)", last, want)
 	}
 }

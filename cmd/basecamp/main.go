@@ -3,10 +3,12 @@
 //
 // Subcommands:
 //
-//	basecamp compile  -kernel <file.ekl|demo> [-backend vitis|bambu] [-format f32|f64|bf16|f16|fixed16|posit16] [-device alveo-u55c|alveo-u280|cloudfpga] [-emit mlir|olympus|driver]
+//	basecamp compile  -kernel <file.ekl|demo|windpower|airquality> [-lang ekl|cfdlang] [-backend vitis|bambu] [-format f32|f64|bf16|f16|fixed16|posit16] [-device alveo-u55c|alveo-u280|cloudfpga] [-memports N] [-emit mlir|olympus|driver|source]
+//	                               # source-to-schedule: prints the HLS report plus the derived
+//	                               # cpu1/cpu16/fpga operating points and the tuner's pick
 //	basecamp deploy   -nodes N     # compile demo kernel, stage it, plan a workflow
-//	basecamp serve    -workflows N -concurrency K [-adaptive]   # concurrent multi-tenant runtime demo
-//	basecamp adapt    -workflows N # adaptive vs static placement under injected faults
+//	basecamp serve    -workflows N -concurrency K [-adaptive] [-net tcp10g|udp10g]  # concurrent multi-tenant runtime demo
+//	basecamp adapt    -workflows N [-compiled]  # adaptive vs static placement under injected faults
 //	basecamp dialects              # list the registered MLIR dialects (Fig. 5)
 //	basecamp anomaly  -trials N    # AutoML model selection on a synthetic stream
 //	basecamp bench                 # shortcut: run all reproduction experiments
@@ -27,10 +29,12 @@ import (
 	"everest/internal/experiments"
 	"everest/internal/mlir"
 	"everest/internal/mlir/dialects"
+	"everest/internal/netsim"
 	"everest/internal/olympus"
 	"everest/internal/runtime"
 	"everest/internal/sdk"
 	"everest/internal/tensor"
+	"everest/internal/variants"
 	"everest/internal/wrf"
 )
 
@@ -93,72 +97,123 @@ func formatByName(name string) (base2.Format, error) {
 
 func cmdCompile(args []string) error {
 	fs := flag.NewFlagSet("compile", flag.ExitOnError)
-	kernelPath := fs.String("kernel", "demo", "EKL source file, or 'demo' for the RRTMG kernel")
+	kernelPath := fs.String("kernel", "demo",
+		"EKL source file, 'demo' for the RRTMG kernel, or a built-in example: "+
+			strings.Join(variants.ExampleNames(), ", "))
+	lang := fs.String("lang", "ekl", "frontend: ekl or cfdlang ('cfdlang' also accepts -kernel matmul)")
 	backend := fs.String("backend", "vitis", "HLS backend: vitis or bambu")
 	format := fs.String("format", "f32", "datapath format")
 	device := fs.String("device", "alveo-u55c", "target device")
-	emit := fs.String("emit", "summary", "output: summary, mlir, olympus, or driver")
+	memPorts := fs.Int("memports", 0, "PLM banking: concurrent ports the datapath sees (0 = 2)")
+	emit := fs.String("emit", "summary", "output: summary, mlir, olympus, driver, or source")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-
-	var src string
-	var binding ekl.Binding
-	if *kernelPath == "demo" {
-		src = wrf.EKLSource()
-		binding = demoBinding()
-	} else {
-		data, err := os.ReadFile(*kernelPath)
-		if err != nil {
-			return err
-		}
-		src = string(data)
-		k, err := ekl.ParseKernel(src)
-		if err != nil {
-			return err
-		}
-		// Shapes, not values, drive hardware generation: synthesize a
-		// binding with default extents for symbolic dimensions.
-		binding = sdk.GenericBinding(k, 16)
-	}
-
 	fmtF, err := formatByName(*format)
 	if err != nil {
 		return err
 	}
-	res, err := sdk.Compile(src, binding, sdk.CompileOptions{
+	oly := sdk.DefaultOlympus()
+	oly.MemPorts = *memPorts
+	opt := variants.Options{
 		Backend: *backend, Format: fmtF, Device: *device,
-		Olympus: olympus.Options{SharePLM: true, DoubleBuffer: true, Replicate: true, MaxReplicas: 8, PackData: true},
-	})
+		Olympus: oly,
+	}
+
+	var c *variants.Compiled
+	switch {
+	case *lang == "cfdlang":
+		src := variants.MatmulCFD()
+		name := "matmul"
+		if *kernelPath != "demo" && *kernelPath != "matmul" {
+			data, err := os.ReadFile(*kernelPath)
+			if err != nil {
+				return err
+			}
+			src, name = string(data), *kernelPath
+		}
+		c, err = variants.CompileCFDlang(src, name, nil, opt)
+	case *kernelPath == "demo":
+		c, err = variants.CompileEKL(wrf.EKLSource(), demoBinding(), opt)
+	case isExampleKernel(*kernelPath):
+		c, err = variants.CompileExample(*kernelPath, opt)
+	default:
+		data, err2 := os.ReadFile(*kernelPath)
+		if err2 != nil {
+			return err2
+		}
+		src := string(data)
+		k, err2 := ekl.ParseKernel(src)
+		if err2 != nil {
+			return err2
+		}
+		// Shapes, not values, drive hardware generation: synthesize a
+		// binding with default extents for symbolic dimensions.
+		c, err = variants.CompileEKL(src, sdk.GenericBinding(k, 16), opt)
+	}
 	if err != nil {
 		return err
 	}
+
 	switch *emit {
 	case "mlir":
-		fmt.Println(res.Module.String())
+		fmt.Println(c.Module.String())
 	case "olympus":
-		m, err := olympus.EmitModule(res.Design)
+		m, err := olympus.EmitModule(c.Design)
 		if err != nil {
 			return err
 		}
 		fmt.Println(m.String())
 	case "driver":
-		for _, line := range res.Design.HostCode {
+		for _, line := range c.Design.HostCode {
 			fmt.Println(line)
 		}
+	case "source":
+		switch {
+		case c.Kernel != nil:
+			fmt.Print(c.Kernel.Source())
+		case c.Program != nil:
+			fmt.Print(c.Program.Source())
+		default:
+			return fmt.Errorf("compile: no parsed source to print")
+		}
 	default:
-		fmt.Printf("kernel   : %s (%d statements)\n", res.Kernel.Name, res.Kernel.SourceLines())
-		fmt.Printf("hls      : %s\n", res.Report.String())
-		cfg := res.Design.Bitstream.Config
+		stmts := "-"
+		if c.Kernel != nil {
+			stmts = fmt.Sprintf("%d statements", c.Kernel.SourceLines())
+		}
+		fmt.Printf("kernel   : %s [%s] (%s)\n", c.KernelName, c.Frontend, stmts)
+		fmt.Printf("hls      : %s\n", c.Report.String())
+		cfg := c.Design.Bitstream.Config
 		fmt.Printf("olympus  : replicas=%d lanes=%d packed=%d doublebuf=%v plm=%dB\n",
 			cfg.Replicas, cfg.Lanes, cfg.PackedElements, cfg.DoubleBuffered, cfg.PLMBytes)
 		fmt.Printf("bitstream: %s (util %.1f%% of %s)\n",
-			res.Design.Bitstream.ID, res.Design.FitUtil*100, res.Design.Bitstream.Target)
-		for _, st := range res.PassStats {
+			c.Design.Bitstream.ID, c.Design.FitUtil*100, c.Design.Bitstream.Target)
+		for _, st := range c.PassStats {
 			fmt.Printf("pass     : %-16s %8v  (%d ops after)\n", st.Pass, st.Duration, st.OpsAfter)
 		}
+		fmt.Printf("workload : %.4g effective flops, %dB in, %dB out\n",
+			c.Flops, c.InputBytes, c.OutputBytes)
+		fmt.Println("variants : (operating points derived from the HLS schedule + CPU cost model)")
+		for _, row := range c.Summary() {
+			fmt.Printf("  %s\n", row)
+		}
+		tn, err := c.NewTuner()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("tuner    : best=%s\n", tn.Best())
 	}
 	return nil
+}
+
+func isExampleKernel(name string) bool {
+	for _, n := range variants.ExampleNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
 }
 
 func demoBinding() ekl.Binding {
@@ -249,8 +304,17 @@ func cmdServe(args []string) error {
 	failNode := fs.String("fail", "", "inject a node failure, e.g. node00@0.5")
 	trace := fs.Bool("trace", false, "print engine events")
 	adaptive := fs.Bool("adaptive", false, "variant-aware scheduling against live monitors")
+	netName := fs.String("net", "", "price transfers over a cloudFPGA stack: tcp10g or udp10g (default: flat fabric)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var stack *netsim.Stack
+	if *netName != "" {
+		st, err := netsim.StackByName(*netName)
+		if err != nil {
+			return err
+		}
+		stack = &st
 	}
 	if *workflows < 1 || *tenants < 1 || *nodes < 1 {
 		return fmt.Errorf("serve: workflows, tenants and nodes must be positive")
@@ -295,7 +359,7 @@ func cmdServe(args []string) error {
 
 	cfg := sdk.ServerConfig{
 		Policy: policy, MaxConcurrent: *concurrency, Failures: failures,
-		Adaptive: *adaptive,
+		Adaptive: *adaptive, Net: stack,
 	}
 	if *trace {
 		cfg.Trace = func(ev runtime.Event) {
@@ -381,7 +445,9 @@ func tenantAdaptSummary(ts sdk.TenantStats) string {
 // cmdAdapt runs the E-adapt comparison: the same FPGA-leaning workflows
 // and mid-run faults (accelerator unplug + node slowdown) served twice,
 // statically and adaptively, printing both makespans and the adaptation
-// activity.
+// activity. With -compiled it runs the E-compile variant instead: the
+// workload kernel is compiled source-to-schedule and the adaptive arm's
+// tuners are seeded from the derived operating points.
 func cmdAdapt(args []string) error {
 	fs := flag.NewFlagSet("adapt", flag.ExitOnError)
 	def := sdk.DefaultAdaptiveScenario()
@@ -391,8 +457,22 @@ func cmdAdapt(args []string) error {
 	tenants := fs.Int("tenants", def.Tenants, "tenants sharing the cluster")
 	slow := fs.Float64("slow", def.Slowdown, "load factor hitting the last compute node")
 	faultAt := fs.Float64("fault-at", def.FaultAt, "modelled time the faults take effect")
+	compiled := fs.Bool("compiled", false, "E-compile: serve a source-to-schedule compiled kernel instead of the hand-declared workload")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *compiled {
+		csc := sdk.DefaultCompiledScenario()
+		csc.Workflows, csc.Nodes, csc.FPGANodes, csc.Tenants = *workflows, *nodes, *fpgaNodes, *tenants
+		csc.Slowdown = *slow
+		// -fault-at defaults to the E-adapt timing; only an explicit value
+		// overrides the compiled scenario's own default.
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "fault-at" {
+				csc.FaultAt = *faultAt
+			}
+		})
+		return runCompiledScenario(csc)
 	}
 	sc := sdk.AdaptiveScenario{
 		Workflows: *workflows, Nodes: *nodes, FPGANodes: *fpgaNodes,
@@ -428,6 +508,46 @@ func cmdAdapt(args []string) error {
 	for _, h := range adaptive.Health {
 		fmt.Printf("  %-10s : %2d tasks, ewma %.3gs, load est %.2fx, devices %d/%d\n",
 			h.Node, h.Tasks, h.EWMALatency, h.SlowdownEst, h.DevicesOnline, h.DevicesTotal)
+	}
+	return nil
+}
+
+// runCompiledScenario serves the E-compile comparison and prints it.
+func runCompiledScenario(sc sdk.CompiledScenario) error {
+	c, err := sc.Compile()
+	if err != nil {
+		return err
+	}
+	static, err := sc.RunWith(c, false)
+	if err != nil {
+		return err
+	}
+	adaptive, err := sc.RunWith(c, true)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario   : %d workflows of compiled kernel %q, %d nodes (%d with FPGA), %d tenants, %s transfers\n",
+		sc.Workflows, c.KernelName, sc.Nodes, sc.FPGANodes, sc.Tenants, sc.Net)
+	fmt.Printf("hls        : %s\n", c.Report.String())
+	fmt.Println("variants   : (derived from the HLS schedule + CPU cost model)")
+	for _, row := range c.Summary() {
+		fmt.Printf("  %s\n", row)
+	}
+	fmt.Printf("faults     : unplug FPGA of node00 + %.3gx slowdown of node%02d, from t=%.3gs\n",
+		sc.Slowdown, sc.Nodes-1, sc.FaultAt)
+	fmt.Printf("static     : %.4gs modelled (hand-declared path)\n", static.Makespan)
+	fmt.Printf("adaptive   : %.4gs modelled (compiled variants)\n", adaptive.Makespan)
+	if adaptive.Makespan > 0 {
+		fmt.Printf("speedup    : %.2fx\n", static.Makespan/adaptive.Makespan)
+	}
+	var names []string
+	for name := range adaptive.Stats.Tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  %-10s : %s\n", name,
+			strings.TrimPrefix(tenantAdaptSummary(adaptive.Stats.Tenants[name]), ", "))
 	}
 	return nil
 }

@@ -10,6 +10,8 @@ import (
 	"log"
 
 	"everest/internal/energy"
+	"everest/internal/sdk"
+	"everest/internal/variants"
 )
 
 func main() {
@@ -48,4 +50,24 @@ func main() {
 	}
 	fmt.Printf("\nlatest hour: forecast wind %.1f m/s -> predicted %.0f kW (actual %.0f kW)\n",
 		lastSample.ForecastWS, pred, lastSample.PowerKW)
+
+	// The same KRR inference, carried through the SDK loop: the EKL kernel
+	// compiled source-to-schedule, with cpu1/cpu16/fpga operating points
+	// derived from the HLS schedule and the CPU cost model. This is what
+	// the adaptive runtime's tuners are seeded with (basecamp adapt
+	// -compiled serves it under faults).
+	c, err := variants.CompileExample("windpower", sdk.DefaultCompileOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncompiled kernel %s (%s frontend): %s\n", c.KernelName, c.Frontend, c.Report)
+	fmt.Println("derived operating points:")
+	for _, row := range c.Summary() {
+		fmt.Printf("  %s\n", row)
+	}
+	tn, err := c.NewTuner()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tuner pick: %s\n", tn.Best())
 }

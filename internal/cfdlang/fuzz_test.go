@@ -1,0 +1,39 @@
+package cfdlang
+
+import (
+	"testing"
+)
+
+// Fuzz targets for the legacy CFDlang frontend: no panics on arbitrary
+// input, and parse -> print -> parse stability for everything accepted.
+// Seed corpora are committed under testdata/fuzz/.
+
+func FuzzParseRoundTrip(f *testing.F) {
+	for _, s := range []string{
+		"var input A : [4 5]\nvar input B : [5 6]\nvar output C : [4 6]\nC = (A * B) . [[2 3]]\n",
+		"var input A : [3 3]\nvar output t : [1]\nt = A . [[1 2]]\n",
+		"var input A : [2 2]\nvar input B : [2 2]\nvar output C : [2 2]\nC = A + B - A\n",
+		"var input A : [2 3 2 3]\nvar output C : [2 3]\nC = A . [[1 3]]\n",
+		"var input A : [2]\nvar output C : [2 2 2]\nC = A * A * A\n",
+		"# comment\nvar input A : [1]\nvar output B : [1]\nB = A\n",
+		"var input A : [2]\nC = A\n",
+		"var output C : [2]\nC = ((C))\n",
+		"var input A : [4 4 4]\nvar output C : [4]\nC = A . [[1 2] [2 3]]\n",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		printed := p.Source()
+		p2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("canonical print does not reparse: %v\n--- printed ---\n%s", err, printed)
+		}
+		if again := p2.Source(); again != printed {
+			t.Fatalf("print -> parse -> print unstable:\n--- first ---\n%s\n--- second ---\n%s", printed, again)
+		}
+	})
+}

@@ -1,0 +1,46 @@
+package cfdlang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Source renders the program back to parseable CFDlang source in canonical
+// form: declarations first, one statement per line, binary expressions
+// fully parenthesized. Parse(p.Source()) yields a program that prints
+// identically — the round-trip property the fuzz tests assert.
+func (p *Program) Source() string {
+	var b strings.Builder
+	for _, d := range p.Decls {
+		kind := "input"
+		if d.Output {
+			kind = "output"
+		}
+		dims := make([]string, len(d.Dims))
+		for i, n := range d.Dims {
+			dims[i] = fmt.Sprintf("%d", n)
+		}
+		fmt.Fprintf(&b, "var %s %s : [%s]\n", kind, d.Name, strings.Join(dims, " "))
+	}
+	for _, s := range p.Stmts {
+		fmt.Fprintf(&b, "%s = %s\n", s.Target, ExprString(s.RHS))
+	}
+	return b.String()
+}
+
+// ExprString renders one expression in parseable form.
+func ExprString(e Expr) string {
+	switch t := e.(type) {
+	case Ref:
+		return t.Name
+	case Binary:
+		return fmt.Sprintf("(%s %s %s)", ExprString(t.L), t.Op, ExprString(t.R))
+	case Contract:
+		pairs := make([]string, len(t.Pairs))
+		for i, pr := range t.Pairs {
+			pairs[i] = fmt.Sprintf("[%d %d]", pr[0], pr[1])
+		}
+		return fmt.Sprintf("%s . [%s]", ExprString(t.X), strings.Join(pairs, " "))
+	}
+	return "?"
+}

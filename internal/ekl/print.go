@@ -1,0 +1,62 @@
+package ekl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Source renders the kernel back to parseable EKL source in canonical form:
+// two-space indentation, declarations before statements, expressions
+// printed fully parenthesized. Parse(k.Source()) yields a kernel that
+// prints identically, which is the round-trip property the fuzz tests
+// assert and what `basecamp compile` shows for the normalized kernel.
+func (k *Kernel) Source() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel %s {\n", k.Name)
+	for _, in := range k.Inputs {
+		dims := make([]string, len(in.Dims))
+		for i, d := range in.Dims {
+			dims[i] = d.String()
+		}
+		fmt.Fprintf(&b, "  input %s : [%s]", in.Name, strings.Join(dims, ", "))
+		if in.IsIndex {
+			b.WriteString(" index")
+		}
+		b.WriteString("\n")
+	}
+	for _, p := range k.Params {
+		kw := "param"
+		if p.IsInt {
+			kw = "iparam"
+		}
+		fmt.Fprintf(&b, "  %s %s", kw, p.Name)
+		if p.HasDef {
+			fmt.Fprintf(&b, " = %s", trimFloat(p.Default))
+		}
+		b.WriteString("\n")
+	}
+	for _, s := range k.Stmts {
+		fmt.Fprintf(&b, "  %s", s.Name)
+		if len(s.LHS) > 0 {
+			parts := make([]string, len(s.LHS))
+			for i, e := range s.LHS {
+				parts[i] = e.String()
+			}
+			fmt.Fprintf(&b, "[%s]", strings.Join(parts, ", "))
+		}
+		op := "="
+		if s.Accumulate {
+			op = "+="
+		}
+		fmt.Fprintf(&b, " %s %s\n", op, s.RHS.String())
+	}
+	for _, out := range k.Outputs {
+		fmt.Fprintf(&b, "  output %s", out.Name)
+		if len(out.Indices) > 0 {
+			fmt.Fprintf(&b, "[%s]", strings.Join(out.Indices, ", "))
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

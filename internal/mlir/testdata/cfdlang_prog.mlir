@@ -1,0 +1,12 @@
+"builtin.module"() {sym_name = "golden_cfd"} ({
+  "cfdlang.prog"() {sym_name = "golden_cfd"} ({
+    %A_0 = "cfdlang.decl"() {name = "A"} : () -> (tensor<2x3xf64>)
+    %B_1 = "cfdlang.decl"() {name = "B"} : () -> (tensor<3x2xf64>)
+    %D_2 = "cfdlang.decl"() {name = "D"} : () -> (tensor<2x2xf64>)
+    %3 = "cfdlang.mul"(%A_0, %B_1) : (tensor<2x3xf64>, tensor<3x2xf64>) -> (tensor<f64>)
+    %4 = "cfdlang.contract"(%3) {pairs = "2 3"} : (tensor<f64>) -> (tensor<f64>)
+    %5 = "cfdlang.add"(%4, %D_2) : (tensor<f64>, tensor<2x2xf64>) -> (tensor<f64>)
+    %C_6 = "cfdlang.add"(%5, %D_2) : (tensor<f64>, tensor<2x2xf64>) -> (tensor<f64>)
+    "cfdlang.out"(%C_6) {name = "C"} : (tensor<f64>) -> ()
+  }) : () -> ()
+}) : () -> ()

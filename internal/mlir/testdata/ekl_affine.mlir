@@ -1,0 +1,112 @@
+"builtin.module"() {sym_name = "golden"} ({
+  "ekl.kernel"() {sym_name = "golden"} ({
+    %a_0 = "ekl.tensor"() {kind = "input", name = "a"} : () -> (tensor<4xf64>)
+    %idx_1 = "ekl.tensor"() {kind = "input", name = "idx"} : () -> (tensor<4xindex>)
+    %m_2 = "ekl.tensor"() {kind = "input", name = "m"} : () -> (tensor<4x4xf64>)
+    %c_3 = "ekl.tensor"() {kind = "param", name = "c"} : () -> (tensor<f64>)
+    %g_4 = "ekl.gather"(%m_2, %idx_1) {affine.lowered = true, bounds = [4], indices = ["i0"], pattern = "#1,i", teil.lowered = true} ({
+      ^bb0(%iv_5: index):
+      %6 = "teil.load"(%m_2) {note = "operand element"} : (tensor<4x4xf64>) -> (f64)
+      %7 = "teil.load"(%idx_1) {note = "operand element"} : (tensor<4xindex>) -> (f64)
+      %8 = "teil.binary"(%6, %7) {fn = "*"} : (f64, f64) -> (f64)
+      "teil.store"(%8, %8) : (f64, f64) -> ()
+      "teil.yield"() : () -> ()
+    }, {
+      "affine.for"() {lower = 0, upper = 4} ({
+        ^bb0(%iv_9: index):
+        %10 = "affine.load"(%m_2) : (tensor<4x4xf64>) -> (f64)
+        "affine.store"(%10, %m_2) : (f64, tensor<4x4xf64>) -> ()
+        "affine.yield"() : () -> ()
+      }) : () -> ()
+    }) : (tensor<4x4xf64>, tensor<4xindex>) -> (tensor<4xf64>)
+    %11 = "ekl.binary"(%a_0, %c_3) {affine.lowered = true, bounds = [4], fn = "<=", indices = ["i0"], teil.lowered = true} ({
+      ^bb0(%iv_12: index):
+      %13 = "teil.load"(%a_0) {note = "operand element"} : (tensor<4xf64>) -> (f64)
+      %14 = "teil.load"(%c_3) {note = "operand element"} : (tensor<f64>) -> (f64)
+      %15 = "teil.binary"(%13, %14) {fn = "<="} : (f64, f64) -> (f64)
+      "teil.store"(%15, %15) : (f64, f64) -> ()
+      "teil.yield"() : () -> ()
+    }, {
+      "affine.for"() {lower = 0, upper = 4} ({
+        ^bb0(%iv_16: index):
+        %17 = "affine.load"(%a_0) : (tensor<4xf64>) -> (f64)
+        "affine.store"(%17, %a_0) : (f64, tensor<4xf64>) -> ()
+        "affine.yield"() : () -> ()
+      }) : () -> ()
+    }) : (tensor<4xf64>, tensor<f64>) -> (tensor<4xf64>)
+    %18 = "ekl.unary"(%a_0) {affine.lowered = true, bounds = [4], fn = "neg", indices = ["i0"], teil.lowered = true} ({
+      ^bb0(%iv_19: index):
+      %20 = "teil.load"(%a_0) {note = "operand element"} : (tensor<4xf64>) -> (f64)
+      "teil.store"(%20, %20) : (f64, f64) -> ()
+      "teil.yield"() : () -> ()
+    }, {
+      "affine.for"() {lower = 0, upper = 4} ({
+        ^bb0(%iv_21: index):
+        %22 = "affine.load"(%a_0) : (tensor<4xf64>) -> (f64)
+        "affine.store"(%22, %a_0) : (f64, tensor<4xf64>) -> ()
+        "affine.yield"() : () -> ()
+      }) : () -> ()
+    }) : (tensor<4xf64>) -> (tensor<4xf64>)
+    %s_23 = "ekl.select"(%11, %g_4, %18) {affine.lowered = true, bounds = [4], indices = ["i0"], teil.lowered = true} ({
+      ^bb0(%iv_24: index):
+      %25 = "teil.load"(%11) {note = "operand element"} : (tensor<4xf64>) -> (f64)
+      %26 = "teil.load"(%g_4) {note = "operand element"} : (tensor<4xf64>) -> (f64)
+      %27 = "teil.load"(%18) {note = "operand element"} : (tensor<4xf64>) -> (f64)
+      %28 = "teil.binary"(%25, %26) {fn = "*"} : (f64, f64) -> (f64)
+      %29 = "teil.binary"(%28, %27) {fn = "*"} : (f64, f64) -> (f64)
+      "teil.store"(%29, %29) : (f64, f64) -> ()
+      "teil.yield"() : () -> ()
+    }, {
+      "affine.for"() {lower = 0, upper = 4} ({
+        ^bb0(%iv_30: index):
+        %31 = "affine.load"(%11) : (tensor<4xf64>) -> (f64)
+        "affine.store"(%31, %11) : (f64, tensor<4xf64>) -> ()
+        "affine.yield"() : () -> ()
+      }) : () -> ()
+    }) : (tensor<4xf64>, tensor<4xf64>, tensor<4xf64>) -> (tensor<4xf64>)
+    %e_32 = "ekl.unary"(%s_23) {affine.lowered = true, bounds = [4], fn = "exp", indices = ["i0"], teil.lowered = true} ({
+      ^bb0(%iv_33: index):
+      %34 = "teil.load"(%s_23) {note = "operand element"} : (tensor<4xf64>) -> (f64)
+      "teil.store"(%34, %34) : (f64, f64) -> ()
+      "teil.yield"() : () -> ()
+    }, {
+      "affine.for"() {lower = 0, upper = 4} ({
+        ^bb0(%iv_35: index):
+        %36 = "affine.load"(%s_23) : (tensor<4xf64>) -> (f64)
+        "affine.store"(%36, %s_23) : (f64, tensor<4xf64>) -> ()
+        "affine.yield"() : () -> ()
+      }) : () -> ()
+    }) : (tensor<4xf64>) -> (tensor<4xf64>)
+    %37 = "ekl.binary"(%e_32, %a_0) {affine.lowered = true, bounds = [4], fn = "*", indices = ["i0"], teil.lowered = true} ({
+      ^bb0(%iv_38: index):
+      %39 = "teil.load"(%e_32) {note = "operand element"} : (tensor<4xf64>) -> (f64)
+      %40 = "teil.load"(%a_0) {note = "operand element"} : (tensor<4xf64>) -> (f64)
+      %41 = "teil.binary"(%39, %40) {fn = "*"} : (f64, f64) -> (f64)
+      "teil.store"(%41, %41) : (f64, f64) -> ()
+      "teil.yield"() : () -> ()
+    }, {
+      "affine.for"() {lower = 0, upper = 4} ({
+        ^bb0(%iv_42: index):
+        %43 = "affine.load"(%e_32) : (tensor<4xf64>) -> (f64)
+        "affine.store"(%43, %e_32) : (f64, tensor<4xf64>) -> ()
+        "affine.yield"() : () -> ()
+      }) : () -> ()
+    }) : (tensor<4xf64>, tensor<4xf64>) -> (tensor<4xf64>)
+    %y_44 = "esn.contract"(%37) {affine.lowered = true, bounds = [4], indices = ["r0"], reduce = ["i"], reduce_bounds = [4], spec = "a->", teil.lowered = true} ({
+      ^bb0(%iv_45: index):
+      %46 = "teil.load"(%37) {note = "operand element"} : (tensor<4xf64>) -> (f64)
+      %47 = "builtin.constant"() {value = 0} : () -> (f64)
+      %48 = "teil.accumulate"(%47, %46) : (f64, f64) -> (f64)
+      "teil.store"(%48, %48) : (f64, f64) -> ()
+      "teil.yield"() : () -> ()
+    }, {
+      "affine.for"() {lower = 0, upper = 4} ({
+        ^bb0(%iv_49: index):
+        %50 = "affine.load"(%37) : (tensor<4xf64>) -> (f64)
+        "affine.store"(%50, %37) : (f64, tensor<4xf64>) -> ()
+        "affine.yield"() : () -> ()
+      }) : () -> ()
+    }) : (tensor<4xf64>) -> (tensor<f64>)
+    "ekl.output"(%y_44) {name = "y"} : (tensor<f64>) -> ()
+  }) : () -> ()
+}) : () -> ()

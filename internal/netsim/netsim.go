@@ -35,6 +35,18 @@ func UDP10G() Stack {
 	return Stack{Name: "udp10g", LineRateGbps: 10, MTU: 1472, FrameOverhead: 66, LatencyUs: 20, AckFactor: 1.0}
 }
 
+// StackByName resolves "tcp10g" or "udp10g".
+func StackByName(name string) (Stack, error) {
+	switch name {
+	case "tcp10g":
+		return TCP10G(), nil
+	case "udp10g":
+		return UDP10G(), nil
+	default:
+		return Stack{}, fmt.Errorf("netsim: unknown stack %q (want tcp10g or udp10g)", name)
+	}
+}
+
 // GoodputGBs returns the achievable payload bandwidth in GB/s.
 func (s Stack) GoodputGBs() float64 {
 	eff := float64(s.MTU) / float64(s.MTU+s.FrameOverhead)

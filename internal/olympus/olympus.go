@@ -35,6 +35,7 @@ type Options struct {
 	BusWidthBits  int     // memory bus width (0 = device port width)
 	TargetII      int     // forwarded to HLS directives
 	Unroll        int     // forwarded to HLS directives
+	MemPorts      int     // PLM banking: concurrent ports the datapath sees (0 = 2)
 	ReserveFabric float64 // fraction of the device kept free (0..1)
 }
 
@@ -99,7 +100,7 @@ func Generate(k hls.Kernel, backend hls.Backend, dev *platform.Device, buffers [
 	plmBytes := PlanPLM(buffers, opt.SharePLM)
 	k.BufferBytes = 0 // PLMs are accounted at the system level, not per instance
 
-	dirs := hls.Directives{PipelineEnabled: true, TargetII: opt.TargetII, Unroll: opt.Unroll}
+	dirs := hls.Directives{PipelineEnabled: true, TargetII: opt.TargetII, Unroll: opt.Unroll, MemPorts: opt.MemPorts}
 	report, err := hls.Schedule(k, dirs, backend)
 	if err != nil {
 		return nil, fmt.Errorf("olympus: HLS failed: %w", err)

@@ -397,10 +397,20 @@ func (e *Engine) onlineFPGADevices() int {
 // ---------------------------------------------------------------------------
 // adaptive placement
 
-// newWorkflowTuner seeds a variant tuner from the design-time cost model:
+// newWorkflowTuner seeds a variant tuner. Workflows carrying compiler-
+// derived operating points (Workflow.SetVariants — the compiled path of
+// the SDK loop) seed from those directly: every expected latency then
+// traces back to the HLS schedule and the CPU cost model, never to the
+// task specs. Otherwise the seeds come from the design-time cost model:
 // the workflow's mean task cost per variant on a reference node, with the
 // fpga variant present only when some task can actually offload somewhere.
 func (e *Engine) newWorkflowTuner(st *wfState) *autotuner.Tuner {
+	if len(st.variants) > 0 {
+		if tn, err := autotuner.NewTuner(st.variants); err == nil {
+			return tn
+		}
+		// A malformed set falls through to the engine-derived seeds.
+	}
 	if len(e.cluster.Nodes) == 0 {
 		return nil // fall back to static placement (which reports the error)
 	}

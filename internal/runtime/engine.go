@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"everest/internal/autotuner"
+	"everest/internal/netsim"
 	"everest/internal/platform"
 )
 
@@ -114,6 +115,13 @@ type EngineConfig struct {
 	// Monitor collects per-node observations; the engine creates its own
 	// when nil. Sharing one lets callers read node health after a run.
 	Monitor *platform.Monitor
+	// Net, when set, prices inter-node dependency transfers over the
+	// packetization-aware cloudFPGA network stack (netsim.Stack: per-MTU
+	// framing overhead, one-way stack latency, ack derating) instead of the
+	// cluster's flat link model. Small payloads become latency-bound and
+	// large ones bandwidth-bound, which is what makes batched transfers
+	// between variant placements worth modelling.
+	Net *netsim.Stack
 }
 
 // Future is the handle returned for one workflow submission. Wait blocks
@@ -321,6 +329,9 @@ type wfState struct {
 
 	// tuner is the per-workflow mARGOt instance (adaptive mode only).
 	tuner *autotuner.Tuner
+	// variants are compiler-derived tuner seeds snapshotted at submission
+	// (Workflow.SetVariants); empty means the engine derives its own.
+	variants []autotuner.Variant
 
 	sched *Schedule
 	fut   *Future
@@ -337,6 +348,7 @@ func newWFState(w *Workflow, name, tenant string, fut *Future) *wfState {
 		doneAt:    make(map[string]float64, w.Len()),
 		locAt:     make(map[string]string, w.Len()),
 		pending:   w.Len(),
+		variants:  w.Variants(),
 		sched:     &Schedule{},
 		fut:       fut,
 	}
@@ -758,7 +770,7 @@ func (e *Engine) readyOn(st *wfState, task *TaskSpec, node string) (ready float6
 		g := bySrc[src]
 		arrive := g.latest
 		if src != node {
-			arrive += e.cluster.BatchTransferSeconds(src, node, g.bytes, g.count)
+			arrive += e.transferSeconds(src, node, g.bytes, g.count)
 			moved += g.bytes
 			groups++
 		}
@@ -767,6 +779,22 @@ func (e *Engine) readyOn(st *wfState, task *TaskSpec, node string) (ready float6
 		}
 	}
 	return ready, moved, groups
+}
+
+// transferSeconds prices moving the coalesced outputs of `deps`
+// dependencies between two nodes. With a network stack configured
+// (EngineConfig.Net) the batch pays one packetized transfer — per-MTU
+// framing overhead plus one stack traversal, so coalescing saves the
+// (deps-1) extra traversals; otherwise the cluster's flat link model
+// applies.
+func (e *Engine) transferSeconds(from, to string, bytes int64, deps int) float64 {
+	if from == to || deps <= 0 {
+		return 0
+	}
+	if e.cfg.Net != nil {
+		return e.cfg.Net.SendSeconds(bytes)
+	}
+	return e.cluster.BatchTransferSeconds(from, to, bytes, deps)
 }
 
 // ---------------------------------------------------------------------------

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 
+	"everest/internal/autotuner"
 	"everest/internal/platform"
 )
 
@@ -49,6 +50,10 @@ type TaskSpec struct {
 type Workflow struct {
 	tasks map[string]*TaskSpec
 	order []string
+
+	// variants, when set, are compiler-derived operating points that seed
+	// this workflow's variant tuner in adaptive mode (SetVariants).
+	variants []autotuner.Variant
 }
 
 // NewWorkflow returns an empty workflow.
@@ -86,6 +91,20 @@ func (w *Workflow) Get(name string) (*TaskSpec, bool) {
 
 // Len returns the number of tasks.
 func (w *Workflow) Len() int { return len(w.order) }
+
+// SetVariants attaches compiler-derived operating points (expected latency
+// per implementation variant) to the workflow. In adaptive mode the engine
+// seeds the workflow's autotuner from them instead of re-deriving seeds
+// from the task specs — the compiled path of the SDK loop, where every
+// expected latency traces back to the HLS schedule and the CPU cost model.
+func (w *Workflow) SetVariants(vs []autotuner.Variant) {
+	w.variants = append([]autotuner.Variant(nil), vs...)
+}
+
+// Variants returns the attached operating points (nil when none).
+func (w *Workflow) Variants() []autotuner.Variant {
+	return append([]autotuner.Variant(nil), w.variants...)
+}
 
 // Policy selects the scheduling strategy.
 type Policy int

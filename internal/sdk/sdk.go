@@ -19,6 +19,7 @@ import (
 	"everest/internal/platform"
 	"everest/internal/runtime"
 	"everest/internal/tensor"
+	"everest/internal/variants"
 )
 
 // CompileOptions selects the flow configuration for one kernel.
@@ -26,6 +27,8 @@ type CompileOptions struct {
 	Backend string       // "vitis" or "bambu" (default vitis)
 	Format  base2.Format // datapath format (default f32)
 	Device  string       // target device name (default alveo-u55c)
+	// Olympus holds the system-generation knobs, including the PLM
+	// banking assumption (olympus.Options.MemPorts).
 	Olympus olympus.Options
 }
 
@@ -37,82 +40,29 @@ type CompileResult struct {
 	Report    hls.Report
 	Design    *olympus.Design
 	PassStats []mlir.PassStat
+	// Compiled is the underlying variant-pipeline result: the derived
+	// workload model and the cpu1/cpu16/fpga operating points.
+	Compiled *variants.Compiled
 }
 
 // Compile runs the full data-driven compilation flow of §V on an EKL kernel
 // source: parse/check, shape-specialize against the binding, lower through
 // the MLIR dialect stack, HLS-schedule, and generate the FPGA system
-// architecture. The resulting bitstream is returned inside the Design.
+// architecture. It delegates to the variant-generation pipeline
+// (internal/variants), so the result also carries the derived operating
+// points that seed the adaptive runtime's tuners.
 func Compile(src string, binding ekl.Binding, opt CompileOptions) (*CompileResult, error) {
-	k, err := ekl.ParseKernel(src)
-	if err != nil {
-		return nil, err
-	}
-	if err := k.Check(); err != nil {
-		return nil, err
-	}
-	module, res, err := ekl.Lower(k, binding)
-	if err != nil {
-		return nil, err
-	}
-	pm := mlir.NewPassManager().Add(ekl.LowerToTeIL(), ekl.LowerToAffine())
-	if err := pm.Run(module); err != nil {
-		return nil, err
-	}
-
-	backendName := opt.Backend
-	if backendName == "" {
-		backendName = "vitis"
-	}
-	backend, err := hls.BackendByName(backendName)
-	if err != nil {
-		return nil, err
-	}
-	format := opt.Format
-	if format == nil {
-		format = base2.Float32{}
-	}
-	deviceName := opt.Device
-	if deviceName == "" {
-		deviceName = "alveo-u55c"
-	}
-	dev, err := platform.DeviceByName(deviceName)
-	if err != nil {
-		return nil, err
-	}
-
-	hk := hls.FromEKLKernel(k, res, format)
-	report, err := hls.Schedule(hk, hls.Directives{PipelineEnabled: true,
-		TargetII: opt.Olympus.TargetII, Unroll: opt.Olympus.Unroll}, backend)
-	if err != nil {
-		return nil, err
-	}
-
-	// PLM planning: every tensor the kernel touches, phased by statement
-	// order (inputs phase 0, intermediates/outputs phase 1).
-	var buffers []olympus.Buffer
-	elemBytes := int64((format.Bits() + 7) / 8)
-	for _, in := range k.Inputs {
-		if t, ok := res.All[in.Name]; ok {
-			buffers = append(buffers, olympus.Buffer{
-				Name: in.Name, Bytes: int64(t.Size()) * elemBytes, Phase: 0,
-			})
-		}
-	}
-	for _, out := range k.Outputs {
-		if t, ok := res.All[out.Name]; ok {
-			buffers = append(buffers, olympus.Buffer{
-				Name: out.Name, Bytes: int64(t.Size()) * elemBytes, Phase: 1,
-			})
-		}
-	}
-	design, err := olympus.Generate(hk, backend, dev, buffers, opt.Olympus)
+	c, err := variants.CompileEKL(src, binding, variants.Options{
+		Backend: opt.Backend, Format: opt.Format, Device: opt.Device,
+		Olympus: opt.Olympus,
+	})
 	if err != nil {
 		return nil, err
 	}
 	return &CompileResult{
-		Kernel: k, Module: module, HLSKernel: hk,
-		Report: report, Design: design, PassStats: pm.Stats,
+		Kernel: c.Kernel, Module: c.Module, HLSKernel: c.HLSKernel,
+		Report: c.Report, Design: c.Design, PassStats: c.PassStats,
+		Compiled: c,
 	}, nil
 }
 

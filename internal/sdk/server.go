@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"everest/internal/netsim"
 	"everest/internal/platform"
 	"everest/internal/runtime"
 	"everest/internal/virt"
@@ -54,6 +55,9 @@ type ServerConfig struct {
 	// (engine semantics; deterministic, unlike the completion-triggered
 	// Faults).
 	Events []runtime.EnvEvent
+	// Net prices inter-node transfers over the packetization-aware
+	// cloudFPGA network stack when set (engine semantics).
+	Net *netsim.Stack
 }
 
 // TenantStats aggregates one tenant's submissions.
@@ -92,7 +96,7 @@ func (s *SDK) NewServer(cfg ServerConfig) *Server {
 	}
 	srv.eng = runtime.NewEngine(s.Cluster, s.Registry, runtime.EngineConfig{
 		Policy: cfg.Policy, Failures: cfg.Failures, Trace: trace,
-		Adaptive: cfg.Adaptive, Events: cfg.Events,
+		Adaptive: cfg.Adaptive, Events: cfg.Events, Net: cfg.Net,
 	})
 	if cfg.MaxConcurrent > 0 {
 		srv.slots = make(chan struct{}, cfg.MaxConcurrent)

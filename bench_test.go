@@ -213,6 +213,48 @@ func BenchmarkCompiledVariants(b *testing.B) {
 	b.ReportMetric(median(makespans), "modelled_s")
 }
 
+// BenchmarkFleetThroughput exercises the federation tier (E-fleet): the
+// same aggregate workload — 64 mixed compiled and hand-declared workflows
+// from 32 tenants, one-slot bitstream caches, an accelerator unplug on
+// site 0 — is pushed through the open-arrival saturation ladder twice,
+// once over 4 federated sites and once over a single site. The reported
+// throughput_at_slo metric is the 4-site achieved throughput (workflows
+// per modelled second) at the highest offered load whose p95 latency
+// still meets the scenario SLO; fleet_speedup is its ratio over the
+// single site (acceptance: >= 1.5x). Sequential modelled-time serving
+// makes both exactly deterministic across GOMAXPROCS; CI's consolidated
+// benchgate pins them via BENCH_4.json.
+func BenchmarkFleetThroughput(b *testing.B) {
+	sc := sdk.DefaultFleetScenario()
+	c, err := sc.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	gaps := sdk.DefaultSaturationGaps()
+	var tputs, speedups []float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		multi := sc
+		_, best4, err := multi.Saturate(c, gaps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		single := sc
+		single.Sites = 1
+		_, best1, err := single.Saturate(c, gaps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if best4.Throughput <= 0 || best1.Throughput <= 0 {
+			b.Fatalf("no SLO-meeting rung (4-site %+v, 1-site %+v)", best4, best1)
+		}
+		tputs = append(tputs, best4.Throughput)
+		speedups = append(speedups, best4.Throughput/best1.Throughput)
+	}
+	b.ReportMetric(median(tputs), "throughput_at_slo")
+	b.ReportMetric(median(speedups), "fleet_speedup")
+}
+
 func median(xs []float64) float64 {
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)

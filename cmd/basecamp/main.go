@@ -8,6 +8,7 @@
 //	                               # cpu1/cpu16/fpga operating points and the tuner's pick
 //	basecamp deploy   -nodes N     # compile demo kernel, stage it, plan a workflow
 //	basecamp serve    -workflows N -concurrency K [-adaptive] [-net tcp10g|udp10g]  # concurrent multi-tenant runtime demo
+//	basecamp serve    -sites N -cache-slots K [-registry-net tcp10g|udp10g|eth100g] [-gap S]  # federated fleet serving
 //	basecamp adapt    -workflows N [-compiled]  # adaptive vs static placement under injected faults
 //	basecamp dialects              # list the registered MLIR dialects (Fig. 5)
 //	basecamp anomaly  -trials N    # AutoML model selection on a synthetic stream
@@ -27,6 +28,7 @@ import (
 	"everest/internal/base2"
 	"everest/internal/ekl"
 	"everest/internal/experiments"
+	"everest/internal/fleet"
 	"everest/internal/mlir"
 	"everest/internal/mlir/dialects"
 	"everest/internal/netsim"
@@ -298,15 +300,55 @@ func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	workflows := fs.Int("workflows", 16, "workflows to submit")
 	concurrency := fs.Int("concurrency", 8, "max workflows in flight (0 = unlimited)")
-	nodes := fs.Int("nodes", 8, "compute nodes in the simulated cluster")
+	nodes := fs.Int("nodes", 8, "compute nodes in the simulated cluster (per site with -sites > 1)")
 	policyName := fs.String("policy", "heft", "placement policy: heft or fifo")
 	tenants := fs.Int("tenants", 4, "tenants sharing the cluster")
 	failNode := fs.String("fail", "", "inject a node failure, e.g. node00@0.5")
 	trace := fs.Bool("trace", false, "print engine events")
 	adaptive := fs.Bool("adaptive", false, "variant-aware scheduling against live monitors")
 	netName := fs.String("net", "", "price transfers over a cloudFPGA stack: tcp10g or udp10g (default: flat fabric)")
+	sites := fs.Int("sites", 1, "federated engine sites (> 1 serves through the fleet router)")
+	cacheSlots := fs.Int("cache-slots", 1, "resident bitstreams per site (fleet mode)")
+	registryNet := fs.String("registry-net", "tcp10g", "registry->site deploy fabric (fleet mode): tcp10g, udp10g, or eth100g")
+	gap := fs.Float64("gap", 0.05, "modelled interarrival seconds between submissions (fleet mode)")
+	unplugAt := fs.Float64("unplug-at", 0.5, "modelled time site 0's first accelerator detaches (fleet mode; 0 = no fault)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var policy runtime.Policy
+	switch strings.ToLower(*policyName) {
+	case "heft":
+		policy = runtime.PolicyHEFT
+	case "fifo":
+		policy = runtime.PolicyFIFO
+	default:
+		return fmt.Errorf("serve: unknown policy %q", *policyName)
+	}
+	// Each serving mode has flags the other would silently ignore, which
+	// would misreport what was measured: per-site serving is serial and
+	// faults are scripted per site in fleet mode, while cache/deploy/
+	// arrival knobs only exist there.
+	var incompatible []string
+	fs.Visit(func(fl *flag.Flag) {
+		switch {
+		case *sites > 1 && (fl.Name == "concurrency" || fl.Name == "fail"):
+			incompatible = append(incompatible, "-"+fl.Name)
+		case *sites == 1 && (fl.Name == "cache-slots" || fl.Name == "registry-net" ||
+			fl.Name == "gap" || fl.Name == "unplug-at"):
+			incompatible = append(incompatible, "-"+fl.Name)
+		}
+	})
+	if len(incompatible) > 0 {
+		mode := "-sites > 1"
+		if *sites == 1 {
+			mode = "-sites 1"
+		}
+		return fmt.Errorf("serve: %s not supported with %s",
+			strings.Join(incompatible, ", "), mode)
+	}
+	if *sites > 1 {
+		return serveFleet(*sites, *nodes, *cacheSlots, *workflows, *tenants,
+			policy, *adaptive, *netName, *registryNet, *gap, *unplugAt, *trace)
 	}
 	var stack *netsim.Stack
 	if *netName != "" {
@@ -318,15 +360,6 @@ func cmdServe(args []string) error {
 	}
 	if *workflows < 1 || *tenants < 1 || *nodes < 1 {
 		return fmt.Errorf("serve: workflows, tenants and nodes must be positive")
-	}
-	var policy runtime.Policy
-	switch strings.ToLower(*policyName) {
-	case "heft":
-		policy = runtime.PolicyHEFT
-	case "fifo":
-		policy = runtime.PolicyFIFO
-	default:
-		return fmt.Errorf("serve: unknown policy %q", *policyName)
 	}
 	var failures []runtime.NodeFailure
 	if *failNode != "" {
@@ -418,6 +451,53 @@ func cmdServe(args []string) error {
 			name, ts.Completed, ts.Failed, ts.LastFinish, tenantAdaptSummary(ts))
 	}
 	fmt.Printf("wall time  : %s\n", wall.Round(time.Millisecond))
+	return nil
+}
+
+// serveFleet is `basecamp serve -sites N`: the same mixed E-fleet load
+// served through the federation tier — N independent engine sites behind
+// the fleet router, with bounded per-site bitstream caches and deploys
+// priced over the registry fabric.
+func serveFleet(sites, nodes, cacheSlots, workflows, tenants int, policy runtime.Policy, adaptive bool, netName, registryNet string, gap, unplugAt float64, trace bool) error {
+	if workflows < 1 || tenants < 1 || nodes < 1 {
+		return fmt.Errorf("serve: workflows, tenants and nodes must be positive")
+	}
+	sc := sdk.FleetScenario{
+		Sites: sites, NodesPerSite: nodes, CacheSlots: cacheSlots,
+		Tenants: tenants, Workflows: workflows, ArrivalGap: gap,
+		UnplugAt: unplugAt,
+		Net:      netName, RegistryNet: registryNet,
+		Policy: policy, Adaptive: adaptive,
+		SLO: 1.75,
+	}
+	if trace {
+		sc.Trace = func(ev fleet.Event) {
+			fmt.Printf("  [%8.4fs] %-10s site=%-7s tenant=%-9s wf=%-14s bs=%-12s %s\n",
+				ev.Time, ev.Kind, ev.Site, ev.Tenant, ev.Workflow, ev.Bitstream, ev.Detail)
+		}
+	}
+	res, err := sc.Run()
+	if err != nil {
+		return err
+	}
+	mode := "static"
+	if adaptive {
+		mode = "adaptive"
+	}
+	fmt.Printf("fleet      : %d sites x (%d compute nodes + cloudfpga0), cache %d slot(s)/site, %s\n",
+		sites, nodes, cacheSlots, mode)
+	fmt.Printf("workflows  : %d across %d tenants, arrivals every %.3gs modelled\n",
+		workflows, tenants, gap)
+	fmt.Printf("completed  : %d (%d rejected), makespan %.4gs modelled\n",
+		res.Completed, res.Rejected, res.Makespan)
+	fmt.Printf("throughput : %.4g workflows/s modelled\n", res.Throughput)
+	fmt.Printf("latency    : p50 %.4gs, p95 %.4gs, max %.4gs (SLO %.3gs met: %v)\n",
+		res.P50, res.P95, res.Max, sc.SLO, res.SLOMet)
+	for _, s := range res.Stats.Fleet.Sites {
+		fmt.Printf("  %-7s : %3d served, cache %d hit / %d miss, %d evict, %d redeploy, %d fallback, %.3gs deploying\n",
+			s.Name, s.Served, s.CacheHits, s.CacheMisses, s.Evictions, s.Redeploys,
+			s.FallbackDeploys, s.DeploySeconds)
+	}
 	return nil
 }
 

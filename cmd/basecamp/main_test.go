@@ -1,0 +1,84 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"everest/internal/runtime"
+	"everest/internal/sdk"
+)
+
+func TestServeFleetSmoke(t *testing.T) {
+	if err := serveFleet(2, 2, 1, 8, 4, runtime.PolicyHEFT, true, "", "eth100g", 0.05, 0.2, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeFleetValidation(t *testing.T) {
+	if err := serveFleet(2, 2, 1, 0, 4, runtime.PolicyHEFT, false, "", "tcp10g", 0.05, 0, false); err == nil {
+		t.Fatal("zero workflows accepted")
+	}
+	if err := serveFleet(2, 2, 1, 8, 4, runtime.PolicyFIFO, false, "bogus", "tcp10g", 0.05, 0, false); err == nil {
+		t.Fatal("bogus net accepted")
+	}
+}
+
+func TestFormatByName(t *testing.T) {
+	for _, name := range []string{"", "f32", "f64", "bf16", "f16", "fixed16", "posit16"} {
+		if _, err := formatByName(name); err != nil {
+			t.Fatalf("format %q: %v", name, err)
+		}
+	}
+	if _, err := formatByName("int4"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestIsExampleKernel(t *testing.T) {
+	if !isExampleKernel("windpower") {
+		t.Fatal("windpower is a built-in example")
+	}
+	if isExampleKernel("nope") {
+		t.Fatal("unknown kernel accepted")
+	}
+}
+
+func TestTenantAdaptSummary(t *testing.T) {
+	if got := tenantAdaptSummary(sdk.TenantStats{}); got != "" {
+		t.Fatalf("idle tenant summary = %q, want empty", got)
+	}
+	got := tenantAdaptSummary(sdk.TenantStats{
+		Reschedules: 2, Fallbacks: 1,
+		Variants: map[string]int{"fpga": 3, "cpu16": 1},
+	})
+	for _, want := range []string{"2 resched", "1 fallback", "fpga:3", "cpu16:1"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("summary %q missing %q", got, want)
+		}
+	}
+}
+
+func TestServeRejectsFleetIncompatibleFlags(t *testing.T) {
+	if err := cmdServe([]string{"-sites", "2", "-fail", "node00@0.5"}); err == nil {
+		t.Fatal("-fail with -sites > 1 accepted")
+	}
+	if err := cmdServe([]string{"-sites", "2", "-concurrency", "4"}); err == nil {
+		t.Fatal("-concurrency with -sites > 1 accepted")
+	}
+	if err := cmdServe([]string{"-policy", "turbo"}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestServeRejectsSingleSiteIncompatibleFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-cache-slots", "2"},
+		{"-registry-net", "eth100g"},
+		{"-gap", "0.1"},
+		{"-unplug-at", "0.2"},
+	} {
+		if err := cmdServe(args); err == nil {
+			t.Fatalf("fleet-only flag %v accepted without -sites > 1", args)
+		}
+	}
+}

@@ -1,15 +1,21 @@
 // Command benchgate is the CI bench-regression gate: it parses `go test
-// -bench` output, compares selected benchmark metrics against a committed
-// baseline (BENCH_2.json), and exits non-zero when a metric regresses
-// beyond the tolerance.
+// -bench` output, compares selected benchmark metrics against committed
+// baselines, and exits non-zero when a metric regresses beyond the
+// tolerance.
 //
 //	go test -bench . -benchtime 10x -run xxx . | tee bench.out
+//	go run ./cmd/benchgate -dir . -input bench.out            # every BENCH_*.json
 //	go run ./cmd/benchgate -baseline BENCH_2.json -input bench.out
-//	go run ./cmd/benchgate -baseline BENCH_2.json -input bench.out -update
+//	go run ./cmd/benchgate -dir . -input bench.out -update    # rewrite baselines
 //
 // The gated metrics are the modelled quantities the benchmarks report
-// (speedups, makespans) rather than ns/op: modelled numbers are
-// machine-independent, so the gate stays meaningful across CI runners.
+// (speedups, makespans, throughput-at-SLO) rather than ns/op: modelled
+// numbers are machine-independent, so the gate stays meaningful across CI
+// runners.
+//
+// Baseline keys are benchmark names; a key may carry an "@alias" suffix
+// ("BenchmarkFleetThroughput@fleet_speedup") so one benchmark can gate
+// several metrics — the suffix is stripped before matching bench output.
 package main
 
 import (
@@ -19,12 +25,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 )
 
-// Baseline is the committed reference the gate compares against.
+// Baseline is one committed reference file the gate compares against.
 type Baseline struct {
 	// Tolerance is the allowed relative regression (0.25 = 25%).
 	Tolerance  float64              `json:"tolerance"`
@@ -36,6 +43,14 @@ type Reference struct {
 	Metric         string  `json:"metric"`
 	HigherIsBetter bool    `json:"higher_is_better"`
 	Value          float64 `json:"value"`
+}
+
+// benchName strips the optional "@alias" suffix off a baseline key.
+func benchName(key string) string {
+	if i := strings.Index(key, "@"); i > 0 {
+		return key[:i]
+	}
+	return key
 }
 
 // parseBench extracts per-benchmark metric values from `go test -bench`
@@ -78,24 +93,24 @@ func parseBench(r io.Reader) (map[string]map[string]float64, error) {
 	return out, sc.Err()
 }
 
-// check compares observed metrics against the baseline and returns one
+// check compares observed metrics against one baseline and returns one
 // human-readable verdict line per gated benchmark plus the overall pass.
 func check(base Baseline, observed map[string]map[string]float64) (lines []string, ok bool) {
 	tol := base.Tolerance
 	if tol <= 0 {
 		tol = 0.25
 	}
-	names := make([]string, 0, len(base.Benchmarks))
-	for name := range base.Benchmarks {
-		names = append(names, name)
+	keys := make([]string, 0, len(base.Benchmarks))
+	for key := range base.Benchmarks {
+		keys = append(keys, key)
 	}
-	sort.Strings(names)
+	sort.Strings(keys)
 	ok = true
-	for _, name := range names {
-		ref := base.Benchmarks[name]
-		got, found := observed[name][ref.Metric]
+	for _, key := range keys {
+		ref := base.Benchmarks[key]
+		got, found := observed[benchName(key)][ref.Metric]
 		if !found {
-			lines = append(lines, fmt.Sprintf("FAIL %s: metric %q missing from bench output", name, ref.Metric))
+			lines = append(lines, fmt.Sprintf("FAIL %s: metric %q missing from bench output", key, ref.Metric))
 			ok = false
 			continue
 		}
@@ -115,7 +130,7 @@ func check(base Baseline, observed map[string]map[string]float64) (lines []strin
 			ok = false
 		}
 		lines = append(lines, fmt.Sprintf("%s %s: %s = %.4g (baseline %.4g, %+.1f%%, tolerance %.0f%%)",
-			verdict, name, ref.Metric, got, ref.Value, change*100, tol*100))
+			verdict, key, ref.Metric, got, ref.Value, change*100, tol*100))
 	}
 	return lines, ok
 }
@@ -123,28 +138,54 @@ func check(base Baseline, observed map[string]map[string]float64) (lines []strin
 // update rewrites the baseline's values from the observed metrics,
 // keeping metric names, directions, and tolerance.
 func update(base Baseline, observed map[string]map[string]float64) (Baseline, error) {
-	for name, ref := range base.Benchmarks {
-		got, found := observed[name][ref.Metric]
+	for key, ref := range base.Benchmarks {
+		got, found := observed[benchName(key)][ref.Metric]
 		if !found {
-			return base, fmt.Errorf("benchgate: metric %q of %s missing from bench output", ref.Metric, name)
+			return base, fmt.Errorf("benchgate: metric %q of %s missing from bench output", ref.Metric, key)
 		}
 		ref.Value = got
-		base.Benchmarks[name] = ref
+		base.Benchmarks[key] = ref
 	}
 	return base, nil
 }
 
-func run(baselinePath, inputPath string, doUpdate bool, stdout io.Writer) error {
-	raw, err := os.ReadFile(baselinePath)
+// loadBaseline reads and validates one baseline file.
+func loadBaseline(path string) (Baseline, error) {
+	raw, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return Baseline{}, err
 	}
 	var base Baseline
 	if err := json.Unmarshal(raw, &base); err != nil {
-		return fmt.Errorf("benchgate: bad baseline %s: %w", baselinePath, err)
+		return Baseline{}, fmt.Errorf("benchgate: bad baseline %s: %w", path, err)
 	}
 	if len(base.Benchmarks) == 0 {
-		return fmt.Errorf("benchgate: baseline %s gates no benchmarks", baselinePath)
+		return Baseline{}, fmt.Errorf("benchgate: baseline %s gates no benchmarks", path)
+	}
+	return base, nil
+}
+
+// baselinePaths resolves the files to gate: every BENCH_*.json in dir
+// (sorted), or the single -baseline file when dir is empty.
+func baselinePaths(dir, single string) ([]string, error) {
+	if dir == "" {
+		return []string{single}, nil
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("benchgate: no BENCH_*.json files in %s", dir)
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+func run(dir, baselinePath, inputPath string, doUpdate bool, stdout io.Writer) error {
+	paths, err := baselinePaths(dir, baselinePath)
+	if err != nil {
+		return err
 	}
 	var in io.Reader = os.Stdin
 	if inputPath != "" && inputPath != "-" {
@@ -159,37 +200,61 @@ func run(baselinePath, inputPath string, doUpdate bool, stdout io.Writer) error 
 	if err != nil {
 		return err
 	}
+	bases := make([]Baseline, len(paths))
+	for i, path := range paths {
+		base, err := loadBaseline(path)
+		if err != nil {
+			return err
+		}
+		bases[i] = base
+	}
 	if doUpdate {
-		updated, err := update(base, observed)
-		if err != nil {
-			return err
+		// Two phases so a refresh is atomic: compute every rewrite first,
+		// write only if all baselines resolved against the bench output —
+		// an error must not leave some files updated and others not.
+		rendered := make([][]byte, len(paths))
+		for i, base := range bases {
+			updated, err := update(base, observed)
+			if err != nil {
+				return err
+			}
+			out, err := json.MarshalIndent(updated, "", "  ")
+			if err != nil {
+				return err
+			}
+			rendered[i] = append(out, '\n')
 		}
-		out, err := json.MarshalIndent(updated, "", "  ")
-		if err != nil {
-			return err
+		for i, path := range paths {
+			if err := os.WriteFile(path, rendered[i], 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "benchgate: wrote %s\n", path)
 		}
-		if err := os.WriteFile(baselinePath, append(out, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Fprintf(stdout, "benchgate: wrote %s\n", baselinePath)
 		return nil
 	}
-	lines, ok := check(base, observed)
-	for _, l := range lines {
-		fmt.Fprintln(stdout, l)
+	allOK := true
+	for i, path := range paths {
+		lines, ok := check(bases[i], observed)
+		for _, l := range lines {
+			fmt.Fprintf(stdout, "%s [%s]\n", l, filepath.Base(path))
+		}
+		if !ok {
+			allOK = false
+		}
 	}
-	if !ok {
+	if !allOK {
 		return fmt.Errorf("benchgate: benchmark regression beyond tolerance")
 	}
 	return nil
 }
 
 func main() {
-	baseline := flag.String("baseline", "BENCH_2.json", "committed baseline JSON")
+	dir := flag.String("dir", "", "gate every BENCH_*.json in this directory (overrides -baseline)")
+	baseline := flag.String("baseline", "BENCH_2.json", "single committed baseline JSON")
 	input := flag.String("input", "-", "bench output file ('-' = stdin)")
-	doUpdate := flag.Bool("update", false, "rewrite the baseline from the bench output instead of checking")
+	doUpdate := flag.Bool("update", false, "rewrite the baseline(s) from the bench output instead of checking")
 	flag.Parse()
-	if err := run(*baseline, *input, *doUpdate, os.Stdout); err != nil {
+	if err := run(*dir, *baseline, *input, *doUpdate, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "%v\n", err)
 		os.Exit(1)
 	}

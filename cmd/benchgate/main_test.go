@@ -96,14 +96,14 @@ func TestRunAndUpdate(t *testing.T) {
 		t.Fatal(err)
 	}
 	var sink strings.Builder
-	if err := run(baselinePath, inputPath, false, &sink); err == nil {
+	if err := run("", baselinePath, inputPath, false, &sink); err == nil {
 		t.Error("check against inflated baseline must fail")
 	}
 	// Update rewrites the values; the same check then passes.
-	if err := run(baselinePath, inputPath, true, &sink); err != nil {
+	if err := run("", baselinePath, inputPath, true, &sink); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(baselinePath, inputPath, false, &sink); err != nil {
+	if err := run("", baselinePath, inputPath, false, &sink); err != nil {
 		t.Errorf("check after update must pass: %v", err)
 	}
 	var updated Baseline
@@ -116,5 +116,124 @@ func TestRunAndUpdate(t *testing.T) {
 	}
 	if v := updated.Benchmarks["BenchmarkAdaptivePlacement"].Value; v != 13.49 {
 		t.Errorf("updated value = %g, want 13.49", v)
+	}
+}
+
+func TestDirGatesEveryBaseline(t *testing.T) {
+	dir := t.TempDir()
+	inputPath := filepath.Join(dir, "bench.out")
+	if err := os.WriteFile(inputPath, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, base Baseline) {
+		raw, err := json.Marshal(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("BENCH_1.json", Baseline{Benchmarks: map[string]Reference{
+		"BenchmarkConcurrentWorkflows": {Metric: "speedup_x8", HigherIsBetter: true, Value: 2.3},
+	}})
+	// An @alias key gates a second metric of the same benchmark.
+	write("BENCH_2.json", Baseline{Benchmarks: map[string]Reference{
+		"BenchmarkAdaptivePlacement":            {Metric: "speedup_adaptive", HigherIsBetter: true, Value: 13.0},
+		"BenchmarkAdaptivePlacement@modelled_s": {Metric: "modelled_s", HigherIsBetter: false, Value: 0.6},
+	}})
+	var sink strings.Builder
+	if err := run(dir, "", inputPath, false, &sink); err != nil {
+		t.Fatalf("all-green dir gate failed: %v\n%s", err, sink.String())
+	}
+	if out := sink.String(); !strings.Contains(out, "BENCH_1.json") || !strings.Contains(out, "BENCH_2.json") {
+		t.Fatalf("verdicts should name their baseline files:\n%s", out)
+	}
+
+	// A regression in ANY file fails the consolidated gate.
+	write("BENCH_3.json", Baseline{Benchmarks: map[string]Reference{
+		"BenchmarkConcurrentWorkflows": {Metric: "speedup_x8", HigherIsBetter: true, Value: 99},
+	}})
+	if err := run(dir, "", inputPath, false, &sink); err == nil {
+		t.Fatal("regression in one file must fail the dir gate")
+	}
+
+	// -update with -dir rewrites every file.
+	if err := run(dir, "", inputPath, true, &sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(dir, "", inputPath, false, &sink); err != nil {
+		t.Fatalf("check after dir update must pass: %v", err)
+	}
+
+	// An empty directory is an explicit error, not a silent pass.
+	if err := run(t.TempDir(), "", inputPath, false, &sink); err == nil {
+		t.Fatal("dir without BENCH_*.json must error")
+	}
+}
+
+func TestLoadBaselineErrors(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "BENCH_bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadBaseline(bad); err == nil {
+		t.Fatal("malformed baseline accepted")
+	}
+	empty := filepath.Join(dir, "BENCH_empty.json")
+	if err := os.WriteFile(empty, []byte(`{"tolerance":0.25,"benchmarks":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadBaseline(empty); err == nil {
+		t.Fatal("baseline gating nothing accepted")
+	}
+	if _, err := loadBaseline(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+	if name := benchName("BenchmarkX@alias"); name != "BenchmarkX" {
+		t.Fatalf("benchName = %q, want BenchmarkX", name)
+	}
+	if name := benchName("@weird"); name != "@weird" {
+		t.Fatalf("leading @ must not strip, got %q", name)
+	}
+}
+
+func TestDirUpdateIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	inputPath := filepath.Join(dir, "bench.out")
+	if err := os.WriteFile(inputPath, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	good := Baseline{Benchmarks: map[string]Reference{
+		"BenchmarkConcurrentWorkflows": {Metric: "speedup_x8", HigherIsBetter: true, Value: 1},
+	}}
+	ghost := Baseline{Benchmarks: map[string]Reference{
+		"BenchmarkGhost": {Metric: "speedup", HigherIsBetter: true, Value: 1},
+	}}
+	for name, base := range map[string]Baseline{"BENCH_1.json": good, "BENCH_2.json": ghost} {
+		raw, err := json.Marshal(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sink strings.Builder
+	if err := run(dir, "", inputPath, true, &sink); err == nil {
+		t.Fatal("update with an unresolvable baseline must fail")
+	}
+	// The resolvable file must be untouched: no partial refresh.
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var after Baseline
+	if err := json.Unmarshal(raw, &after); err != nil {
+		t.Fatal(err)
+	}
+	if v := after.Benchmarks["BenchmarkConcurrentWorkflows"].Value; v != 1 {
+		t.Fatalf("BENCH_1.json was rewritten (value %g) despite the failed refresh", v)
 	}
 }

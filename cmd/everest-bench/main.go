@@ -1,26 +1,53 @@
 // Command everest-bench regenerates the EVEREST reproduction experiment
-// tables (E1–E14, see DESIGN.md and EXPERIMENTS.md).
+// tables (E1–E14, see DESIGN.md and EXPERIMENTS.md) and drives the
+// fleet-serving saturation harness.
 //
 // Usage:
 //
 //	everest-bench             # run every experiment
 //	everest-bench -only E3    # run one experiment
 //	everest-bench -list       # list experiments
+//	everest-bench -saturate [-sites N] [-mode open|closed] [-gaps 0.64,0.08]
+//	                          # sweep offered load over the fleet tier and
+//	                          # report latency percentiles + throughput at SLO
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
 
 	"everest/internal/experiments"
+	"everest/internal/sdk"
 )
 
 func main() {
 	only := flag.String("only", "", "run a single experiment (e.g. E3)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	saturate := flag.Bool("saturate", false, "run the fleet saturation harness instead of the experiment tables")
+	sites := flag.Int("sites", 4, "federated engine sites (saturation harness)")
+	nodes := flag.Int("nodes", 2, "compute nodes per site")
+	tenants := flag.Int("tenants", 32, "tenants (closed mode: concurrent clients)")
+	workflows := flag.Int("workflows", 64, "workflows per rung")
+	cacheSlots := flag.Int("cache-slots", 1, "resident bitstreams per site")
+	mode := flag.String("mode", "open", "arrival mode: open (rate ladder) or closed (one in flight per tenant)")
+	slo := flag.Float64("slo", 1.75, "p95 latency SLO in modelled seconds")
+	gaps := flag.String("gaps", "", "comma-separated open-mode interarrival gaps in modelled seconds (default ladder)")
+	netName := flag.String("net", "", "intra-site transfer stack: tcp10g or udp10g (default: flat fabric)")
+	registryNet := flag.String("registry-net", "tcp10g", "registry->site deploy fabric: tcp10g, udp10g, or eth100g")
 	flag.Parse()
+
+	if *saturate {
+		if err := runSaturation(*sites, *nodes, *tenants, *workflows, *cacheSlots,
+			*mode, *slo, *gaps, *netName, *registryNet); err != nil {
+			fmt.Fprintf(os.Stderr, "everest-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	all := experiments.All()
 	if *list {
@@ -45,5 +72,96 @@ func main() {
 	}
 	if failed > 0 {
 		os.Exit(1)
+	}
+}
+
+// runSaturation drives the fleet tier to saturation: open mode sweeps a
+// ladder of offered loads and reports the achieved throughput at the
+// highest SLO-meeting rung; closed mode serves one run with each tenant
+// keeping a single workflow in flight and prints per-tenant percentiles.
+func runSaturation(sites, nodes, tenants, workflows, cacheSlots int, mode string, slo float64, gapList, netName, registryNet string) error {
+	sc := sdk.FleetScenario{
+		Sites: sites, NodesPerSite: nodes, CacheSlots: cacheSlots,
+		Tenants: tenants, Workflows: workflows,
+		ArrivalGap: 0.05, UnplugAt: 0.5,
+		Net: netName, RegistryNet: registryNet,
+		Adaptive: true, SLO: slo,
+	}
+	fmt.Printf("fleet      : %d sites x (%d compute nodes + cloudfpga0), cache %d slot(s)/site\n",
+		sites, nodes, cacheSlots)
+	fmt.Printf("workload   : %d mixed workflows from %d tenants, SLO p95 <= %.3gs modelled\n",
+		workflows, tenants, slo)
+	c, err := sc.Compile()
+	if err != nil {
+		return err
+	}
+
+	switch mode {
+	case "closed":
+		if gapList != "" {
+			// Closed mode has no rate ladder (each client keeps one
+			// workflow in flight); silently ignoring the list would
+			// misreport what was measured.
+			return fmt.Errorf("-gaps is an open-mode flag; not supported with -mode closed")
+		}
+		sc.Closed = true
+		res, err := sc.RunWith(c)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("closed loop: %d clients, %d completed, makespan %.4gs\n",
+			tenants, res.Completed, res.Makespan)
+		fmt.Printf("throughput : %.4g workflows/s modelled\n", res.Throughput)
+		fmt.Printf("latency    : p50 %.4gs, p95 %.4gs, max %.4gs (SLO met: %v)\n",
+			res.P50, res.P95, res.Max, res.SLOMet)
+		printTenantPercentiles(res)
+		return nil
+	case "open":
+		ladder := sdk.DefaultSaturationGaps()
+		if gapList != "" {
+			ladder = nil
+			for _, s := range strings.Split(gapList, ",") {
+				g, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+				if err != nil {
+					return fmt.Errorf("bad -gaps entry %q: %w", s, err)
+				}
+				ladder = append(ladder, g)
+			}
+		}
+		points, best, err := sc.Saturate(c, ladder)
+		if err != nil {
+			return err
+		}
+		fmt.Println("offered/s   achieved/s   p50 s     p95 s     done  rej  SLO")
+		for _, p := range points {
+			met := "ok"
+			if !p.SLOMet {
+				met = "MISS"
+			}
+			fmt.Printf("%9.4g   %10.4g   %7.4g   %7.4g   %4d  %3d  %s\n",
+				p.OfferedRate, p.Throughput, p.P50, p.P95, p.Completed, p.Rejected, met)
+		}
+		if best.Throughput <= 0 {
+			return fmt.Errorf("no rung met the SLO; lower the offered load or raise -slo")
+		}
+		fmt.Printf("throughput_at_slo: %.4g workflows/s (gap %.4gs, p95 %.4gs)\n",
+			best.Throughput, best.Gap, best.P95)
+		return nil
+	default:
+		return fmt.Errorf("unknown -mode %q (want open or closed)", mode)
+	}
+}
+
+// printTenantPercentiles renders the per-tenant latency distribution.
+func printTenantPercentiles(res sdk.FleetResult) {
+	var names []string
+	for name := range res.Stats.Tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		tl := res.Stats.Tenants[name]
+		fmt.Printf("  %-10s : %2d done, p50 %.4gs, p95 %.4gs, max %.4gs\n",
+			name, tl.Completed, tl.P50, tl.P95, tl.Max)
 	}
 }

@@ -1,0 +1,82 @@
+package fleet
+
+import "everest/internal/platform"
+
+// bitstreamCache is one site's bounded set of resident bitstreams. Each
+// entry records the device slot holding the deployed artifact; capacity is
+// the number of bitstreams the site may keep resident at once, so filling
+// it forces a genuine eviction — the victim's device is unprogrammed and a
+// later request for it pays a full redeploy. Eviction order is LRU over a
+// monotonic use sequence, which makes the victim deterministic (no two
+// entries share a sequence number).
+//
+// The cache itself is not synchronized; the owning site's mutex guards it
+// (the site worker mutates, the router peeks).
+type cacheSlot struct {
+	id   string
+	node *platform.Node
+	dev  int
+	use  int64 // last-touch sequence
+}
+
+type bitstreamCache struct {
+	slots int
+	seq   int64
+	m     map[string]*cacheSlot
+}
+
+func newBitstreamCache(slots int) *bitstreamCache {
+	if slots < 1 {
+		slots = 1
+	}
+	return &bitstreamCache{slots: slots, m: make(map[string]*cacheSlot)}
+}
+
+func (c *bitstreamCache) len() int { return len(c.m) }
+
+// get returns the slot holding id and refreshes its recency.
+func (c *bitstreamCache) get(id string) (*cacheSlot, bool) {
+	s, ok := c.m[id]
+	if ok {
+		c.seq++
+		s.use = c.seq
+	}
+	return s, ok
+}
+
+// peek returns the slot holding id without touching recency (router cost
+// estimates must not perturb LRU order).
+func (c *bitstreamCache) peek(id string) (*cacheSlot, bool) {
+	s, ok := c.m[id]
+	return s, ok
+}
+
+// add records a freshly deployed bitstream as most recently used.
+func (c *bitstreamCache) add(id string, node *platform.Node, dev int) {
+	c.seq++
+	c.m[id] = &cacheSlot{id: id, node: node, dev: dev, use: c.seq}
+}
+
+func (c *bitstreamCache) remove(id string) { delete(c.m, id) }
+
+// lru returns the least recently used slot, or nil when empty.
+func (c *bitstreamCache) lru() *cacheSlot {
+	var victim *cacheSlot
+	for _, s := range c.m {
+		if victim == nil || s.use < victim.use {
+			victim = s
+		}
+	}
+	return victim
+}
+
+// occupied reports whether some cached bitstream resides on (node, dev) —
+// programming over it would silently clobber a resident entry.
+func (c *bitstreamCache) occupied(node *platform.Node, dev int) bool {
+	for _, s := range c.m {
+		if s.node == node && s.dev == dev {
+			return true
+		}
+	}
+	return false
+}

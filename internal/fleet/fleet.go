@@ -1,0 +1,855 @@
+// Package fleet is the federation tier of the EVEREST runtime: many
+// independent runtime.Engine sites (each its own simulated cluster, its own
+// modelled timeline) behind one front door. The paper deploys the SDK's
+// runtime per cloudFPGA site (§VI); this package adds the horizontal
+// dimension the north star needs — a Router shards submitted workflows
+// across sites using a cost model that combines per-site queue depth
+// (live, from engine-measured service times and engine stats), tenant
+// affinity, and bitstream-cache locality: deploying a bitstream to a site
+// is priced (registry transfer over the netsim fabric plus reconfiguration
+// latency), cached deployments are free, and a bounded per-site LRU cache
+// forces real eviction and redeploy traffic under churn.
+//
+// Time discipline: each site's engine advances its own modelled clock with
+// no idle gaps (service times back to back). The fleet layers arrivals on
+// top with the single-server queue recursion — a workflow routed to site s
+// begins at max(arrival, site busy-until), pays its deployment stalls,
+// then its engine-measured service time (the site's makespan delta), and
+// the completion becomes the new busy-until. Everything is modelled
+// seconds; when workflows are submitted in arrival order and awaited one
+// at a time, every number is exactly deterministic across GOMAXPROCS (the
+// per-site engines then serve serially, which is the regime the E-fleet
+// scenario and the throughput benchmark run in). Asynchronous submission
+// is also supported — futures resolve as site queues drain — at the price
+// of routing against whatever live state exists at submit time.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"everest/internal/netsim"
+	"everest/internal/platform"
+	"everest/internal/runtime"
+)
+
+// ErrSaturated is returned by Submit when admission control rejects a
+// workflow because every site's modelled queue exceeds the configured
+// bound. Callers detect it with errors.Is.
+var ErrSaturated = errors.New("fleet: all sites saturated")
+
+// EventKind classifies fleet trace events.
+type EventKind int
+
+// Fleet trace event kinds.
+const (
+	// EventRoute fires when the router assigns a workflow to a site.
+	EventRoute EventKind = iota
+	// EventReject fires when admission control refuses a workflow.
+	EventReject
+	// EventCacheHit fires when a required bitstream is already resident.
+	EventCacheHit
+	// EventCacheMiss fires when a required bitstream must be deployed.
+	EventCacheMiss
+	// EventDeploy fires after a bitstream is transferred and programmed.
+	EventDeploy
+	// EventEvict fires when the bounded cache unprograms a victim.
+	EventEvict
+	// EventRedeploy fires when a deploy re-stages a bitstream this site
+	// held before — the eviction (or unplug) traffic made it pay again.
+	EventRedeploy
+	// EventFallback fires when no online device can host a required
+	// bitstream; the workflow's FPGA tasks will run in software.
+	EventFallback
+	// EventDone fires when a workflow's fleet-level completion is known.
+	EventDone
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventRoute:
+		return "route"
+	case EventReject:
+		return "reject"
+	case EventCacheHit:
+		return "cache-hit"
+	case EventCacheMiss:
+		return "cache-miss"
+	case EventDeploy:
+		return "deploy"
+	case EventEvict:
+		return "evict"
+	case EventRedeploy:
+		return "redeploy"
+	case EventFallback:
+		return "fallback"
+	case EventDone:
+		return "done"
+	}
+	return "unknown"
+}
+
+// Event is one fleet trace record. Callbacks are serialized by the fleet
+// (they may fire from site workers and from Submit), so they need no
+// locking of their own; they must not call back into the Fleet.
+type Event struct {
+	Kind      EventKind
+	Site      string
+	Tenant    string
+	Workflow  string
+	Bitstream string
+	Time      float64 // modelled seconds
+	Detail    string
+}
+
+// Config configures a Fleet.
+type Config struct {
+	// Sites is the number of federated engine sites (>= 1).
+	Sites int
+	// NewCluster builds site i's cluster (required; each site owns its
+	// cluster exclusively).
+	NewCluster func(site int) *platform.Cluster
+	// CacheSlots bounds how many bitstreams a site keeps resident
+	// (default 1). Filling it evicts LRU — the victim's device is
+	// unprogrammed, so returning work pays a redeploy.
+	CacheSlots int
+	// Policy selects each engine's placement strategy.
+	Policy runtime.Policy
+	// Adaptive enables variant-aware scheduling per site engine.
+	Adaptive bool
+	// MaxQueueSeconds is the admission bound: a site whose modelled queue
+	// wait exceeds it is ineligible, and when every site is, Submit
+	// rejects with ErrSaturated. 0 means unlimited.
+	MaxQueueSeconds float64
+	// AffinitySeconds is the routing penalty added to sites other than
+	// the tenant's previous one (default 10 ms) — it keeps a tenant's
+	// bitstreams co-located unless queueing or deployment costs say
+	// otherwise.
+	AffinitySeconds float64
+	// FallbackSeconds is the routing penalty per required bitstream a
+	// site cannot host on any online device (default 250 ms) — the
+	// router's price for degrading that workflow's FPGA work to software.
+	FallbackSeconds float64
+	// Net prices intra-site transfers (per-engine semantics; nil = flat
+	// cluster fabric).
+	Net *netsim.Stack
+	// RegistryNet prices registry→site bitstream transfers on deploys
+	// (default the eth100g data-center fabric).
+	RegistryNet *netsim.Stack
+	// SiteEvents scripts per-site modelled-time environment faults
+	// (index = site; engine EngineConfig.Events semantics).
+	SiteEvents [][]runtime.EnvEvent
+	// Trace, when set, receives every fleet event (serialized).
+	Trace func(Event)
+}
+
+// Request is one workflow submission.
+type Request struct {
+	Tenant   string
+	Name     string
+	Workflow *runtime.Workflow
+	// Arrival is the workflow's modelled submission time; queueing delay
+	// is measured from it.
+	Arrival float64
+}
+
+// Result is the fleet-level outcome of one workflow.
+type Result struct {
+	Sched      *runtime.Schedule
+	Site       string
+	Arrival    float64
+	Wait       float64 // modelled queueing delay before the site picked it up
+	Deploy     float64 // modelled bitstream deployment stall it paid
+	Service    float64 // engine-measured service time (site makespan delta)
+	Completion float64 // modelled completion (fleet timeline)
+	Latency    float64 // Completion - Arrival
+}
+
+// Ticket is the caller's handle on one routed workflow.
+type Ticket struct {
+	Site   string
+	Tenant string
+	Name   string
+
+	done chan struct{}
+	res  Result
+	err  error
+}
+
+// Wait blocks until the workflow completes and returns its result.
+func (t *Ticket) Wait() (Result, error) {
+	<-t.done
+	return t.res, t.err
+}
+
+// Done returns a channel closed when the workflow has completed.
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// SiteStats snapshots one site's serving and cache state.
+type SiteStats struct {
+	Name    string
+	Served  int
+	Failed  int
+	Pending int // routed but not yet completed
+
+	CacheHits       int
+	CacheMisses     int
+	Evictions       int
+	Redeploys       int // deploys of bitstreams this site held before
+	FallbackDeploys int // required bitstreams no online device could host
+	DeploySeconds   float64
+
+	BusyUntil float64 // modelled completion frontier
+	Engine    runtime.EngineStats
+}
+
+// Stats aggregates the fleet.
+type Stats struct {
+	Submitted int
+	Completed int
+	Failed    int
+	Rejected  int
+	Makespan  float64 // latest site completion frontier
+	Sites     []SiteStats
+}
+
+// CacheHits sums cache hits across sites.
+func (st Stats) CacheHits() int { return st.sum(func(s SiteStats) int { return s.CacheHits }) }
+
+// CacheMisses sums cache misses across sites.
+func (st Stats) CacheMisses() int { return st.sum(func(s SiteStats) int { return s.CacheMisses }) }
+
+// Evictions sums cache evictions across sites.
+func (st Stats) Evictions() int { return st.sum(func(s SiteStats) int { return s.Evictions }) }
+
+// Redeploys sums eviction- or fault-triggered redeploys across sites.
+func (st Stats) Redeploys() int { return st.sum(func(s SiteStats) int { return s.Redeploys }) }
+
+func (st Stats) sum(f func(SiteStats) int) int {
+	n := 0
+	for _, s := range st.Sites {
+		n += f(s)
+	}
+	return n
+}
+
+// site is one federated engine plus its fleet-side serving state.
+type site struct {
+	name    string
+	cluster *platform.Cluster
+	engine  *runtime.Engine
+	q       *ticketQueue
+
+	mu           sync.Mutex
+	cache        *bitstreamCache
+	everDeployed map[string]bool
+	busyUntil    float64 // queue-recursion frontier (modelled)
+	lastMakespan float64 // engine cumulative makespan after last workflow
+	pending      int
+	stats        SiteStats // counter fields only; snapshots fill the rest
+}
+
+// work is one routed workflow waiting in a site's serial queue.
+type work struct {
+	t       *Ticket
+	wf      *runtime.Workflow
+	arrival float64
+	needs   []string // bitstream IDs the workflow's FPGA tasks request
+}
+
+// Fleet shards workflows across federated engine sites.
+type Fleet struct {
+	cfg   Config
+	reg   *platform.Registry
+	sites []*site
+
+	traceMu sync.Mutex
+
+	mu        sync.Mutex
+	started   bool
+	closed    bool
+	lastSite  map[string]int // tenant -> previous site (affinity)
+	submitted int
+	rejected  int
+
+	workers sync.WaitGroup
+}
+
+// New builds a fleet over a shared bitstream registry. Each site gets its
+// own cluster from cfg.NewCluster and its own engine; the registry is the
+// federation-wide artifact store deploys transfer from.
+func New(reg *platform.Registry, cfg Config) (*Fleet, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("fleet: nil registry")
+	}
+	if cfg.Sites < 1 {
+		return nil, fmt.Errorf("fleet: need >= 1 site, got %d", cfg.Sites)
+	}
+	if cfg.NewCluster == nil {
+		return nil, fmt.Errorf("fleet: NewCluster builder is required")
+	}
+	if cfg.CacheSlots < 1 {
+		cfg.CacheSlots = 1
+	}
+	if cfg.AffinitySeconds == 0 {
+		cfg.AffinitySeconds = 0.010
+	}
+	if cfg.FallbackSeconds == 0 {
+		cfg.FallbackSeconds = 0.250
+	}
+	if cfg.RegistryNet == nil {
+		st := netsim.Eth100G()
+		cfg.RegistryNet = &st
+	}
+	f := &Fleet{cfg: cfg, reg: reg, lastSite: make(map[string]int)}
+	for i := 0; i < cfg.Sites; i++ {
+		c := cfg.NewCluster(i)
+		if c == nil || len(c.Nodes) == 0 {
+			return nil, fmt.Errorf("fleet: NewCluster(%d) returned an empty cluster", i)
+		}
+		var events []runtime.EnvEvent
+		if i < len(cfg.SiteEvents) {
+			events = cfg.SiteEvents[i]
+		}
+		s := &site{
+			name:    fmt.Sprintf("site%02d", i),
+			cluster: c,
+			q:       newTicketQueue(),
+			engine: runtime.NewEngine(c, reg, runtime.EngineConfig{
+				Policy: cfg.Policy, Adaptive: cfg.Adaptive,
+				Events: events, Net: cfg.Net,
+			}),
+			cache:        newBitstreamCache(cfg.CacheSlots),
+			everDeployed: make(map[string]bool),
+		}
+		s.stats.Name = s.name
+		f.sites = append(f.sites, s)
+	}
+	return f, nil
+}
+
+// Sites returns the number of federated sites.
+func (f *Fleet) Sites() int { return len(f.sites) }
+
+// Cluster exposes site i's cluster (tests and CLIs inspect device state).
+func (f *Fleet) Cluster(i int) *platform.Cluster { return f.sites[i].cluster }
+
+// Start brings every site engine up and spawns one serial worker per site.
+func (f *Fleet) Start() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.started {
+		return fmt.Errorf("fleet: already started")
+	}
+	for _, s := range f.sites {
+		if err := s.engine.Start(); err != nil {
+			return fmt.Errorf("fleet: %s: %w", s.name, err)
+		}
+	}
+	f.started = true
+	for _, s := range f.sites {
+		f.workers.Add(1)
+		go f.runSite(s)
+	}
+	return nil
+}
+
+// Submit routes one workflow to the cheapest site and enqueues it there.
+// It never blocks on serving; the returned ticket resolves when the site's
+// serial worker drains to it. Rejections (ErrSaturated) happen only under
+// a configured MaxQueueSeconds admission bound.
+func (f *Fleet) Submit(req Request) (*Ticket, error) {
+	if req.Workflow == nil {
+		return nil, fmt.Errorf("fleet: nil workflow")
+	}
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+	needs := bitstreamNeeds(req.Workflow)
+	f.mu.Lock()
+	if !f.started || f.closed {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("fleet: not serving (started=%v closed=%v)", f.started, f.closed)
+	}
+	idx, err := f.route(tenant, needs, req.Arrival)
+	if err != nil {
+		f.rejected++
+		f.mu.Unlock()
+		f.trace(Event{Kind: EventReject, Tenant: tenant, Workflow: req.Name,
+			Time: req.Arrival, Detail: err.Error()})
+		return nil, err
+	}
+	f.submitted++
+	name := req.Name
+	if name == "" {
+		name = fmt.Sprintf("%s/wf%d", tenant, f.submitted)
+	}
+	f.lastSite[tenant] = idx
+	s := f.sites[idx]
+	f.mu.Unlock()
+
+	s.mu.Lock()
+	s.pending++
+	s.mu.Unlock()
+	f.trace(Event{Kind: EventRoute, Site: s.name, Tenant: tenant, Workflow: name,
+		Time: req.Arrival, Detail: fmt.Sprintf("needs=%d", len(needs))})
+	t := &Ticket{Site: s.name, Tenant: tenant, Name: name, done: make(chan struct{})}
+	if !s.q.push(work{t: t, wf: req.Workflow, arrival: req.Arrival, needs: needs}) {
+		// A concurrent Shutdown closed the site queues between routing and
+		// enqueue. Undo the accounting and refuse — returning the ticket
+		// would leave a Wait that never resolves (no worker remains to
+		// serve it).
+		s.mu.Lock()
+		s.pending--
+		s.mu.Unlock()
+		f.mu.Lock()
+		f.submitted--
+		f.rejected++
+		f.mu.Unlock()
+		f.trace(Event{Kind: EventReject, Site: s.name, Tenant: tenant,
+			Workflow: name, Time: req.Arrival, Detail: "fleet shut down"})
+		return nil, fmt.Errorf("fleet: shut down")
+	}
+	return t, nil
+}
+
+// Shutdown refuses new submissions, drains every site queue, stops the
+// engines, and returns the final stats.
+func (f *Fleet) Shutdown() Stats {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return f.Stats()
+	}
+	f.closed = true
+	started := f.started
+	f.mu.Unlock()
+	if started {
+		for _, s := range f.sites {
+			s.q.close()
+		}
+		f.workers.Wait()
+		for _, s := range f.sites {
+			s.engine.Shutdown()
+		}
+	}
+	return f.Stats()
+}
+
+// Stats snapshots the fleet.
+func (f *Fleet) Stats() Stats {
+	f.mu.Lock()
+	out := Stats{Submitted: f.submitted, Rejected: f.rejected}
+	f.mu.Unlock()
+	for _, s := range f.sites {
+		s.mu.Lock()
+		ss := s.stats
+		ss.Pending = s.pending
+		ss.BusyUntil = s.busyUntil
+		s.mu.Unlock()
+		ss.Engine = s.engine.Stats()
+		out.Completed += ss.Served
+		out.Failed += ss.Failed
+		if ss.BusyUntil > out.Makespan {
+			out.Makespan = ss.BusyUntil
+		}
+		out.Sites = append(out.Sites, ss)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// router
+
+// route picks the cheapest eligible site for a workflow. Cost combines the
+// modelled queue wait (the site's completion frontier past the arrival),
+// the estimated deployment stall for bitstreams the site's cache does not
+// hold (registry transfer + reconfiguration; a cache hit is free), the
+// software-fallback penalty for bitstreams the site cannot host at all,
+// and the tenant-affinity penalty for leaving the tenant's previous site.
+// Ties break on site order, so routing is deterministic. Called under f.mu.
+func (f *Fleet) route(tenant string, needs []string, arrival float64) (int, error) {
+	best, bestCost := -1, 0.0
+	for i, s := range f.sites {
+		cost, ok := f.siteCost(i, s, tenant, needs, arrival)
+		if !ok {
+			continue
+		}
+		if best < 0 || cost < bestCost {
+			best, bestCost = i, cost
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("%w (%d sites, queue bound %.3gs)",
+			ErrSaturated, len(f.sites), f.cfg.MaxQueueSeconds)
+	}
+	return best, nil
+}
+
+// siteCost prices routing a workflow to one site; ok=false means the site
+// is saturated past the admission bound.
+func (f *Fleet) siteCost(idx int, s *site, tenant string, needs []string, arrival float64) (float64, bool) {
+	s.mu.Lock()
+	busy := s.busyUntil
+	inFlight := s.pending
+	cachedAt := make([]bool, len(needs))
+	for j, id := range needs {
+		if slot, ok := s.cache.peek(id); ok {
+			// A resident bitstream on a device that is offline by the time
+			// this work would start is stale: the deploy path will treat it
+			// as a miss, so the estimate must too.
+			at := arrival
+			if busy > at {
+				at = busy
+			}
+			cachedAt[j] = slot.node.DeviceOnlineAt(slot.dev, at)
+		}
+	}
+	s.mu.Unlock()
+	wait := busy - arrival
+	if wait < 0 {
+		wait = 0
+	}
+	// The busyUntil recursion only covers completed workflows. Work still
+	// routed-but-unserved (asynchronous submitters) extends the queue by
+	// roughly one engine-measured mean service time each — the live
+	// queue-depth signal read off the site's engine stats. With
+	// submit-and-wait driving (the deterministic scenarios) inFlight is
+	// always 0 and this term vanishes.
+	if inFlight > 0 {
+		est := s.engine.Stats()
+		if est.Completed > 0 {
+			meanService := est.Backlog / float64(est.Completed)
+			wait += float64(inFlight) * meanService
+		}
+	}
+	if f.cfg.MaxQueueSeconds > 0 && wait > f.cfg.MaxQueueSeconds {
+		return 0, false
+	}
+	cost := wait
+	at := arrival
+	if busy > at {
+		at = busy
+	}
+	for j, id := range needs {
+		if cachedAt[j] {
+			continue // resident: deployment is free
+		}
+		if est, ok := f.estimateDeploy(s, id, at); ok {
+			cost += est
+		} else {
+			cost += f.cfg.FallbackSeconds
+		}
+	}
+	if last, ok := f.lastSite[tenant]; !ok || last != idx {
+		cost += f.cfg.AffinitySeconds
+	}
+	return cost, true
+}
+
+// estimateDeploy prices a cold deploy of bitstream id to the site at
+// modelled time at; ok=false means no online device can host it.
+func (f *Fleet) estimateDeploy(s *site, id string, at float64) (float64, bool) {
+	bs, err := f.reg.Get(id)
+	if err != nil {
+		return 0, false
+	}
+	n, dev := s.deployTarget(bs, at, nil)
+	if n == nil {
+		return 0, false
+	}
+	d := n.Devices[dev]
+	return f.cfg.RegistryNet.SendSeconds(bitstreamBytes(d)) + d.ReconfigSeconds(), true
+}
+
+// deployTarget returns the first alive node and online device (at modelled
+// time at) that fits the bitstream, skipping device slots the occupied
+// predicate claims. nil predicate skips nothing (estimates ignore cache
+// occupancy: an occupied slot only means an eviction, already priced by
+// the cache bound).
+func (s *site) deployTarget(bs platform.Bitstream, at float64, occupied func(*platform.Node, int) bool) (*platform.Node, int) {
+	need := bs.TotalResources()
+	for _, n := range s.cluster.Nodes {
+		if _, failed := n.FailedAt(); failed {
+			continue
+		}
+		for idx := range n.Devices {
+			if !n.DeviceOnlineAt(idx, at) {
+				continue
+			}
+			if !need.FitsIn(n.Devices[idx].Capacity) {
+				continue
+			}
+			if occupied != nil && occupied(n, idx) {
+				continue
+			}
+			return n, idx
+		}
+	}
+	return nil, -1
+}
+
+// bitstreamBytes models the configuration image size for a device: the
+// frame count scales with fabric size (~16 bytes of configuration per
+// LUT), which puts an Alveo xclbin in the tens of megabytes and a
+// cloudFPGA partial image a quarter of that.
+func bitstreamBytes(d *platform.Device) int64 {
+	return int64(d.Capacity.LUT) * 16
+}
+
+// bitstreamNeeds lists the distinct bitstream IDs a workflow's FPGA tasks
+// request, in first-use order.
+func bitstreamNeeds(w *runtime.Workflow) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, name := range w.Tasks() {
+		t, ok := w.Get(name)
+		if !ok || !t.NeedsFPGA || t.BitstreamID == "" || seen[t.BitstreamID] {
+			continue
+		}
+		seen[t.BitstreamID] = true
+		out = append(out, t.BitstreamID)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// site worker
+
+// runSite drains one site's queue serially: deploy what the workflow
+// needs, serve it on the site engine, then advance the site's modelled
+// frontier with the queue recursion.
+func (f *Fleet) runSite(s *site) {
+	defer f.workers.Done()
+	for {
+		w, ok := s.q.pop()
+		if !ok {
+			return
+		}
+		f.serve(s, w)
+	}
+}
+
+func (f *Fleet) serve(s *site, w work) {
+	t := w.t
+	s.mu.Lock()
+	start := w.arrival
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	s.mu.Unlock()
+	deploy := f.deployNeeds(s, w, start)
+
+	fut, err := s.engine.Submit(w.wf, runtime.SubmitOptions{Name: t.Name, Tenant: t.Tenant})
+	var sched *runtime.Schedule
+	if err == nil {
+		sched, err = fut.Wait()
+	}
+
+	s.mu.Lock()
+	s.pending--
+	if err != nil {
+		s.stats.Failed++
+		s.stats.DeploySeconds += deploy
+		// The deployment stall was paid and the workflow may have partially
+		// executed before failing; advance the site timeline accordingly so
+		// the engine's clock progress is not misattributed to the NEXT
+		// workflow's service delta.
+		frontier := s.engine.Stats().Backlog
+		partial := frontier - s.lastMakespan
+		if partial < 0 {
+			partial = 0
+		}
+		if frontier > s.lastMakespan {
+			s.lastMakespan = frontier
+		}
+		s.busyUntil = start + deploy + partial
+		s.mu.Unlock()
+		t.err = fmt.Errorf("fleet: %s: %w", s.name, err)
+		// Trace before resolving the ticket: once Wait returns, every
+		// event of this workflow has been delivered.
+		f.trace(Event{Kind: EventDone, Site: s.name, Tenant: t.Tenant,
+			Workflow: t.Name, Time: start, Detail: "error: " + err.Error()})
+		close(t.done)
+		return
+	}
+	service := sched.Makespan - s.lastMakespan
+	if service < 0 {
+		service = 0
+	}
+	if sched.Makespan > s.lastMakespan {
+		s.lastMakespan = sched.Makespan
+	}
+	completion := start + deploy + service
+	s.busyUntil = completion
+	s.stats.Served++
+	s.stats.DeploySeconds += deploy
+	s.mu.Unlock()
+
+	t.res = Result{
+		Sched: sched, Site: s.name, Arrival: w.arrival,
+		Wait: start - w.arrival, Deploy: deploy, Service: service,
+		Completion: completion, Latency: completion - w.arrival,
+	}
+	// Trace before resolving the ticket (see the error path above).
+	f.trace(Event{Kind: EventDone, Site: s.name, Tenant: t.Tenant, Workflow: t.Name,
+		Time: completion, Detail: fmt.Sprintf("latency=%.4gs", completion-w.arrival)})
+	close(t.done)
+}
+
+// deployNeeds stages every bitstream the workflow requests and the site
+// does not hold, returning the total modelled deployment stall. The site
+// worker is the only mutator of the cache; s.mu guards it against router
+// peeks.
+func (f *Fleet) deployNeeds(s *site, w work, at float64) float64 {
+	total := 0.0
+	for _, id := range w.needs {
+		var evs []Event
+		s.mu.Lock()
+		slot, hit := s.cache.get(id)
+		if hit && slot.node.DeviceOnlineAt(slot.dev, at+total) {
+			s.stats.CacheHits++
+			s.mu.Unlock()
+			f.trace(Event{Kind: EventCacheHit, Site: s.name, Tenant: w.t.Tenant,
+				Workflow: w.t.Name, Bitstream: id, Time: at + total})
+			continue
+		}
+		if hit {
+			// Resident, but the hosting device is offline now (unplug
+			// churn): drop the stale entry and redeploy elsewhere.
+			_, _ = slot.node.Unprogram(slot.dev)
+			s.cache.remove(id)
+			s.stats.Evictions++
+			evs = append(evs, Event{Kind: EventEvict, Site: s.name, Bitstream: id,
+				Time: at + total, Detail: fmt.Sprintf("%s/dev%d offline", slot.node.Name, slot.dev)})
+		}
+		s.stats.CacheMisses++
+		evs = append(evs, Event{Kind: EventCacheMiss, Site: s.name, Tenant: w.t.Tenant,
+			Workflow: w.t.Name, Bitstream: id, Time: at + total})
+		dt, deployEvs := f.deployOne(s, w, id, at+total)
+		s.mu.Unlock()
+		total += dt
+		f.trace(append(evs, deployEvs...)...)
+	}
+	return total
+}
+
+// deployOne stages one bitstream, evicting LRU entries while the cache is
+// at capacity or no un-occupied device slot remains. Returns the modelled
+// stall (0 on software fallback). Called with s.mu held.
+func (f *Fleet) deployOne(s *site, w work, id string, at float64) (float64, []Event) {
+	var evs []Event
+	bs, err := f.reg.Get(id)
+	if err != nil {
+		s.stats.FallbackDeploys++
+		return 0, append(evs, Event{Kind: EventFallback, Site: s.name, Tenant: w.t.Tenant,
+			Workflow: w.t.Name, Bitstream: id, Time: at, Detail: err.Error()})
+	}
+	var node *platform.Node
+	dev := -1
+	for {
+		if s.cache.len() < f.cfg.CacheSlots {
+			node, dev = s.deployTarget(bs, at, s.cache.occupied)
+			if node != nil {
+				break
+			}
+		}
+		victim := s.cache.lru()
+		if victim == nil {
+			// Nothing left to evict and still no hosting device: the
+			// site's accelerators are offline, too small, or gone.
+			s.stats.FallbackDeploys++
+			return 0, append(evs, Event{Kind: EventFallback, Site: s.name, Tenant: w.t.Tenant,
+				Workflow: w.t.Name, Bitstream: id, Time: at, Detail: "no online device fits"})
+		}
+		_, _ = victim.node.Unprogram(victim.dev)
+		s.cache.remove(victim.id)
+		s.stats.Evictions++
+		evs = append(evs, Event{Kind: EventEvict, Site: s.name, Bitstream: victim.id,
+			Time: at, Detail: fmt.Sprintf("lru from %s/dev%d", victim.node.Name, victim.dev)})
+	}
+	dt, err := node.Program(dev, bs)
+	if err != nil {
+		s.stats.FallbackDeploys++
+		return 0, append(evs, Event{Kind: EventFallback, Site: s.name, Tenant: w.t.Tenant,
+			Workflow: w.t.Name, Bitstream: id, Time: at, Detail: err.Error()})
+	}
+	xfer := f.cfg.RegistryNet.SendSeconds(bitstreamBytes(node.Devices[dev]))
+	s.cache.add(id, node, dev)
+	kind := EventDeploy
+	if s.everDeployed[id] {
+		s.stats.Redeploys++
+		kind = EventRedeploy
+	}
+	s.everDeployed[id] = true
+	evs = append(evs, Event{Kind: kind, Site: s.name, Tenant: w.t.Tenant,
+		Workflow: w.t.Name, Bitstream: id, Time: at,
+		Detail: fmt.Sprintf("%s/dev%d xfer=%.4gs reconfig=%.3gs", node.Name, dev, xfer, dt)})
+	return xfer + dt, evs
+}
+
+// trace emits events in order under the trace mutex.
+func (f *Fleet) trace(evs ...Event) {
+	if f.cfg.Trace == nil {
+		return
+	}
+	f.traceMu.Lock()
+	defer f.traceMu.Unlock()
+	for _, ev := range evs {
+		f.cfg.Trace(ev)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// per-site serial queue
+
+// ticketQueue is an unbounded FIFO of routed work; pushes never block.
+type ticketQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []work
+	closed bool
+}
+
+func newTicketQueue() *ticketQueue {
+	q := &ticketQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues work; false means the queue is already closed (the
+// worker may be gone, so the caller must not rely on the work running).
+func (q *ticketQueue) push(w work) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.items = append(q.items, w)
+	q.cond.Signal()
+	return true
+}
+
+func (q *ticketQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// pop blocks until work is available or the queue is closed and drained.
+func (q *ticketQueue) pop() (work, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return work{}, false
+	}
+	w := q.items[0]
+	q.items = q.items[1:]
+	return w, true
+}

@@ -1,0 +1,437 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"everest/internal/hls"
+	"everest/internal/platform"
+	"everest/internal/runtime"
+)
+
+// testBitstream returns a small deployable artifact that fits every
+// catalog device.
+func testBitstream(id string) platform.Bitstream {
+	return platform.Bitstream{
+		ID: id, Kernel: "k-" + id, Target: "alveo-u55c",
+		Report: hls.Report{
+			LatencyCycle: 1 << 16, II: 1, IterLatency: 8,
+			Resources: hls.Resources{LUT: 20000, FF: 24000, DSP: 32, BRAM: 16},
+			ClockMHz:  300,
+		},
+		Config: platform.SystemConfig{
+			Replicas: 2, BusWidthBits: 512, Lanes: 4, PackedElements: 8,
+			DoubleBuffered: true, PLMBytes: 1 << 16,
+		},
+		ElemBits: 32,
+	}
+}
+
+// fpgaWorkflow is a two-task workflow whose compute stage requests the
+// given bitstream.
+func fpgaWorkflow(bsID string) *runtime.Workflow {
+	w := runtime.NewWorkflow()
+	if err := w.Submit(runtime.TaskSpec{Name: "prep", Flops: 1e9, OutputBytes: 1 << 20}); err != nil {
+		panic(err)
+	}
+	if err := w.Submit(runtime.TaskSpec{
+		Name: "compute", Deps: []string{"prep"},
+		Flops: 2e10, InputBytes: 1 << 20, OutputBytes: 1 << 18,
+		NeedsFPGA: true, BitstreamID: bsID,
+	}); err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// cpuWorkflow is a single pure-software task.
+func cpuWorkflow() *runtime.Workflow {
+	w := runtime.NewWorkflow()
+	if err := w.Submit(runtime.TaskSpec{Name: "only", Flops: 5e9, OutputBytes: 1 << 18}); err != nil {
+		panic(err)
+	}
+	return w
+}
+
+func testCluster(nodes int) func(int) *platform.Cluster {
+	return func(int) *platform.Cluster {
+		var ns []*platform.Node
+		for i := 0; i < nodes; i++ {
+			ns = append(ns, platform.NewNode(fmt.Sprintf("node%02d", i),
+				platform.XeonModel(), platform.AlveoU55C()))
+		}
+		return platform.NewCluster(ns...)
+	}
+}
+
+func newTestFleet(t *testing.T, reg *platform.Registry, cfg Config) *Fleet {
+	t.Helper()
+	if cfg.NewCluster == nil {
+		cfg.NewCluster = testCluster(2)
+	}
+	f, err := New(reg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestCacheLRUOrderAndOccupancy(t *testing.T) {
+	c := newBitstreamCache(2)
+	n := platform.NewNode("n", platform.XeonModel(), platform.AlveoU55C(), platform.AlveoU55C())
+	c.add("a", n, 0)
+	c.add("b", n, 1)
+	if got := c.lru(); got == nil || got.id != "a" {
+		t.Fatalf("lru = %+v, want a", got)
+	}
+	if _, ok := c.get("a"); !ok { // touch refreshes recency
+		t.Fatal("get(a) missed")
+	}
+	if got := c.lru(); got == nil || got.id != "b" {
+		t.Fatalf("lru after touch = %+v, want b", got)
+	}
+	if _, ok := c.peek("b"); !ok {
+		t.Fatal("peek(b) missed")
+	}
+	if got := c.lru(); got == nil || got.id != "b" {
+		t.Fatalf("peek must not refresh recency; lru = %+v, want b", got)
+	}
+	if !c.occupied(n, 0) || !c.occupied(n, 1) {
+		t.Fatal("both device slots should be occupied")
+	}
+	c.remove("b")
+	if c.occupied(n, 1) {
+		t.Fatal("slot 1 should be free after remove")
+	}
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	reg := platform.NewRegistry()
+	if _, err := New(nil, Config{Sites: 1, NewCluster: testCluster(1)}); err == nil {
+		t.Fatal("nil registry accepted")
+	}
+	if _, err := New(reg, Config{Sites: 0, NewCluster: testCluster(1)}); err == nil {
+		t.Fatal("zero sites accepted")
+	}
+	if _, err := New(reg, Config{Sites: 1}); err == nil {
+		t.Fatal("missing NewCluster accepted")
+	}
+	if _, err := New(reg, Config{Sites: 1, NewCluster: func(int) *platform.Cluster { return platform.NewCluster() }}); err == nil {
+		t.Fatal("empty cluster accepted")
+	}
+}
+
+func TestSubmitValidatesState(t *testing.T) {
+	reg := platform.NewRegistry()
+	f, err := New(reg, Config{Sites: 1, NewCluster: testCluster(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Submit(Request{Workflow: cpuWorkflow()}); err == nil {
+		t.Fatal("submit before Start accepted")
+	}
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Submit(Request{}); err == nil {
+		t.Fatal("nil workflow accepted")
+	}
+	f.Shutdown()
+	if _, err := f.Submit(Request{Workflow: cpuWorkflow()}); err == nil {
+		t.Fatal("submit after Shutdown accepted")
+	}
+	if err := f.Start(); err == nil {
+		t.Fatal("double Start accepted")
+	}
+}
+
+func TestRouterPrefersCachedBitstreamSite(t *testing.T) {
+	reg := platform.NewRegistry()
+	bs := testBitstream("bs-loc")
+	if err := reg.Put(bs); err != nil {
+		t.Fatal(err)
+	}
+	f := newTestFleet(t, reg, Config{Sites: 2})
+	defer f.Shutdown()
+
+	tk, err := f.Submit(Request{Tenant: "t0", Workflow: fpgaWorkflow(bs.ID), Arrival: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tk.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Site != "site00" {
+		t.Fatalf("first workflow routed to %s, want site00 (tie breaks on site order)", res.Site)
+	}
+	if res.Deploy <= 0 {
+		t.Fatalf("cold deploy should stall, got %g", res.Deploy)
+	}
+
+	// A different tenant (no affinity anywhere) lands on the site already
+	// holding the bitstream: the cached deployment is free, the other site
+	// would pay a cold deploy.
+	tk2, err := f.Submit(Request{Tenant: "t1", Workflow: fpgaWorkflow(bs.ID), Arrival: res.Completion})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := tk2.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Site != "site00" {
+		t.Fatalf("cached-bitstream workflow routed to %s, want site00", res2.Site)
+	}
+	if res2.Deploy != 0 {
+		t.Fatalf("cache hit should deploy for free, got %g", res2.Deploy)
+	}
+	st := f.Stats()
+	if st.CacheHits() != 1 || st.CacheMisses() != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", st.CacheHits(), st.CacheMisses())
+	}
+}
+
+func TestRouterSpreadsLoadAcrossSites(t *testing.T) {
+	reg := platform.NewRegistry()
+	f := newTestFleet(t, reg, Config{Sites: 2})
+	defer f.Shutdown()
+
+	// Same-instant arrivals from distinct tenants: once site00 carries the
+	// first workflow's modelled backlog, the queue-depth term routes the
+	// next one to site01.
+	var sites []string
+	for i := 0; i < 4; i++ {
+		tk, err := f.Submit(Request{Tenant: fmt.Sprintf("t%d", i), Workflow: cpuWorkflow(), Arrival: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := tk.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sites = append(sites, res.Site)
+	}
+	if sites[0] != "site00" || sites[1] != "site01" {
+		t.Fatalf("expected alternating start, got %v", sites)
+	}
+	st := f.Stats()
+	if st.Sites[0].Served == 0 || st.Sites[1].Served == 0 {
+		t.Fatalf("both sites should serve, got %+v", st.Sites)
+	}
+	if st.Completed != 4 || st.Submitted != 4 {
+		t.Fatalf("completed/submitted = %d/%d, want 4/4", st.Completed, st.Submitted)
+	}
+}
+
+func TestAdmissionRejectsSaturatedSites(t *testing.T) {
+	reg := platform.NewRegistry()
+	f := newTestFleet(t, reg, Config{Sites: 1, MaxQueueSeconds: 0.001})
+	defer f.Shutdown()
+
+	tk, err := f.Submit(Request{Tenant: "t0", Workflow: cpuWorkflow(), Arrival: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tk.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completion <= 0.001 {
+		t.Fatalf("workflow too short to saturate: completion %g", res.Completion)
+	}
+	// The site's frontier now reaches past the admission bound for a
+	// workflow arriving at time 0.
+	if _, err := f.Submit(Request{Tenant: "t1", Workflow: cpuWorkflow(), Arrival: 0}); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("expected ErrSaturated, got %v", err)
+	}
+	// Arriving after the backlog drains is admitted again.
+	tk3, err := f.Submit(Request{Tenant: "t2", Workflow: cpuWorkflow(), Arrival: res.Completion})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk3.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.Rejected != 1 || st.Completed != 2 {
+		t.Fatalf("rejected/completed = %d/%d, want 1/2", st.Rejected, st.Completed)
+	}
+}
+
+func TestEvictionForcesRedeploy(t *testing.T) {
+	reg := platform.NewRegistry()
+	bs1, bs2 := testBitstream("bs-one"), testBitstream("bs-two")
+	if err := reg.Put(bs1); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Put(bs2); err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	f := newTestFleet(t, reg, Config{
+		Sites: 1, CacheSlots: 1,
+		Trace: func(ev Event) { events = append(events, ev) },
+	})
+	defer f.Shutdown()
+
+	arrival := 0.0
+	for i, id := range []string{"bs-one", "bs-two", "bs-one"} {
+		tk, err := f.Submit(Request{Tenant: "t0", Workflow: fpgaWorkflow(id), Arrival: arrival})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := tk.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Deploy <= 0 {
+			t.Fatalf("workflow %d should pay a deploy (one-slot cache), got %g", i, res.Deploy)
+		}
+		arrival = res.Completion
+	}
+	st := f.Stats()
+	s := st.Sites[0]
+	if s.CacheMisses != 3 || s.Evictions != 2 || s.Redeploys != 1 {
+		t.Fatalf("miss/evict/redeploy = %d/%d/%d, want 3/2/1", s.CacheMisses, s.Evictions, s.Redeploys)
+	}
+	if st.CacheMisses() != 3 || st.Evictions() != 2 || st.Redeploys() != 1 || st.CacheHits() != 0 {
+		t.Fatalf("aggregate churn = %d/%d/%d/%d, want 3/2/1/0",
+			st.CacheMisses(), st.Evictions(), st.Redeploys(), st.CacheHits())
+	}
+	if f.Sites() != 1 {
+		t.Fatalf("Sites() = %d, want 1", f.Sites())
+	}
+	if cl := f.Cluster(0); cl == nil || len(cl.Nodes) == 0 {
+		t.Fatal("Cluster(0) should expose the site cluster")
+	}
+	var kinds []EventKind
+	for _, ev := range events {
+		kinds = append(kinds, ev.Kind)
+	}
+	wantSub := []EventKind{EventCacheMiss, EventDeploy, EventCacheMiss, EventEvict,
+		EventDeploy, EventCacheMiss, EventEvict, EventRedeploy}
+	i := 0
+	for _, k := range kinds {
+		if i < len(wantSub) && k == wantSub[i] {
+			i++
+		}
+	}
+	if i != len(wantSub) {
+		t.Fatalf("trace %v missing subsequence %v (matched %d)", kinds, wantSub, i)
+	}
+}
+
+func TestFallbackWhenNoOnlineDevice(t *testing.T) {
+	reg := platform.NewRegistry()
+	bs := testBitstream("bs-fb")
+	if err := reg.Put(bs); err != nil {
+		t.Fatal(err)
+	}
+	f := newTestFleet(t, reg, Config{
+		Sites: 1,
+		SiteEvents: [][]runtime.EnvEvent{{
+			{Kind: runtime.EnvUnplug, Node: "node00", Device: 0, At: 0},
+			{Kind: runtime.EnvUnplug, Node: "node01", Device: 0, At: 0},
+		}},
+	})
+	defer f.Shutdown()
+
+	tk, err := f.Submit(Request{Tenant: "t0", Workflow: fpgaWorkflow(bs.ID), Arrival: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tk.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deploy != 0 {
+		t.Fatalf("no deploy possible, got stall %g", res.Deploy)
+	}
+	for _, a := range res.Sched.Assignments {
+		if a.OnFPGA {
+			t.Fatalf("task %s ran on FPGA with every device offline", a.Task)
+		}
+	}
+	st := f.Stats()
+	if st.Sites[0].FallbackDeploys != 1 {
+		t.Fatalf("fallback deploys = %d, want 1", st.Sites[0].FallbackDeploys)
+	}
+}
+
+func TestAsyncTicketsResolveOnShutdown(t *testing.T) {
+	reg := platform.NewRegistry()
+	f := newTestFleet(t, reg, Config{Sites: 2})
+
+	var tickets []*Ticket
+	for i := 0; i < 12; i++ {
+		tk, err := f.Submit(Request{Tenant: fmt.Sprintf("t%d", i%3), Workflow: cpuWorkflow(), Arrival: float64(i) * 0.01})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+	}
+	st := f.Shutdown()
+	for i, tk := range tickets {
+		select {
+		case <-tk.Done():
+		default:
+			t.Fatalf("ticket %d unresolved after Shutdown", i)
+		}
+		if _, err := tk.Wait(); err != nil {
+			t.Fatalf("ticket %d: %v", i, err)
+		}
+	}
+	if st.Completed != 12 {
+		t.Fatalf("completed = %d, want 12", st.Completed)
+	}
+	if st.Makespan <= 0 {
+		t.Fatal("makespan should be positive")
+	}
+	// Engine stats surfaced per site.
+	for _, s := range st.Sites {
+		if s.Engine.Submitted != s.Served {
+			t.Fatalf("%s: engine submitted %d != served %d", s.Name, s.Engine.Submitted, s.Served)
+		}
+		if s.Engine.Active != 0 || s.Engine.ReadyTasks != 0 {
+			t.Fatalf("%s: engine should be drained, got %+v", s.Name, s.Engine)
+		}
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{EventRoute, EventReject, EventCacheHit, EventCacheMiss,
+		EventDeploy, EventEvict, EventRedeploy, EventFallback, EventDone, EventKind(99)}
+	want := []string{"route", "reject", "cache-hit", "cache-miss", "deploy",
+		"evict", "redeploy", "fallback", "done", "unknown"}
+	for i, k := range kinds {
+		if k.String() != want[i] {
+			t.Fatalf("kind %d = %q, want %q", i, k.String(), want[i])
+		}
+	}
+}
+
+func TestTicketQueuePushAfterCloseRefuses(t *testing.T) {
+	q := newTicketQueue()
+	if !q.push(work{}) {
+		t.Fatal("push on an open queue must succeed")
+	}
+	q.close()
+	if q.push(work{}) {
+		t.Fatal("push on a closed queue must refuse (its worker may be gone)")
+	}
+	// Items enqueued before close still drain.
+	if _, ok := q.pop(); !ok {
+		t.Fatal("queued item should survive close")
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("drained closed queue should report done")
+	}
+}

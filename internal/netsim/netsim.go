@@ -35,15 +35,26 @@ func UDP10G() Stack {
 	return Stack{Name: "udp10g", LineRateGbps: 10, MTU: 1472, FrameOverhead: 66, LatencyUs: 20, AckFactor: 1.0}
 }
 
-// StackByName resolves "tcp10g" or "udp10g".
+// Eth100G returns the data-center fabric joining federated sites to the
+// bitstream registry (jumbo frames, RDMA-class latency). Deployment tiers
+// price registry→site bitstream transfers over it; it is an order of
+// magnitude faster than the cloudFPGA 10G stacks, so reconfiguration
+// latency, not the wire, dominates a cold deploy.
+func Eth100G() Stack {
+	return Stack{Name: "eth100g", LineRateGbps: 100, MTU: 4096, FrameOverhead: 58, LatencyUs: 3, AckFactor: 1.0}
+}
+
+// StackByName resolves "tcp10g", "udp10g", or "eth100g".
 func StackByName(name string) (Stack, error) {
 	switch name {
 	case "tcp10g":
 		return TCP10G(), nil
 	case "udp10g":
 		return UDP10G(), nil
+	case "eth100g":
+		return Eth100G(), nil
 	default:
-		return Stack{}, fmt.Errorf("netsim: unknown stack %q (want tcp10g or udp10g)", name)
+		return Stack{}, fmt.Errorf("netsim: unknown stack %q (want tcp10g, udp10g, or eth100g)", name)
 	}
 }
 

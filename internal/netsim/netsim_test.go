@@ -102,3 +102,30 @@ func TestAllReduceScalesGentlyWithRanks(t *testing.T) {
 		t.Errorf("allreduce should scale gently: p=2 %g vs p=16 %g", r2, r16)
 	}
 }
+
+func TestStackByNameEth100G(t *testing.T) {
+	st, err := StackByName("eth100g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcp, err := StackByName("tcp10g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The registry fabric must dominate the cloudFPGA stacks on both axes:
+	// a bulk bitstream transfer and the per-message latency floor.
+	const bitstream = 20 << 20
+	if st.SendSeconds(bitstream) >= tcp.SendSeconds(bitstream) {
+		t.Fatalf("eth100g bulk transfer %gs not faster than tcp10g %gs",
+			st.SendSeconds(bitstream), tcp.SendSeconds(bitstream))
+	}
+	if st.LatencyUs >= tcp.LatencyUs {
+		t.Fatalf("eth100g latency %gus not below tcp10g %gus", st.LatencyUs, tcp.LatencyUs)
+	}
+	if st.GoodputGBs() >= st.LineRateGbps/8 {
+		t.Fatal("goodput must stay below line rate")
+	}
+	if _, err := StackByName("bogus"); err == nil {
+		t.Fatal("bogus stack accepted")
+	}
+}

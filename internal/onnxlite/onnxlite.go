@@ -145,15 +145,15 @@ func applyOp(op OpType, args []*tensor.Tensor) (*tensor.Tensor, error) {
 	switch op {
 	case OpMatMul:
 		if len(args) != 2 || args[0].Rank() != 2 || args[1].Rank() != 2 {
-			return nil, fmt.Errorf("MatMul wants two rank-2 tensors")
+			return nil, fmt.Errorf("op MatMul wants two rank-2 tensors")
 		}
 		if args[0].Shape()[1] != args[1].Shape()[0] {
-			return nil, fmt.Errorf("MatMul inner dims %d vs %d", args[0].Shape()[1], args[1].Shape()[0])
+			return nil, fmt.Errorf("op MatMul inner dims %d vs %d", args[0].Shape()[1], args[1].Shape()[0])
 		}
 		return tensor.MatMul(args[0], args[1]), nil
 	case OpAdd:
 		if len(args) != 2 {
-			return nil, fmt.Errorf("Add wants two tensors")
+			return nil, fmt.Errorf("op Add wants two tensors")
 		}
 		// Row-broadcast bias: (N,D) + (D).
 		if args[0].Rank() == 2 && args[1].Rank() == 1 && args[0].Shape()[1] == args[1].Shape()[0] {
@@ -169,7 +169,7 @@ func applyOp(op OpType, args []*tensor.Tensor) (*tensor.Tensor, error) {
 		return tensor.Add(args[0], args[1]), nil
 	case OpRelu:
 		if len(args) != 1 {
-			return nil, fmt.Errorf("Relu wants one tensor")
+			return nil, fmt.Errorf("op Relu wants one tensor")
 		}
 		return args[0].Map(func(v float64) float64 {
 			if v < 0 {
@@ -179,17 +179,17 @@ func applyOp(op OpType, args []*tensor.Tensor) (*tensor.Tensor, error) {
 		}), nil
 	case OpConv2D:
 		if len(args) != 2 || args[0].Rank() != 2 || args[1].Rank() != 2 {
-			return nil, fmt.Errorf("Conv2D wants image and kernel, both rank-2")
+			return nil, fmt.Errorf("op Conv2D wants image and kernel, both rank-2")
 		}
 		return conv2d(args[0], args[1])
 	case OpSoftmax:
 		if len(args) != 1 || args[0].Rank() != 2 {
-			return nil, fmt.Errorf("Softmax wants one rank-2 tensor")
+			return nil, fmt.Errorf("op Softmax wants one rank-2 tensor")
 		}
 		return softmaxRows(args[0]), nil
 	case OpMaxPool:
 		if len(args) != 1 || args[0].Rank() != 2 {
-			return nil, fmt.Errorf("MaxPool wants one rank-2 tensor")
+			return nil, fmt.Errorf("op MaxPool wants one rank-2 tensor")
 		}
 		return maxPool2(args[0]), nil
 	}
@@ -200,7 +200,7 @@ func conv2d(img, k *tensor.Tensor) (*tensor.Tensor, error) {
 	ih, iw := img.Shape()[0], img.Shape()[1]
 	kh, kw := k.Shape()[0], k.Shape()[1]
 	if kh > ih || kw > iw {
-		return nil, fmt.Errorf("Conv2D kernel larger than image")
+		return nil, fmt.Errorf("op Conv2D kernel larger than image")
 	}
 	oh, ow := ih-kh+1, iw-kw+1
 	out := tensor.New(oh, ow)

@@ -82,6 +82,18 @@ func (d *Device) String() string {
 	return fmt.Sprintf("%s (%s, %s)", d.Name, d.Attachment, d.Memory.Kind)
 }
 
+// ReconfigSeconds is the modelled bitstream configuration latency of the
+// device: full-device configuration takes O(100ms) on PCIe-attached
+// cards; network-attached cloudFPGA nodes use faster partial
+// reconfiguration (Ringlein FPL'19). Node.Program charges it, and
+// deployment tiers use it to price cold deploys consistently.
+func (d *Device) ReconfigSeconds() float64 {
+	if d.Attachment == NetworkAttached {
+		return 0.040
+	}
+	return 0.120
+}
+
 // AlveoU55C returns the model of an AMD Alveo U55C: HBM2 card used by the
 // paper's PTDR and map-matching deployments (§VIII).
 func AlveoU55C() *Device {

@@ -116,12 +116,24 @@ func (n *Node) Program(idx int, bs Bitstream) (float64, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.programmed[idx] = bs
-	// Full-device configuration takes O(100ms); partial reconfiguration
-	// (cloudFPGA, Ringlein FPL'19) is faster.
-	if n.Devices[idx].Attachment == NetworkAttached {
-		return 0.040, nil
+	return n.Devices[idx].ReconfigSeconds(), nil
+}
+
+// Unprogram clears the bitstream loaded on device idx, returning whether
+// one was loaded. A cache-capacity eviction in a bitstream deployment tier
+// uses this to free the slot: the next task requesting the evicted
+// bitstream on this node no longer finds it and must pay a redeploy (or
+// fall back to software). Device reservations are untouched — work already
+// claimed keeps its window.
+func (n *Node) Unprogram(idx int) (bool, error) {
+	if idx < 0 || idx >= len(n.Devices) {
+		return false, fmt.Errorf("platform: node %s has no device %d", n.Name, idx)
 	}
-	return 0.120, nil
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, loaded := n.programmed[idx]
+	delete(n.programmed, idx)
+	return loaded, nil
 }
 
 // Programmed returns the loaded bitstream for device idx.

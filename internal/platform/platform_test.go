@@ -366,3 +366,34 @@ func TestBatchTransferSeconds(t *testing.T) {
 		t.Errorf("zero-dep batch must be free, got %g", got)
 	}
 }
+
+func TestUnprogramFreesDeviceSlot(t *testing.T) {
+	n := NewNode("n0", XeonModel(), AlveoU55C())
+	bs := Bitstream{
+		ID: "bs-x", Kernel: "k", Target: "alveo-u55c",
+		Report: hls.Report{LatencyCycle: 1024, II: 1, IterLatency: 4,
+			Resources: hls.Resources{LUT: 1000, FF: 1000}, ClockMHz: 300},
+		Config:   SystemConfig{Replicas: 1, BusWidthBits: 512, Lanes: 4, PackedElements: 1, PLMBytes: 1 << 12},
+		ElemBits: 32,
+	}
+	if _, err := n.Program(0, bs); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := n.Programmed(0); !ok {
+		t.Fatal("bitstream should be loaded")
+	}
+	loaded, err := n.Unprogram(0)
+	if err != nil || !loaded {
+		t.Fatalf("Unprogram = (%v, %v), want (true, nil)", loaded, err)
+	}
+	if _, ok := n.Programmed(0); ok {
+		t.Fatal("bitstream should be gone after Unprogram")
+	}
+	loaded, err = n.Unprogram(0)
+	if err != nil || loaded {
+		t.Fatalf("second Unprogram = (%v, %v), want (false, nil)", loaded, err)
+	}
+	if _, err := n.Unprogram(5); err == nil {
+		t.Fatal("out-of-range device accepted")
+	}
+}

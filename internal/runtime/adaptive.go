@@ -321,6 +321,7 @@ func (e *Engine) onCtrl(ds *dispatchState, m ctrlMsg) {
 				ds.queues[r.wf.tenant] = append(ds.queues[r.wf.tenant], readyItem{
 					wf: r.wf, task: r.task.Name, restart: true, minStart: m.at,
 				})
+				ds.readyCount++
 			}
 			// Give the node back the idle time its stolen placements had
 			// reserved, so re-placement sees its true availability (floored
@@ -331,6 +332,14 @@ func (e *Engine) onCtrl(ds *dispatchState, m ctrlMsg) {
 					free = m.at
 				}
 				ds.nodeFree[m.node] = free
+				// The frontier may have shrunk with it; recompute (rare
+				// path — only on device-unplug invalidation).
+				ds.backlog = 0
+				for _, f := range ds.nodeFree {
+					if f > ds.backlog {
+						ds.backlog = f
+					}
+				}
 			}
 		}
 		// Degrade the fpga variant in every active tuner: fewer devices

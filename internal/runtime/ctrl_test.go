@@ -1,0 +1,192 @@
+package runtime
+
+import (
+	"testing"
+
+	"everest/internal/hls"
+	"everest/internal/platform"
+)
+
+// TestScriptedEnvEventsApplyAtStart pins the Start-time condition
+// timelines: every scripted kind lands on the right node state, and
+// events naming unknown nodes are ignored.
+func TestScriptedEnvEventsApplyAtStart(t *testing.T) {
+	n0 := platform.NewNode("n0", platform.XeonModel(), platform.AlveoU55C())
+	n1 := platform.NewNode("n1", platform.XeonModel(), platform.AlveoU55C())
+	c := platform.NewCluster(n0, n1)
+	e := NewEngine(c, platform.NewRegistry(), EngineConfig{
+		Events: []EnvEvent{
+			{Kind: EnvUnplug, Node: "n0", Device: 0, At: 0.5},
+			{Kind: EnvSlowdown, Node: "n1", Factor: 3, At: 0.25},
+			{Kind: EnvPlug, Node: "n0", Device: 0, At: 1.5},
+			{Kind: EnvUnplug, Node: "ghost", Device: 0, At: 0},
+		},
+	})
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer e.Shutdown()
+	if !n0.DeviceOnlineAt(0, 0.4) {
+		t.Fatal("device should be attached before the unplug time")
+	}
+	if n0.DeviceOnlineAt(0, 1.0) {
+		t.Fatal("device should be detached between unplug and plug")
+	}
+	if !n0.DeviceOnlineAt(0, 2.0) {
+		t.Fatal("device should be reattached after the plug time")
+	}
+	if got := n1.SlowdownAt(1.0); got != 3 {
+		t.Fatalf("slowdown at 1.0 = %g, want 3", got)
+	}
+	if got := n1.SlowdownAt(0.1); got != 1 {
+		t.Fatalf("slowdown before the event = %g, want 1", got)
+	}
+}
+
+func TestEventKindAndPolicyStrings(t *testing.T) {
+	kinds := []EventKind{EventSubmit, EventTaskDone, EventTransfer, EventNodeFailure,
+		EventReschedule, EventWorkflowDone, EventDeviceUnplug, EventDevicePlug,
+		EventNodeSlowdown, EventVariant, EventKind(99)}
+	want := []string{"submit", "task-done", "transfer", "node-failure", "reschedule",
+		"workflow-done", "device-unplug", "device-plug", "node-slowdown", "variant", "unknown"}
+	for i, k := range kinds {
+		if k.String() != want[i] {
+			t.Fatalf("kind %d = %q, want %q", i, k.String(), want[i])
+		}
+	}
+	if PolicyHEFT.String() != "heft" || PolicyFIFO.String() != "fifo" {
+		t.Fatalf("policy strings = %q/%q", PolicyHEFT.String(), PolicyFIFO.String())
+	}
+}
+
+func TestFutureDoneAndFailNode(t *testing.T) {
+	c := platform.NewCluster(
+		platform.NewNode("n0", platform.XeonModel()),
+		platform.NewNode("n1", platform.XeonModel()),
+	)
+	e := NewEngine(c, platform.NewRegistry(), EngineConfig{})
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.FailNode("ghost", 0); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+	if err := e.FailNode("n1", 1e6); err != nil { // far future: harmless
+		t.Fatal(err)
+	}
+	w := NewWorkflow()
+	if err := w.Submit(TaskSpec{Name: "a", Flops: 1e9}); err != nil {
+		t.Fatal(err)
+	}
+	fut, err := e.Submit(w, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-fut.Done()
+	sched, err := fut.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Assignments) != 1 {
+		t.Fatalf("got %d assignments, want 1", len(sched.Assignments))
+	}
+	e.Shutdown()
+}
+
+// TestAdaptiveUnplugThenPlugMidRun drives the full control loop: an
+// adaptive engine loses its only programmed accelerator mid-run (queued
+// FPGA placements invalidate, tuners degrade) and gets it back (tuners
+// reset to their seeds), with workflows completing throughout.
+func TestAdaptiveUnplugThenPlugMidRun(t *testing.T) {
+	n0 := platform.NewNode("n0", platform.XeonModel(), platform.AlveoU55C())
+	n1 := platform.NewNode("n1", platform.XeonModel())
+	c := platform.NewCluster(n0, n1)
+	reg := platform.NewRegistry()
+	bs := platform.Bitstream{
+		ID: "bs-ctrl", Kernel: "k", Target: "alveo-u55c",
+		Report: hls.Report{LatencyCycle: 1 << 18, II: 1, IterLatency: 8,
+			Resources: hls.Resources{LUT: 30000, FF: 40000, DSP: 64, BRAM: 32},
+			ClockMHz:  300},
+		Config: platform.SystemConfig{Replicas: 2, BusWidthBits: 512, Lanes: 4,
+			PackedElements: 4, DoubleBuffered: true, PLMBytes: 1 << 16},
+		ElemBits: 32,
+	}
+	if err := reg.Put(bs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n0.Program(0, bs); err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	e := NewEngine(c, reg, EngineConfig{
+		Adaptive: true,
+		Trace:    func(ev Event) { events = append(events, ev) },
+	})
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	wf := func() *Workflow {
+		w := NewWorkflow()
+		if err := w.Submit(TaskSpec{Name: "prep", Flops: 1e9, OutputBytes: 1 << 18}); err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range []string{"mc0", "mc1"} {
+			if err := w.Submit(TaskSpec{Name: name, Deps: []string{"prep"},
+				Flops: 2e10, InputBytes: 1 << 18, OutputBytes: 1 << 16,
+				NeedsFPGA: true, BitstreamID: bs.ID}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return w
+	}
+	run := func() *Schedule {
+		fut, err := e.Submit(wf(), SubmitOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched, err := fut.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sched
+	}
+	first := run()
+	if err := e.UnplugDevice("n0", 0, first.Makespan); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.UnplugDevice("n0", 0, first.Makespan); err != nil { // redundant: no-op
+		t.Fatal(err)
+	}
+	second := run()
+	for _, a := range second.Assignments {
+		if a.OnFPGA && a.Start > first.Makespan {
+			t.Fatalf("post-unplug FPGA placement: %+v", a)
+		}
+	}
+	if err := e.PlugDevice("n0", 0, second.Makespan); err != nil {
+		t.Fatal(err)
+	}
+	third := run()
+	onFPGA := 0
+	for _, a := range third.Assignments {
+		if a.OnFPGA {
+			onFPGA++
+		}
+	}
+	if onFPGA == 0 {
+		t.Fatal("replugged accelerator should attract offload again")
+	}
+	if err := e.SetNodeSlowdown("n1", 4, third.Makespan); err != nil {
+		t.Fatal(err)
+	}
+	e.Shutdown()
+	seen := make(map[EventKind]bool)
+	for _, ev := range events {
+		seen[ev.Kind] = true
+	}
+	for _, k := range []EventKind{EventDeviceUnplug, EventDevicePlug, EventNodeSlowdown, EventVariant} {
+		if !seen[k] {
+			t.Fatalf("trace missing %v events", k)
+		}
+	}
+}

@@ -153,6 +153,34 @@ type SubmitOptions struct {
 	Tenant string // fairness domain (defaults to "default")
 }
 
+// EngineStats is a point-in-time snapshot of one engine's serving state —
+// the per-engine export a federation tier (internal/fleet) reads to judge a
+// site's queue depth and accelerator capacity before routing work to it.
+// Counter fields are maintained by the dispatcher goroutine and published
+// after every event it processes; device fields are computed live from the
+// cluster at snapshot time.
+type EngineStats struct {
+	Submitted int // workflows the dispatcher has accepted
+	Completed int // workflows drained successfully
+	Failed    int // workflows drained with an error
+	Active    int // workflows in flight
+	// ReadyTasks counts tasks sitting in the tenant fairness queues,
+	// dependency-ready but not yet placed on a node.
+	ReadyTasks int
+	// PendingTasks counts unfinished tasks across all active workflows
+	// (ready, queued on nodes, and still dependency-blocked).
+	PendingTasks int
+	// Backlog is the modelled frontier: the latest estimated earliest-idle
+	// time across nodes — how far into modelled time the engine's accepted
+	// work already reaches.
+	Backlog float64
+	// OnlineDevices counts attached accelerator devices on alive nodes;
+	// ProgrammedOnline counts the subset carrying a bitstream (the capacity
+	// the fpga variant can actually reach).
+	OnlineDevices    int
+	ProgrammedOnline int
+}
+
 // Engine executes many workflows concurrently over a simulated cluster.
 type Engine struct {
 	cluster *platform.Cluster
@@ -162,6 +190,9 @@ type Engine struct {
 	submitCh chan *wfState
 	reportCh chan execReport
 	doneCh   chan struct{} // closed when the dispatcher exits
+
+	statsMu sync.Mutex
+	stats   EngineStats // dispatcher-published snapshot (counter fields)
 
 	// Environment events (plug/unplug, slowdown) arrive through an
 	// unbounded ordered queue: sendCtrl must never block, because control
@@ -205,6 +236,57 @@ func NewEngine(c *platform.Cluster, reg *platform.Registry, cfg EngineConfig) *E
 
 // Monitor returns the engine's per-node observation layer.
 func (e *Engine) Monitor() *platform.Monitor { return e.monitor }
+
+// Stats returns a snapshot of the engine's serving state. The counter
+// fields reflect the dispatcher's view as of the last event it processed;
+// the device fields are computed from the cluster at call time. Safe to
+// call from any goroutine, before Start, and after Shutdown.
+func (e *Engine) Stats() EngineStats {
+	e.statsMu.Lock()
+	st := e.stats
+	e.statsMu.Unlock()
+	for _, n := range e.cluster.Nodes {
+		if _, failed := n.FailedAt(); failed {
+			continue
+		}
+		for idx := range n.Devices {
+			if !n.DeviceOnline(idx) {
+				continue
+			}
+			st.OnlineDevices++
+			if _, ok := n.Programmed(idx); ok {
+				st.ProgrammedOnline++
+			}
+		}
+	}
+	return st
+}
+
+// publishStats copies the dispatcher's incrementally maintained counters
+// into the snapshot Stats() serves. Called by the dispatcher after each
+// processed event, so single-writer and O(1); the mutex only orders it
+// against readers.
+func (e *Engine) publishStats(ds *dispatchState) {
+	st := EngineStats{
+		Submitted:    ds.submitted,
+		Completed:    ds.completed,
+		Failed:       ds.failed,
+		Active:       len(ds.active),
+		ReadyTasks:   ds.readyCount,
+		PendingTasks: ds.pendingTotal,
+		Backlog:      ds.backlog,
+	}
+	e.statsMu.Lock()
+	e.stats = st
+	e.statsMu.Unlock()
+}
+
+// raiseBacklog tracks the modelled frontier as nodeFree entries advance.
+func (ds *dispatchState) raiseBacklog(t float64) {
+	if t > ds.backlog {
+		ds.backlog = t
+	}
+}
 
 // Start spawns one executor goroutine per node plus the dispatcher loop. It
 // takes ownership of the cluster: stale failure state and device claims
@@ -353,8 +435,12 @@ func newWFState(w *Workflow, name, tenant string, fut *Future) *wfState {
 		fut:       fut,
 	}
 	// Snapshot specs so callers mutating the workflow later cannot race the
-	// executors.
-	for name, t := range w.tasks {
+	// executors. Iterate in submission order, not map order: the children
+	// lists decide the order siblings enter the ready queues when their
+	// parent completes, and map iteration would make placement — and with
+	// it modelled completion times — vary run to run.
+	for _, name := range st.order {
+		t := w.tasks[name]
 		cp := *t
 		st.tasks[name] = &cp
 		st.remaining[name] = len(t.Deps)
@@ -418,6 +504,16 @@ type dispatchState struct {
 	rrNext  int
 
 	active map[*wfState]bool
+
+	// Aggregates feeding the Stats snapshot, maintained incrementally
+	// where the dispatcher mutates queues/active/nodeFree so publishing a
+	// snapshot is O(1) on the hot loop.
+	submitted    int
+	completed    int
+	failed       int
+	readyCount   int     // items across all fairness queues
+	pendingTotal int     // unfinished tasks across active workflows
+	backlog      float64 // max nodeFree (recomputed only on reclaim)
 }
 
 func (e *Engine) dispatch() {
@@ -466,6 +562,7 @@ func (e *Engine) dispatch() {
 			e.onCtrl(ds, msg)
 		}
 		e.drainReady(ds)
+		e.publishStats(ds)
 	}
 	for _, q := range e.queues {
 		q.close()
@@ -496,6 +593,7 @@ func (e *Engine) trace(ev Event) {
 }
 
 func (e *Engine) onSubmit(ds *dispatchState, st *wfState) {
+	ds.submitted++
 	e.trace(Event{Kind: EventSubmit, Workflow: st.name, Tenant: st.tenant})
 	if st.pending == 0 { // empty workflow completes immediately
 		st.sched.Policy = e.cfg.Policy
@@ -503,6 +601,7 @@ func (e *Engine) onSubmit(ds *dispatchState, st *wfState) {
 		return
 	}
 	ds.active[st] = true
+	ds.pendingTotal += st.pending
 	st.sched.Policy = e.cfg.Policy
 	if e.cfg.Adaptive {
 		st.tuner = e.newWorkflowTuner(st)
@@ -513,6 +612,7 @@ func (e *Engine) onSubmit(ds *dispatchState, st *wfState) {
 	for _, name := range st.order {
 		if st.remaining[name] == 0 {
 			ds.queues[st.tenant] = append(ds.queues[st.tenant], readyItem{wf: st, task: name})
+			ds.readyCount++
 		}
 	}
 }
@@ -548,6 +648,7 @@ func (e *Engine) onReport(ds *dispatchState, rep execReport) {
 		ds.queues[st.tenant] = append(ds.queues[st.tenant], readyItem{
 			wf: st, task: rep.task.Name, restart: true, minStart: rep.failAt,
 		})
+		ds.readyCount++
 		return
 	}
 	if st.finished {
@@ -555,6 +656,7 @@ func (e *Engine) onReport(ds *dispatchState, rep execReport) {
 	}
 	if free := ds.nodeFree[rep.node]; rep.end > free {
 		ds.nodeFree[rep.node] = rep.end
+		ds.raiseBacklog(rep.end)
 	}
 	// Feed the observation layers, split by what each owns: the monitor
 	// learns per-node load from software completions (observed/nominal),
@@ -592,6 +694,7 @@ func (e *Engine) onReport(ds *dispatchState, rep execReport) {
 	st.doneAt[rep.task.Name] = rep.end
 	st.locAt[rep.task.Name] = rep.node
 	st.pending--
+	ds.pendingTotal--
 	e.trace(Event{
 		Kind: EventTaskDone, Workflow: st.name, Tenant: st.tenant,
 		Task: rep.task.Name, Node: rep.node, Time: rep.end,
@@ -600,6 +703,7 @@ func (e *Engine) onReport(ds *dispatchState, rep execReport) {
 		st.remaining[child]--
 		if st.remaining[child] == 0 {
 			ds.queues[st.tenant] = append(ds.queues[st.tenant], readyItem{wf: st, task: child})
+			ds.readyCount++
 		}
 	}
 	if st.pending == 0 {
@@ -613,6 +717,14 @@ func (e *Engine) finish(ds *dispatchState, st *wfState, err error) {
 	}
 	st.finished = true
 	delete(ds.active, st)
+	// An error finish abandons the workflow's unfinished tasks (its stale
+	// ready items are skipped — and uncounted — when popped).
+	ds.pendingTotal -= st.pending
+	if err != nil {
+		ds.failed++
+	} else {
+		ds.completed++
+	}
 	sort.SliceStable(st.sched.Assignments, func(i, j int) bool {
 		return st.sched.Assignments[i].Start < st.sched.Assignments[j].Start
 	})
@@ -651,6 +763,7 @@ func (e *Engine) nextFair(ds *dispatchState) (readyItem, bool) {
 		}
 		item := q[0]
 		ds.queues[t] = q[1:]
+		ds.readyCount--
 		ds.rrNext = (ds.rrNext + i + 1) % n
 		return item, true
 	}
@@ -718,6 +831,7 @@ func (e *Engine) place(ds *dispatchState, item readyItem) {
 		return
 	}
 	ds.nodeFree[bestNode] = bestEnd
+	ds.raiseBacklog(bestEnd)
 	if bestGroups > 0 {
 		e.trace(Event{
 			Kind: EventTransfer, Workflow: st.name, Tenant: st.tenant,

@@ -1,0 +1,377 @@
+package sdk
+
+import (
+	"fmt"
+	"sync"
+
+	"everest/internal/fleet"
+	"everest/internal/netsim"
+	"everest/internal/platform"
+	"everest/internal/runtime"
+	"everest/internal/variants"
+)
+
+// This file is the SDK face of the federation tier (internal/fleet): a
+// FleetServer front that shards submissions across N engine sites behind
+// one door — the fleet-scale analogue of Server — plus the E-fleet
+// scenario serving mixed compiled and hand-declared workloads across
+// federated sites under bitstream-cache churn and unplug faults.
+
+// FleetConfig configures a FleetServer.
+type FleetConfig struct {
+	// Sites is the number of federated engine sites (>= 1).
+	Sites int
+	// NodesPerSite is the compute-node count of each site's cluster
+	// (DefaultCluster shape: adds one cloudFPGA node; default 2).
+	NodesPerSite int
+	// CacheSlots bounds each site's resident bitstreams (default 1).
+	CacheSlots int
+	// Policy selects each site engine's placement strategy.
+	Policy runtime.Policy
+	// Adaptive enables variant-aware scheduling per site.
+	Adaptive bool
+	// MaxQueueSeconds is the admission bound: when every site's modelled
+	// queue wait exceeds it, Submit rejects with fleet.ErrSaturated.
+	// 0 = unlimited.
+	MaxQueueSeconds float64
+	// Net names the intra-site transfer stack ("" = flat cluster fabric).
+	Net string
+	// RegistryNet names the registry→site deploy fabric ("" = eth100g).
+	RegistryNet string
+	// SiteEvents scripts per-site modelled-time faults (index = site).
+	SiteEvents [][]runtime.EnvEvent
+	// Trace receives fleet events (routing, cache, deploys) when set.
+	Trace func(fleet.Event)
+}
+
+// FleetServer is the multi-site submission front: one Registry shared by
+// all sites, a router placing each workflow, and per-site serial serving.
+type FleetServer struct {
+	Registry *platform.Registry
+
+	fl *fleet.Fleet
+
+	mu      sync.Mutex
+	tickets []*fleet.Ticket
+}
+
+// NewFleetServer builds the federation: cfg.Sites independent clusters
+// (DefaultCluster shape) behind one router and one bitstream registry.
+func NewFleetServer(cfg FleetConfig) (*FleetServer, error) {
+	if cfg.Sites < 1 {
+		return nil, fmt.Errorf("sdk: fleet needs >= 1 site, got %d", cfg.Sites)
+	}
+	if cfg.NodesPerSite < 1 {
+		cfg.NodesPerSite = 2
+	}
+	var net, regNet *netsim.Stack
+	if cfg.Net != "" {
+		st, err := netsim.StackByName(cfg.Net)
+		if err != nil {
+			return nil, err
+		}
+		net = &st
+	}
+	if cfg.RegistryNet != "" {
+		st, err := netsim.StackByName(cfg.RegistryNet)
+		if err != nil {
+			return nil, err
+		}
+		regNet = &st
+	}
+	reg := platform.NewRegistry()
+	fl, err := fleet.New(reg, fleet.Config{
+		Sites:           cfg.Sites,
+		NewCluster:      func(int) *platform.Cluster { return DefaultCluster(cfg.NodesPerSite) },
+		CacheSlots:      cfg.CacheSlots,
+		Policy:          cfg.Policy,
+		Adaptive:        cfg.Adaptive,
+		MaxQueueSeconds: cfg.MaxQueueSeconds,
+		Net:             net,
+		RegistryNet:     regNet,
+		SiteEvents:      cfg.SiteEvents,
+		Trace:           cfg.Trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &FleetServer{Registry: reg, fl: fl}, nil
+}
+
+// Fleet exposes the underlying federation tier.
+func (fs *FleetServer) Fleet() *fleet.Fleet { return fs.fl }
+
+// Publish stores a bitstream in the federation registry; sites deploy
+// from it on demand (cache misses pay the transfer + reconfiguration).
+func (fs *FleetServer) Publish(bs platform.Bitstream) error { return fs.Registry.Put(bs) }
+
+// Start brings every site engine up.
+func (fs *FleetServer) Start() error { return fs.fl.Start() }
+
+// SubmitAt routes one workflow arriving at the given modelled time. The
+// returned ticket resolves when the chosen site drains to it; admission
+// rejections return fleet.ErrSaturated.
+func (fs *FleetServer) SubmitAt(tenant, name string, w *runtime.Workflow, arrival float64) (*fleet.Ticket, error) {
+	t, err := fs.fl.Submit(fleet.Request{Tenant: tenant, Name: name, Workflow: w, Arrival: arrival})
+	if err != nil {
+		return nil, err
+	}
+	fs.mu.Lock()
+	fs.tickets = append(fs.tickets, t)
+	fs.mu.Unlock()
+	return t, nil
+}
+
+// TenantLatency is one tenant's completed-workflow latency distribution.
+type TenantLatency struct {
+	Completed int
+	P50       float64
+	P95       float64
+	Max       float64
+}
+
+// FleetServerStats is the final accounting of a fleet serving run.
+type FleetServerStats struct {
+	Fleet     fleet.Stats
+	Tenants   map[string]TenantLatency
+	Latencies []float64 // all completed workflow latencies, submission order
+}
+
+// Shutdown drains every site, stops the engines, and returns the final
+// stats including per-tenant latency percentiles.
+func (fs *FleetServer) Shutdown() FleetServerStats {
+	flStats := fs.fl.Shutdown()
+	fs.mu.Lock()
+	tickets := fs.tickets
+	fs.mu.Unlock()
+	out := FleetServerStats{Fleet: flStats, Tenants: make(map[string]TenantLatency)}
+	byTenant := make(map[string][]float64)
+	for _, t := range tickets {
+		res, err := t.Wait() // resolved: Shutdown drained the queues
+		if err != nil {
+			continue
+		}
+		out.Latencies = append(out.Latencies, res.Latency)
+		byTenant[t.Tenant] = append(byTenant[t.Tenant], res.Latency)
+	}
+	for tenant, ls := range byTenant {
+		out.Tenants[tenant] = TenantLatency{
+			Completed: len(ls),
+			P50:       Percentile(ls, 0.50),
+			P95:       Percentile(ls, 0.95),
+			Max:       Percentile(ls, 1.0),
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// E-fleet scenario
+
+// FleetScenario bundles one run of the fleet-serving experiment: mixed
+// compiled and hand-declared workloads from many tenants arriving over
+// modelled time, served by a federation of engine sites with bounded
+// bitstream caches, with an accelerator unplug hitting the first site
+// mid-run. Workflows are submitted in arrival order and awaited one at a
+// time, so every modelled number is exactly deterministic across
+// GOMAXPROCS while site timelines still overlap in modelled time.
+type FleetScenario struct {
+	Sites        int
+	NodesPerSite int
+	CacheSlots   int
+	Tenants      int
+	Workflows    int
+	// ArrivalGap is the open-mode interarrival (modelled seconds); in
+	// closed mode it staggers the clients' initial arrivals instead.
+	ArrivalGap float64
+	// Closed selects the closed-loop arrival mode: Tenants clients, each
+	// submitting its next workflow the moment its previous one completes.
+	Closed bool
+	// UnplugAt > 0 detaches site 0's first accelerator at that modelled
+	// time (cache churn: its resident bitstream goes stale).
+	UnplugAt float64
+	// Net / RegistryNet name the transfer stacks (FleetConfig semantics).
+	Net         string
+	RegistryNet string
+	// Policy selects each site engine's placement strategy (the zero
+	// value is PolicyHEFT).
+	Policy   runtime.Policy
+	Adaptive bool
+	// MaxQueueSeconds forwards the admission bound (0 = never reject).
+	MaxQueueSeconds float64
+	// SLO is the p95 latency target the saturation metric gates on.
+	SLO float64
+	// Trace receives fleet events during Run/RunWith when set (routing,
+	// cache hits/misses, deploys, evictions).
+	Trace func(fleet.Event)
+}
+
+// DefaultFleetScenario is the E-fleet configuration: 4 sites of 2 compute
+// nodes each, 32 tenants, 64 mixed workflows (compiled windpower kernels,
+// hand-declared Monte-Carlo, pure-software), one bitstream cache slot per
+// site (so the two FPGA bitstreams churn), deploys priced over the
+// TCP/10G registry fabric, and an unplug of site 0's accelerator mid-run.
+func DefaultFleetScenario() FleetScenario {
+	return FleetScenario{
+		Sites: 4, NodesPerSite: 2, CacheSlots: 1,
+		Tenants: 32, Workflows: 64,
+		ArrivalGap: 0.05, UnplugAt: 0.5,
+		RegistryNet: "tcp10g",
+		Adaptive:    true,
+		SLO:         1.75,
+	}
+}
+
+// Compile builds the scenario's compiled kernel (shared across runs: the
+// saturation ladder re-serves the same compilation at every rate).
+func (sc FleetScenario) Compile() (*variants.Compiled, error) {
+	return variants.CompileExample("windpower", DefaultCompileOptions())
+}
+
+// FleetResult is one serving run of the scenario.
+type FleetResult struct {
+	Stats      FleetServerStats
+	Completed  int
+	Rejected   int
+	Makespan   float64 // latest site completion (modelled)
+	Throughput float64 // completed workflows per modelled second
+	P50        float64
+	P95        float64
+	Max        float64
+	SLOMet     bool
+}
+
+// Run compiles the kernel and serves the scenario once.
+func (sc FleetScenario) Run() (FleetResult, error) {
+	c, err := sc.Compile()
+	if err != nil {
+		return FleetResult{}, err
+	}
+	return sc.RunWith(c)
+}
+
+// workflow returns the i-th submission of the mixed stream: compiled
+// windpower workflows, hand-declared FPGA-leaning workflows on two
+// distinct bitstreams (what churns a one-slot cache), and pure-software
+// synthetic workflows.
+func (sc FleetScenario) workflow(i int, c *variants.Compiled) *runtime.Workflow {
+	switch i % 4 {
+	case 0:
+		w := CompiledWorkflow(i, c)
+		if sc.Adaptive {
+			w.SetVariants(c.Variants())
+		}
+		return w
+	case 1:
+		return AdaptiveWorkflow(i, ScenarioBitstream().ID)
+	case 2:
+		return SyntheticWorkflow(i)
+	default:
+		return AdaptiveWorkflow(i, c.Design.Bitstream.ID)
+	}
+}
+
+// RunWith serves the scenario once around an already-compiled kernel.
+func (sc FleetScenario) RunWith(c *variants.Compiled) (FleetResult, error) {
+	if sc.Sites < 1 || sc.Tenants < 1 || sc.Workflows < 1 {
+		return FleetResult{}, fmt.Errorf("sdk: bad fleet scenario %+v", sc)
+	}
+	if c == nil || c.Design == nil {
+		return FleetResult{}, fmt.Errorf("sdk: fleet scenario needs a compiled kernel")
+	}
+	var events [][]runtime.EnvEvent
+	if sc.UnplugAt > 0 {
+		events = [][]runtime.EnvEvent{{
+			{Kind: runtime.EnvUnplug, Node: "node00", Device: 0, At: sc.UnplugAt},
+		}}
+	}
+	srv, err := NewFleetServer(FleetConfig{
+		Sites: sc.Sites, NodesPerSite: sc.NodesPerSite, CacheSlots: sc.CacheSlots,
+		Policy: sc.Policy, Adaptive: sc.Adaptive,
+		MaxQueueSeconds: sc.MaxQueueSeconds,
+		Net:             sc.Net, RegistryNet: sc.RegistryNet,
+		SiteEvents: events, Trace: sc.Trace,
+	})
+	if err != nil {
+		return FleetResult{}, err
+	}
+	if err := srv.Publish(c.Design.Bitstream); err != nil {
+		return FleetResult{}, err
+	}
+	if err := srv.Publish(ScenarioBitstream()); err != nil {
+		return FleetResult{}, err
+	}
+	if err := srv.Start(); err != nil {
+		return FleetResult{}, err
+	}
+
+	rejected := 0
+	tenantName := func(i int) string { return fmt.Sprintf("tenant%02d", i%sc.Tenants) }
+	if sc.Closed {
+		// Closed loop: each tenant is one client; its next workflow
+		// arrives the moment its previous one completes. Submissions are
+		// processed in global modelled-arrival order (ties break on
+		// client index), so the run is deterministic.
+		nextAt := make([]float64, sc.Tenants)
+		for j := range nextAt {
+			nextAt[j] = float64(j) * sc.ArrivalGap
+		}
+		for i := 0; i < sc.Workflows; i++ {
+			client := 0
+			for j := 1; j < sc.Tenants; j++ {
+				if nextAt[j] < nextAt[client] {
+					client = j
+				}
+			}
+			t, err := srv.SubmitAt(tenantName(client), "", sc.workflow(i, c), nextAt[client])
+			if err != nil {
+				// Rejected: the client backs off and retries the same
+				// workflow at a later arrival (i is not consumed). Arrivals
+				// advance monotonically while the modelled backlog does
+				// not, so the retry is eventually admitted.
+				rejected++
+				step := sc.ArrivalGap
+				if step <= 0 {
+					step = 0.01
+				}
+				nextAt[client] += step
+				i--
+				continue
+			}
+			res, err := t.Wait()
+			if err != nil {
+				srv.Shutdown()
+				return FleetResult{}, fmt.Errorf("sdk: fleet scenario workflow %d: %w", i, err)
+			}
+			nextAt[client] = res.Completion
+		}
+	} else {
+		for i := 0; i < sc.Workflows; i++ {
+			t, err := srv.SubmitAt(tenantName(i), "", sc.workflow(i, c), float64(i)*sc.ArrivalGap)
+			if err != nil {
+				rejected++
+				continue
+			}
+			if _, err := t.Wait(); err != nil {
+				srv.Shutdown()
+				return FleetResult{}, fmt.Errorf("sdk: fleet scenario workflow %d: %w", i, err)
+			}
+		}
+	}
+
+	stats := srv.Shutdown()
+	out := FleetResult{
+		Stats:     stats,
+		Completed: stats.Fleet.Completed,
+		Rejected:  rejected,
+		Makespan:  stats.Fleet.Makespan,
+		P50:       Percentile(stats.Latencies, 0.50),
+		P95:       Percentile(stats.Latencies, 0.95),
+		Max:       Percentile(stats.Latencies, 1.0),
+	}
+	if out.Makespan > 0 {
+		out.Throughput = float64(out.Completed) / out.Makespan
+	}
+	out.SLOMet = out.Completed == sc.Workflows && (sc.SLO <= 0 || out.P95 <= sc.SLO)
+	return out, nil
+}

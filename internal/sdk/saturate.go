@@ -1,0 +1,93 @@
+package sdk
+
+import (
+	"fmt"
+	"sort"
+
+	"everest/internal/variants"
+)
+
+// This file is the saturation harness around the fleet tier: sweep the
+// open-mode arrival rate over a ladder, measure latency percentiles and
+// achieved throughput at each offered load, and report the achieved
+// throughput at the highest load that still meets the p95 SLO — the
+// serving-capacity number BenchmarkFleetThroughput gates in CI.
+
+// Percentile returns the q-quantile (0 < q <= 1) of xs by the
+// nearest-rank method (deterministic: no interpolation). Returns 0 for
+// empty input.
+func Percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	rank := int(q*float64(len(s))+0.9999999) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s) {
+		rank = len(s) - 1
+	}
+	return s[rank]
+}
+
+// SaturationPoint is one rung of the arrival-rate ladder.
+type SaturationPoint struct {
+	Gap         float64 // modelled interarrival seconds
+	OfferedRate float64 // workflows per modelled second offered (1/Gap)
+	Throughput  float64 // achieved workflows per modelled second
+	P50         float64
+	P95         float64
+	Completed   int
+	Rejected    int
+	SLOMet      bool
+}
+
+// DefaultSaturationGaps is the standard offered-load ladder: interarrival
+// gaps halving from well under saturation to far past it.
+func DefaultSaturationGaps() []float64 {
+	return []float64{0.64, 0.32, 0.16, 0.08, 0.04, 0.02, 0.01, 0.005, 0.0025}
+}
+
+// Saturate serves the scenario once per gap in the ladder (open arrival
+// mode, same compiled kernel and aggregate workload each time) and
+// returns every measured point plus the best one: the highest achieved
+// throughput among rungs whose p95 latency met the SLO. A zero best means
+// no rung met it.
+func (sc FleetScenario) Saturate(c *variants.Compiled, gaps []float64) ([]SaturationPoint, SaturationPoint, error) {
+	if len(gaps) == 0 {
+		gaps = DefaultSaturationGaps()
+	}
+	var points []SaturationPoint
+	var best SaturationPoint
+	for _, gap := range gaps {
+		if gap <= 0 {
+			return nil, SaturationPoint{}, fmt.Errorf("sdk: saturation gap must be > 0, got %g", gap)
+		}
+		run := sc
+		run.Closed = false
+		run.ArrivalGap = gap
+		res, err := run.RunWith(c)
+		if err != nil {
+			return nil, SaturationPoint{}, fmt.Errorf("sdk: saturation at gap %g: %w", gap, err)
+		}
+		p := SaturationPoint{
+			Gap: gap, OfferedRate: 1 / gap,
+			Throughput: res.Throughput, P50: res.P50, P95: res.P95,
+			Completed: res.Completed, Rejected: res.Rejected,
+			SLOMet: res.SLOMet,
+		}
+		points = append(points, p)
+		if p.SLOMet && p.Throughput > best.Throughput {
+			best = p
+		}
+	}
+	return points, best, nil
+}

@@ -224,3 +224,50 @@ func TestSyntheticWorkflowShapes(t *testing.T) {
 		}
 	}
 }
+
+// TestServerControlAPIForwards covers the engine control wrappers: the
+// server-level unplug/plug/slowdown calls flip platform state and reject
+// unknown nodes.
+func TestServerControlAPIForwards(t *testing.T) {
+	s := New(DefaultCluster(2))
+	srv := s.NewServer(ServerConfig{})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	if err := srv.UnplugDevice("node00", 0, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Cluster.Nodes[0].DeviceOnline(0) {
+		t.Fatal("device should be detached")
+	}
+	if err := srv.PlugDevice("node00", 0, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Cluster.Nodes[0].DeviceOnline(0) {
+		t.Fatal("device should be reattached")
+	}
+	if err := srv.SetNodeSlowdown("node01", 2.5, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Cluster.Nodes[1].Slowdown(); got != 2.5 {
+		t.Fatalf("slowdown = %g, want 2.5", got)
+	}
+	for _, err := range []error{
+		srv.UnplugDevice("ghost", 0, 0),
+		srv.PlugDevice("ghost", 0, 0),
+		srv.SetNodeSlowdown("ghost", 2, 0),
+	} {
+		if err == nil {
+			t.Fatal("unknown node accepted by control API")
+		}
+	}
+	sub, err := srv.Submit("t0", "", SyntheticWorkflow(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-sub.Done()
+	if _, err := sub.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}

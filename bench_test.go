@@ -255,6 +255,52 @@ func BenchmarkFleetThroughput(b *testing.B) {
 	b.ReportMetric(median(speedups), "fleet_speedup")
 }
 
+// BenchmarkAppSuite exercises the workload registry through the fleet
+// tier (E-apps): all three EVEREST use-case applications — weather
+// ensembles with compiled RRTMG radiation, traffic map-matching with the
+// compiled Fig. 4 projection stage, energy prediction with compiled KRR
+// and ONNX inference — interleaved across 24 tenants over 4 federated
+// sites, swept through the open-arrival rate ladder. The reported
+// suite_throughput_at_slo is the mixed-suite achieved throughput at the
+// highest SLO-meeting offered load; p95_energy / p95_traffic /
+// p95_weather are the per-application p95 latencies at that operating
+// point. Sequential modelled-time serving makes every number exactly
+// deterministic across GOMAXPROCS; CI's consolidated benchgate pins them
+// via BENCH_5.json.
+func BenchmarkAppSuite(b *testing.B) {
+	sc := sdk.DefaultSuiteScenario()
+	suite, err := sc.BuildSuite()
+	if err != nil {
+		b.Fatal(err)
+	}
+	gaps := []float64{0.64, 0.16, 0.08, 0.04, 0.02}
+	var tputs []float64
+	appP95s := make(map[string][]float64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points, best, perApp, err := sc.SaturateSuite(suite, gaps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if best.Throughput <= 0 {
+			b.Fatalf("no SLO-meeting rung: %+v", points)
+		}
+		tputs = append(tputs, best.Throughput)
+		for j, p := range points {
+			if p.Gap != best.Gap {
+				continue
+			}
+			for name, tl := range perApp[j] {
+				appP95s[name] = append(appP95s[name], tl.P95)
+			}
+		}
+	}
+	b.ReportMetric(median(tputs), "suite_throughput_at_slo")
+	for name, p95s := range appP95s {
+		b.ReportMetric(median(p95s), "p95_"+name)
+	}
+}
+
 func median(xs []float64) float64 {
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)

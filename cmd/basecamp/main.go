@@ -9,6 +9,7 @@
 //	basecamp deploy   -nodes N     # compile demo kernel, stage it, plan a workflow
 //	basecamp serve    -workflows N -concurrency K [-adaptive] [-net tcp10g|udp10g]  # concurrent multi-tenant runtime demo
 //	basecamp serve    -sites N -cache-slots K [-registry-net tcp10g|udp10g|eth100g] [-gap S]  # federated fleet serving
+//	basecamp serve    -sites N -suite [-apps energy,traffic,weather]  # serve the EVEREST application suite (workload registry)
 //	basecamp adapt    -workflows N [-compiled]  # adaptive vs static placement under injected faults
 //	basecamp dialects              # list the registered MLIR dialects (Fig. 5)
 //	basecamp anomaly  -trials N    # AutoML model selection on a synthetic stream
@@ -25,6 +26,7 @@ import (
 	"time"
 
 	"everest/internal/anomaly"
+	"everest/internal/apps"
 	"everest/internal/base2"
 	"everest/internal/ekl"
 	"everest/internal/experiments"
@@ -312,6 +314,8 @@ func cmdServe(args []string) error {
 	registryNet := fs.String("registry-net", "tcp10g", "registry->site deploy fabric (fleet mode): tcp10g, udp10g, or eth100g")
 	gap := fs.Float64("gap", 0.05, "modelled interarrival seconds between submissions (fleet mode)")
 	unplugAt := fs.Float64("unplug-at", 0.5, "modelled time site 0's first accelerator detaches (fleet mode; 0 = no fault)")
+	suite := fs.Bool("suite", false, "serve the EVEREST application suite from the workload registry (fleet mode)")
+	appList := fs.String("apps", "", "comma-separated registry applications to serve (fleet mode; implies -suite)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -334,7 +338,7 @@ func cmdServe(args []string) error {
 		case *sites > 1 && (fl.Name == "concurrency" || fl.Name == "fail"):
 			incompatible = append(incompatible, "-"+fl.Name)
 		case *sites == 1 && (fl.Name == "cache-slots" || fl.Name == "registry-net" ||
-			fl.Name == "gap" || fl.Name == "unplug-at"):
+			fl.Name == "gap" || fl.Name == "unplug-at" || fl.Name == "suite" || fl.Name == "apps"):
 			incompatible = append(incompatible, "-"+fl.Name)
 		}
 	})
@@ -347,8 +351,11 @@ func cmdServe(args []string) error {
 			strings.Join(incompatible, ", "), mode)
 	}
 	if *sites > 1 {
+		if *appList != "" {
+			*suite = true
+		}
 		return serveFleet(*sites, *nodes, *cacheSlots, *workflows, *tenants,
-			policy, *adaptive, *netName, *registryNet, *gap, *unplugAt, *trace)
+			policy, *adaptive, *netName, *registryNet, *gap, *unplugAt, *trace, *suite, *appList)
 	}
 	var stack *netsim.Stack
 	if *netName != "" {
@@ -457,8 +464,9 @@ func cmdServe(args []string) error {
 // serveFleet is `basecamp serve -sites N`: the same mixed E-fleet load
 // served through the federation tier — N independent engine sites behind
 // the fleet router, with bounded per-site bitstream caches and deploys
-// priced over the registry fabric.
-func serveFleet(sites, nodes, cacheSlots, workflows, tenants int, policy runtime.Policy, adaptive bool, netName, registryNet string, gap, unplugAt float64, trace bool) error {
+// priced over the registry fabric. With suite set, the served stream is
+// the EVEREST application suite from the workload registry.
+func serveFleet(sites, nodes, cacheSlots, workflows, tenants int, policy runtime.Policy, adaptive bool, netName, registryNet string, gap, unplugAt float64, trace, suite bool, appList string) error {
 	if workflows < 1 || tenants < 1 || nodes < 1 {
 		return fmt.Errorf("serve: workflows, tenants and nodes must be positive")
 	}
@@ -469,6 +477,16 @@ func serveFleet(sites, nodes, cacheSlots, workflows, tenants int, policy runtime
 		Net:      netName, RegistryNet: registryNet,
 		Policy: policy, Adaptive: adaptive,
 		SLO: 1.75,
+	}
+	if suite {
+		sc.SLO = sdk.DefaultSuiteScenario().SLO
+		sc.Apps = apps.Names()
+		if appList != "" {
+			sc.Apps = nil
+			for _, name := range strings.Split(appList, ",") {
+				sc.Apps = append(sc.Apps, strings.TrimSpace(name))
+			}
+		}
 	}
 	if trace {
 		sc.Trace = func(ev fleet.Event) {
@@ -486,13 +504,27 @@ func serveFleet(sites, nodes, cacheSlots, workflows, tenants int, policy runtime
 	}
 	fmt.Printf("fleet      : %d sites x (%d compute nodes + cloudfpga0), cache %d slot(s)/site, %s\n",
 		sites, nodes, cacheSlots, mode)
-	fmt.Printf("workflows  : %d across %d tenants, arrivals every %.3gs modelled\n",
-		workflows, tenants, gap)
+	workload := "mixed"
+	if suite {
+		workload = "app-suite [" + strings.Join(sc.Apps, " ") + "]"
+	}
+	fmt.Printf("workflows  : %d %s across %d tenants, arrivals every %.3gs modelled\n",
+		workflows, workload, tenants, gap)
 	fmt.Printf("completed  : %d (%d rejected), makespan %.4gs modelled\n",
 		res.Completed, res.Rejected, res.Makespan)
 	fmt.Printf("throughput : %.4g workflows/s modelled\n", res.Throughput)
 	fmt.Printf("latency    : p50 %.4gs, p95 %.4gs, max %.4gs (SLO %.3gs met: %v)\n",
 		res.P50, res.P95, res.Max, sc.SLO, res.SLOMet)
+	var appNames []string
+	for name := range res.Apps {
+		appNames = append(appNames, name)
+	}
+	sort.Strings(appNames)
+	for _, name := range appNames {
+		tl := res.Apps[name]
+		fmt.Printf("  app %-8s : %2d done, p50 %.4gs, p95 %.4gs, max %.4gs\n",
+			name, tl.Completed, tl.P50, tl.P95, tl.Max)
+	}
 	for _, s := range res.Stats.Fleet.Sites {
 		fmt.Printf("  %-7s : %3d served, cache %d hit / %d miss, %d evict, %d redeploy, %d fallback, %.3gs deploying\n",
 			s.Name, s.Served, s.CacheHits, s.CacheMisses, s.Evictions, s.Redeploys,

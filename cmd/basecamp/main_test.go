@@ -9,16 +9,16 @@ import (
 )
 
 func TestServeFleetSmoke(t *testing.T) {
-	if err := serveFleet(2, 2, 1, 8, 4, runtime.PolicyHEFT, true, "", "eth100g", 0.05, 0.2, false); err != nil {
+	if err := serveFleet(2, 2, 1, 8, 4, runtime.PolicyHEFT, true, "", "eth100g", 0.05, 0.2, false, false, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestServeFleetValidation(t *testing.T) {
-	if err := serveFleet(2, 2, 1, 0, 4, runtime.PolicyHEFT, false, "", "tcp10g", 0.05, 0, false); err == nil {
+	if err := serveFleet(2, 2, 1, 0, 4, runtime.PolicyHEFT, false, "", "tcp10g", 0.05, 0, false, false, ""); err == nil {
 		t.Fatal("zero workflows accepted")
 	}
-	if err := serveFleet(2, 2, 1, 8, 4, runtime.PolicyFIFO, false, "bogus", "tcp10g", 0.05, 0, false); err == nil {
+	if err := serveFleet(2, 2, 1, 8, 4, runtime.PolicyFIFO, false, "bogus", "tcp10g", 0.05, 0, false, false, ""); err == nil {
 		t.Fatal("bogus net accepted")
 	}
 }
@@ -76,9 +76,23 @@ func TestServeRejectsSingleSiteIncompatibleFlags(t *testing.T) {
 		{"-registry-net", "eth100g"},
 		{"-gap", "0.1"},
 		{"-unplug-at", "0.2"},
+		{"-suite"},
+		{"-apps", "energy"},
 	} {
 		if err := cmdServe(args); err == nil {
 			t.Fatalf("fleet-only flag %v accepted without -sites > 1", args)
 		}
+	}
+}
+
+func TestServeFleetSuiteSmoke(t *testing.T) {
+	if err := serveFleet(2, 2, 2, 6, 3, runtime.PolicyHEFT, true, "", "eth100g", 0.05, 0.2, false, true, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeFleetSuiteRejectsUnknownApp(t *testing.T) {
+	if err := serveFleet(2, 2, 2, 6, 3, runtime.PolicyHEFT, true, "", "eth100g", 0.05, 0, false, true, "nope"); err == nil {
+		t.Fatal("unknown app accepted")
 	}
 }

@@ -10,6 +10,10 @@
 //	everest-bench -saturate [-sites N] [-mode open|closed] [-gaps 0.64,0.08]
 //	                          # sweep offered load over the fleet tier and
 //	                          # report latency percentiles + throughput at SLO
+//	everest-bench -saturate -suite [-apps energy,traffic,weather]
+//	                          # serve the EVEREST use-case application suite
+//	                          # (workload registry) instead of the default mix,
+//	                          # with per-application latency percentiles
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"strconv"
 	"strings"
 
+	"everest/internal/apps"
 	"everest/internal/experiments"
 	"everest/internal/sdk"
 )
@@ -38,15 +43,24 @@ func main() {
 	gaps := flag.String("gaps", "", "comma-separated open-mode interarrival gaps in modelled seconds (default ladder)")
 	netName := flag.String("net", "", "intra-site transfer stack: tcp10g or udp10g (default: flat fabric)")
 	registryNet := flag.String("registry-net", "tcp10g", "registry->site deploy fabric: tcp10g, udp10g, or eth100g")
+	suite := flag.Bool("suite", false, "serve the EVEREST application suite (workload registry) instead of the default mix")
+	appList := flag.String("apps", "", "comma-separated registry applications to serve (implies -suite; default: all)")
 	flag.Parse()
 
+	if *appList != "" {
+		*suite = true
+	}
 	if *saturate {
 		if err := runSaturation(*sites, *nodes, *tenants, *workflows, *cacheSlots,
-			*mode, *slo, *gaps, *netName, *registryNet); err != nil {
+			*mode, *slo, *gaps, *netName, *registryNet, *suite, *appList); err != nil {
 			fmt.Fprintf(os.Stderr, "everest-bench: %v\n", err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *suite {
+		fmt.Fprintln(os.Stderr, "everest-bench: -suite/-apps require -saturate")
+		os.Exit(2)
 	}
 
 	all := experiments.All()
@@ -79,7 +93,9 @@ func main() {
 // ladder of offered loads and reports the achieved throughput at the
 // highest SLO-meeting rung; closed mode serves one run with each tenant
 // keeping a single workflow in flight and prints per-tenant percentiles.
-func runSaturation(sites, nodes, tenants, workflows, cacheSlots int, mode string, slo float64, gapList, netName, registryNet string) error {
+// With suite set, the served stream is the EVEREST application suite from
+// the workload registry and per-application percentiles are reported.
+func runSaturation(sites, nodes, tenants, workflows, cacheSlots int, mode string, slo float64, gapList, netName, registryNet string, suite bool, appList string) error {
 	sc := sdk.FleetScenario{
 		Sites: sites, NodesPerSite: nodes, CacheSlots: cacheSlots,
 		Tenants: tenants, Workflows: workflows,
@@ -87,13 +103,43 @@ func runSaturation(sites, nodes, tenants, workflows, cacheSlots int, mode string
 		Net: netName, RegistryNet: registryNet,
 		Adaptive: true, SLO: slo,
 	}
+	workload := "mixed"
+	if suite {
+		sc.Apps = apps.Names()
+		if appList != "" {
+			sc.Apps = nil
+			for _, name := range strings.Split(appList, ",") {
+				sc.Apps = append(sc.Apps, strings.TrimSpace(name))
+			}
+		}
+		workload = "app-suite [" + strings.Join(sc.Apps, " ") + "]"
+	}
 	fmt.Printf("fleet      : %d sites x (%d compute nodes + cloudfpga0), cache %d slot(s)/site\n",
 		sites, nodes, cacheSlots)
-	fmt.Printf("workload   : %d mixed workflows from %d tenants, SLO p95 <= %.3gs modelled\n",
-		workflows, tenants, slo)
-	c, err := sc.Compile()
-	if err != nil {
-		return err
+	fmt.Printf("workload   : %d %s workflows from %d tenants, SLO p95 <= %.3gs modelled\n",
+		workflows, workload, tenants, slo)
+
+	var run func(sc sdk.FleetScenario) (sdk.FleetResult, error)
+	var sweep func(gaps []float64) ([]sdk.SaturationPoint, sdk.SaturationPoint, []map[string]sdk.TenantLatency, error)
+	if suite {
+		st, err := sc.BuildSuite()
+		if err != nil {
+			return err
+		}
+		run = func(sc sdk.FleetScenario) (sdk.FleetResult, error) { return sc.RunSuite(st) }
+		sweep = func(gaps []float64) ([]sdk.SaturationPoint, sdk.SaturationPoint, []map[string]sdk.TenantLatency, error) {
+			return sc.SaturateSuite(st, gaps)
+		}
+	} else {
+		c, err := sc.Compile()
+		if err != nil {
+			return err
+		}
+		run = func(sc sdk.FleetScenario) (sdk.FleetResult, error) { return sc.RunWith(c) }
+		sweep = func(gaps []float64) ([]sdk.SaturationPoint, sdk.SaturationPoint, []map[string]sdk.TenantLatency, error) {
+			points, best, err := sc.Saturate(c, gaps)
+			return points, best, nil, err
+		}
 	}
 
 	switch mode {
@@ -105,7 +151,7 @@ func runSaturation(sites, nodes, tenants, workflows, cacheSlots int, mode string
 			return fmt.Errorf("-gaps is an open-mode flag; not supported with -mode closed")
 		}
 		sc.Closed = true
-		res, err := sc.RunWith(c)
+		res, err := run(sc)
 		if err != nil {
 			return err
 		}
@@ -114,6 +160,7 @@ func runSaturation(sites, nodes, tenants, workflows, cacheSlots int, mode string
 		fmt.Printf("throughput : %.4g workflows/s modelled\n", res.Throughput)
 		fmt.Printf("latency    : p50 %.4gs, p95 %.4gs, max %.4gs (SLO met: %v)\n",
 			res.P50, res.P95, res.Max, res.SLOMet)
+		printAppPercentiles(res.Apps)
 		printTenantPercentiles(res)
 		return nil
 	case "open":
@@ -128,7 +175,7 @@ func runSaturation(sites, nodes, tenants, workflows, cacheSlots int, mode string
 				ladder = append(ladder, g)
 			}
 		}
-		points, best, err := sc.Saturate(c, ladder)
+		points, best, perApp, err := sweep(ladder)
 		if err != nil {
 			return err
 		}
@@ -146,9 +193,29 @@ func runSaturation(sites, nodes, tenants, workflows, cacheSlots int, mode string
 		}
 		fmt.Printf("throughput_at_slo: %.4g workflows/s (gap %.4gs, p95 %.4gs)\n",
 			best.Throughput, best.Gap, best.P95)
+		for i, p := range points {
+			if p.Gap == best.Gap && i < len(perApp) {
+				printAppPercentiles(perApp[i])
+			}
+		}
 		return nil
 	default:
 		return fmt.Errorf("unknown -mode %q (want open or closed)", mode)
+	}
+}
+
+// printAppPercentiles renders the per-application latency distribution of
+// a suite run (no-op for the default mix).
+func printAppPercentiles(perApp map[string]sdk.TenantLatency) {
+	var names []string
+	for name := range perApp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		tl := perApp[name]
+		fmt.Printf("  app %-8s : %2d done, p50 %.4gs, p95 %.4gs, max %.4gs\n",
+			name, tl.Completed, tl.P50, tl.P95, tl.Max)
 	}
 }
 

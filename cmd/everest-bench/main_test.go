@@ -3,29 +3,47 @@ package main
 import "testing"
 
 func TestRunSaturationOpen(t *testing.T) {
-	if err := runSaturation(2, 2, 4, 12, 1, "open", 1.75, "0.64,0.01", "", "eth100g"); err != nil {
+	if err := runSaturation(2, 2, 4, 12, 1, "open", 1.75, "0.64,0.01", "", "eth100g", false, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSaturationClosed(t *testing.T) {
-	if err := runSaturation(2, 2, 4, 12, 1, "closed", 1.75, "", "", "tcp10g"); err != nil {
+	if err := runSaturation(2, 2, 4, 12, 1, "closed", 1.75, "", "", "tcp10g", false, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSaturationRejectsBadFlags(t *testing.T) {
-	if err := runSaturation(2, 2, 4, 8, 1, "bogus", 1.75, "", "", "tcp10g"); err == nil {
+	if err := runSaturation(2, 2, 4, 8, 1, "bogus", 1.75, "", "", "tcp10g", false, ""); err == nil {
 		t.Fatal("unknown mode accepted")
 	}
-	if err := runSaturation(2, 2, 4, 8, 1, "open", 1.75, "not-a-number", "", "tcp10g"); err == nil {
+	if err := runSaturation(2, 2, 4, 8, 1, "open", 1.75, "not-a-number", "", "tcp10g", false, ""); err == nil {
 		t.Fatal("malformed -gaps accepted")
 	}
-	if err := runSaturation(2, 2, 4, 8, 1, "open", 1.75, "0.1", "bogus", "tcp10g"); err == nil {
+	if err := runSaturation(2, 2, 4, 8, 1, "open", 1.75, "0.1", "bogus", "tcp10g", false, ""); err == nil {
 		t.Fatal("bogus net accepted")
 	}
 	// An SLO no rung can meet is an explicit error, not a zero metric.
-	if err := runSaturation(1, 2, 4, 12, 1, "open", 1e-9, "0.001", "", "tcp10g"); err == nil {
+	if err := runSaturation(1, 2, 4, 12, 1, "open", 1e-9, "0.001", "", "tcp10g", false, ""); err == nil {
 		t.Fatal("impossible SLO should error")
+	}
+}
+
+func TestRunSaturationSuiteOpen(t *testing.T) {
+	if err := runSaturation(2, 2, 6, 12, 2, "open", 2.5, "0.64,0.01", "", "eth100g", true, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSaturationSuiteClosedSubset(t *testing.T) {
+	if err := runSaturation(2, 2, 6, 8, 2, "closed", 2.5, "", "", "tcp10g", true, "energy, weather"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSaturationSuiteRejectsUnknownApp(t *testing.T) {
+	if err := runSaturation(2, 2, 6, 8, 2, "open", 2.5, "0.64", "", "tcp10g", true, "nope"); err == nil {
+		t.Fatal("unknown app accepted")
 	}
 }

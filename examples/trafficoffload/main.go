@@ -1,6 +1,9 @@
 // Traffic offload: run the paper's Fig. 4 map-matching pipeline as a
-// ConDRust dataflow program over real stage implementations, then explore
-// the compile-time CPU/FPGA placement of each stage (§VIII).
+// ConDRust dataflow program over real stage implementations, then build
+// the production workflow from the workload registry — the same dataflow
+// graph as a runtime DAG whose offloaded projection stage is compiled
+// source-to-schedule — and explore the compile-time CPU/FPGA placement of
+// each stage across batch sizes (§VIII).
 //
 //	go run ./examples/trafficoffload
 package main
@@ -9,6 +12,7 @@ import (
 	"fmt"
 	"log"
 
+	"everest/internal/apps"
 	"everest/internal/base2"
 	"everest/internal/condrust"
 	"everest/internal/hls"
@@ -53,19 +57,41 @@ func main() {
 	fmt.Printf("map matching: %d GPS points, accuracy %.1f%%, %d road speeds observed\n",
 		len(trace.Points), traffic.MatchAccuracy(net, trace, res)*100, len(res.RoadSpeeds))
 
-	// 3. Compile-time placement exploration across batch sizes.
+	// 3. The production workflow comes from the workload registry: the
+	// same dataflow graph as a runtime DAG, with the stage the program
+	// marks #[kernel(offloaded = true)] compiled source-to-schedule.
+	app, err := apps.Build("traffic", apps.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, _ := app.Kernel("projection")
+	fmt.Printf("\nregistry : %s\n", app.Title)
+	fmt.Printf("projection kernel %s -> bitstream %s (HLS: %s)\n",
+		c.KernelName, c.Design.Bitstream.ID, c.Report.String())
+	fmt.Println("variants : (derived from the HLS schedule + CPU cost model)")
+	for _, row := range c.Summary() {
+		fmt.Printf("  %s\n", row)
+	}
+	w := app.Workflow(0)
+	fmt.Print("DAG      :")
+	for _, name := range w.Tasks() {
+		fmt.Printf(" %s", name)
+	}
+	fmt.Println()
+
+	// 4. Compile-time placement exploration across batch sizes.
 	fmt.Println("\nplacement exploration (daily batch size sweep):")
 	for _, batch := range []int{10, 1000, 100000} {
 		stages := []sdk.StageCost{
-			{Name: "projection", Flops: float64(batch) * 40 * 2000 * 12, Offloadable: true,
+			{Name: "projection", Flops: traffic.StageFlops("projection", batch), Offloadable: true,
 				Kernel: hls.Kernel{Name: "projection",
 					Nest: hls.LoopNest{TripCounts: []int{batch, 40, 2000},
 						Body: hls.OpMix{Adds: 4, Muls: 6, Divs: 1, Loads: 4, Stores: 1}},
 					Format: base2.Float32{}},
 				BytesIn: int64(batch) * 640, BytesOut: int64(batch) * 64},
-			{Name: "build_trellis", Flops: float64(batch) * 40 * 640, Offloadable: false},
-			{Name: "viterbi", Flops: float64(batch) * 40 * 64, Offloadable: false},
-			{Name: "interpolate", Flops: float64(batch) * 320, Offloadable: false},
+			{Name: "build_trellis", Flops: traffic.StageFlops("build_trellis", batch), Offloadable: false},
+			{Name: "viterbi", Flops: traffic.StageFlops("viterbi", batch), Offloadable: false},
+			{Name: "interpolate", Flops: traffic.StageFlops("interpolate", batch), Offloadable: false},
 		}
 		ps, err := sdk.ExplorePlacement(stages, platform.XeonModel(), platform.AlveoU55C(), hls.VitisBackend{})
 		if err != nil {
@@ -78,7 +104,7 @@ func main() {
 		fmt.Println()
 	}
 
-	// 4. Emit the dfg-dialect module for the compilation flow.
+	// 5. Emit the dfg-dialect module for the compilation flow.
 	m, err := graph.EmitDFG()
 	if err != nil {
 		log.Fatal(err)

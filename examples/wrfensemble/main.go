@@ -1,6 +1,8 @@
 // WRF ensemble: the weather-simulation use case (§II-A) — assimilate
-// observations, run an FPGA-accelerated ensemble through the resource
-// manager, and let the autotuner pick the radiation variant.
+// observations, quantify ensemble forecast skill, then build the
+// production workflow from the workload registry: the ensemble DAG whose
+// radiation stages run the RRTMG kernel compiled source-to-schedule
+// (EKL → MLIR → HLS → Olympus), scheduled over the simulated cluster.
 //
 //	go run ./examples/wrfensemble
 package main
@@ -9,8 +11,7 @@ import (
 	"fmt"
 	"log"
 
-	"everest/internal/autotuner"
-	"everest/internal/platform"
+	"everest/internal/apps"
 	"everest/internal/runtime"
 	"everest/internal/sdk"
 	"everest/internal/wrf"
@@ -45,47 +46,54 @@ func main() {
 	fmt.Printf("radiation: %.0f%% of step cost; FPGA x%.0f -> step speedup %.2fx\n",
 		frac*100, kernelSpeedup, stepSpeedup)
 
-	// 4. Schedule the ensemble over the simulated cluster.
-	cluster := sdk.DefaultCluster(4)
-	w := runtime.NewWorkflow()
-	if err := w.Submit(runtime.TaskSpec{Name: "analysis", Flops: 2e10, OutputBytes: 1 << 24}); err != nil {
+	// 4. The production workflow comes from the workload registry: the
+	// ensemble DAG whose rad stages carry the compiled Fig. 3 kernel.
+	app, err := apps.Build("weather", apps.DefaultOptions())
+	if err != nil {
 		log.Fatal(err)
 	}
-	var members []string
-	for m := 0; m < 8; m++ {
-		name := fmt.Sprintf("member%02d", m)
-		if err := w.Submit(runtime.TaskSpec{Name: name, Deps: []string{"analysis"},
-			Flops: 8e10, InputBytes: 1 << 24, OutputBytes: 1 << 24}); err != nil {
+	c, _ := app.Kernel("rad0")
+	fmt.Printf("registry : %s\n", app.Title)
+	fmt.Printf("radiation kernel %s -> bitstream %s (HLS: %s)\n",
+		c.KernelName, c.Design.Bitstream.ID, c.Report.String())
+	fmt.Println("variants : (derived from the HLS schedule + CPU cost model)")
+	for _, row := range c.Summary() {
+		fmt.Printf("  %s\n", row)
+	}
+
+	// 5. Stage the compiled bitstream and schedule the registry DAG over
+	// the simulated cluster.
+	sdkInst := sdk.New(sdk.DefaultCluster(4))
+	for _, bs := range app.Bitstreams() {
+		if err := sdkInst.Registry.Put(bs); err != nil {
 			log.Fatal(err)
 		}
-		members = append(members, name)
+		for _, node := range []string{"node00", "node01"} {
+			if _, err := sdkInst.Deploy(bs.ID, node); err != nil {
+				log.Fatal(err)
+			}
+		}
 	}
-	if err := w.Submit(runtime.TaskSpec{Name: "postproc", Deps: members,
-		Flops: 5e9, InputBytes: 1 << 26}); err != nil {
-		log.Fatal(err)
-	}
-	sched, err := runtime.NewScheduler(cluster, platform.NewRegistry(), runtime.PolicyHEFT).Plan(w)
+	w := app.Workflow(0)
+	sched, err := sdkInst.NewScheduler(runtime.PolicyHEFT).Plan(w)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("cluster plan: %d tasks, makespan %.3gs, imbalance %.2f\n",
 		len(sched.Assignments), sched.Makespan, sched.LoadImbalance())
+	for _, a := range sched.Assignments {
+		target := "cpu"
+		if a.OnFPGA {
+			target = "fpga"
+		}
+		fmt.Printf("  %-8s %-8s %-5s [%.3g, %.3g]s\n", a.Task, a.Node, target, a.Start, a.End)
+	}
 
-	// 5. mARGOt selects the radiation variant per environment (§VI-C).
-	knobs := []autotuner.Knob{{Name: "radiation", Values: []string{"cpu", "fpga"}}}
-	points := []autotuner.OperatingPoint{
-		{Config: autotuner.Config{"radiation": "cpu"},
-			Metrics: map[autotuner.Metric]float64{autotuner.MetricTimeMs: 240, autotuner.MetricEnergyJ: 80}},
-		{Config: autotuner.Config{"radiation": "fpga"},
-			Metrics: map[autotuner.Metric]float64{autotuner.MetricTimeMs: 32, autotuner.MetricEnergyJ: 18}},
+	// 6. The workflow carries the merged compiled operating points as its
+	// tuner seeds (what adaptive serving consults).
+	fmt.Print("tuner seeds:")
+	for _, v := range w.Variants() {
+		fmt.Printf(" %s=%.4gms", v.Name, v.ExpectedMs)
 	}
-	at, err := autotuner.New(knobs, points,
-		[]autotuner.Goal{{Metric: autotuner.MetricTimeMs, Op: autotuner.LE, Value: 300}},
-		autotuner.Rank{Metric: autotuner.MetricEnergyJ, Minimize: true})
-	if err != nil {
-		log.Fatal(err)
-	}
-	sel := at.Select()
-	fmt.Printf("autotuner: radiation variant = %s (%.0f ms, %.0f J)\n",
-		sel.Config["radiation"], sel.Metrics[autotuner.MetricTimeMs], sel.Metrics[autotuner.MetricEnergyJ])
+	fmt.Println()
 }

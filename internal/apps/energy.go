@@ -1,0 +1,119 @@
+package apps
+
+import (
+	"fmt"
+
+	"everest/internal/anomaly"
+	"everest/internal/energy"
+	"everest/internal/onnxlite"
+	"everest/internal/runtime"
+	"everest/internal/tensor"
+	"everest/internal/variants"
+)
+
+// The energy application (§II-B): renewable-energy prediction with an
+// anomaly check. Featurized wind-farm history feeds two accelerable
+// inference stages carrying *different* bitstreams — the KRR-RBF
+// regressor (the paper's "current version uses the Kernel Ridge
+// algorithm", the windpower kernel) and an ONNX dense network compiled
+// through variants.CompileONNX (paper §V-A: "the SDK supports standard
+// ONNX ML models") — whose predictions an anomaly-detection stage
+// cross-checks before publication. Two distinct per-stage bitstreams in
+// one DAG is what exercises per-stage bitstream identity through the
+// runtime and the fleet's deploy path.
+
+// energyBatch is the inference batch (forecast horizon hours) per workflow.
+const energyBatch = 24
+
+// energyHidden is the dense network's hidden width.
+const energyHidden = 16
+
+// energyModel builds the deterministic ONNX inference network over the
+// wind-farm feature vector.
+func energyModel() (*onnxlite.Model, int) {
+	farm := energy.NewFarm(12)
+	dim := len(energy.Features(farm, energy.Sample{}))
+	fill := func(n int, scale float64) []float64 {
+		out := make([]float64, n)
+		seed := uint64(0x243f6a8885a308d3)
+		for i := range out {
+			seed ^= seed << 13
+			seed ^= seed >> 7
+			seed ^= seed << 17
+			out[i] = (float64(seed%2000)/1000 - 1) * scale
+		}
+		return out
+	}
+	weights := map[string][]float64{
+		"w1": fill(dim*energyHidden, 0.4), "b1": fill(energyHidden, 0.1),
+		"w2": fill(energyHidden, 0.4), "b2": fill(1, 0.1),
+	}
+	return onnxlite.DenseMLP("energy_mlp", energyBatch, dim, energyHidden, 1, weights), dim
+}
+
+func buildEnergy(opt variants.Options) (*App, error) {
+	model, dim := energyModel()
+	mlp, err := variants.CompileONNX(model, energyBatch, opt)
+	if err != nil {
+		return nil, fmt.Errorf("apps: energy ONNX network: %w", err)
+	}
+	krr, err := variants.CompileExample("windpower", opt)
+	if err != nil {
+		return nil, fmt.Errorf("apps: energy KRR kernel: %w", err)
+	}
+	if mlp.Design.Bitstream.ID == krr.Design.Bitstream.ID {
+		return nil, fmt.Errorf("apps: energy stages must carry distinct bitstreams")
+	}
+
+	// Validate the detection stage's wiring on real synthesized history:
+	// the detector must fit and score the feature matrix the featurize
+	// stage produces. This keeps the DAG honest without modelling data
+	// movement the runtime already prices.
+	farm := energy.NewFarm(12)
+	ds := energy.SynthesizeYear(5, 24*14, farm)
+	feats := tensor.New(len(ds.Samples), dim)
+	for i, s := range ds.Samples {
+		copy(feats.Data()[i*dim:(i+1)*dim], energy.Features(farm, s))
+	}
+	detector := &anomaly.ZScore{}
+	if err := detector.Fit(feats); err != nil {
+		return nil, fmt.Errorf("apps: energy anomaly detector: %w", err)
+	}
+	if _, err := detector.Score(energy.Features(farm, ds.Samples[0])); err != nil {
+		return nil, fmt.Errorf("apps: energy anomaly scoring: %w", err)
+	}
+
+	a := &App{
+		Name:  "energy",
+		Title: "wind-power prediction (KRR + ONNX dense net) with anomaly check",
+		Kernels: []StageKernel{
+			{Stage: "krr", Compiled: krr},
+			{Stage: "infer", Compiled: mlp},
+		},
+	}
+	featBytes := int64(len(ds.Samples) * dim * 8)
+	a.build = func(i int) *runtime.Workflow {
+		w := runtime.NewWorkflow()
+		must := func(spec runtime.TaskSpec) {
+			if err := w.Submit(spec); err != nil {
+				panic(fmt.Sprintf("apps: energy workflow %d: %v", i, err))
+			}
+		}
+		scale := 1 + float64(i%3)/2
+		// Featurization over the rolling farm history window.
+		must(runtime.TaskSpec{Name: "featurize", Flops: 4e9 * scale, OutputBytes: featBytes})
+		// The two inference stages: distinct compiled kernels, distinct
+		// bitstreams, same upstream features.
+		must(krr.Task("krr", "featurize"))
+		must(mlp.Task("infer", "featurize"))
+		// Anomaly cross-check of the two predictors (z-score over the
+		// prediction window).
+		must(runtime.TaskSpec{Name: "detect", Deps: []string{"krr", "infer"},
+			Flops:      float64(energyBatch*dim) * 2e5 * scale,
+			InputBytes: krr.OutputBytes + mlp.OutputBytes, OutputBytes: 1 << 16})
+		must(runtime.TaskSpec{Name: "publish", Deps: []string{"detect"},
+			Flops: 5e8, InputBytes: 1 << 16})
+		return w
+	}
+	return a, nil
+}

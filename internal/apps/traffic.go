@@ -1,0 +1,115 @@
+package apps
+
+import (
+	"fmt"
+
+	"everest/internal/condrust"
+	"everest/internal/runtime"
+	"everest/internal/traffic"
+	"everest/internal/variants"
+)
+
+// The traffic application (§II-D, §VIII): the Fig. 4 map-matching
+// pipeline. The DAG is extracted from the ConDRust coordination program
+// itself — one task per dataflow actor, dependencies from the dataflow
+// edges — and the stage the program marks #[kernel(offloaded = true)]
+// (projection) is compiled source-to-schedule from traffic.ProjectionEKL,
+// specialized against a real road network and GPS trace. The remaining
+// actors run in software with the E10 stage cost model over the daily
+// batch.
+
+// trafficBatch is the daily GPS batch the software stages process.
+const trafficBatch = 1000
+
+func buildTraffic(opt variants.Options) (*App, error) {
+	prog, err := condrust.Parse(traffic.Fig4Source)
+	if err != nil {
+		return nil, fmt.Errorf("apps: traffic coordination program: %w", err)
+	}
+	fn := prog.Find("match_one")
+	if fn == nil {
+		return nil, fmt.Errorf("apps: traffic program has no match_one")
+	}
+	g, err := condrust.BuildGraph(fn)
+	if err != nil {
+		return nil, fmt.Errorf("apps: traffic dataflow graph: %w", err)
+	}
+
+	// Specialize the projection kernel against a real network and trip.
+	net := traffic.GridNetwork(6, 6, 200, 1)
+	trace, err := traffic.SimulateTrip(net, 7, 10, 10, 80)
+	if err != nil {
+		return nil, fmt.Errorf("apps: traffic trip: %w", err)
+	}
+	c, err := variants.CompileEKL(traffic.ProjectionEKL(), traffic.ProjectionBinding(net, trace.Points), opt)
+	if err != nil {
+		return nil, fmt.Errorf("apps: traffic projection kernel: %w", err)
+	}
+
+	a := &App{
+		Name:  "traffic",
+		Title: "Fig. 4 map-matching dataflow with FPGA-offloaded projection",
+	}
+	// Stage identity comes from the graph: every offloaded actor carries
+	// the compiled kernel.
+	for _, n := range g.Nodes {
+		if n.Offloaded() {
+			a.Kernels = append(a.Kernels, StageKernel{Stage: n.Fn, Compiled: c})
+		}
+	}
+	if len(a.Kernels) == 0 {
+		return nil, fmt.Errorf("apps: traffic program marks no offloaded stage")
+	}
+
+	// Freeze the graph-derived task list (actor name, deps) once; the
+	// builder then only stamps per-instance weights.
+	type stage struct {
+		name string
+		deps []string
+	}
+	byBinding := make(map[string]string) // dataflow value name -> task name
+	var stages []stage
+	for _, n := range g.Nodes {
+		name := n.Fn
+		var deps []string
+		seen := make(map[string]bool)
+		for _, arg := range n.Args {
+			if producer, ok := byBinding[arg]; ok && !seen[producer] {
+				deps = append(deps, producer)
+				seen[producer] = true
+			} else if !ok && !seen["ingest"] {
+				// Graph input (the GPS vector / map cell): fed by ingest.
+				deps = append(deps, "ingest")
+				seen["ingest"] = true
+			}
+		}
+		byBinding[n.Name] = name
+		stages = append(stages, stage{name: name, deps: deps})
+	}
+
+	a.build = func(i int) *runtime.Workflow {
+		w := runtime.NewWorkflow()
+		must := func(spec runtime.TaskSpec) {
+			if err := w.Submit(spec); err != nil {
+				panic(fmt.Sprintf("apps: traffic workflow %d: %v", i, err))
+			}
+		}
+		scale := 1 + float64(i%3)/2
+		// FCD ingest: the day's GPS batch lands on the cluster.
+		must(runtime.TaskSpec{Name: "ingest", Flops: 1e9 * scale,
+			OutputBytes: int64(trafficBatch) * 640})
+		for _, st := range stages {
+			if _, accel := a.Kernel(st.name); accel {
+				must(c.Task(st.name, st.deps...))
+				continue
+			}
+			must(runtime.TaskSpec{Name: st.name, Deps: st.deps,
+				Flops:       traffic.StageFlops(st.name, trafficBatch) * scale,
+				InputBytes:  int64(trafficBatch) * 64,
+				OutputBytes: int64(trafficBatch) * 64,
+			})
+		}
+		return w
+	}
+	return a, nil
+}

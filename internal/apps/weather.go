@@ -1,0 +1,67 @@
+package apps
+
+import (
+	"fmt"
+
+	"everest/internal/runtime"
+	"everest/internal/variants"
+	"everest/internal/wrf"
+)
+
+// The weather application (§II-A): a WRF ensemble forecast as a DAG —
+// data assimilation produces the analysis, each ensemble member advances
+// its perturbed state and calls the RRTMG radiation kernel (the Fig. 3
+// gas-optics contraction, the accelerable stage), and a reduction
+// computes the ensemble statistics. The radiation kernel is compiled
+// source-to-schedule from wrf.EKLSource against the scheme's own table
+// shapes, so the rad stages' costs, transfer footprints, and bitstream
+// all come from the compilation.
+
+// weatherMembers is the ensemble width of one workflow instance.
+const weatherMembers = 3
+
+// weatherColumns is the atmospheric-column batch each radiation call
+// processes (the X extent the kernel is specialized to).
+const weatherColumns = 24
+
+func buildWeather(opt variants.Options) (*App, error) {
+	rad := wrf.NewRadiation(11, 8)
+	c, err := variants.CompileEKL(wrf.EKLSource(), rad.EKLBinding(11, weatherColumns), opt)
+	if err != nil {
+		return nil, fmt.Errorf("apps: weather radiation kernel: %w", err)
+	}
+	a := &App{
+		Name:  "weather",
+		Title: "WRF ensemble forecast with FPGA-offloaded RRTMG radiation",
+	}
+	for m := 0; m < weatherMembers; m++ {
+		a.Kernels = append(a.Kernels, StageKernel{Stage: fmt.Sprintf("rad%d", m), Compiled: c})
+	}
+	a.build = func(i int) *runtime.Workflow {
+		w := runtime.NewWorkflow()
+		must := func(spec runtime.TaskSpec) {
+			if err := w.Submit(spec); err != nil {
+				panic(fmt.Sprintf("apps: weather workflow %d: %v", i, err))
+			}
+		}
+		scale := 1 + float64(i%3)/2 // mixed traffic: 1x, 1.5x, 2x analysis work
+		// 3D-Var assimilation produces the shared analysis state.
+		must(runtime.TaskSpec{Name: "assim", Flops: 2e10 * scale, OutputBytes: 1 << 23})
+		reduceDeps := make([]string, 0, weatherMembers)
+		for m := 0; m < weatherMembers; m++ {
+			dyn := fmt.Sprintf("dyn%d", m)
+			radStage := fmt.Sprintf("rad%d", m)
+			// Member dynamics: advect/diffuse the perturbed state.
+			must(runtime.TaskSpec{Name: dyn, Deps: []string{"assim"},
+				Flops: 8e9 * scale, InputBytes: 1 << 23, OutputBytes: c.InputBytes})
+			// Radiation: the compiled Fig. 3 kernel (per-stage bitstream).
+			must(c.Task(radStage, dyn))
+			reduceDeps = append(reduceDeps, radStage)
+		}
+		// Ensemble statistics over the members' heating tendencies.
+		must(runtime.TaskSpec{Name: "reduce", Deps: reduceDeps,
+			Flops: 2e9, InputBytes: int64(weatherMembers) * c.OutputBytes})
+		return w
+	}
+	return a, nil
+}

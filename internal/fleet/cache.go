@@ -51,9 +51,20 @@ func (c *bitstreamCache) peek(id string) (*cacheSlot, bool) {
 	return s, ok
 }
 
-// add records a freshly deployed bitstream as most recently used.
+// add records a freshly deployed bitstream as most recently used. An id
+// that is already resident refreshes in place: when the new deployment
+// landed on a different device slot, the stale device is unprogrammed
+// first — otherwise it would stay programmed with no cache entry pointing
+// at it while occupied() kept reporting the dead slot forever.
 func (c *bitstreamCache) add(id string, node *platform.Node, dev int) {
 	c.seq++
+	if s, ok := c.m[id]; ok {
+		if s.node != node || s.dev != dev {
+			_, _ = s.node.Unprogram(s.dev)
+		}
+		s.node, s.dev, s.use = node, dev, c.seq
+		return
+	}
 	c.m[id] = &cacheSlot{id: id, node: node, dev: dev, use: c.seq}
 }
 

@@ -350,4 +350,31 @@ func MLP2(name string, d, hidden, classes int, weights map[string][]float64) *Mo
 	}
 }
 
+// DenseMLP builds a two-layer regression network: x(B,D) -> MatMul W1 ->
+// Add b1 -> Relu -> MatMul W2 -> Add b2. Unlike MLP2 there is no softmax
+// head — the output is a real-valued prediction vector, the shape the
+// energy-forecast inference stage serves.
+func DenseMLP(name string, batch, d, hidden, out int, weights map[string][]float64) *Model {
+	return &Model{
+		Name:   name,
+		Inputs: map[string][]int{"x": {batch, d}},
+		Init: map[string][]float64{
+			"w1": weights["w1"], "b1": weights["b1"],
+			"w2": weights["w2"], "b2": weights["b2"],
+		},
+		InitDim: map[string][]int{
+			"w1": {d, hidden}, "b1": {hidden},
+			"w2": {hidden, out}, "b2": {out},
+		},
+		Nodes: []Node{
+			{Op: OpMatMul, Name: "fc1", Inputs: []string{"x", "w1"}, Output: "h0"},
+			{Op: OpAdd, Name: "bias1", Inputs: []string{"h0", "b1"}, Output: "h1"},
+			{Op: OpRelu, Name: "act1", Inputs: []string{"h1"}, Output: "h2"},
+			{Op: OpMatMul, Name: "fc2", Inputs: []string{"h2", "w2"}, Output: "h3"},
+			{Op: OpAdd, Name: "bias2", Inputs: []string{"h3", "b2"}, Output: "y"},
+		},
+		Outputs: []string{"y"},
+	}
+}
+
 func expFast(x float64) float64 { return math.Exp(x) }

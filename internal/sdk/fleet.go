@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"everest/internal/apps"
 	"everest/internal/fleet"
 	"everest/internal/netsim"
 	"everest/internal/platform"
@@ -201,6 +202,12 @@ type FleetScenario struct {
 	MaxQueueSeconds float64
 	// SLO is the p95 latency target the saturation metric gates on.
 	SLO float64
+	// Apps selects the mixed application-suite mode: the named workload-
+	// registry applications (internal/apps; empty slice entries invalid)
+	// are interleaved deterministically across tenants instead of the
+	// default windpower/hand-declared mix. Serve it with RunSuite /
+	// SaturateSuite around a suite from BuildSuite.
+	Apps []string
 	// Trace receives fleet events during Run/RunWith when set (routing,
 	// cache hits/misses, deploys, evictions).
 	Trace func(fleet.Event)
@@ -228,6 +235,24 @@ func (sc FleetScenario) Compile() (*variants.Compiled, error) {
 	return variants.CompileExample("windpower", DefaultCompileOptions())
 }
 
+// DefaultSuiteScenario is the E-apps configuration: all three EVEREST
+// use-case applications from the workload registry — weather ensembles,
+// traffic map-matching, energy prediction — interleaved across 24
+// tenants over 4 federated sites. Each site keeps two bitstreams
+// resident, so the suite's four distinct per-stage bitstreams churn the
+// caches, and site 0 loses an accelerator mid-run.
+func DefaultSuiteScenario() FleetScenario {
+	return FleetScenario{
+		Sites: 4, NodesPerSite: 2, CacheSlots: 2,
+		Tenants: 24, Workflows: 48,
+		ArrivalGap: 0.05, UnplugAt: 0.5,
+		RegistryNet: "tcp10g",
+		Adaptive:    true,
+		SLO:         2.5,
+		Apps:        apps.Names(),
+	}
+}
+
 // FleetResult is one serving run of the scenario.
 type FleetResult struct {
 	Stats      FleetServerStats
@@ -239,15 +264,33 @@ type FleetResult struct {
 	P95        float64
 	Max        float64
 	SLOMet     bool
+	// Apps holds the per-application latency distributions when the run
+	// served the mixed suite (nil otherwise).
+	Apps map[string]TenantLatency
 }
 
-// Run compiles the kernel and serves the scenario once.
+// Run compiles what the scenario serves — the application suite when Apps
+// is set, the default windpower mix otherwise — and serves it once.
 func (sc FleetScenario) Run() (FleetResult, error) {
+	if len(sc.Apps) > 0 {
+		s, err := sc.BuildSuite()
+		if err != nil {
+			return FleetResult{}, err
+		}
+		return sc.RunSuite(s)
+	}
 	c, err := sc.Compile()
 	if err != nil {
 		return FleetResult{}, err
 	}
 	return sc.RunWith(c)
+}
+
+// BuildSuite compiles the scenario's application suite (shared across
+// runs: the saturation ladder re-serves the same compilations at every
+// rate).
+func (sc FleetScenario) BuildSuite() (*apps.Suite, error) {
+	return apps.BuildSuite(apps.DefaultOptions(), sc.Apps...)
 }
 
 // workflow returns the i-th submission of the mixed stream: compiled
@@ -271,13 +314,44 @@ func (sc FleetScenario) workflow(i int, c *variants.Compiled) *runtime.Workflow 
 	}
 }
 
-// RunWith serves the scenario once around an already-compiled kernel.
+// RunWith serves the scenario once around an already-compiled kernel
+// (the default mixed stream of compiled windpower, hand-declared
+// FPGA-leaning, and pure-software workflows).
 func (sc FleetScenario) RunWith(c *variants.Compiled) (FleetResult, error) {
-	if sc.Sites < 1 || sc.Tenants < 1 || sc.Workflows < 1 {
-		return FleetResult{}, fmt.Errorf("sdk: bad fleet scenario %+v", sc)
-	}
 	if c == nil || c.Design == nil {
 		return FleetResult{}, fmt.Errorf("sdk: fleet scenario needs a compiled kernel")
+	}
+	return sc.run(
+		[]platform.Bitstream{c.Design.Bitstream, ScenarioBitstream()},
+		func(i int) *runtime.Workflow { return sc.workflow(i, c) },
+		nil,
+	)
+}
+
+// RunSuite serves the scenario once around a built application suite: the
+// registered EVEREST use-case applications interleaved deterministically
+// across tenants, with every suite bitstream published to the federation
+// registry.
+func (sc FleetScenario) RunSuite(s *apps.Suite) (FleetResult, error) {
+	if s == nil || len(s.Apps) == 0 {
+		return FleetResult{}, fmt.Errorf("sdk: fleet scenario needs a built application suite")
+	}
+	return sc.run(
+		s.Bitstreams(),
+		func(i int) *runtime.Workflow { _, w := s.Workflow(i); return w },
+		func(i int) string { return s.AppOf(i).Name },
+	)
+}
+
+// run serves one scenario pass: workflows come from wf (indexed by
+// submission), bitstreams are published up front, and appOf — when set —
+// buckets completed-workflow latencies per application for the suite
+// report. Workflows are submitted in arrival order and awaited one at a
+// time, so every modelled number is exactly deterministic across
+// GOMAXPROCS.
+func (sc FleetScenario) run(bitstreams []platform.Bitstream, wf func(i int) *runtime.Workflow, appOf func(i int) string) (FleetResult, error) {
+	if sc.Sites < 1 || sc.Tenants < 1 || sc.Workflows < 1 {
+		return FleetResult{}, fmt.Errorf("sdk: bad fleet scenario %+v", sc)
 	}
 	var events [][]runtime.EnvEvent
 	if sc.UnplugAt > 0 {
@@ -295,17 +369,22 @@ func (sc FleetScenario) RunWith(c *variants.Compiled) (FleetResult, error) {
 	if err != nil {
 		return FleetResult{}, err
 	}
-	if err := srv.Publish(c.Design.Bitstream); err != nil {
-		return FleetResult{}, err
-	}
-	if err := srv.Publish(ScenarioBitstream()); err != nil {
-		return FleetResult{}, err
+	for _, bs := range bitstreams {
+		if err := srv.Publish(bs); err != nil {
+			return FleetResult{}, err
+		}
 	}
 	if err := srv.Start(); err != nil {
 		return FleetResult{}, err
 	}
 
 	rejected := 0
+	byApp := make(map[string][]float64)
+	record := func(i int, latency float64) {
+		if appOf != nil {
+			byApp[appOf(i)] = append(byApp[appOf(i)], latency)
+		}
+	}
 	tenantName := func(i int) string { return fmt.Sprintf("tenant%02d", i%sc.Tenants) }
 	if sc.Closed {
 		// Closed loop: each tenant is one client; its next workflow
@@ -323,7 +402,7 @@ func (sc FleetScenario) RunWith(c *variants.Compiled) (FleetResult, error) {
 					client = j
 				}
 			}
-			t, err := srv.SubmitAt(tenantName(client), "", sc.workflow(i, c), nextAt[client])
+			t, err := srv.SubmitAt(tenantName(client), "", wf(i), nextAt[client])
 			if err != nil {
 				// Rejected: the client backs off and retries the same
 				// workflow at a later arrival (i is not consumed). Arrivals
@@ -343,19 +422,22 @@ func (sc FleetScenario) RunWith(c *variants.Compiled) (FleetResult, error) {
 				srv.Shutdown()
 				return FleetResult{}, fmt.Errorf("sdk: fleet scenario workflow %d: %w", i, err)
 			}
+			record(i, res.Latency)
 			nextAt[client] = res.Completion
 		}
 	} else {
 		for i := 0; i < sc.Workflows; i++ {
-			t, err := srv.SubmitAt(tenantName(i), "", sc.workflow(i, c), float64(i)*sc.ArrivalGap)
+			t, err := srv.SubmitAt(tenantName(i), "", wf(i), float64(i)*sc.ArrivalGap)
 			if err != nil {
 				rejected++
 				continue
 			}
-			if _, err := t.Wait(); err != nil {
+			res, err := t.Wait()
+			if err != nil {
 				srv.Shutdown()
 				return FleetResult{}, fmt.Errorf("sdk: fleet scenario workflow %d: %w", i, err)
 			}
+			record(i, res.Latency)
 		}
 	}
 
@@ -368,6 +450,17 @@ func (sc FleetScenario) RunWith(c *variants.Compiled) (FleetResult, error) {
 		P50:       Percentile(stats.Latencies, 0.50),
 		P95:       Percentile(stats.Latencies, 0.95),
 		Max:       Percentile(stats.Latencies, 1.0),
+	}
+	if appOf != nil {
+		out.Apps = make(map[string]TenantLatency, len(byApp))
+		for name, ls := range byApp {
+			out.Apps[name] = TenantLatency{
+				Completed: len(ls),
+				P50:       Percentile(ls, 0.50),
+				P95:       Percentile(ls, 0.95),
+				Max:       Percentile(ls, 1.0),
+			}
+		}
 	}
 	if out.Makespan > 0 {
 		out.Throughput = float64(out.Completed) / out.Makespan

@@ -2,8 +2,10 @@ package sdk
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
+	"everest/internal/apps"
 	"everest/internal/variants"
 )
 
@@ -28,7 +30,7 @@ func Percentile(xs []float64, q float64) float64 {
 	if q >= 1 {
 		return s[len(s)-1]
 	}
-	rank := int(q*float64(len(s))+0.9999999) - 1
+	rank := int(nearestRank(q, len(s))) - 1
 	if rank < 0 {
 		rank = 0
 	}
@@ -37,6 +39,22 @@ func Percentile(xs []float64, q float64) float64 {
 	}
 	return s[rank]
 }
+
+// nearestRank returns ceil(q·n), the 1-based nearest rank. q usually
+// arrives as the closest float64 to an intended rational (0.95, i/n), so
+// q·n can land a few ulps to either side of the intended integer; a raw
+// Ceil would then bump a full rank. Products within relative rounding
+// error of an integer snap to it before the ceiling is taken.
+func nearestRank(q float64, n int) float64 {
+	r := q * float64(n)
+	if nearest := math.Round(r); nearest != r && math.Abs(r-nearest) <= 4*math.Abs(r)*eps {
+		return nearest
+	}
+	return math.Ceil(r)
+}
+
+// eps is the float64 machine epsilon (2^-52).
+const eps = 0x1p-52
 
 // SaturationPoint is one rung of the arrival-rate ladder.
 type SaturationPoint struct {
@@ -62,19 +80,59 @@ func DefaultSaturationGaps() []float64 {
 // throughput among rungs whose p95 latency met the SLO. A zero best means
 // no rung met it.
 func (sc FleetScenario) Saturate(c *variants.Compiled, gaps []float64) ([]SaturationPoint, SaturationPoint, error) {
+	return saturate(gaps, func(gap float64) (FleetResult, error) {
+		run := sc
+		run.Closed = false
+		run.ArrivalGap = gap
+		return run.RunWith(c)
+	})
+}
+
+// SaturateSuite sweeps the same offered-load ladder serving the built
+// application suite (the mixed EVEREST use-case stream) instead of the
+// single compiled kernel. The returned points carry per-application
+// latency percentiles through FleetResult in addition to the aggregate.
+func (sc FleetScenario) SaturateSuite(s *apps.Suite, gaps []float64) ([]SaturationPoint, SaturationPoint, []map[string]TenantLatency, error) {
+	var perApp []map[string]TenantLatency
+	points, best, err := saturate(gaps, func(gap float64) (FleetResult, error) {
+		run := sc
+		run.Closed = false
+		run.ArrivalGap = gap
+		res, err := run.RunSuite(s)
+		if err == nil {
+			perApp = append(perApp, res.Apps)
+		}
+		return res, err
+	})
+	if err != nil {
+		return nil, SaturationPoint{}, nil, err
+	}
+	return points, best, perApp, nil
+}
+
+// saturate sweeps the offered-load ladder with one serving run per gap.
+// The best point is selected by achieved throughput with ties broken
+// toward the lower offered rate (larger gap): equal-throughput rungs then
+// resolve the same way however the ladder is ordered, instead of letting
+// input order silently decide the reported SLO point. Duplicate gaps are
+// rejected for the same reason — serving the same rung twice could only
+// re-measure it, and which copy won would be an accident of position.
+func saturate(gaps []float64, run func(gap float64) (FleetResult, error)) ([]SaturationPoint, SaturationPoint, error) {
 	if len(gaps) == 0 {
 		gaps = DefaultSaturationGaps()
 	}
+	seen := make(map[float64]bool, len(gaps))
 	var points []SaturationPoint
 	var best SaturationPoint
 	for _, gap := range gaps {
 		if gap <= 0 {
 			return nil, SaturationPoint{}, fmt.Errorf("sdk: saturation gap must be > 0, got %g", gap)
 		}
-		run := sc
-		run.Closed = false
-		run.ArrivalGap = gap
-		res, err := run.RunWith(c)
+		if seen[gap] {
+			return nil, SaturationPoint{}, fmt.Errorf("sdk: duplicate saturation gap %g", gap)
+		}
+		seen[gap] = true
+		res, err := run(gap)
 		if err != nil {
 			return nil, SaturationPoint{}, fmt.Errorf("sdk: saturation at gap %g: %w", gap, err)
 		}
@@ -85,7 +143,8 @@ func (sc FleetScenario) Saturate(c *variants.Compiled, gaps []float64) ([]Satura
 			SLOMet: res.SLOMet,
 		}
 		points = append(points, p)
-		if p.SLOMet && p.Throughput > best.Throughput {
+		if p.SLOMet && (p.Throughput > best.Throughput ||
+			(p.Throughput == best.Throughput && p.Gap > best.Gap)) {
 			best = p
 		}
 	}

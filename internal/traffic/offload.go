@@ -1,0 +1,100 @@
+package traffic
+
+import (
+	"everest/internal/ekl"
+	"everest/internal/tensor"
+)
+
+// This file is the offload face of the map-matching pipeline (§VIII): the
+// Fig. 4 projection stage — the one the coordination program marks
+// #[kernel(offloaded = true)] — expressed in the EVEREST kernel language
+// so the variant pipeline can compile it source-to-schedule, plus the
+// software cost model of the remaining ConDRust stages. The workload
+// registry (internal/apps) builds the traffic application's DAG from the
+// parsed Fig. 4 dataflow graph and compiles this kernel for its
+// accelerable stage.
+
+// ProjectionEKL is the candidate-projection kernel: every GPS point is
+// projected onto every edge segment (clamped parametric projection, the
+// exact arithmetic of Network.ProjectOntoEdge) and the squared distance
+// comes out. The per-pair divide and the clamp are what the FPGA datapath
+// absorbs in pipelined units while a CPU core pays an iterative sequence
+// for each divide — the offload economics of E10.
+func ProjectionEKL() string {
+	return `# Fig. 4 projection stage: squared point-to-segment distances
+kernel traffic_projection {
+  input px : [P]
+  input py : [P]
+  input ax : [E]
+  input ay : [E]
+  input bx : [E]
+  input by : [E]
+  input len2 : [E]
+  t0 = ((px[i] - ax[j]) * (bx[j] - ax[j]) + (py[i] - ay[j]) * (by[j] - ay[j])) / len2[j]
+  t = min(max(t0[i, j], 0.0), 1.0)
+  d2 = pow(px[i] - (ax[j] + t[i, j] * (bx[j] - ax[j])), 2)
+     + pow(py[i] - (ay[j] + t[i, j] * (by[j] - ay[j])), 2)
+  output d2[i, j]
+}
+`
+}
+
+// ProjectionBinding materializes the projection kernel's binding from a
+// real road network and GPS trace: point coordinates, edge endpoint
+// coordinates, and squared segment lengths. Shapes drive the hardware
+// generation; the values let the reference interpretation be checked
+// against Network.ProjectOntoEdge.
+func ProjectionBinding(net *Network, points []GPSPoint) ekl.Binding {
+	p := len(points)
+	e := len(net.Edges)
+	px, py := tensor.New(p), tensor.New(p)
+	for i, gp := range points {
+		px.Set(gp.Pos.X, i)
+		py.Set(gp.Pos.Y, i)
+	}
+	ax, ay := tensor.New(e), tensor.New(e)
+	bx, by := tensor.New(e), tensor.New(e)
+	len2 := tensor.New(e)
+	for j, edge := range net.Edges {
+		a, b := net.Nodes[edge.From], net.Nodes[edge.To]
+		ax.Set(a.X, j)
+		ay.Set(a.Y, j)
+		bx.Set(b.X, j)
+		by.Set(b.Y, j)
+		dx, dy := b.X-a.X, b.Y-a.Y
+		l2 := dx*dx + dy*dy
+		if l2 <= 0 {
+			l2 = 1 // degenerate zero-length edge: avoid the divide blowing up
+		}
+		len2.Set(l2, j)
+	}
+	return ekl.Binding{
+		Tensors: map[string]*tensor.Tensor{
+			"px": px, "py": py,
+			"ax": ax, "ay": ay, "bx": bx, "by": by,
+			"len2": len2,
+		},
+		Scalars: map[string]float64{},
+	}
+}
+
+// StageFlops is the software cost model of the Fig. 4 pipeline stages for
+// a daily batch of GPS points — the per-stage work the placement
+// exploration of E10 prices (examples/trafficoffload sweeps the same
+// model over batch sizes). Stage names match the coordination program's
+// actor functions; unknown stages cost zero.
+func StageFlops(stage string, batch int) float64 {
+	b := float64(batch)
+	switch stage {
+	case "projection":
+		// candidates × edges × projection arithmetic per pair.
+		return b * 40 * 2000 * 12
+	case "build_trellis":
+		return b * 40 * 640
+	case "viterbi":
+		return b * 40 * 64
+	case "interpolate":
+		return b * 320
+	}
+	return 0
+}

@@ -1,0 +1,68 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"everest/internal/ekl"
+)
+
+// TestProjectionEKLMatchesProjectOntoEdge checks the offload kernel's
+// reference interpretation against the Go projection it replaces: every
+// (point, edge) squared distance must agree with Network.ProjectOntoEdge.
+func TestProjectionEKLMatchesProjectOntoEdge(t *testing.T) {
+	net := GridNetwork(3, 3, 200, 1)
+	trace, err := SimulateTrip(net, 5, 6, 10, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := ekl.ParseKernel(ProjectionEKL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Check(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := k.Run(ProjectionBinding(net, trace.Points))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := res.Outputs["d2"]
+	if got, want := d2.Shape()[0], len(trace.Points); got != want {
+		t.Fatalf("d2 rows = %d, want %d", got, want)
+	}
+	if got, want := d2.Shape()[1], len(net.Edges); got != want {
+		t.Fatalf("d2 cols = %d, want %d", got, want)
+	}
+	for i, gp := range trace.Points {
+		for j := range net.Edges {
+			_, dist := net.ProjectOntoEdge(j, gp.Pos)
+			if diff := math.Abs(d2.At(i, j) - dist*dist); diff > 1e-6 {
+				t.Fatalf("point %d edge %d: EKL d2 = %g, Go d2 = %g (diff %g)",
+					i, j, d2.At(i, j), dist*dist, diff)
+			}
+		}
+	}
+}
+
+// TestStageFlops pins the Fig. 4 stage cost model's shape: projection
+// dominates (it is the offloaded stage) and costs scale with the batch.
+func TestStageFlops(t *testing.T) {
+	stages := []string{"projection", "build_trellis", "viterbi", "interpolate"}
+	for _, s := range stages {
+		if StageFlops(s, 100) <= 0 {
+			t.Fatalf("stage %q has no cost", s)
+		}
+		if StageFlops(s, 200) <= StageFlops(s, 100) {
+			t.Fatalf("stage %q cost does not scale with batch", s)
+		}
+	}
+	for _, s := range stages[1:] {
+		if StageFlops(s, 1000) >= StageFlops("projection", 1000) {
+			t.Fatalf("projection must dominate stage %q", s)
+		}
+	}
+	if StageFlops("nope", 10) != 0 {
+		t.Fatal("unknown stage should cost zero")
+	}
+}

@@ -1,0 +1,242 @@
+package variants
+
+import (
+	"fmt"
+	"strings"
+
+	"everest/internal/autotuner"
+	"everest/internal/ekl"
+	"everest/internal/onnxlite"
+	"everest/internal/tensor"
+)
+
+// This file is the ML-model entry point of the variant pipeline (paper
+// §V-A: "the SDK supports standard ONNX ML models"): a dense onnxlite
+// graph — MatMul / Add / Relu / Softmax chains, the shape the jabbah
+// dialect converges ML frontends to — is translated to an EKL kernel and
+// compiled through the same MLIR → HLS → Olympus flow as hand-written
+// source, so an ONNX model ends up with derived cpu1/cpu16/fpga operating
+// points and a deployable bitstream like any other kernel.
+
+// CompileONNX compiles a dense onnxlite model source-to-schedule for the
+// given inference batch size. The model must be a single chain of
+// MatMul / Add / Relu / Softmax nodes from one rank-2 input to one output,
+// with every other operand an initializer; the generated EKL kernel binds
+// the model's actual weights, so the reference interpretation of the
+// kernel computes exactly what onnxlite.Run computes.
+func CompileONNX(m *onnxlite.Model, batch int, opt Options) (*Compiled, error) {
+	if m == nil {
+		return nil, fmt.Errorf("variants: nil onnx model")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	src, binding, err := onnxToEKL(m, batch)
+	if err != nil {
+		return nil, err
+	}
+	c, err := CompileEKL(src, binding, opt)
+	if err != nil {
+		return nil, fmt.Errorf("variants: onnx model %q: %w", m.Name, err)
+	}
+	return c, nil
+}
+
+// onnxToEKL translates a dense model into EKL source plus the binding that
+// carries its weights and a deterministic synthetic input batch.
+func onnxToEKL(m *onnxlite.Model, batch int) (string, ekl.Binding, error) {
+	if len(m.Inputs) != 1 || len(m.Outputs) != 1 {
+		return "", ekl.Binding{}, fmt.Errorf("variants: onnx model %q needs exactly one input and one output", m.Name)
+	}
+	var inName string
+	var inShape []int
+	for name, shape := range m.Inputs {
+		inName, inShape = name, shape
+	}
+	if len(inShape) != 2 {
+		return "", ekl.Binding{}, fmt.Errorf("variants: onnx input %q must be rank 2, got %v", inName, inShape)
+	}
+	feat := inShape[1]
+
+	kernelName := sanitizeEKLName(m.Name)
+	var b strings.Builder
+	fmt.Fprintf(&b, "# generated from onnxlite model %q (batch %d)\n", m.Name, batch)
+	fmt.Fprintf(&b, "kernel %s {\n", kernelName)
+	inEKL := sanitizeEKLName(inName)
+	fmt.Fprintf(&b, "  input %s : [%d, %d]\n", inEKL, batch, feat)
+
+	binding := ekl.Binding{
+		Tensors: map[string]*tensor.Tensor{},
+		Scalars: map[string]float64{},
+	}
+	// Deterministic synthetic batch: shapes drive hardware generation, the
+	// values only feed the reference interpretation.
+	x := tensor.New(batch, feat)
+	seed := uint64(0x7f4a7c15ee6d3b1d)
+	for i := range x.Data() {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		x.Data()[i] = float64(seed%1000)/500 - 1 // [-1, 1)
+	}
+	binding.Tensors[inEKL] = x
+
+	// Declare every initializer the chain reads, with its literal shape
+	// (once — a tied weight or shared bias may feed several nodes).
+	declared := make(map[string]bool)
+	for _, n := range m.Nodes {
+		for _, arg := range n.Inputs {
+			dims, isInit := m.InitDim[arg]
+			if !isInit || declared[arg] {
+				continue
+			}
+			declared[arg] = true
+			dimStrs := make([]string, len(dims))
+			for i, d := range dims {
+				dimStrs[i] = fmt.Sprintf("%d", d)
+			}
+			argEKL := sanitizeEKLName(arg)
+			fmt.Fprintf(&b, "  input %s : [%s]\n", argEKL, strings.Join(dimStrs, ", "))
+			binding.Tensors[argEKL] = tensor.FromData(append([]float64(nil), m.Init[arg]...), dims...)
+		}
+	}
+
+	// Walk the chain. prev is the running value's model-level name,
+	// prevEKL its identifier in the generated source (Validate guarantees
+	// single assignment, so model output names are unique); cols is the
+	// running width. Each node must consume prev (plus initializers) and
+	// produce the next link.
+	prev, prevEKL, cols := inName, inEKL, feat
+	colIdx := "c0"
+	nextCol := 0
+	for _, n := range m.Nodes {
+		out := sanitizeEKLName(n.Output)
+		switch n.Op {
+		case onnxlite.OpMatMul:
+			w, dims, err := chainOperand(m, n, prev)
+			if err != nil {
+				return "", ekl.Binding{}, err
+			}
+			if len(dims) != 2 || dims[0] != cols {
+				return "", ekl.Binding{}, fmt.Errorf("variants: onnx node %q: weight %q shape %v does not match width %d", n.Name, w, dims, cols)
+			}
+			nextCol++
+			red := colIdx
+			colIdx = fmt.Sprintf("c%d", nextCol)
+			fmt.Fprintf(&b, "  %s = sum(%s) %s[r, %s] * %s[%s, %s]\n",
+				out, red, prevEKL, red, sanitizeEKLName(w), red, colIdx)
+			cols = dims[1]
+		case onnxlite.OpAdd:
+			w, dims, err := chainOperand(m, n, prev)
+			if err != nil {
+				return "", ekl.Binding{}, err
+			}
+			switch {
+			case len(dims) == 1 && dims[0] == cols: // row-broadcast bias
+				fmt.Fprintf(&b, "  %s = %s[r, %s] + %s[%s]\n", out, prevEKL, colIdx, sanitizeEKLName(w), colIdx)
+			case len(dims) == 2 && dims[0] == batch && dims[1] == cols:
+				fmt.Fprintf(&b, "  %s = %s[r, %s] + %s[r, %s]\n", out, prevEKL, colIdx, sanitizeEKLName(w), colIdx)
+			default:
+				return "", ekl.Binding{}, fmt.Errorf("variants: onnx node %q: Add operand %q shape %v does not broadcast over width %d", n.Name, w, dims, cols)
+			}
+		case onnxlite.OpRelu:
+			if len(n.Inputs) != 1 || n.Inputs[0] != prev {
+				return "", ekl.Binding{}, fmt.Errorf("variants: onnx node %q must consume the chain value %q", n.Name, prev)
+			}
+			fmt.Fprintf(&b, "  %s = max(%s[r, %s], 0.0)\n", out, prevEKL, colIdx)
+		case onnxlite.OpSoftmax:
+			if len(n.Inputs) != 1 || n.Inputs[0] != prev {
+				return "", ekl.Binding{}, fmt.Errorf("variants: onnx node %q must consume the chain value %q", n.Name, prev)
+			}
+			// Row softmax as exp / row-sum; the hardware path pays the exp
+			// through the backend special-function tables.
+			fmt.Fprintf(&b, "  %se = exp(%s[r, %s])\n", out, prevEKL, colIdx)
+			fmt.Fprintf(&b, "  %sz = sum(%s) %se[r, %s]\n", out, colIdx, out, colIdx)
+			fmt.Fprintf(&b, "  %s = %se[r, %s] / %sz[r]\n", out, out, colIdx, out)
+		default:
+			return "", ekl.Binding{}, fmt.Errorf("variants: onnx op %q has no EKL lowering (dense chains only)", n.Op)
+		}
+		prev, prevEKL = n.Output, out
+	}
+	if m.Outputs[0] != m.Nodes[len(m.Nodes)-1].Output {
+		return "", ekl.Binding{}, fmt.Errorf("variants: onnx output %q is not the chain tail", m.Outputs[0])
+	}
+	fmt.Fprintf(&b, "  output %s[r, %s]\n", prevEKL, colIdx)
+	b.WriteString("}\n")
+	return b.String(), binding, nil
+}
+
+// chainOperand returns the one initializer operand of a two-input chain
+// node (the other input must be the running chain value).
+func chainOperand(m *onnxlite.Model, n onnxlite.Node, prev string) (string, []int, error) {
+	if len(n.Inputs) != 2 {
+		return "", nil, fmt.Errorf("variants: onnx node %q wants two inputs", n.Name)
+	}
+	var w string
+	switch {
+	case n.Inputs[0] == prev:
+		w = n.Inputs[1]
+	case n.Inputs[1] == prev:
+		w = n.Inputs[0]
+	default:
+		return "", nil, fmt.Errorf("variants: onnx node %q does not consume the chain value %q", n.Name, prev)
+	}
+	dims, ok := m.InitDim[w]
+	if !ok {
+		return "", nil, fmt.Errorf("variants: onnx node %q operand %q is not an initializer", n.Name, w)
+	}
+	return w, dims, nil
+}
+
+// sanitizeEKLName maps a model name to an EKL identifier.
+func sanitizeEKLName(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteRune('_')
+		}
+	}
+	s := b.String()
+	if s == "" || (s[0] >= '0' && s[0] <= '9') {
+		s = "m_" + s
+	}
+	return s
+}
+
+// MergeVariants merges the operating points of several compiled kernels
+// into one tuner seed set for a DAG whose stages carry different
+// bitstreams. The engine keeps one variant tuner per workflow, so the seed
+// for each implementation variant is the mean expected latency across the
+// kernels offering it — the same per-task averaging the engine's own
+// design-time seeding applies. The fpga variant is present when at least
+// one kernel derived an fpga point; stages whose kernel has none simply
+// never offer fpga placements (their TaskSpec requests a bitstream the
+// scheduler cannot find), so the merged seed stays honest.
+func MergeVariants(cs ...*Compiled) []autotuner.Variant {
+	sums := make(map[string]float64)
+	counts := make(map[string]int)
+	var order []string
+	for _, c := range cs {
+		if c == nil {
+			continue
+		}
+		for _, v := range c.Variants() {
+			if counts[v.Name] == 0 {
+				order = append(order, v.Name)
+			}
+			sums[v.Name] += v.ExpectedMs
+			counts[v.Name]++
+		}
+	}
+	out := make([]autotuner.Variant, 0, len(order))
+	for _, name := range order {
+		out = append(out, autotuner.Variant{Name: name, ExpectedMs: sums[name] / float64(counts[name])})
+	}
+	return out
+}

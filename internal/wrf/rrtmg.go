@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 
+	"everest/internal/ekl"
 	"everest/internal/tensor"
 )
 
@@ -167,6 +168,37 @@ kernel tau_major {
   output tau_abs[x, g]
 }
 `
+}
+
+// EKLBinding synthesizes a deterministic binding for EKLSource shaped
+// like this Radiation's k-distribution tables, with nx atmospheric
+// columns: interpolation indices stay inside the table axes (the +t, +pp,
+// +e offsets of the Fig. 3 contraction never run off the end), pressures
+// span the reference profile, and the k-major table is the scheme's own.
+// It is what lets the radiation kernel compile source-to-schedule through
+// the variant pipeline against real table shapes.
+func (r *Radiation) EKLBinding(seed int64, nx int) ekl.Binding {
+	rng := rand.New(rand.NewSource(seed))
+	intT := func(max int, shape ...int) *tensor.Tensor {
+		t := tensor.New(shape...)
+		for i := range t.Data() {
+			t.Data()[i] = float64(rng.Intn(max))
+		}
+		return t
+	}
+	return ekl.Binding{
+		Tensors: map[string]*tensor.Tensor{
+			"p":           tensor.Random(rng, 5000, 101325, nx),
+			"bnd_to_flav": intT(r.NFlav, 2, 4),
+			"j_T":         intT(r.NT-2, nx),
+			"j_p":         intT(r.NP-3, nx),
+			"j_eta":       intT(r.NEta-2, r.NFlav, nx),
+			"r_mix":       tensor.Random(rng, 0, 1, r.NFlav, nx, 2),
+			"f_major":     tensor.Random(rng, 0, 1, r.NFlav, nx, 2, 2, 2),
+			"k_major":     r.kMajor,
+		},
+		Scalars: map[string]float64{"bnd": 1},
+	}
 }
 
 func clampInt(v, lo, hi int) int {

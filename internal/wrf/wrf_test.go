@@ -202,3 +202,27 @@ func TestCloneIndependence(t *testing.T) {
 		t.Error("Clone must deep-copy fields")
 	}
 }
+
+// TestEKLBindingRunsKernel: the synthesized binding must drive the Fig. 3
+// kernel against the scheme's own table shapes (the compile path of the
+// weather application in the workload registry).
+func TestEKLBindingRunsKernel(t *testing.T) {
+	rad := NewRadiation(9, 8)
+	k, err := ekl.ParseKernel(EKLSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := k.Run(rad.EKLBinding(9, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Outputs["tau_abs"]
+	if out.Shape()[0] != 12 || out.Shape()[1] != rad.NGpt {
+		t.Fatalf("tau shape %v, want (12,%d)", out.Shape(), rad.NGpt)
+	}
+	for _, v := range out.Data() {
+		if v < 0 || math.IsNaN(v) {
+			t.Fatalf("non-physical optical depth %g", v)
+		}
+	}
+}

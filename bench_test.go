@@ -3,11 +3,13 @@ package everest_test
 import (
 	"math/rand"
 	"sort"
+	"sync/atomic"
 	"testing"
 
 	"everest/internal/base2"
 	"everest/internal/ekl"
 	"everest/internal/experiments"
+	"everest/internal/fleet"
 	"everest/internal/runtime"
 	"everest/internal/sdk"
 	"everest/internal/tensor"
@@ -299,6 +301,38 @@ func BenchmarkAppSuite(b *testing.B) {
 	for name, p95s := range appP95s {
 		b.ReportMetric(median(p95s), "p95_"+name)
 	}
+}
+
+// BenchmarkSimulatorSpeed is the event-core self-bench (E-speed): it drives
+// the full E-fleet scenario — 64 workflows from 32 tenants over 4 federated
+// sites with an accelerator unplug — and reports how fast the modelled-time
+// engine itself runs in *wall-clock* terms. workflows_per_wall_second is
+// end-to-end serving speed; ns_per_event is wall nanoseconds per fleet
+// trace event (deploys, hits, evictions, routes, completions), a proxy for
+// per-event dispatch cost that is insensitive to workflow size. Unlike the
+// modelled metrics in BENCH_2–5 these numbers measure the host machine, so
+// BENCH_6.json gates them with a widened jitter tolerance (see its comment).
+func BenchmarkSimulatorSpeed(b *testing.B) {
+	sc := sdk.DefaultFleetScenario()
+	c, err := sc.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var events atomic.Int64
+	sc.Trace = func(fleet.Event) { events.Add(1) }
+	var completed int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sc.RunWith(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		completed += res.Completed
+	}
+	b.StopTimer()
+	wall := b.Elapsed().Seconds()
+	b.ReportMetric(float64(completed)/wall, "workflows_per_wall_second")
+	b.ReportMetric(wall*1e9/float64(events.Load()), "ns_per_event")
 }
 
 func median(xs []float64) float64 {

@@ -34,7 +34,11 @@ import (
 // Baseline is one committed reference file the gate compares against.
 type Baseline struct {
 	// Tolerance is the allowed relative regression (0.25 = 25%).
-	Tolerance  float64              `json:"tolerance"`
+	Tolerance float64 `json:"tolerance"`
+	// Comment documents why a baseline is shaped the way it is (e.g. a
+	// widened tolerance for wall-clock metrics subject to runner jitter).
+	// It is round-tripped verbatim by -update.
+	Comment    string               `json:"comment,omitempty"`
 	Benchmarks map[string]Reference `json:"benchmarks"`
 }
 

@@ -81,6 +81,120 @@ func TestCheckPassAndFail(t *testing.T) {
 	}
 }
 
+// wallBench mimics the E-speed self-bench output at a given jitter factor:
+// the machine running slow by `slow` multiplies ns_per_event (lower is
+// better) and divides workflows_per_wall_second (higher is better).
+func wallBench(slow float64) string {
+	return "BenchmarkSimulatorSpeed \t 500\t " +
+		strconvF(520000*slow) + " ns/op\t " +
+		strconvF(2850*slow) + " ns_per_event\t " +
+		strconvF(118000/slow) + " workflows_per_wall_second\n"
+}
+
+func strconvF(v float64) string {
+	raw, _ := json.Marshal(v)
+	return string(raw)
+}
+
+func wallBaseline(tol float64) Baseline {
+	return Baseline{
+		Tolerance: tol,
+		Comment:   "wall-clock metrics; tolerance widened for runner jitter",
+		Benchmarks: map[string]Reference{
+			"BenchmarkSimulatorSpeed": {
+				Metric: "workflows_per_wall_second", HigherIsBetter: true, Value: 118000,
+			},
+			"BenchmarkSimulatorSpeed@ns_per_event": {
+				Metric: "ns_per_event", HigherIsBetter: false, Value: 2850,
+			},
+		},
+	}
+}
+
+// TestWallClockJitter pins the gate's behaviour on wall-clock metrics: a
+// machine-jitter slowdown inside the widened tolerance passes in BOTH
+// directions (higher_is_better=true and =false), while a real regression —
+// here the ~3.3x gap back to the pre-heap engine — fails both keys no
+// matter how noisy the runner.
+func TestWallClockJitter(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		slow float64 // machine slowdown factor applied to the sample output
+		tol  float64
+		ok   bool
+	}{
+		{"exact baseline", 1.0, 0.40, true},
+		{"15pct jitter slow", 1.15, 0.40, true},
+		{"15pct jitter fast", 0.87, 0.40, true},
+		{"at tolerance edge lower-is-better", 1.39, 0.40, true},
+		{"beyond tolerance", 1.45, 0.40, false},
+		{"engine regression 3.3x", 3.3, 0.40, false},
+		{"same jitter, unwidened tolerance", 1.30, 0.25, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			observed, err := parseBench(strings.NewReader(wallBench(tc.slow)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			lines, ok := check(wallBaseline(tc.tol), observed)
+			if ok != tc.ok {
+				t.Errorf("slow=%.2f tol=%.2f: ok=%v, want %v\n%s",
+					tc.slow, tc.tol, ok, tc.ok, strings.Join(lines, "\n"))
+			}
+		})
+	}
+	// A genuine regression must flag BOTH directions, not just one.
+	observed, err := parseBench(strings.NewReader(wallBench(3.3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines, _ := check(wallBaseline(0.40), observed)
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "FAIL BenchmarkSimulatorSpeed ") &&
+		!strings.Contains(joined, "FAIL BenchmarkSimulatorSpeed:") {
+		t.Errorf("workflows_per_wall_second regression not flagged:\n%s", joined)
+	}
+	if !strings.Contains(joined, "FAIL BenchmarkSimulatorSpeed@ns_per_event") {
+		t.Errorf("ns_per_event regression not flagged:\n%s", joined)
+	}
+}
+
+// TestCommentRoundTrip: -update must rewrite values while preserving the
+// human-facing comment that documents the widened tolerance.
+func TestCommentRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	baselinePath := filepath.Join(dir, "BENCH.json")
+	inputPath := filepath.Join(dir, "bench.out")
+	raw, err := json.Marshal(wallBaseline(0.40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(baselinePath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(inputPath, []byte(wallBench(1.1)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sink strings.Builder
+	if err := run("", baselinePath, inputPath, true, &sink); err != nil {
+		t.Fatal(err)
+	}
+	raw, err = os.ReadFile(baselinePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var updated Baseline
+	if err := json.Unmarshal(raw, &updated); err != nil {
+		t.Fatal(err)
+	}
+	if updated.Comment != wallBaseline(0.40).Comment {
+		t.Errorf("comment lost across -update: %q", updated.Comment)
+	}
+	if v := updated.Benchmarks["BenchmarkSimulatorSpeed@ns_per_event"].Value; v == 2850 {
+		t.Error("-update left the stale ns_per_event value in place")
+	}
+}
+
 func TestRunAndUpdate(t *testing.T) {
 	dir := t.TempDir()
 	baselinePath := filepath.Join(dir, "BENCH.json")

@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -30,6 +32,12 @@ import (
 )
 
 func main() {
+	// benchMain returns instead of exiting so the deferred profile
+	// writers (-cpuprofile/-memprofile) flush on every path.
+	os.Exit(benchMain())
+}
+
+func benchMain() int {
 	only := flag.String("only", "", "run a single experiment (e.g. E3)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	saturate := flag.Bool("saturate", false, "run the fleet saturation harness instead of the experiment tables")
@@ -45,7 +53,26 @@ func main() {
 	registryNet := flag.String("registry-net", "tcp10g", "registry->site deploy fabric: tcp10g, udp10g, or eth100g")
 	suite := flag.Bool("suite", false, "serve the EVEREST application suite (workload registry) instead of the default mix")
 	appList := flag.String("apps", "", "comma-separated registry applications to serve (implies -suite; default: all)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (pprof format)")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file (pprof format)")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		stop, err := startCPUProfile(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "everest-bench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer stop()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			if err := writeHeapProfile(path); err != nil {
+				fmt.Fprintf(os.Stderr, "everest-bench: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *appList != "" {
 		*suite = true
@@ -54,13 +81,13 @@ func main() {
 		if err := runSaturation(*sites, *nodes, *tenants, *workflows, *cacheSlots,
 			*mode, *slo, *gaps, *netName, *registryNet, *suite, *appList); err != nil {
 			fmt.Fprintf(os.Stderr, "everest-bench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if *suite {
 		fmt.Fprintln(os.Stderr, "everest-bench: -suite/-apps require -saturate")
-		os.Exit(2)
+		return 2
 	}
 
 	all := experiments.All()
@@ -68,7 +95,7 @@ func main() {
 		for i := range all {
 			fmt.Printf("E%d\n", i+1)
 		}
-		return
+		return 0
 	}
 	failed := 0
 	for i, exp := range all {
@@ -85,8 +112,38 @@ func main() {
 		fmt.Println(tab.String())
 	}
 	if failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// startCPUProfile begins streaming a pprof CPU profile to path; the
+// returned stop flushes and closes it.
+func startCPUProfile(path string) (stop func(), err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// writeHeapProfile snapshots the live heap to path after settling it with
+// a GC cycle.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // settle live heap before snapshotting
+	return pprof.WriteHeapProfile(f)
 }
 
 // runSaturation drives the fleet tier to saturation: open mode sweeps a

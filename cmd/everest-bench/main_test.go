@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunSaturationOpen(t *testing.T) {
 	if err := runSaturation(2, 2, 4, 12, 1, "open", 1.75, "0.64,0.01", "", "eth100g", false, ""); err != nil {
@@ -45,5 +49,40 @@ func TestRunSaturationSuiteClosedSubset(t *testing.T) {
 func TestRunSaturationSuiteRejectsUnknownApp(t *testing.T) {
 	if err := runSaturation(2, 2, 6, 8, 2, "open", 2.5, "0.64", "", "tcp10g", true, "nope"); err == nil {
 		t.Fatal("unknown app accepted")
+	}
+}
+
+// TestProfileHelpers covers the -cpuprofile/-memprofile plumbing: both
+// helpers must produce non-empty pprof files and surface unwritable paths
+// as errors instead of exiting mid-profile.
+func TestProfileHelpers(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	stop, err := startCPUProfile(cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := 0
+	for i := 0; i < 1000; i++ { // give the profiler something to sample
+		sink += i * i
+	}
+	_ = sink
+	stop()
+	if fi, err := os.Stat(cpu); err != nil || fi.Size() == 0 {
+		t.Fatalf("cpu profile missing or empty: %v", err)
+	}
+	if _, err := startCPUProfile(dir); err == nil {
+		t.Error("cpu profile into a directory path must error")
+	}
+
+	mem := filepath.Join(dir, "mem.pprof")
+	if err := writeHeapProfile(mem); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(mem); err != nil || fi.Size() == 0 {
+		t.Fatalf("heap profile missing or empty: %v", err)
+	}
+	if err := writeHeapProfile(dir); err == nil {
+		t.Error("heap profile into a directory path must error")
 	}
 }

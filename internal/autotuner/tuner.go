@@ -23,12 +23,33 @@ type Variant struct {
 // Expected on every dispatch, feeds Observe from completions, and reacts to
 // hot-plug events through Degrade/SetAvailable — so variant selection
 // tracks the live environment instead of the static plan.
+//
+// The knowledge base is held in parallel slices indexed by variant order
+// rather than a general Autotuner: the engine calls Best/Expected on every
+// placement of every task, and the general operating-point snapshot (one
+// map allocation per point per call) dominated dispatch profiles. Semantics
+// are identical to an Autotuner with a single KnobImpl knob and an EWMA
+// alpha of 0.5.
 type Tuner struct {
 	mu       sync.Mutex
-	at       *Autotuner
-	seeds    map[string]float64 // variant -> design-time expected ms
-	disabled map[string]bool    // variants currently unreachable (no device)
 	order    []string
+	seeds    []float64 // design-time expected ms, by variant index
+	expected []float64 // live expected ms (EWMA), by variant index
+	obs      []int     // observation counts, by variant index
+	disabled []bool    // variants currently unreachable (no device)
+}
+
+// index resolves a variant name with a linear scan: tuners hold a handful
+// of variants (cpu1/cpu16/fpga), where scanning a short string slice beats
+// a map on both lookup time and construction allocations — NewTuner runs
+// once per submitted workflow on the engine's hot path.
+func (t *Tuner) index(name string) (int, bool) {
+	for i, n := range t.order {
+		if n == name {
+			return i, true
+		}
+	}
+	return -1, false
 }
 
 // NewTuner builds a variant tuner from design-time knowledge.
@@ -36,32 +57,27 @@ func NewTuner(variants []Variant) (*Tuner, error) {
 	if len(variants) == 0 {
 		return nil, fmt.Errorf("autotuner: tuner needs at least one variant")
 	}
-	values := make([]string, 0, len(variants))
-	points := make([]OperatingPoint, 0, len(variants))
-	seeds := make(map[string]float64, len(variants))
+	n := len(variants)
+	floats := make([]float64, 2*n) // seeds and expected share one backing array
+	t := &Tuner{
+		order:    make([]string, 0, n),
+		seeds:    floats[:0:n],
+		expected: floats[n : n : 2*n],
+		obs:      make([]int, n),
+		disabled: make([]bool, n),
+	}
 	for _, v := range variants {
 		if v.Name == "" || v.ExpectedMs <= 0 {
 			return nil, fmt.Errorf("autotuner: variant needs a name and positive expected latency")
 		}
-		if _, dup := seeds[v.Name]; dup {
+		if _, dup := t.index(v.Name); dup {
 			return nil, fmt.Errorf("autotuner: duplicate variant %q", v.Name)
 		}
-		values = append(values, v.Name)
-		seeds[v.Name] = v.ExpectedMs
-		points = append(points, OperatingPoint{
-			Config:  Config{KnobImpl: v.Name},
-			Metrics: map[Metric]float64{MetricTimeMs: v.ExpectedMs},
-		})
+		t.order = append(t.order, v.Name)
+		t.seeds = append(t.seeds, v.ExpectedMs)
+		t.expected = append(t.expected, v.ExpectedMs)
 	}
-	at, err := New(
-		[]Knob{{Name: KnobImpl, Values: values}},
-		points, nil,
-		Rank{Metric: MetricTimeMs, Minimize: true},
-	)
-	if err != nil {
-		return nil, err
-	}
-	return &Tuner{at: at, seeds: seeds, disabled: make(map[string]bool), order: values}, nil
+	return t, nil
 }
 
 // Variants returns the variant names in seed order.
@@ -69,31 +85,30 @@ func (t *Tuner) Variants() []string {
 	return append([]string(nil), t.order...)
 }
 
-// Best returns the available variant with the lowest expected latency.
-// When every variant is disabled it falls back to the overall best — the
-// graceful degradation mARGOt applies when no point is feasible.
+// Best returns the available variant with the lowest expected latency,
+// first-seeded winning ties. When every variant is disabled it falls back
+// to the overall best — the graceful degradation mARGOt applies when no
+// point is feasible.
 func (t *Tuner) Best() string {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	best, bestAny := "", ""
-	bestV, bestAnyV := 0.0, 0.0
-	for _, p := range t.at.Points() {
-		name := p.Config[KnobImpl]
-		v := p.Metrics[MetricTimeMs]
-		if bestAny == "" || v < bestAnyV {
-			bestAny, bestAnyV = name, v
+	best, bestAny := -1, -1
+	for i := range t.order {
+		v := t.expected[i]
+		if bestAny < 0 || v < t.expected[bestAny] {
+			bestAny = i
 		}
-		if t.disabled[name] {
+		if t.disabled[i] {
 			continue
 		}
-		if best == "" || v < bestV {
-			best, bestV = name, v
+		if best < 0 || v < t.expected[best] {
+			best = i
 		}
 	}
-	if best == "" {
-		return bestAny
+	if best < 0 {
+		best = bestAny
 	}
-	return best
+	return t.order[best]
 }
 
 // Expected returns the current expected latency of a variant in ms (0 for
@@ -101,10 +116,8 @@ func (t *Tuner) Best() string {
 func (t *Tuner) Expected(name string) float64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for _, p := range t.at.Points() {
-		if p.Config[KnobImpl] == name {
-			return p.Metrics[MetricTimeMs]
-		}
+	if i, ok := t.index(name); ok {
+		return t.expected[i]
 	}
 	return 0
 }
@@ -113,23 +126,21 @@ func (t *Tuner) Expected(name string) float64 {
 // deviation of the live environment from the design-time model (1 = on
 // model). Schedulers scale their per-task nominal estimates by it.
 func (t *Tuner) Drift(name string) float64 {
-	seed := t.seeds[name]
-	if seed <= 0 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i, ok := t.index(name)
+	if !ok || t.seeds[i] <= 0 || t.expected[i] <= 0 {
 		return 1
 	}
-	exp := t.Expected(name)
-	if exp <= 0 {
-		return 1
-	}
-	return exp / seed
+	return t.expected[i] / t.seeds[i]
 }
 
 // Available reports whether a variant is currently selectable.
 func (t *Tuner) Available(name string) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	_, known := t.seeds[name]
-	return known && !t.disabled[name]
+	i, ok := t.index(name)
+	return ok && !t.disabled[i]
 }
 
 // SetAvailable masks or unmasks a variant (e.g. fpga when the last VF of
@@ -137,37 +148,43 @@ func (t *Tuner) Available(name string) bool {
 func (t *Tuner) SetAvailable(name string, ok bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if _, known := t.seeds[name]; !known {
-		return
-	}
-	if ok {
-		delete(t.disabled, name)
-	} else {
-		t.disabled[name] = true
+	if i, known := t.index(name); known {
+		t.disabled[i] = !ok
 	}
 }
 
 // Observe feeds one measured latency (ms) for a variant back into the
-// knowledge base.
+// knowledge base with the same EWMA the general autotuner applies.
 func (t *Tuner) Observe(name string, ms float64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	_ = t.at.Observe(Config{KnobImpl: name}, MetricTimeMs, ms)
+	if i, ok := t.index(name); ok {
+		t.expected[i] = 0.5*t.expected[i] + 0.5*ms
+		t.obs[i]++
+	}
 }
 
 // Observations returns how many measurements a variant has received.
 func (t *Tuner) Observations(name string) int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.at.Observations(Config{KnobImpl: name})
+	if i, ok := t.index(name); ok {
+		return t.obs[i]
+	}
+	return 0
 }
 
 // Degrade multiplies a variant's expected latency by factor — the immediate
 // reaction to an environment event, ahead of the next observation.
 func (t *Tuner) Degrade(name string, factor float64) {
+	if factor <= 0 {
+		return
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	_ = t.at.Scale(Config{KnobImpl: name}, MetricTimeMs, factor)
+	if i, ok := t.index(name); ok {
+		t.expected[i] *= factor
+	}
 }
 
 // ResetExpected restores a variant's expected latency to its design-time
@@ -176,20 +193,9 @@ func (t *Tuner) Degrade(name string, factor float64) {
 // when the environment event that caused the degradation is undone (e.g.
 // the accelerator is replugged).
 func (t *Tuner) ResetExpected(name string) {
-	seed, known := t.seeds[name]
-	if !known {
-		return
-	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	cur := 0.0
-	for _, p := range t.at.Points() {
-		if p.Config[KnobImpl] == name {
-			cur = p.Metrics[MetricTimeMs]
-			break
-		}
-	}
-	if cur > 0 {
-		_ = t.at.Scale(Config{KnobImpl: name}, MetricTimeMs, seed/cur)
+	if i, ok := t.index(name); ok && t.expected[i] > 0 {
+		t.expected[i] = t.seeds[i]
 	}
 }

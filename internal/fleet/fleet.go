@@ -142,6 +142,12 @@ type Config struct {
 	SiteEvents [][]runtime.EnvEvent
 	// Trace, when set, receives every fleet event (serialized).
 	Trace func(Event)
+	// EngineTrace, when set, receives every site engine's runtime events
+	// tagged with the site name, serialized with the fleet's own events
+	// under the same trace mutex. With submit-and-wait driving the merged
+	// stream is deterministic: exactly one site serves at any moment, so
+	// engine events nest between that workflow's Route and Done events.
+	EngineTrace func(site string, ev runtime.Event)
 }
 
 // Request is one workflow submission.
@@ -312,13 +318,22 @@ func New(reg *platform.Registry, cfg Config) (*Fleet, error) {
 		if i < len(cfg.SiteEvents) {
 			events = cfg.SiteEvents[i]
 		}
+		siteName := fmt.Sprintf("site%02d", i)
+		var engTrace func(runtime.Event)
+		if cfg.EngineTrace != nil {
+			engTrace = func(ev runtime.Event) {
+				f.traceMu.Lock()
+				defer f.traceMu.Unlock()
+				f.cfg.EngineTrace(siteName, ev)
+			}
+		}
 		s := &site{
-			name:    fmt.Sprintf("site%02d", i),
+			name:    siteName,
 			cluster: c,
 			q:       newTicketQueue(),
 			engine: runtime.NewEngine(c, reg, runtime.EngineConfig{
 				Policy: cfg.Policy, Adaptive: cfg.Adaptive,
-				Events: events, Net: cfg.Net,
+				Events: events, Net: cfg.Net, Trace: engTrace,
 			}),
 			cache:        newBitstreamCache(cfg.CacheSlots),
 			everDeployed: make(map[string]bool),
@@ -373,7 +388,15 @@ func (f *Fleet) Submit(req Request) (*Ticket, error) {
 		f.mu.Unlock()
 		return nil, fmt.Errorf("fleet: not serving (started=%v closed=%v)", f.started, f.closed)
 	}
-	idx, err := f.route(tenant, needs, req.Arrival)
+	last, hasLast := f.lastSite[tenant]
+	f.mu.Unlock()
+
+	// Route outside the fleet lock: each candidate site is priced under its
+	// own mutex (sharded bookkeeping), and the argmin merge walks sites in
+	// index order with strict-less ties — deterministic regardless of how
+	// many submitters race, given identical per-site state.
+	idx, err := f.route(tenant, last, hasLast, needs, req.Arrival)
+	f.mu.Lock()
 	if err != nil {
 		f.rejected++
 		f.mu.Unlock()
@@ -393,8 +416,10 @@ func (f *Fleet) Submit(req Request) (*Ticket, error) {
 	s.mu.Lock()
 	s.pending++
 	s.mu.Unlock()
-	f.trace(Event{Kind: EventRoute, Site: s.name, Tenant: tenant, Workflow: name,
-		Time: req.Arrival, Detail: fmt.Sprintf("needs=%d", len(needs))})
+	if f.cfg.Trace != nil {
+		f.trace(Event{Kind: EventRoute, Site: s.name, Tenant: tenant, Workflow: name,
+			Time: req.Arrival, Detail: fmt.Sprintf("needs=%d", len(needs))})
+	}
 	t := &Ticket{Site: s.name, Tenant: tenant, Name: name, done: make(chan struct{})}
 	if !s.q.push(work{t: t, wf: req.Workflow, arrival: req.Arrival, needs: needs}) {
 		// A concurrent Shutdown closed the site queues between routing and
@@ -469,11 +494,12 @@ func (f *Fleet) Stats() Stats {
 // hold (registry transfer + reconfiguration; a cache hit is free), the
 // software-fallback penalty for bitstreams the site cannot host at all,
 // and the tenant-affinity penalty for leaving the tenant's previous site.
-// Ties break on site order, so routing is deterministic. Called under f.mu.
-func (f *Fleet) route(tenant string, needs []string, arrival float64) (int, error) {
+// Ties break on site order, so routing is deterministic. Runs without the
+// fleet lock — per-site state is read under each site's own mutex.
+func (f *Fleet) route(tenant string, last int, hasLast bool, needs []string, arrival float64) (int, error) {
 	best, bestCost := -1, 0.0
 	for i, s := range f.sites {
-		cost, ok := f.siteCost(i, s, tenant, needs, arrival)
+		cost, ok := f.siteCost(i, s, last, hasLast, needs, arrival)
 		if !ok {
 			continue
 		}
@@ -490,11 +516,16 @@ func (f *Fleet) route(tenant string, needs []string, arrival float64) (int, erro
 
 // siteCost prices routing a workflow to one site; ok=false means the site
 // is saturated past the admission bound.
-func (f *Fleet) siteCost(idx int, s *site, tenant string, needs []string, arrival float64) (float64, bool) {
+func (f *Fleet) siteCost(idx int, s *site, last int, hasLast bool, needs []string, arrival float64) (float64, bool) {
 	s.mu.Lock()
 	busy := s.busyUntil
 	inFlight := s.pending
-	cachedAt := make([]bool, len(needs))
+	var cachedBuf [8]bool // workflows need a handful of bitstreams; avoid the alloc
+	cachedAt := cachedBuf[:len(cachedBuf):len(cachedBuf)]
+	if len(needs) > len(cachedBuf) {
+		cachedAt = make([]bool, len(needs))
+	}
+	cachedAt = cachedAt[:len(needs)]
 	for j, id := range needs {
 		if slot, ok := s.cache.peek(id); ok {
 			// A resident bitstream on a device that is offline by the time
@@ -543,7 +574,7 @@ func (f *Fleet) siteCost(idx int, s *site, tenant string, needs []string, arriva
 			cost += f.cfg.FallbackSeconds
 		}
 	}
-	if last, ok := f.lastSite[tenant]; !ok || last != idx {
+	if !hasLast || last != idx {
 		cost += f.cfg.AffinitySeconds
 	}
 	return cost, true
@@ -600,18 +631,24 @@ func bitstreamBytes(d *platform.Device) int64 {
 }
 
 // bitstreamNeeds lists the distinct bitstream IDs a workflow's FPGA tasks
-// request, in first-use order.
+// request, in first-use order. Deduplication is a linear scan over the
+// output — workflows request a handful of bitstreams, so this beats a map
+// and keeps the router's per-submission work allocation-free except for
+// the result itself.
 func bitstreamNeeds(w *runtime.Workflow) []string {
 	var out []string
-	seen := make(map[string]bool)
-	for _, name := range w.Tasks() {
-		t, ok := w.Get(name)
-		if !ok || !t.NeedsFPGA || t.BitstreamID == "" || seen[t.BitstreamID] {
-			continue
+	w.Range(func(t *runtime.TaskSpec) bool {
+		if !t.NeedsFPGA || t.BitstreamID == "" {
+			return true
 		}
-		seen[t.BitstreamID] = true
+		for _, id := range out {
+			if id == t.BitstreamID {
+				return true
+			}
+		}
 		out = append(out, t.BitstreamID)
-	}
+		return true
+	})
 	return out
 }
 
@@ -670,8 +707,10 @@ func (f *Fleet) serve(s *site, w work) {
 		t.err = fmt.Errorf("fleet: %s: %w", s.name, err)
 		// Trace before resolving the ticket: once Wait returns, every
 		// event of this workflow has been delivered.
-		f.trace(Event{Kind: EventDone, Site: s.name, Tenant: t.Tenant,
-			Workflow: t.Name, Time: start, Detail: "error: " + err.Error()})
+		if f.cfg.Trace != nil {
+			f.trace(Event{Kind: EventDone, Site: s.name, Tenant: t.Tenant,
+				Workflow: t.Name, Time: start, Detail: "error: " + err.Error()})
+		}
 		close(t.done)
 		return
 	}
@@ -694,10 +733,17 @@ func (f *Fleet) serve(s *site, w work) {
 		Completion: completion, Latency: completion - w.arrival,
 	}
 	// Trace before resolving the ticket (see the error path above).
-	f.trace(Event{Kind: EventDone, Site: s.name, Tenant: t.Tenant, Workflow: t.Name,
-		Time: completion, Detail: fmt.Sprintf("latency=%.4gs", completion-w.arrival)})
+	if f.cfg.Trace != nil {
+		f.trace(Event{Kind: EventDone, Site: s.name, Tenant: t.Tenant, Workflow: t.Name,
+			Time: completion, Detail: fmt.Sprintf("latency=%.4gs", completion-w.arrival)})
+	}
 	close(t.done)
 }
+
+// evPool recycles the deploy path's trace event buffers: with tracing on,
+// each served workflow borrows one buffer instead of growing a fresh slice
+// per bitstream; with tracing off the deploy path builds no events at all.
+var evPool = sync.Pool{New: func() any { b := make([]Event, 0, 8); return &b }}
 
 // deployNeeds stages every bitstream the workflow requests and the site
 // does not hold, returning the total modelled deployment stall. The site
@@ -705,15 +751,24 @@ func (f *Fleet) serve(s *site, w work) {
 // peeks.
 func (f *Fleet) deployNeeds(s *site, w work, at float64) float64 {
 	total := 0.0
+	var evs *[]Event // nil = tracing off; events are never constructed
+	if f.cfg.Trace != nil {
+		evs = evPool.Get().(*[]Event)
+		defer func() {
+			*evs = (*evs)[:0]
+			evPool.Put(evs)
+		}()
+	}
 	for _, id := range w.needs {
-		var evs []Event
 		s.mu.Lock()
 		slot, hit := s.cache.get(id)
 		if hit && slot.node.DeviceOnlineAt(slot.dev, at+total) {
 			s.stats.CacheHits++
 			s.mu.Unlock()
-			f.trace(Event{Kind: EventCacheHit, Site: s.name, Tenant: w.t.Tenant,
-				Workflow: w.t.Name, Bitstream: id, Time: at + total})
+			if evs != nil {
+				f.trace(Event{Kind: EventCacheHit, Site: s.name, Tenant: w.t.Tenant,
+					Workflow: w.t.Name, Bitstream: id, Time: at + total})
+			}
 			continue
 		}
 		if hit {
@@ -722,30 +777,40 @@ func (f *Fleet) deployNeeds(s *site, w work, at float64) float64 {
 			_, _ = slot.node.Unprogram(slot.dev)
 			s.cache.remove(id)
 			s.stats.Evictions++
-			evs = append(evs, Event{Kind: EventEvict, Site: s.name, Bitstream: id,
-				Time: at + total, Detail: fmt.Sprintf("%s/dev%d offline", slot.node.Name, slot.dev)})
+			if evs != nil {
+				*evs = append(*evs, Event{Kind: EventEvict, Site: s.name, Bitstream: id,
+					Time: at + total, Detail: fmt.Sprintf("%s/dev%d offline", slot.node.Name, slot.dev)})
+			}
 		}
 		s.stats.CacheMisses++
-		evs = append(evs, Event{Kind: EventCacheMiss, Site: s.name, Tenant: w.t.Tenant,
-			Workflow: w.t.Name, Bitstream: id, Time: at + total})
-		dt, deployEvs := f.deployOne(s, w, id, at+total)
+		if evs != nil {
+			*evs = append(*evs, Event{Kind: EventCacheMiss, Site: s.name, Tenant: w.t.Tenant,
+				Workflow: w.t.Name, Bitstream: id, Time: at + total})
+		}
+		dt := f.deployOne(s, w, id, at+total, evs)
 		s.mu.Unlock()
 		total += dt
-		f.trace(append(evs, deployEvs...)...)
+		if evs != nil {
+			f.trace(*evs...)
+			*evs = (*evs)[:0]
+		}
 	}
 	return total
 }
 
 // deployOne stages one bitstream, evicting LRU entries while the cache is
 // at capacity or no un-occupied device slot remains. Returns the modelled
-// stall (0 on software fallback). Called with s.mu held.
-func (f *Fleet) deployOne(s *site, w work, id string, at float64) (float64, []Event) {
-	var evs []Event
+// stall (0 on software fallback). Called with s.mu held; trace events are
+// appended to evs when non-nil (tracing on).
+func (f *Fleet) deployOne(s *site, w work, id string, at float64, evs *[]Event) float64 {
 	bs, err := f.reg.Get(id)
 	if err != nil {
 		s.stats.FallbackDeploys++
-		return 0, append(evs, Event{Kind: EventFallback, Site: s.name, Tenant: w.t.Tenant,
-			Workflow: w.t.Name, Bitstream: id, Time: at, Detail: err.Error()})
+		if evs != nil {
+			*evs = append(*evs, Event{Kind: EventFallback, Site: s.name, Tenant: w.t.Tenant,
+				Workflow: w.t.Name, Bitstream: id, Time: at, Detail: err.Error()})
+		}
+		return 0
 	}
 	var node *platform.Node
 	dev := -1
@@ -761,20 +826,28 @@ func (f *Fleet) deployOne(s *site, w work, id string, at float64) (float64, []Ev
 			// Nothing left to evict and still no hosting device: the
 			// site's accelerators are offline, too small, or gone.
 			s.stats.FallbackDeploys++
-			return 0, append(evs, Event{Kind: EventFallback, Site: s.name, Tenant: w.t.Tenant,
-				Workflow: w.t.Name, Bitstream: id, Time: at, Detail: "no online device fits"})
+			if evs != nil {
+				*evs = append(*evs, Event{Kind: EventFallback, Site: s.name, Tenant: w.t.Tenant,
+					Workflow: w.t.Name, Bitstream: id, Time: at, Detail: "no online device fits"})
+			}
+			return 0
 		}
 		_, _ = victim.node.Unprogram(victim.dev)
 		s.cache.remove(victim.id)
 		s.stats.Evictions++
-		evs = append(evs, Event{Kind: EventEvict, Site: s.name, Bitstream: victim.id,
-			Time: at, Detail: fmt.Sprintf("lru from %s/dev%d", victim.node.Name, victim.dev)})
+		if evs != nil {
+			*evs = append(*evs, Event{Kind: EventEvict, Site: s.name, Bitstream: victim.id,
+				Time: at, Detail: fmt.Sprintf("lru from %s/dev%d", victim.node.Name, victim.dev)})
+		}
 	}
 	dt, err := node.Program(dev, bs)
 	if err != nil {
 		s.stats.FallbackDeploys++
-		return 0, append(evs, Event{Kind: EventFallback, Site: s.name, Tenant: w.t.Tenant,
-			Workflow: w.t.Name, Bitstream: id, Time: at, Detail: err.Error()})
+		if evs != nil {
+			*evs = append(*evs, Event{Kind: EventFallback, Site: s.name, Tenant: w.t.Tenant,
+				Workflow: w.t.Name, Bitstream: id, Time: at, Detail: err.Error()})
+		}
+		return 0
 	}
 	xfer := f.cfg.RegistryNet.SendSeconds(bitstreamBytes(node.Devices[dev]))
 	s.cache.add(id, node, dev)
@@ -784,10 +857,12 @@ func (f *Fleet) deployOne(s *site, w work, id string, at float64) (float64, []Ev
 		kind = EventRedeploy
 	}
 	s.everDeployed[id] = true
-	evs = append(evs, Event{Kind: kind, Site: s.name, Tenant: w.t.Tenant,
-		Workflow: w.t.Name, Bitstream: id, Time: at,
-		Detail: fmt.Sprintf("%s/dev%d xfer=%.4gs reconfig=%.3gs", node.Name, dev, xfer, dt)})
-	return xfer + dt, evs
+	if evs != nil {
+		*evs = append(*evs, Event{Kind: kind, Site: s.name, Tenant: w.t.Tenant,
+			Workflow: w.t.Name, Bitstream: id, Time: at,
+			Detail: fmt.Sprintf("%s/dev%d xfer=%.4gs reconfig=%.3gs", node.Name, dev, xfer, dt)})
+	}
+	return xfer + dt
 }
 
 // trace emits events in order under the trace mutex.

@@ -3,6 +3,7 @@ package fleet
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 
 	"everest/internal/hls"
@@ -482,5 +483,59 @@ func TestTicketQueuePushAfterCloseRefuses(t *testing.T) {
 	}
 	if _, ok := q.pop(); ok {
 		t.Fatal("drained closed queue should report done")
+	}
+}
+
+// TestEngineTraceMergeAndServeError covers the two serve-side trace paths
+// the eviction test does not: per-site engine events flowing through
+// Config.EngineTrace tagged with their site name, and the error path —
+// a site whose nodes are all dead must resolve the ticket with an error
+// and trace an EventDone carrying the error detail.
+func TestEngineTraceMergeAndServeError(t *testing.T) {
+	reg := platform.NewRegistry()
+	var events []Event
+	var engSites []string
+	f := newTestFleet(t, reg, Config{
+		Sites: 1,
+		Trace: func(ev Event) { events = append(events, ev) },
+		EngineTrace: func(site string, ev runtime.Event) {
+			engSites = append(engSites, fmt.Sprintf("%s:%d:%s", site, ev.Kind, ev.Task))
+		},
+	})
+	defer f.Shutdown()
+
+	tk, err := f.Submit(Request{Tenant: "t0", Workflow: cpuWorkflow()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if len(engSites) == 0 {
+		t.Fatal("no engine events reached EngineTrace")
+	}
+	for _, s := range engSites {
+		if !strings.HasPrefix(s, "site00:") {
+			t.Fatalf("engine event not tagged with its site: %q", s)
+		}
+	}
+
+	for _, n := range f.Cluster(0).Nodes {
+		n.Fail(0)
+	}
+	tk, err = f.Submit(Request{Tenant: "t0", Workflow: cpuWorkflow(), Arrival: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Wait(); err == nil {
+		t.Fatal("serving on an all-dead site must error")
+	}
+	last := events[len(events)-1]
+	if last.Kind != EventDone || !strings.Contains(last.Detail, "error:") {
+		t.Fatalf("last event = %+v, want EventDone with error detail", last)
+	}
+	st := f.Stats()
+	if st.Sites[0].Failed != 1 {
+		t.Fatalf("site failed count = %d, want 1", st.Sites[0].Failed)
 	}
 }

@@ -297,9 +297,10 @@ func (e *Engine) onCtrl(ds *dispatchState, m ctrlMsg) {
 		// back and re-place. Work another attached programmed device on
 		// the same node can still run stays queued — as does work whose
 		// modelled ready time precedes the detach: it may legitimately run
-		// before the fault (non-retroactivity), and the executor's
-		// attachment-checked claim resolves the boundary either way.
-		if q, n := e.queues[m.node], e.cluster.FindNode(m.node); q != nil && n != nil {
+		// before the fault (non-retroactivity), and the claim-time
+		// attachment check resolves the boundary either way.
+		if ni, ok := e.nodeIdx[m.node]; ok {
+			q, n := e.queues[ni], e.nodes[ni]
 			stolen := q.steal(func(r execRequest) bool {
 				if r.variant != VariantFPGA {
 					return false
@@ -310,7 +311,9 @@ func (e *Engine) onCtrl(ds *dispatchState, m ctrlMsg) {
 			reclaimed := 0.0
 			for _, r := range stolen {
 				reclaimed += r.estDur
+				r.wf.inflight--
 				if r.wf.finished {
+					e.maybeRecycle(r.wf)
 					continue
 				}
 				r.wf.sched.Adapt.Reschedules++
@@ -318,20 +321,22 @@ func (e *Engine) onCtrl(ds *dispatchState, m ctrlMsg) {
 					Kind: EventReschedule, Workflow: r.wf.name, Tenant: r.wf.tenant,
 					Task: r.task.Name, Node: m.node, Time: m.at, Detail: "device-unplug",
 				})
-				ds.queues[r.wf.tenant] = append(ds.queues[r.wf.tenant], readyItem{
-					wf: r.wf, task: r.task.Name, restart: true, minStart: m.at,
-				})
-				ds.readyCount++
+				e.pushReady(ds, r.wf, r.tidx, true, m.at)
+			}
+			if len(stolen) > 0 {
+				// Stolen heads leave stale heap entries behind; rebuild
+				// before the next inline execution (rare path).
+				ds.heapDirty = true
 			}
 			// Give the node back the idle time its stolen placements had
 			// reserved, so re-placement sees its true availability (floored
 			// at the event time; completion reports re-raise it as needed).
 			if reclaimed > 0 {
-				free := ds.nodeFree[m.node] - reclaimed
+				free := ds.nodeFree[ni] - reclaimed
 				if free < m.at {
 					free = m.at
 				}
-				ds.nodeFree[m.node] = free
+				ds.nodeFree[ni] = free
 				// The frontier may have shrunk with it; recompute (rare
 				// path — only on device-unplug invalidation).
 				ds.backlog = 0
@@ -426,10 +431,10 @@ func (e *Engine) newWorkflowTuner(st *wfState) *autotuner.Tuner {
 	ref := e.cluster.Nodes[0]
 	var cpu1, cpu16, fpga float64
 	nTasks, nFPGA := 0, 0
-	// Iterate in submission order: float accumulation order must not depend
-	// on map iteration, or seeds (and placement ties) vary across runs.
-	for _, name := range st.order {
-		t := st.tasks[name]
+	// Iterate in submission (index) order: float accumulation order must
+	// not vary run to run, or seeds (and placement ties) would either.
+	for i := range st.specs {
+		t := &st.specs[i]
 		bytes := t.InputBytes + t.OutputBytes
 		cpu1 += ref.RunCPU(t.Flops, bytes, 1)
 		cpu16 += ref.RunCPU(t.Flops, bytes, cpu16Cores)
@@ -466,55 +471,28 @@ func (e *Engine) newWorkflowTuner(st *wfState) *autotuner.Tuner {
 	return tn
 }
 
-// variantsFor returns the implementation variants task may run as, filtered
-// by the workflow tuner's availability mask.
-func (e *Engine) variantsFor(st *wfState, t *TaskSpec) []string {
-	vars := make([]string, 0, 3)
-	for _, v := range []string{VariantCPU1, VariantCPU16} {
+// variantsInto appends the implementation variants task may run as,
+// filtered by the workflow tuner's availability mask, into the caller's
+// scratch buffer (no per-placement allocation).
+func (e *Engine) variantsInto(buf []string, st *wfState, t *TaskSpec) []string {
+	for _, v := range [...]string{VariantCPU1, VariantCPU16} {
 		if st.tuner.Available(v) {
-			vars = append(vars, v)
+			buf = append(buf, v)
 		}
 	}
 	if t.NeedsFPGA && t.BitstreamID != "" && st.tuner.Available(VariantFPGA) {
-		vars = append(vars, VariantFPGA)
+		buf = append(buf, VariantFPGA)
 	}
-	if len(vars) == 0 {
-		vars = append(vars, st.tuner.Best()) // graceful degradation
+	if len(buf) == 0 {
+		buf = append(buf, st.tuner.Best()) // graceful degradation
 	}
-	return vars
-}
-
-// variantEstimator returns the cost predictor place() evaluates per
-// (node, variant) pair for one task, priced at the modelled time the task
-// would start there (`ready`) — the scheduler knows the environment as of
-// that moment, not the end of any scripted fault timeline, so it has no
-// advance knowledge of future events. The fpga variant scales the
-// per-node kernel time by the tuner's learned drift (fallbacks blow it
-// up); software variants scale the per-node nominal by the monitor's
-// learned load — each live signal enters exactly once. The drift is node-
-// independent, so it is computed once here rather than inside place()'s
-// node loop. ok=false means the variant cannot run on that node (no
-// programmed device attached at ready time).
-func (e *Engine) variantEstimator(st *wfState, t *TaskSpec) func(*platform.Node, string, float64) (float64, bool) {
-	fpgaDrift := st.tuner.Drift(VariantFPGA)
-	return func(n *platform.Node, v string, ready float64) (float64, bool) {
-		if v == VariantFPGA {
-			c, _, ok := fpgaCostOn(t, n, ready)
-			if !ok {
-				return 0, false
-			}
-			return c * fpgaDrift, true
-		}
-		cores := 1
-		if v == VariantCPU16 {
-			cores = cpu16Cores
-		}
-		est := n.RunCPU(t.Flops, t.InputBytes+t.OutputBytes, cores) *
-			e.monitor.SlowdownEstimate(n.Name)
-		return est, true
-	}
+	return buf
 }
 
 // Placement itself lives in engine.go place(): one selection loop serves
-// both modes, with variantsFor/estimateVariant above supplying the
-// adaptive candidates and estimates.
+// both modes, with variantsInto above supplying the adaptive candidates.
+// The per-(node, variant) estimate is inlined there: the fpga variant
+// scales the per-node kernel time (priced at the modelled ready time — no
+// advance knowledge of scripted faults) by the tuner's learned drift, and
+// software variants scale the per-node nominal by the monitor's learned
+// load — each live signal enters exactly once.

@@ -2,7 +2,6 @@ package runtime
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
 	"everest/internal/autotuner"
@@ -14,13 +13,24 @@ import (
 // event-driven engine that multiplexes many workflows (tenants) onto one
 // simulated cluster. The serial Scheduler in runtime.go plans a single
 // workflow ahead of time; the Engine executes many of them online, with
-// per-node work queues, one executor goroutine per node, batched inter-node
-// transfers, and reactive rescheduling when a node fails mid-run. All time
-// is modelled seconds (never wall clock). Execution is genuinely
-// concurrent, so the exact placement can vary with report interleaving
-// across runs; correctness properties (dependency order, fairness, the
-// multiplexing speedup) hold for every interleaving, and tests assert
-// those rather than exact schedules.
+// per-node work queues, batched inter-node transfers, and reactive
+// rescheduling when a node fails mid-run. All time is modelled seconds
+// (never wall clock).
+//
+// The event core is deterministic and allocation-free on its steady-state
+// path. One dispatcher goroutine owns every piece of scheduling state;
+// node executions happen inline on it, ordered by a 4-ary min-heap over
+// the per-node queue heads keyed by modelled start time with a total
+// tie-break (time, workflow id, task name, node index). Because no
+// cross-goroutine report channel exists, the observation order feeding the
+// monitors and tuners — and with it every trace stream — is a pure
+// function of the submission order, byte-identical across GOMAXPROCS.
+// Workflow records are pooled (sync.Pool) and index-based: task ids are
+// dense integers into flat spec/dependency arrays, so the hot path does no
+// map-by-name lookups and no per-event allocation. Concurrent submitters
+// remain supported (their arrival interleaving is inherently racy, as
+// before); one-at-a-time driving — the fleet regime — is exactly
+// reproducible.
 
 // EventKind classifies engine trace events.
 type EventKind int
@@ -100,7 +110,7 @@ type EngineConfig struct {
 	// the node dies under them, and rescheduled onto the survivors.
 	Failures []NodeFailure
 	// Events are environment changes (unplug/plug, slowdown) scripted at
-	// start as modelled-time condition timelines, so executors price them
+	// start as modelled-time condition timelines, so executions price them
 	// deterministically. The static engine's placement ignores them (its
 	// estimates are design-time); the adaptive engine sees their latest
 	// state through the live checks.
@@ -187,8 +197,13 @@ type Engine struct {
 	reg     *platform.Registry
 	cfg     EngineConfig
 
+	// Node index tables, built at Start: the dispatcher addresses nodes by
+	// dense integer index, never by name.
+	nodes   []*platform.Node
+	nodeIdx map[string]int
+	queues  []*workQueue // per-node FIFO, indexed like nodes
+
 	submitCh chan *wfState
-	reportCh chan execReport
 	doneCh   chan struct{} // closed when the dispatcher exits
 
 	statsMu sync.Mutex
@@ -204,9 +219,6 @@ type Engine struct {
 	ctrlSig chan struct{}
 
 	monitor *platform.Monitor
-
-	queues map[string]*workQueue
-	execWG sync.WaitGroup
 
 	mu      sync.Mutex
 	started bool
@@ -227,10 +239,8 @@ func NewEngine(c *platform.Cluster, reg *platform.Registry, cfg EngineConfig) *E
 		cfg:      cfg,
 		monitor:  mon,
 		submitCh: make(chan *wfState, 64),
-		reportCh: make(chan execReport, 64),
 		ctrlSig:  make(chan struct{}, 1),
 		doneCh:   make(chan struct{}),
-		queues:   make(map[string]*workQueue),
 	}
 }
 
@@ -288,7 +298,7 @@ func (ds *dispatchState) raiseBacklog(t float64) {
 	}
 }
 
-// Start spawns one executor goroutine per node plus the dispatcher loop. It
+// Start builds the node index tables and spawns the dispatcher loop. It
 // takes ownership of the cluster: stale failure state and device claims
 // left by a previous engine run are cleared before cfg.Failures are
 // applied.
@@ -322,11 +332,14 @@ func (e *Engine) Start() error {
 		}
 	}
 	e.applyEnvEvents()
-	for _, n := range e.cluster.Nodes {
-		q := newWorkQueue()
-		e.queues[n.Name] = q
-		e.execWG.Add(1)
-		go e.runExecutor(n, q)
+	e.nodes = e.cluster.Nodes
+	e.nodeIdx = make(map[string]int, len(e.nodes))
+	e.queues = make([]*workQueue, len(e.nodes))
+	for i, n := range e.nodes {
+		e.nodeIdx[n.Name] = i
+		// Queues sized from the cluster: a node rarely holds more than a few
+		// in-flight placements per peer node feeding it.
+		e.queues[i] = newWorkQueueCap(4 * len(e.nodes))
 	}
 	go e.dispatch()
 	return nil
@@ -358,16 +371,17 @@ func (e *Engine) Submit(w *Workflow, opt SubmitOptions) (*Future, error) {
 	if tenant == "" {
 		tenant = "default"
 	}
-	st := newWFState(w, name, tenant, &Future{
-		done: make(chan struct{}), Name: name, Tenant: tenant,
-	})
+	fut := &Future{done: make(chan struct{}), Name: name, Tenant: tenant}
+	st := newWFState(w, name, tenant, fut)
+	// st belongs to the dispatcher once sent — it may finish and recycle it
+	// before this returns, so only the future may be touched afterwards.
 	e.submitCh <- st
 	e.subWG.Done()
-	return st.fut, nil
+	return fut, nil
 }
 
 // Shutdown waits for every submitted workflow to drain, then stops the
-// executors and the dispatcher. It is safe to call once.
+// dispatcher. It is safe to call once.
 func (e *Engine) Shutdown() {
 	e.mu.Lock()
 	if !e.started || e.closed {
@@ -396,18 +410,36 @@ func (e *Engine) FailNode(name string, at float64) error {
 // ---------------------------------------------------------------------------
 // per-workflow bookkeeping
 
+// wfState is the engine's per-workflow record. Tasks are identified by
+// their dense submission index; every per-task attribute lives in a flat
+// array indexed by it, and the dependency graph is a pair of flattened
+// adjacency lists (CSR layout). Records are pooled: a state is recycled
+// once the workflow has finished AND no queued request or ready item still
+// references it (inflight/queuedRefs), so a stale reference can never
+// alias a reused record.
 type wfState struct {
 	name   string
 	tenant string
-	tasks  map[string]*TaskSpec
-	order  []string
 
-	remaining map[string]int      // task -> unfinished dep count
-	children  map[string][]string // task -> dependents
-	doneAt    map[string]float64  // task -> completion time
-	locAt     map[string]string   // task -> node holding its output
-	pending   int                 // tasks not yet completed
-	finished  bool
+	specs     []TaskSpec // snapshot, submission order (index = task id)
+	remaining []int32    // task -> unfinished dep count
+	doneAt    []float64  // task -> completion time
+	locAt     []int32    // task -> node index holding its output (-1 = none)
+
+	// CSR adjacency: deps of task i are depList[depOff[i]:depOff[i+1]];
+	// dependents (children) likewise. Children are stored in submission
+	// order — that order decides how siblings enter the ready queues when
+	// their parent completes, which placement determinism relies on.
+	depOff    []int32
+	depList   []int32
+	childOff  []int32
+	childList []int32
+
+	pending    int // tasks not yet completed
+	inflight   int // requests placed on node queues, not yet reported
+	queuedRefs int // ready items in tenant queues referencing this state
+	finished   bool
+	tq         int // tenant queue index (dispatcher-assigned)
 
 	// tuner is the per-workflow mARGOt instance (adaptive mode only).
 	tuner *autotuner.Tuner
@@ -417,52 +449,144 @@ type wfState struct {
 
 	sched *Schedule
 	fut   *Future
+
+	// nameIdx resolves dependency names to indices at submission; cleared
+	// and reused across the pool.
+	nameIdx map[string]int32
+	// scratch is the CSR fill cursor, reused across the pool.
+	scratch []int32
 }
 
+var wfPool = sync.Pool{New: func() any { return new(wfState) }}
+
 func newWFState(w *Workflow, name, tenant string, fut *Future) *wfState {
-	st := &wfState{
-		name:      name,
-		tenant:    tenant,
-		tasks:     make(map[string]*TaskSpec, w.Len()),
-		order:     w.Tasks(),
-		remaining: make(map[string]int, w.Len()),
-		children:  make(map[string][]string),
-		doneAt:    make(map[string]float64, w.Len()),
-		locAt:     make(map[string]string, w.Len()),
-		pending:   w.Len(),
-		variants:  w.Variants(),
-		sched:     &Schedule{},
-		fut:       fut,
+	st := wfPool.Get().(*wfState)
+	n := w.Len()
+	st.name, st.tenant = name, tenant
+	st.pending = n
+	st.inflight, st.queuedRefs = 0, 0
+	st.finished = false
+	st.tq = 0
+	st.variants = w.Variants()
+	st.sched = &Schedule{Assignments: make([]Assignment, 0, n)}
+	st.fut = fut
+
+	st.specs = growSpecs(st.specs, n)
+	st.remaining = growI32(st.remaining, n)
+	st.doneAt = growF64(st.doneAt, n)
+	st.locAt = growI32(st.locAt, n)
+	st.depOff = growI32(st.depOff, n+1)
+	st.childOff = growI32(st.childOff, n+1)
+	st.scratch = growI32(st.scratch, n)
+	if st.nameIdx == nil {
+		st.nameIdx = make(map[string]int32, n)
+	} else {
+		clear(st.nameIdx)
 	}
+
 	// Snapshot specs so callers mutating the workflow later cannot race the
-	// executors. Iterate in submission order, not map order: the children
-	// lists decide the order siblings enter the ready queues when their
-	// parent completes, and map iteration would make placement — and with
-	// it modelled completion times — vary run to run.
-	for _, name := range st.order {
-		t := w.tasks[name]
-		cp := *t
-		st.tasks[name] = &cp
-		st.remaining[name] = len(t.Deps)
-		for _, d := range t.Deps {
-			st.children[d] = append(st.children[d], name)
+	// engine. Iterate in submission order, not map order: index assignment
+	// and the children lists must not vary run to run.
+	deps := 0
+	for i, taskName := range w.order {
+		t := w.tasks[taskName]
+		st.specs[i] = *t
+		st.nameIdx[taskName] = int32(i)
+		st.remaining[i] = int32(len(t.Deps))
+		st.doneAt[i] = 0
+		st.locAt[i] = -1
+		st.childOff[i] = 0
+		deps += len(t.Deps)
+	}
+	st.depList = growI32(st.depList, deps)
+	st.childList = growI32(st.childList, deps)
+
+	// Pass 1: dep indices + per-parent child counts.
+	off := int32(0)
+	for i := 0; i < n; i++ {
+		st.depOff[i] = off
+		for _, d := range st.specs[i].Deps {
+			di := st.nameIdx[d]
+			st.depList[off] = di
+			st.childOff[di]++
+			off++
+		}
+	}
+	st.depOff[n] = off
+	// Pass 2: prefix the child counts into offsets, then fill in submission
+	// order so each parent's children stay submission-ordered.
+	sum := int32(0)
+	for i := 0; i < n; i++ {
+		cnt := st.childOff[i]
+		st.childOff[i] = sum
+		st.scratch[i] = sum
+		sum += cnt
+	}
+	st.childOff[n] = sum
+	for i := 0; i < n; i++ {
+		for di := st.depOff[i]; di < st.depOff[i+1]; di++ {
+			d := st.depList[di]
+			st.childList[st.scratch[d]] = int32(i)
+			st.scratch[d]++
 		}
 	}
 	return st
 }
 
+// growSpecs returns a slice of length n, reusing capacity when possible.
+func growSpecs(s []TaskSpec, n int) []TaskSpec {
+	if cap(s) < n {
+		return make([]TaskSpec, n)
+	}
+	return s[:n]
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// maybeRecycle returns a workflow record to the pool once nothing can
+// reference it anymore: the workflow has finished and no node queue entry
+// or ready item still points at it. The Future keeps its own schedule, so
+// clearing the record's pointers cannot affect a caller holding the handle.
+func (e *Engine) maybeRecycle(st *wfState) {
+	if !st.finished || st.inflight != 0 || st.queuedRefs != 0 {
+		return
+	}
+	full := st.specs[:cap(st.specs)]
+	for i := range full {
+		full[i] = TaskSpec{} // drop Deps/Knobs references for GC
+	}
+	st.fut = nil
+	st.sched = nil
+	st.tuner = nil
+	st.variants = nil
+	wfPool.Put(st)
+}
+
 // readyItem is one dispatchable task waiting in a tenant's fairness queue.
 type readyItem struct {
 	wf       *wfState
-	task     string
+	task     int32
 	restart  bool
 	minStart float64 // earliest allowed start (failure recovery floor)
 }
 
-// execRequest is one unit of work handed to a node executor.
+// execRequest is one unit of work queued on a node.
 type execRequest struct {
 	wf      *wfState
 	task    *TaskSpec
+	tidx    int32
 	ready   float64 // dep outputs available on this node (incl. transfers)
 	restart bool
 	moved   int64   // bytes this placement pulls from other nodes
@@ -471,11 +595,11 @@ type execRequest struct {
 	estDur  float64 // dispatcher's estimated duration (nodeFree reclaim)
 }
 
-// execReport is an executor's completion (or loss) notice.
+// execReport is one inline execution's completion (or loss) notice.
 type execReport struct {
 	wf       *wfState
-	task     *TaskSpec
-	node     string
+	tidx     int32
+	node     int // node index
 	start    float64
 	end      float64
 	onFPGA   bool
@@ -492,18 +616,67 @@ type execReport struct {
 // ---------------------------------------------------------------------------
 // dispatcher
 
+// tenantQueue is one tenant's FIFO of ready tasks, drained round-robin
+// against its peers. Ring layout: popped slots are reused once drained.
+type tenantQueue struct {
+	items []readyItem
+	head  int
+}
+
+func (q *tenantQueue) push(it readyItem) { q.items = append(q.items, it) }
+
+func (q *tenantQueue) empty() bool { return q.head >= len(q.items) }
+
+func (q *tenantQueue) pop() readyItem {
+	it := q.items[q.head]
+	q.items[q.head].wf = nil
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return it
+}
+
 // dispatchState is the dispatcher goroutine's private view of the cluster.
+// Every per-node attribute is a flat slice indexed by node; the execution
+// order across nodes comes from a modelled-time heap over the queue heads.
 type dispatchState struct {
-	nodeFree map[string]float64 // estimated earliest idle time per node
-	dead     map[string]bool    // observed node deaths
-	deadAt   map[string]float64
+	nodeFree []float64 // estimated earliest idle time per node (placement)
+	clock    []float64 // realized per-node modelled clock (execution)
+	dead     []bool    // observed node deaths
+	deadAt   []float64
+
+	// heap orders the per-node queue heads by modelled start time with the
+	// deterministic tie-break (time, workflow, task, node index). inHeap
+	// tracks which nodes currently have an entry; heapDirty forces a
+	// rebuild after queue steals invalidate heads (rare: unplug events).
+	heap      *TimeHeap
+	inHeap    []bool
+	heapDirty bool
 
 	// ready queues, one per tenant, drained round-robin.
-	queues  map[string][]readyItem
-	tenants []string // round-robin ring (insertion order)
-	rrNext  int
+	queues    []*tenantQueue
+	tenantIdx map[string]int
+	rrNext    int
 
 	active map[*wfState]bool
+
+	// Dependency-grouping scratch, indexed by source node and reset after
+	// each placement via the touched list (see place).
+	gLatest  []float64
+	gBytes   []int64
+	gCount   []int32
+	gTouched []int32
+	// variant candidate scratch (adaptive placements).
+	variantsBuf []string
+
+	// Cached monitor slowdown estimates per node. The estimate only moves
+	// when onReport feeds a software completion ratio for that node, which
+	// invalidates the cache entry — so place() avoids a mutexed map lookup
+	// per candidate node per task.
+	slowEst   []float64
+	slowValid []bool
 
 	// Aggregates feeding the Stats snapshot, maintained incrementally
 	// where the dispatcher mutates queues/active/nodeFree so publishing a
@@ -516,15 +689,34 @@ type dispatchState struct {
 	backlog      float64 // max nodeFree (recomputed only on reclaim)
 }
 
+// newDispatchState sizes every per-node array and scratch buffer from the
+// cluster once, ahead of the dispatch loop; the loop itself then runs
+// allocation-free in steady state (enforced by the AllocsPerRun budgets in
+// alloc_test.go).
+func (e *Engine) newDispatchState() *dispatchState {
+	nn := len(e.nodes)
+	return &dispatchState{
+		nodeFree:    make([]float64, nn),
+		clock:       make([]float64, nn),
+		dead:        make([]bool, nn),
+		deadAt:      make([]float64, nn),
+		heap:        NewTimeHeap(nn),
+		inHeap:      make([]bool, nn),
+		tenantIdx:   make(map[string]int),
+		active:      make(map[*wfState]bool),
+		gLatest:     make([]float64, nn),
+		gBytes:      make([]int64, nn),
+		gCount:      make([]int32, nn),
+		gTouched:    make([]int32, 0, nn),
+		variantsBuf: make([]string, 0, 3),
+		slowEst:     make([]float64, nn),
+		slowValid:   make([]bool, nn),
+	}
+}
+
 func (e *Engine) dispatch() {
 	defer close(e.doneCh)
-	ds := &dispatchState{
-		nodeFree: make(map[string]float64, len(e.cluster.Nodes)),
-		dead:     make(map[string]bool),
-		deadAt:   make(map[string]float64),
-		queues:   make(map[string][]readyItem),
-		active:   make(map[*wfState]bool),
-	}
+	ds := e.newDispatchState()
 	submitCh := e.submitCh
 	for submitCh != nil || len(ds.active) > 0 {
 		select {
@@ -534,16 +726,26 @@ func (e *Engine) dispatch() {
 			} else {
 				e.onSubmit(ds, st)
 			}
-		case rep := <-e.reportCh:
-			e.onReport(ds, rep)
 		case <-e.ctrlSig:
 		}
-		// Slurp every already-pending event before placing anything, so a
-		// burst of near-simultaneous submissions from several tenants lands
-		// in the fairness queues together and is drained round-robin instead
-		// of first-come-first-served.
+		submitCh = e.runLocal(ds, submitCh)
+	}
+	e.takeCtrl() // late control events are dropped, never block
+}
+
+// runLocal is the deterministic inner loop: it drains ready tasks into the
+// node queues and executes queued requests inline, one per iteration, in
+// modelled-start-time order across nodes (FIFO within a node). Control
+// events are applied before every execution, so an unplug arriving from a
+// trace callback invalidates queued placements exactly as it would have
+// under any real interleaving. Pending submissions are slurped every
+// iteration: a burst of near-simultaneous submissions from several tenants
+// lands in the fairness queues together and is drained round-robin, and
+// mid-run arrivals multiplex with executing work.
+func (e *Engine) runLocal(ds *dispatchState, submitCh chan *wfState) chan *wfState {
+	for {
 	slurp:
-		for {
+		for submitCh != nil {
 			select {
 			case st, ok := <-submitCh:
 				if !ok {
@@ -551,9 +753,6 @@ func (e *Engine) dispatch() {
 				} else {
 					e.onSubmit(ds, st)
 				}
-			case rep := <-e.reportCh:
-				e.onReport(ds, rep)
-			case <-e.ctrlSig:
 			default:
 				break slurp
 			}
@@ -561,29 +760,106 @@ func (e *Engine) dispatch() {
 		for _, msg := range e.takeCtrl() {
 			e.onCtrl(ds, msg)
 		}
+		if ds.heapDirty {
+			e.rebuildHeap(ds)
+			ds.heapDirty = false
+		}
 		e.drainReady(ds)
+		if ds.heap.Len() == 0 {
+			e.publishStats(ds)
+			return submitCh
+		}
+		it := ds.heap.PopMin()
+		ni := it.Seq
+		ds.inHeap[ni] = false
+		e.execNode(ds, ni)
+		e.refreshHead(ds, ni)
 		e.publishStats(ds)
 	}
-	for _, q := range e.queues {
-		q.close()
+}
+
+// headStart is the modelled start time of a node's next queued request.
+func (ds *dispatchState) headStart(ni int, r execRequest) float64 {
+	start := r.ready
+	if c := ds.clock[ni]; c > start {
+		start = c
 	}
-	// Executors may still be draining queued work for workflows that already
-	// finished with an error; keep consuming their reports so they never
-	// block on reportCh while we wait for them to exit.
-	execDone := make(chan struct{})
-	go func() {
-		e.execWG.Wait()
-		close(execDone)
-	}()
-	for {
-		select {
-		case <-e.reportCh:
-		case <-e.ctrlSig:
-			e.takeCtrl() // late control events are dropped, never block
-		case <-execDone:
-			return
+	return start
+}
+
+// refreshHead re-enters a node into the heap for its new queue head.
+func (e *Engine) refreshHead(ds *dispatchState, ni int) {
+	if ds.inHeap[ni] {
+		return
+	}
+	if r, ok := e.queues[ni].peek(); ok {
+		ds.heap.Push(TimeItem{
+			Time: ds.headStart(ni, r), WF: r.wf.name, Task: r.task.Name, Seq: ni,
+		})
+		ds.inHeap[ni] = true
+	}
+}
+
+// rebuildHeap reconstructs the head heap from scratch — needed after queue
+// steals (device unplug) invalidate an unknown subset of heads.
+func (e *Engine) rebuildHeap(ds *dispatchState) {
+	ds.heap.Reset()
+	for ni := range e.queues {
+		ds.inHeap[ni] = false
+		e.refreshHead(ds, ni)
+	}
+}
+
+// execNode executes the head request of one node inline: it advances the
+// node's modelled clock, claims FPGA devices through the platform hooks,
+// and feeds the completion (or loss, once the node's injected failure time
+// passes) straight into onReport.
+func (e *Engine) execNode(ds *dispatchState, ni int) {
+	req, ok := e.queues[ni].tryPop()
+	if !ok {
+		return
+	}
+	n := e.nodes[ni]
+	start := req.ready
+	if c := ds.clock[ni]; c > start {
+		start = c
+	}
+	// Execution pays the live cost priced at the task's modelled start:
+	// the load and attachment in effect then. An FPGA placement whose
+	// device was unplugged by its start falls back to software.
+	cost, nominal, onFPGA, devIdx, fellBack := costLive(req.task, n, req.variant, start)
+	var end float64
+	if onFPGA {
+		s, f, ok, err := n.ClaimDeviceAt(devIdx, start, cost)
+		if err == nil && ok {
+			start, end = s, f
+		} else {
+			// The claim would queue past a detach (or failed): the
+			// device is gone by the time it is this task's turn, so it
+			// degrades to the as-submitted software fallback after all.
+			onFPGA, fellBack = false, true
+			cost, nominal = softwareFallback(req.task, n, start)
+			end = start + cost
 		}
+	} else {
+		end = start + cost
 	}
+	if failAt, failed := n.FailedAt(); failed && end > failAt {
+		// The node dies under this task: everything queued here is lost.
+		ds.clock[ni] = failAt
+		e.onReport(ds, execReport{
+			wf: req.wf, tidx: req.tidx, node: ni,
+			restart: req.restart, lost: true, failAt: failAt,
+		})
+		return
+	}
+	ds.clock[ni] = end
+	e.onReport(ds, execReport{
+		wf: req.wf, tidx: req.tidx, node: ni,
+		start: start, end: end, onFPGA: onFPGA, restart: req.restart,
+		moved: req.moved, groups: req.groups,
+		variant: req.variant, nominal: nominal, fellBack: fellBack,
+	})
 }
 
 func (e *Engine) trace(ev Event) {
@@ -592,66 +868,68 @@ func (e *Engine) trace(ev Event) {
 	}
 }
 
+// pushReady appends one ready task to its workflow's tenant queue.
+func (e *Engine) pushReady(ds *dispatchState, st *wfState, task int32, restart bool, minStart float64) {
+	ds.queues[st.tq].push(readyItem{wf: st, task: task, restart: restart, minStart: minStart})
+	st.queuedRefs++
+	ds.readyCount++
+}
+
 func (e *Engine) onSubmit(ds *dispatchState, st *wfState) {
 	ds.submitted++
 	e.trace(Event{Kind: EventSubmit, Workflow: st.name, Tenant: st.tenant})
+	st.sched.Policy = e.cfg.Policy
 	if st.pending == 0 { // empty workflow completes immediately
-		st.sched.Policy = e.cfg.Policy
 		e.finish(ds, st, nil)
 		return
 	}
 	ds.active[st] = true
 	ds.pendingTotal += st.pending
-	st.sched.Policy = e.cfg.Policy
 	if e.cfg.Adaptive {
 		st.tuner = e.newWorkflowTuner(st)
 	}
-	if !containsTenant(ds.tenants, st.tenant) {
-		ds.tenants = append(ds.tenants, st.tenant)
+	ti, ok := ds.tenantIdx[st.tenant]
+	if !ok {
+		ti = len(ds.queues)
+		ds.tenantIdx[st.tenant] = ti
+		ds.queues = append(ds.queues, &tenantQueue{})
 	}
-	for _, name := range st.order {
-		if st.remaining[name] == 0 {
-			ds.queues[st.tenant] = append(ds.queues[st.tenant], readyItem{wf: st, task: name})
-			ds.readyCount++
+	st.tq = ti
+	for i := range st.specs {
+		if st.remaining[i] == 0 {
+			e.pushReady(ds, st, int32(i), false, 0)
 		}
 	}
-}
-
-func containsTenant(ts []string, t string) bool {
-	for _, x := range ts {
-		if x == t {
-			return true
-		}
-	}
-	return false
 }
 
 func (e *Engine) onReport(ds *dispatchState, rep execReport) {
 	st := rep.wf
+	st.inflight--
+	nodeName := e.nodes[rep.node].Name
+	taskName := st.specs[rep.tidx].Name
 	if rep.lost {
 		// First observation of this node's death: mark it and trace.
 		if !ds.dead[rep.node] {
 			ds.dead[rep.node] = true
 			ds.deadAt[rep.node] = rep.failAt
-			e.trace(Event{Kind: EventNodeFailure, Node: rep.node, Time: rep.failAt})
+			e.trace(Event{Kind: EventNodeFailure, Node: nodeName, Time: rep.failAt})
 		}
 		if st.finished {
+			e.maybeRecycle(st)
 			return
 		}
 		// Re-queue the lost task; it may not start before the failure time
 		// (the monitor only learns of the loss when the node dies).
 		e.trace(Event{
 			Kind: EventReschedule, Workflow: st.name, Tenant: st.tenant,
-			Task: rep.task.Name, Node: rep.node, Time: rep.failAt,
+			Task: taskName, Node: nodeName, Time: rep.failAt,
 		})
 		st.sched.Adapt.Reschedules++
-		ds.queues[st.tenant] = append(ds.queues[st.tenant], readyItem{
-			wf: st, task: rep.task.Name, restart: true, minStart: rep.failAt,
-		})
-		ds.readyCount++
+		e.pushReady(ds, st, rep.tidx, true, rep.failAt)
 		return
 	}
 	if st.finished {
+		e.maybeRecycle(st)
 		return
 	}
 	if free := ds.nodeFree[rep.node]; rep.end > free {
@@ -666,9 +944,10 @@ func (e *Engine) onReport(ds *dispatchState, rep execReport) {
 	// load, and feeding their raw latencies into the tuner would mix task
 	// sizes into the estimate and double-count node load.
 	dur := rep.end - rep.start
-	e.monitor.RecordTask(rep.node, dur)
+	e.monitor.RecordTask(nodeName, dur)
 	if !rep.onFPGA {
-		e.monitor.ObserveRatio(rep.node, dur, rep.nominal)
+		e.monitor.ObserveRatio(nodeName, dur, rep.nominal)
+		ds.slowValid[rep.node] = false
 	}
 	if st.tuner != nil && rep.variant == VariantFPGA {
 		st.tuner.Observe(rep.variant, dur*1000)
@@ -682,8 +961,8 @@ func (e *Engine) onReport(ds *dispatchState, rep execReport) {
 	if rep.fellBack {
 		st.sched.Adapt.Fallbacks++
 	}
-	st.sched.Assignments = append(st.sched.Assignments, Assignment{
-		Task: rep.task.Name, Node: rep.node, Start: rep.start, End: rep.end,
+	st.insertAssignment(Assignment{
+		Task: taskName, Node: nodeName, Start: rep.start, End: rep.end,
 		OnFPGA: rep.onFPGA, Restart: rep.restart,
 	})
 	st.sched.Transfers += rep.groups
@@ -691,24 +970,40 @@ func (e *Engine) onReport(ds *dispatchState, rep execReport) {
 	if rep.end > st.sched.Makespan {
 		st.sched.Makespan = rep.end
 	}
-	st.doneAt[rep.task.Name] = rep.end
-	st.locAt[rep.task.Name] = rep.node
+	st.doneAt[rep.tidx] = rep.end
+	st.locAt[rep.tidx] = int32(rep.node)
 	st.pending--
 	ds.pendingTotal--
 	e.trace(Event{
 		Kind: EventTaskDone, Workflow: st.name, Tenant: st.tenant,
-		Task: rep.task.Name, Node: rep.node, Time: rep.end,
+		Task: taskName, Node: nodeName, Time: rep.end,
 	})
-	for _, child := range st.children[rep.task.Name] {
-		st.remaining[child]--
-		if st.remaining[child] == 0 {
-			ds.queues[st.tenant] = append(ds.queues[st.tenant], readyItem{wf: st, task: child})
-			ds.readyCount++
+	for ci := st.childOff[rep.tidx]; ci < st.childOff[rep.tidx+1]; ci++ {
+		c := st.childList[ci]
+		st.remaining[c]--
+		if st.remaining[c] == 0 {
+			e.pushReady(ds, st, c, false, 0)
 		}
 	}
 	if st.pending == 0 {
 		e.finish(ds, st, nil)
 	}
+}
+
+// insertAssignment keeps the schedule ordered by Start as completions
+// arrive, inserting after equal keys — the stable order the full-slice
+// re-sort used to produce, without re-sorting on every mutation. Reports
+// arrive roughly time-ordered, so the backward scan is O(1) amortized.
+func (st *wfState) insertAssignment(a Assignment) {
+	as := st.sched.Assignments
+	i := len(as)
+	for i > 0 && as[i-1].Start > a.Start {
+		i--
+	}
+	as = append(as, Assignment{})
+	copy(as[i+1:], as[i:])
+	as[i] = a
+	st.sched.Assignments = as
 }
 
 func (e *Engine) finish(ds *dispatchState, st *wfState, err error) {
@@ -725,9 +1020,6 @@ func (e *Engine) finish(ds *dispatchState, st *wfState, err error) {
 	} else {
 		ds.completed++
 	}
-	sort.SliceStable(st.sched.Assignments, func(i, j int) bool {
-		return st.sched.Assignments[i].Start < st.sched.Assignments[j].Start
-	})
 	st.fut.sched = st.sched
 	st.fut.err = err
 	e.trace(Event{
@@ -735,6 +1027,7 @@ func (e *Engine) finish(ds *dispatchState, st *wfState, err error) {
 		Time: st.sched.Makespan,
 	})
 	close(st.fut.done)
+	e.maybeRecycle(st)
 }
 
 // drainReady places every queued ready task, visiting tenants round-robin so
@@ -745,7 +1038,9 @@ func (e *Engine) drainReady(ds *dispatchState) {
 		if !ok {
 			return
 		}
+		item.wf.queuedRefs--
 		if item.wf.finished {
+			e.maybeRecycle(item.wf)
 			continue
 		}
 		e.place(ds, item)
@@ -754,18 +1049,16 @@ func (e *Engine) drainReady(ds *dispatchState) {
 
 // nextFair pops the next ready task in round-robin tenant order.
 func (e *Engine) nextFair(ds *dispatchState) (readyItem, bool) {
-	n := len(ds.tenants)
+	n := len(ds.queues)
 	for i := 0; i < n; i++ {
-		t := ds.tenants[(ds.rrNext+i)%n]
-		q := ds.queues[t]
-		if len(q) == 0 {
+		qi := (ds.rrNext + i) % n
+		q := ds.queues[qi]
+		if q.empty() {
 			continue
 		}
-		item := q[0]
-		ds.queues[t] = q[1:]
 		ds.readyCount--
-		ds.rrNext = (ds.rrNext + i + 1) % n
-		return item, true
+		ds.rrNext = (qi + 1) % n
+		return q.pop(), true
 	}
 	return readyItem{}, false
 }
@@ -775,59 +1068,121 @@ func (e *Engine) nextFair(ds *dispatchState) (readyItem, bool) {
 // enqueues the task on that node's work queue. The static path estimates
 // every node with the design-time cost model (costOn); the adaptive path
 // ranges over the workflow tuner's admissible variants estimated against
-// the live environment (estimateVariant).
+// the live environment. Dependency outputs are grouped by source node once
+// per placement (scratch arrays in ds), and each candidate node prices one
+// batched transfer per foreign group.
 func (e *Engine) place(ds *dispatchState, item readyItem) {
 	st := item.wf
-	task := st.tasks[item.task]
+	tid := item.task
+	task := &st.specs[tid]
 	adaptive := e.cfg.Adaptive && st.tuner != nil
-	variants := []string{""} // "" = as submitted (static path)
-	if adaptive {
-		variants = e.variantsFor(st, task)
-	}
-	estimate := func(n *platform.Node, v string, ready float64) (float64, bool) {
-		cost, _, _ := costOn(task, n)
-		return cost, true
-	}
-	if adaptive {
-		estimate = e.variantEstimator(st, task)
+
+	// Group dependency outputs by the node holding them: one bulk transfer
+	// per foreign source (one link latency per source instead of one per
+	// dependency).
+	touched := ds.gTouched[:0]
+	for di := st.depOff[tid]; di < st.depOff[tid+1]; di++ {
+		d := st.depList[di]
+		src := st.locAt[d]
+		if ds.gCount[src] == 0 {
+			touched = append(touched, src)
+		}
+		ds.gCount[src]++
+		ds.gBytes[src] += st.specs[d].OutputBytes
+		if t := st.doneAt[d]; t > ds.gLatest[src] {
+			ds.gLatest[src] = t
+		}
 	}
 
-	bestNode, bestVariant := "", ""
+	variants := ds.variantsBuf[:0]
+	fpgaDrift := 1.0
+	if adaptive {
+		variants = e.variantsInto(variants, st, task)
+		// The fpga drift is node-independent: computed once per placement,
+		// not inside the node loop.
+		fpgaDrift = st.tuner.Drift(VariantFPGA)
+	} else {
+		variants = append(variants, "")
+	}
+	ds.variantsBuf = variants
+
+	taskBytes := task.InputBytes + task.OutputBytes
+	bestNode, bestVariant := -1, ""
 	bestReady, bestEnd := 0.0, 0.0
 	bestBytes := int64(0)
 	bestGroups := 0
-	for _, n := range e.cluster.Nodes {
-		if ds.dead[n.Name] {
+	for ni, n := range e.nodes {
+		if ds.dead[ni] {
 			continue
 		}
-		ready, moved, groups := e.readyOn(st, task, n.Name)
+		ready, moved, groups := 0.0, int64(0), 0
+		for _, src := range touched {
+			arrive := ds.gLatest[src]
+			if int(src) != ni {
+				arrive += e.transferSeconds(e.nodes[src].Name, n.Name, ds.gBytes[src], int(ds.gCount[src]))
+				moved += ds.gBytes[src]
+				groups++
+			}
+			if arrive > ready {
+				ready = arrive
+			}
+		}
 		if item.minStart > ready {
 			ready = item.minStart
 		}
-		if free := ds.nodeFree[n.Name]; free > ready {
+		if free := ds.nodeFree[ni]; free > ready {
 			ready = free
 		}
+		slowdown := -1.0 // monitor estimate, fetched once per node, lazily
 		for _, v := range variants {
-			est, ok := estimate(n, v, ready)
-			if !ok {
-				continue
+			var est float64
+			if !adaptive {
+				est, _, _ = costOn(task, n)
+			} else if v == VariantFPGA {
+				// Priced at the modelled time the task would start there:
+				// the scheduler knows the environment as of that moment,
+				// not the end of any scripted fault timeline.
+				c, _, ok := fpgaCostOn(task, n, ready)
+				if !ok {
+					continue // no programmed device attached at ready time
+				}
+				est = c * fpgaDrift
+			} else {
+				cores := 1
+				if v == VariantCPU16 {
+					cores = cpu16Cores
+				}
+				if slowdown < 0 {
+					if !ds.slowValid[ni] {
+						ds.slowEst[ni] = e.monitor.SlowdownEstimate(n.Name)
+						ds.slowValid[ni] = true
+					}
+					slowdown = ds.slowEst[ni]
+				}
+				est = n.RunCPU(task.Flops, taskBytes, cores) * slowdown
 			}
 			end := ready + est
-			better := bestNode == "" || end < bestEnd
+			better := bestNode < 0 || end < bestEnd
 			if e.cfg.Policy == PolicyFIFO {
 				// FIFO places by earliest start; variants on one node tie
 				// on start, so the estimate breaks the tie among them.
-				better = bestNode == "" || ready < bestReady ||
+				better = bestNode < 0 || ready < bestReady ||
 					(adaptive && ready == bestReady && end < bestEnd)
 			}
 			if better {
-				bestNode, bestVariant, bestReady, bestEnd = n.Name, v, ready, end
+				bestNode, bestVariant, bestReady, bestEnd = ni, v, ready, end
 				bestBytes, bestGroups = moved, groups
 			}
 		}
 	}
-	if bestNode == "" {
-		e.finish(ds, st, fmt.Errorf("runtime: no alive node can run task %q of %s", item.task, st.name))
+	// Reset the grouping scratch for the next placement.
+	for _, src := range touched {
+		ds.gLatest[src], ds.gBytes[src], ds.gCount[src] = 0, 0, 0
+	}
+	ds.gTouched = touched[:0]
+
+	if bestNode < 0 {
+		e.finish(ds, st, fmt.Errorf("runtime: no alive node can run task %q of %s", task.Name, st.name))
 		return
 	}
 	ds.nodeFree[bestNode] = bestEnd
@@ -835,64 +1190,25 @@ func (e *Engine) place(ds *dispatchState, item readyItem) {
 	if bestGroups > 0 {
 		e.trace(Event{
 			Kind: EventTransfer, Workflow: st.name, Tenant: st.tenant,
-			Task: item.task, Node: bestNode, Time: bestReady,
+			Task: task.Name, Node: e.nodes[bestNode].Name, Time: bestReady,
 		})
 	}
 	if adaptive {
 		e.trace(Event{
 			Kind: EventVariant, Workflow: st.name, Tenant: st.tenant,
-			Task: item.task, Node: bestNode, Time: bestReady, Detail: bestVariant,
+			Task: task.Name, Node: e.nodes[bestNode].Name, Time: bestReady, Detail: bestVariant,
 		})
 	}
 	// Transfer stats are accounted on completion (onReport), not here: a
 	// placement lost to a node failure is re-placed and would otherwise
 	// count its transfers twice.
+	st.inflight++
 	e.queues[bestNode].push(execRequest{
-		wf: st, task: task, ready: bestReady, restart: item.restart,
+		wf: st, task: task, tidx: tid, ready: bestReady, restart: item.restart,
 		moved: bestBytes, groups: bestGroups, variant: bestVariant,
 		estDur: bestEnd - bestReady,
 	})
-}
-
-// readyOn returns when task's dependency outputs are all available on the
-// named node, batching the outputs that live on the same source node into a
-// single bulk transfer (one link latency per source instead of one per
-// dependency).
-func (e *Engine) readyOn(st *wfState, task *TaskSpec, node string) (ready float64, moved int64, groups int) {
-	type group struct {
-		latest float64
-		bytes  int64
-		count  int
-	}
-	bySrc := make(map[string]*group)
-	var srcs []string
-	for _, d := range task.Deps {
-		src := st.locAt[d]
-		g := bySrc[src]
-		if g == nil {
-			g = &group{}
-			bySrc[src] = g
-			srcs = append(srcs, src)
-		}
-		if t := st.doneAt[d]; t > g.latest {
-			g.latest = t
-		}
-		g.bytes += st.tasks[d].OutputBytes
-		g.count++
-	}
-	for _, src := range srcs {
-		g := bySrc[src]
-		arrive := g.latest
-		if src != node {
-			arrive += e.transferSeconds(src, node, g.bytes, g.count)
-			moved += g.bytes
-			groups++
-		}
-		if arrive > ready {
-			ready = arrive
-		}
-	}
-	return ready, moved, groups
+	e.refreshHead(ds, bestNode)
 }
 
 // transferSeconds prices moving the coalesced outputs of `deps`
@@ -912,83 +1228,28 @@ func (e *Engine) transferSeconds(from, to string, bytes int64, deps int) float64
 }
 
 // ---------------------------------------------------------------------------
-// node executors
+// per-node work queues
 
-// runExecutor is the goroutine owning one node: it drains the node's work
-// queue in FIFO order, advances the node's local modelled clock, claims FPGA
-// devices through the platform hooks, and reports completions (or losses,
-// once the node's injected failure time passes) back to the dispatcher.
-func (e *Engine) runExecutor(n *platform.Node, q *workQueue) {
-	defer e.execWG.Done()
-	clock := 0.0 // node-local modelled time: earliest idle
-	for {
-		req, ok := q.pop()
-		if !ok {
-			return
-		}
-		start := req.ready
-		if clock > start {
-			start = clock
-		}
-		// Execution pays the live cost priced at the task's modelled start:
-		// the load and attachment in effect then. An FPGA placement whose
-		// device was unplugged by its start falls back to software.
-		cost, nominal, onFPGA, devIdx, fellBack := costLive(req.task, n, req.variant, start)
-		var end float64
-		if onFPGA {
-			s, f, ok, err := n.ClaimDeviceAt(devIdx, start, cost)
-			if err == nil && ok {
-				start, end = s, f
-			} else {
-				// The claim would queue past a detach (or failed): the
-				// device is gone by the time it is this task's turn, so it
-				// degrades to the as-submitted software fallback after all.
-				onFPGA, fellBack = false, true
-				cost, nominal = softwareFallback(req.task, n, start)
-				end = start + cost
-			}
-		} else {
-			end = start + cost
-		}
-		if failAt, failed := n.FailedAt(); failed && end > failAt {
-			// The node dies under this task: everything queued here is lost.
-			clock = failAt
-			e.reportCh <- execReport{
-				wf: req.wf, task: req.task, node: n.Name,
-				restart: req.restart, lost: true, failAt: failAt,
-			}
-			continue
-		}
-		clock = end
-		e.reportCh <- execReport{
-			wf: req.wf, task: req.task, node: n.Name,
-			start: start, end: end, onFPGA: onFPGA, restart: req.restart,
-			moved: req.moved, groups: req.groups,
-			variant: req.variant, nominal: nominal, fellBack: fellBack,
-		}
-	}
-}
-
-// workQueue is an unbounded FIFO of execution requests. Pushes never block,
-// so the dispatcher can never deadlock against a busy executor.
+// workQueue is an unbounded FIFO of execution requests in ring layout (the
+// popped prefix is reused once the queue drains). It is owned by the
+// dispatcher goroutine exclusively — push from placement, peek/tryPop from
+// inline execution, steal from control handling all run there — so it
+// carries no synchronization at all; dropping the old executor-era
+// mutex/condvar took both off the per-task hot path.
 type workQueue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
 	items  []execRequest
+	head   int
 	closed bool
 }
 
-func newWorkQueue() *workQueue {
-	q := &workQueue{}
-	q.cond = sync.NewCond(&q.mu)
-	return q
+func newWorkQueue() *workQueue { return newWorkQueueCap(8) }
+
+func newWorkQueueCap(n int) *workQueue {
+	return &workQueue{items: make([]execRequest, 0, n)}
 }
 
 func (q *workQueue) push(r execRequest) {
-	q.mu.Lock()
 	q.items = append(q.items, r)
-	q.cond.Signal()
-	q.mu.Unlock()
 }
 
 // steal removes and returns every queued (not yet running) request matching
@@ -996,11 +1257,9 @@ func (q *workQueue) push(r execRequest) {
 // environment event makes them stale — e.g. FPGA work queued on a node
 // whose accelerator was just unplugged.
 func (q *workQueue) steal(match func(execRequest) bool) []execRequest {
-	q.mu.Lock()
-	defer q.mu.Unlock()
 	var stolen []execRequest
-	kept := q.items[:0]
-	for _, r := range q.items {
+	kept := q.items[:q.head]
+	for _, r := range q.items[q.head:] {
 		if match(r) {
 			stolen = append(stolen, r)
 		} else {
@@ -1012,23 +1271,33 @@ func (q *workQueue) steal(match func(execRequest) bool) []execRequest {
 }
 
 func (q *workQueue) close() {
-	q.mu.Lock()
 	q.closed = true
-	q.cond.Broadcast()
-	q.mu.Unlock()
 }
 
-// pop blocks until an item is available or the queue is closed and drained.
-func (q *workQueue) pop() (execRequest, bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed {
-		q.cond.Wait()
-	}
-	if len(q.items) == 0 {
+// peek returns the head request without removing it.
+func (q *workQueue) peek() (execRequest, bool) {
+	if q.head >= len(q.items) {
 		return execRequest{}, false
 	}
-	r := q.items[0]
-	q.items = q.items[1:]
+	return q.items[q.head], true
+}
+
+// tryPop removes and returns the head request.
+func (q *workQueue) tryPop() (execRequest, bool) {
+	return q.pop()
+}
+
+// pop removes and returns the head request; ok=false when empty.
+func (q *workQueue) pop() (execRequest, bool) {
+	if q.head >= len(q.items) {
+		return execRequest{}, false
+	}
+	r := q.items[q.head]
+	q.items[q.head] = execRequest{} // drop references for GC
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
 	return r, true
 }

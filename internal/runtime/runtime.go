@@ -92,6 +92,18 @@ func (w *Workflow) Get(name string) (*TaskSpec, bool) {
 // Len returns the number of tasks.
 func (w *Workflow) Len() int { return len(w.order) }
 
+// Range visits every task spec in submission order until fn returns false.
+// Unlike Tasks()+Get it allocates nothing, so per-submission scans (the
+// fleet router's bitstream-needs pass) stay off the allocator; fn must not
+// retain or mutate the spec.
+func (w *Workflow) Range(fn func(t *TaskSpec) bool) {
+	for _, name := range w.order {
+		if !fn(w.tasks[name]) {
+			return
+		}
+	}
+}
+
 // SetVariants attaches compiler-derived operating points (expected latency
 // per implementation variant) to the workflow. In adaptive mode the engine
 // seeds the workflow's autotuner from them instead of re-deriving seeds

@@ -43,6 +43,10 @@ type FleetConfig struct {
 	SiteEvents [][]runtime.EnvEvent
 	// Trace receives fleet events (routing, cache, deploys) when set.
 	Trace func(fleet.Event)
+	// EngineTrace receives every site engine's runtime events tagged with
+	// the site name, serialized with the fleet events (fleet.Config
+	// semantics). The determinism harness captures both streams through it.
+	EngineTrace func(site string, ev runtime.Event)
 }
 
 // FleetServer is the multi-site submission front: one Registry shared by
@@ -92,6 +96,7 @@ func NewFleetServer(cfg FleetConfig) (*FleetServer, error) {
 		RegistryNet:     regNet,
 		SiteEvents:      cfg.SiteEvents,
 		Trace:           cfg.Trace,
+		EngineTrace:     cfg.EngineTrace,
 	})
 	if err != nil {
 		return nil, err
@@ -211,6 +216,11 @@ type FleetScenario struct {
 	// Trace receives fleet events during Run/RunWith when set (routing,
 	// cache hits/misses, deploys, evictions).
 	Trace func(fleet.Event)
+	// EngineTrace receives every site engine's runtime events tagged with
+	// the site name, merged in order with the fleet events. Because the
+	// scenario submits and awaits one workflow at a time, the merged stream
+	// is deterministic — the determinism regression test hashes it.
+	EngineTrace func(site string, ev runtime.Event)
 }
 
 // DefaultFleetScenario is the E-fleet configuration: 4 sites of 2 compute
@@ -321,9 +331,21 @@ func (sc FleetScenario) RunWith(c *variants.Compiled) (FleetResult, error) {
 	if c == nil || c.Design == nil {
 		return FleetResult{}, fmt.Errorf("sdk: fleet scenario needs a compiled kernel")
 	}
+	// The mixed stream cycles lcm(4,3)=12 distinct workflow descriptions
+	// (class i%4 × weight i%3). A workflow is immutable once built and the
+	// engine copies its specs on submission, so each template is built once
+	// and resubmitted — the realistic client pattern, and it keeps template
+	// construction out of the serving hot path the self-bench measures.
+	templates := make([]*runtime.Workflow, 12)
 	return sc.run(
 		[]platform.Bitstream{c.Design.Bitstream, ScenarioBitstream()},
-		func(i int) *runtime.Workflow { return sc.workflow(i, c) },
+		func(i int) *runtime.Workflow {
+			k := i % len(templates)
+			if templates[k] == nil {
+				templates[k] = sc.workflow(i, c)
+			}
+			return templates[k]
+		},
 		nil,
 	)
 }
@@ -364,7 +386,7 @@ func (sc FleetScenario) run(bitstreams []platform.Bitstream, wf func(i int) *run
 		Policy: sc.Policy, Adaptive: sc.Adaptive,
 		MaxQueueSeconds: sc.MaxQueueSeconds,
 		Net:             sc.Net, RegistryNet: sc.RegistryNet,
-		SiteEvents: events, Trace: sc.Trace,
+		SiteEvents: events, Trace: sc.Trace, EngineTrace: sc.EngineTrace,
 	})
 	if err != nil {
 		return FleetResult{}, err
@@ -385,24 +407,27 @@ func (sc FleetScenario) run(bitstreams []platform.Bitstream, wf func(i int) *run
 			byApp[appOf(i)] = append(byApp[appOf(i)], latency)
 		}
 	}
-	tenantName := func(i int) string { return fmt.Sprintf("tenant%02d", i%sc.Tenants) }
+	// Tenant names are computed once: the per-submission Sprintf showed up
+	// in serving profiles.
+	tenants := make([]string, sc.Tenants)
+	for j := range tenants {
+		tenants[j] = fmt.Sprintf("tenant%02d", j)
+	}
+	tenantName := func(i int) string { return tenants[i%sc.Tenants] }
 	if sc.Closed {
 		// Closed loop: each tenant is one client; its next workflow
 		// arrives the moment its previous one completes. Submissions are
-		// processed in global modelled-arrival order (ties break on
-		// client index), so the run is deterministic.
-		nextAt := make([]float64, sc.Tenants)
-		for j := range nextAt {
-			nextAt[j] = float64(j) * sc.ArrivalGap
+		// processed in global modelled-arrival order via a modelled-time
+		// heap whose tie-break is the client index — identical to a linear
+		// lowest-index min-scan, so the run is deterministic.
+		next := runtime.NewTimeHeap(sc.Tenants)
+		for j := 0; j < sc.Tenants; j++ {
+			next.Push(runtime.TimeItem{Time: float64(j) * sc.ArrivalGap, Seq: j})
 		}
 		for i := 0; i < sc.Workflows; i++ {
-			client := 0
-			for j := 1; j < sc.Tenants; j++ {
-				if nextAt[j] < nextAt[client] {
-					client = j
-				}
-			}
-			t, err := srv.SubmitAt(tenantName(client), "", wf(i), nextAt[client])
+			turn := next.PopMin()
+			client, arrival := turn.Seq, turn.Time
+			t, err := srv.SubmitAt(tenants[client], "", wf(i), arrival)
 			if err != nil {
 				// Rejected: the client backs off and retries the same
 				// workflow at a later arrival (i is not consumed). Arrivals
@@ -413,7 +438,7 @@ func (sc FleetScenario) run(bitstreams []platform.Bitstream, wf func(i int) *run
 				if step <= 0 {
 					step = 0.01
 				}
-				nextAt[client] += step
+				next.Push(runtime.TimeItem{Time: arrival + step, Seq: client})
 				i--
 				continue
 			}
@@ -423,7 +448,7 @@ func (sc FleetScenario) run(bitstreams []platform.Bitstream, wf func(i int) *run
 				return FleetResult{}, fmt.Errorf("sdk: fleet scenario workflow %d: %w", i, err)
 			}
 			record(i, res.Latency)
-			nextAt[client] = res.Completion
+			next.Push(runtime.TimeItem{Time: res.Completion, Seq: client})
 		}
 	} else {
 		for i := 0; i < sc.Workflows; i++ {

@@ -303,6 +303,51 @@ func BenchmarkAppSuite(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamThroughput exercises the streaming tier (E-stream): the
+// million-event sensor feed — four traffic/energy pipelines of 250k
+// events each, alternating guaranteed and best-effort tenants — is swept
+// through the offered-rate ladder, and the same feed is then served with
+// partial reconfiguration on and off at the default rate. The reported
+// events_per_sec_at_slo metric is the sustained throughput (events per
+// modelled second, all pipelines) at the highest rate rung whose p99
+// end-to-end event latency meets the 0.25s SLO with negligible shedding;
+// stream_p99_s is that rung's p99; pr_swap_win is the throughput ratio of
+// the partial-reconfiguration run over the whole-device-reload run
+// (acceptance: a measurable win, >= 1.5x). Single-threaded modelled-time
+// serving makes every number exactly deterministic across GOMAXPROCS;
+// CI's consolidated benchgate pins them via BENCH_7.json.
+func BenchmarkStreamThroughput(b *testing.B) {
+	srv, err := sdk.NewStreamServer(sdk.DefaultStreamScenario())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rates := sdk.DefaultStreamRates()
+	var tputs, p99s, wins []float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, best, err := srv.Saturate(rates)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if best.Throughput <= 0 {
+			b.Fatal("no rate rung met the p99 SLO")
+		}
+		on, off, err := srv.SwapWin()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if off.Swaps <= 0 {
+			b.Fatalf("whole-device arm paid no swaps (%+v); the win would be vacuous", off)
+		}
+		tputs = append(tputs, best.Throughput)
+		p99s = append(p99s, best.P99)
+		wins = append(wins, on.Throughput/off.Throughput)
+	}
+	b.ReportMetric(median(tputs), "events_per_sec_at_slo")
+	b.ReportMetric(median(p99s), "stream_p99_s")
+	b.ReportMetric(median(wins), "pr_swap_win")
+}
+
 // BenchmarkSimulatorSpeed is the event-core self-bench (E-speed): it drives
 // the full E-fleet scenario — 64 workflows from 32 tenants over 4 federated
 // sites with an accelerator unplug — and reports how fast the modelled-time

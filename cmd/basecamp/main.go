@@ -10,6 +10,7 @@
 //	basecamp serve    -workflows N -concurrency K [-adaptive] [-net tcp10g|udp10g]  # concurrent multi-tenant runtime demo
 //	basecamp serve    -sites N -cache-slots K [-registry-net tcp10g|udp10g|eth100g] [-gap S]  # federated fleet serving
 //	basecamp serve    -sites N -suite [-apps energy,traffic,weather]  # serve the EVEREST application suite (workload registry)
+//	basecamp serve    -stream [-rate R] [-events N] [-arrival poisson|bursty|diurnal] [-partial=false]  # streaming pipelines with resident kernels
 //	basecamp adapt    -workflows N [-compiled]  # adaptive vs static placement under injected faults
 //	basecamp dialects              # list the registered MLIR dialects (Fig. 5)
 //	basecamp anomaly  -trials N    # AutoML model selection on a synthetic stream
@@ -37,6 +38,7 @@ import (
 	"everest/internal/olympus"
 	"everest/internal/runtime"
 	"everest/internal/sdk"
+	"everest/internal/stream"
 	"everest/internal/tensor"
 	"everest/internal/variants"
 	"everest/internal/wrf"
@@ -316,6 +318,12 @@ func cmdServe(args []string) error {
 	unplugAt := fs.Float64("unplug-at", 0.5, "modelled time site 0's first accelerator detaches (fleet mode; 0 = no fault)")
 	suite := fs.Bool("suite", false, "serve the EVEREST application suite from the workload registry (fleet mode)")
 	appList := fs.String("apps", "", "comma-separated registry applications to serve (fleet mode; implies -suite)")
+	streamMode := fs.Bool("stream", false, "serve long-lived streaming pipelines (windowed operators over the app suite)")
+	rate := fs.Float64("rate", 0, "per-pipeline event arrival rate (stream mode; 0 = scenario default)")
+	events := fs.Int("events", 0, "events per pipeline (stream mode; 0 = scenario default)")
+	pipelines := fs.Int("pipelines", 0, "concurrent pipelines (stream mode; 0 = 2x apps)")
+	arrival := fs.String("arrival", "poisson", "arrival process (stream mode): poisson, bursty, or diurnal")
+	partial := fs.Bool("partial", true, "keep kernels resident in FPGA partial-reconfiguration regions (stream mode)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -328,27 +336,49 @@ func cmdServe(args []string) error {
 	default:
 		return fmt.Errorf("serve: unknown policy %q", *policyName)
 	}
-	// Each serving mode has flags the other would silently ignore, which
+	// Each serving mode has flags the others would silently ignore, which
 	// would misreport what was measured: per-site serving is serial and
-	// faults are scripted per site in fleet mode, while cache/deploy/
-	// arrival knobs only exist there.
+	// faults are scripted per site in fleet mode, cache/deploy/arrival
+	// knobs only exist there, and the streaming tier has its own workload
+	// shape (open arrivals over windowed operators, no workflow count).
+	streamOnly := map[string]bool{
+		"rate": true, "events": true, "pipelines": true, "arrival": true, "partial": true,
+	}
+	streamOK := map[string]bool{"stream": true, "nodes": true, "trace": true, "apps": true}
 	var incompatible []string
+	nodesSet := false
 	fs.Visit(func(fl *flag.Flag) {
+		nodesSet = nodesSet || fl.Name == "nodes"
 		switch {
-		case *sites > 1 && (fl.Name == "concurrency" || fl.Name == "fail"):
+		case *streamMode && !streamOnly[fl.Name] && !streamOK[fl.Name]:
 			incompatible = append(incompatible, "-"+fl.Name)
-		case *sites == 1 && (fl.Name == "cache-slots" || fl.Name == "registry-net" ||
+		case !*streamMode && streamOnly[fl.Name]:
+			incompatible = append(incompatible, "-"+fl.Name)
+		case !*streamMode && *sites > 1 && (fl.Name == "concurrency" || fl.Name == "fail"):
+			incompatible = append(incompatible, "-"+fl.Name)
+		case !*streamMode && *sites == 1 && (fl.Name == "cache-slots" || fl.Name == "registry-net" ||
 			fl.Name == "gap" || fl.Name == "unplug-at" || fl.Name == "suite" || fl.Name == "apps"):
 			incompatible = append(incompatible, "-"+fl.Name)
 		}
 	})
 	if len(incompatible) > 0 {
 		mode := "-sites > 1"
-		if *sites == 1 {
+		switch {
+		case *streamMode:
+			mode = "-stream"
+		case *sites == 1:
 			mode = "-sites 1"
 		}
 		return fmt.Errorf("serve: %s not supported with %s",
 			strings.Join(incompatible, ", "), mode)
+	}
+	if *streamMode {
+		streamNodes := 0 // scenario default (1 compute node + cloudfpga0)
+		if nodesSet {
+			streamNodes = *nodes
+		}
+		return serveStream(streamNodes, *appList, *pipelines, *events,
+			*rate, *arrival, *partial, *trace)
 	}
 	if *sites > 1 {
 		if *appList != "" {
@@ -529,6 +559,68 @@ func serveFleet(sites, nodes, cacheSlots, workflows, tenants int, policy runtime
 		fmt.Printf("  %-7s : %3d served, cache %d hit / %d miss, %d evict, %d redeploy, %d fallback, %.3gs deploying\n",
 			s.Name, s.Served, s.CacheHits, s.CacheMisses, s.Evictions, s.Redeploys,
 			s.FallbackDeploys, s.DeploySeconds)
+	}
+	return nil
+}
+
+// serveStream is `basecamp serve -stream`: the app suite served as
+// long-lived streaming pipelines — open arrivals feeding windowed
+// operators with backpressure, compiled kernels resident in FPGA
+// partial-reconfiguration regions — for one run at a fixed rate,
+// reporting sustained throughput, latency percentiles, per-pipeline
+// outcomes, and per-device residency churn.
+func serveStream(nodes int, appList string, pipelines, events int, rate float64, arrival string, partial, trace bool) error {
+	sc := sdk.DefaultStreamScenario()
+	sc.Nodes = nodes // 0 → scenario default
+	if appList != "" {
+		sc.Apps = nil
+		for _, name := range strings.Split(appList, ",") {
+			sc.Apps = append(sc.Apps, strings.TrimSpace(name))
+		}
+		sc.Pipelines = 0 // re-derive from the app list
+	}
+	if pipelines > 0 {
+		sc.Pipelines = pipelines
+	}
+	if events > 0 {
+		sc.Events = events
+	}
+	if rate > 0 {
+		sc.Rate = rate
+	}
+	sc.Arrival = arrival
+	sc.PartialReconfig = partial
+	if trace {
+		sc.Trace = func(ev stream.Event) {
+			fmt.Printf("  [%10.6fs] %-7s pipe=%-10s stage=%-9s dev=%-11s %d ev\n",
+				ev.Time, ev.Kind, ev.Pipeline, ev.Stage, ev.Device, ev.Events)
+		}
+	}
+	srv, err := sdk.NewStreamServer(sc)
+	if err != nil {
+		return err
+	}
+	sc = srv.Scenario()
+	fmt.Printf("stream     : %d pipelines over [%s], %d events each at %.4g ev/s, %s arrivals\n",
+		sc.Pipelines, strings.Join(sc.Apps, " "), sc.Events, sc.Rate, sc.Arrival)
+	fmt.Printf("cluster    : %d compute node(s) + cloudfpga0, partial reconfig %v\n",
+		sc.Nodes, sc.PartialReconfig)
+	st, err := srv.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("served     : %d of %d events (%d shed), %d windows, makespan %.4gs modelled\n",
+		st.Done, st.Events, st.Shed, st.Windows, st.Makespan)
+	fmt.Printf("throughput : %.4g events/s modelled\n", st.Throughput)
+	fmt.Printf("latency    : p50 %.4gs, p99 %.4gs, max %.4gs (SLO %.3gs met: %v)\n",
+		st.P50, st.P99, st.Max, sc.SLO, st.P99 <= sc.SLO)
+	for _, p := range st.Pipelines {
+		fmt.Printf("  %-10s : %-10s %7d done, %6d shed, p50 %.4gs, p99 %.4gs\n",
+			p.Name, p.Tenant, p.Done, p.Shed, p.P50, p.P99)
+	}
+	for _, d := range st.Devices {
+		fmt.Printf("  %-13s : %d kernel(s) in %d region(s), %d swaps (%.4gs reloading)\n",
+			d.Name, d.Kernels, d.Regions, d.Swaps, d.SwapSeconds)
 	}
 	return nil
 }

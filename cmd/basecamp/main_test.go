@@ -85,6 +85,42 @@ func TestServeRejectsSingleSiteIncompatibleFlags(t *testing.T) {
 	}
 }
 
+func TestServeStreamSmoke(t *testing.T) {
+	if err := serveStream(0, "", 0, 20000, 0, "poisson", true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeStreamRejectsUnknownApp(t *testing.T) {
+	if err := serveStream(0, "nope", 0, 5000, 0, "poisson", true, false); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if err := serveStream(0, "", 0, 5000, 0, "sawtooth", true, false); err == nil {
+		t.Fatal("unknown arrival process accepted")
+	}
+}
+
+func TestServeRejectsStreamIncompatibleFlags(t *testing.T) {
+	// Stream-only knobs outside -stream, and workflow-serving knobs
+	// inside it, are conflicts, not silently ignored flags.
+	for _, args := range [][]string{
+		{"-rate", "4000"},
+		{"-events", "1000"},
+		{"-pipelines", "2"},
+		{"-arrival", "bursty"},
+		{"-partial=false"},
+		{"-stream", "-workflows", "4"},
+		{"-stream", "-sites", "2"},
+		{"-stream", "-policy", "fifo"},
+		{"-stream", "-cache-slots", "2"},
+		{"-stream", "-suite"},
+	} {
+		if err := cmdServe(args); err == nil {
+			t.Fatalf("conflicting flags %v accepted", args)
+		}
+	}
+}
+
 func TestServeFleetSuiteSmoke(t *testing.T) {
 	if err := serveFleet(2, 2, 2, 6, 3, runtime.PolicyHEFT, true, "", "eth100g", 0.05, 0.2, false, true, ""); err != nil {
 		t.Fatal(err)

@@ -14,6 +14,10 @@
 //	                          # serve the EVEREST use-case application suite
 //	                          # (workload registry) instead of the default mix,
 //	                          # with per-application latency percentiles
+//	everest-bench -stream [-rates 1000,4000] [-events N] [-partial=false]
+//	                          # sweep the streaming tier's offered event rate,
+//	                          # report sustained events/sec at the p99 SLO and
+//	                          # the partial-reconfiguration swap win
 package main
 
 import (
@@ -53,6 +57,13 @@ func benchMain() int {
 	registryNet := flag.String("registry-net", "tcp10g", "registry->site deploy fabric: tcp10g, udp10g, or eth100g")
 	suite := flag.Bool("suite", false, "serve the EVEREST application suite (workload registry) instead of the default mix")
 	appList := flag.String("apps", "", "comma-separated registry applications to serve (implies -suite; default: all)")
+	streamMode := flag.Bool("stream", false, "run the streaming serving harness (long-lived pipelines) instead of the experiment tables")
+	rates := flag.String("rates", "", "comma-separated per-pipeline event rates for the -stream ladder (default ladder)")
+	events := flag.Int("events", 0, "events per pipeline for -stream (default 250000)")
+	pipelines := flag.Int("pipelines", 0, "concurrent pipelines for -stream (default 2x apps)")
+	arrival := flag.String("arrival", "poisson", "arrival process for -stream: poisson, bursty, or diurnal")
+	partial := flag.Bool("partial", true, "keep kernels resident in FPGA partial-reconfiguration regions (-stream)")
+	streamSLO := flag.Float64("stream-slo", 0.25, "p99 end-to-end event latency SLO in modelled seconds (-stream)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (pprof format)")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file (pprof format)")
 	flag.Parse()
@@ -74,8 +85,29 @@ func benchMain() int {
 		}()
 	}
 
-	if *appList != "" {
+	if *appList != "" && !*streamMode {
 		*suite = true
+	}
+	if *streamMode {
+		if *saturate {
+			fmt.Fprintln(os.Stderr, "everest-bench: -stream and -saturate are separate harnesses; pick one")
+			return 2
+		}
+		// The fleet default of 2 nodes/site doesn't suit the stream scenario,
+		// whose swap-win story wants the default E-stream cluster (1 compute
+		// node + cloudfpga0). Honor -nodes only when set explicitly.
+		streamNodes := 0
+		flag.Visit(func(fl *flag.Flag) {
+			if fl.Name == "nodes" {
+				streamNodes = *nodes
+			}
+		})
+		if err := runStream(streamNodes, *appList, *pipelines, *events, *arrival,
+			*partial, *streamSLO, *rates); err != nil {
+			fmt.Fprintf(os.Stderr, "everest-bench: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 	if *saturate {
 		if err := runSaturation(*sites, *nodes, *tenants, *workflows, *cacheSlots,
@@ -259,6 +291,83 @@ func runSaturation(sites, nodes, tenants, workflows, cacheSlots int, mode string
 	default:
 		return fmt.Errorf("unknown -mode %q (want open or closed)", mode)
 	}
+}
+
+// runStream drives the streaming tier: it compiles the E-stream
+// application suite once, sweeps the offered per-pipeline event rate
+// over a ladder, reports the sustained events/sec at the highest rung
+// that met the p99 SLO, and closes with the partial-reconfiguration
+// swap-win comparison at the scenario's configured rate.
+func runStream(nodes int, appList string, pipelines, events int, arrival string, partial bool, slo float64, rateList string) error {
+	sc := sdk.DefaultStreamScenario()
+	sc.Nodes = nodes // 0 → scenario default
+	if appList != "" {
+		sc.Apps = nil
+		for _, name := range strings.Split(appList, ",") {
+			sc.Apps = append(sc.Apps, strings.TrimSpace(name))
+		}
+		sc.Pipelines = 0 // re-derive from the app list
+	}
+	if pipelines > 0 {
+		sc.Pipelines = pipelines
+	}
+	if events > 0 {
+		sc.Events = events
+	}
+	sc.Arrival = arrival
+	sc.PartialReconfig = partial
+	sc.SLO = slo
+
+	ladder := sdk.DefaultStreamRates()
+	if rateList != "" {
+		ladder = nil
+		for _, s := range strings.Split(rateList, ",") {
+			r, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				return fmt.Errorf("bad -rates entry %q: %w", s, err)
+			}
+			ladder = append(ladder, r)
+		}
+	}
+
+	srv, err := sdk.NewStreamServer(sc)
+	if err != nil {
+		return err
+	}
+	sc = srv.Scenario()
+	fmt.Printf("stream     : %d pipelines over [%s], %d events each, %s arrivals\n",
+		sc.Pipelines, strings.Join(sc.Apps, " "), sc.Events, sc.Arrival)
+	fmt.Printf("cluster    : %d compute node(s) + cloudfpga0, partial reconfig %v, SLO p99 <= %.3gs modelled\n",
+		sc.Nodes, sc.PartialReconfig, sc.SLO)
+
+	points, best, err := srv.Saturate(ladder)
+	if err != nil {
+		return err
+	}
+	fmt.Println("rate/pipe   achieved/s   p50 s       p99 s       shed     swaps  SLO")
+	for _, p := range points {
+		met := "ok"
+		if !p.SLOMet {
+			met = "MISS"
+		}
+		fmt.Printf("%9.4g   %10.4g   %9.4g   %9.4g   %6d   %5d  %s\n",
+			p.Rate, p.Throughput, p.P50, p.P99, p.Shed, p.Swaps, met)
+	}
+	if best.Throughput <= 0 {
+		return fmt.Errorf("no rung met the SLO; lower the offered rates or raise -stream-slo")
+	}
+	fmt.Printf("events_per_sec_at_slo: %.4g (rate %.4g/pipeline, p99 %.4gs)\n",
+		best.Throughput, best.Rate, best.P99)
+
+	on, off, err := srv.SwapWin()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("swap_win   : partial on  %.4g ev/s, p99 %.4gs, %d swaps\n",
+		on.Throughput, on.P99, on.Swaps)
+	fmt.Printf("             partial off %.4g ev/s, p99 %.4gs, %d swaps (%.4gs reloading)\n",
+		off.Throughput, off.P99, off.Swaps, off.SwapSeconds)
+	return nil
 }
 
 // printAppPercentiles renders the per-application latency distribution of

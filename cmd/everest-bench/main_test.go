@@ -52,6 +52,25 @@ func TestRunSaturationSuiteRejectsUnknownApp(t *testing.T) {
 	}
 }
 
+func TestRunStreamSmoke(t *testing.T) {
+	if err := runStream(0, "", 0, 20000, "poisson", true, 0.25, "2000,4000"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStreamRejectsBadFlags(t *testing.T) {
+	if err := runStream(0, "", 0, 5000, "poisson", true, 0.25, "not-a-number"); err == nil {
+		t.Fatal("malformed -rates accepted")
+	}
+	if err := runStream(0, "nope", 0, 5000, "poisson", true, 0.25, "2000"); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	// An SLO no rung can meet is an explicit error, not a zero metric.
+	if err := runStream(0, "", 0, 5000, "poisson", true, 1e-9, "4000"); err == nil {
+		t.Fatal("impossible SLO should error")
+	}
+}
+
 // TestProfileHelpers covers the -cpuprofile/-memprofile plumbing: both
 // helpers must produce non-empty pprof files and surface unwritable paths
 // as errors instead of exiting mid-profile.

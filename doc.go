@@ -8,27 +8,45 @@
 //
 //   - the data-driven compilation framework: the EVEREST Kernel Language
 //     (internal/ekl), the ConDRust coordination language
-//     (internal/condrust), the MLIR dialect stack (internal/mlir,
-//     internal/mlir/dialects), custom number formats (internal/base2), HLS
-//     scheduling (internal/hls) and Olympus system generation
-//     (internal/olympus);
-//   - the virtualized runtime environment: platform models and per-node
-//     monitors (internal/platform, internal/netsim), the Dask-like
-//     resource manager with a serial HEFT planner and a concurrent
-//     multi-tenant execution engine whose adaptive mode closes the
-//     autotuner→engine→virt loop — per-workflow variant tuners, learned
-//     node load, and SR-IOV hot-plug events driving placement
-//     (internal/runtime), the multi-workflow submission server
-//     (internal/sdk.Server, exposed as `basecamp serve [-adaptive]` and
-//     `basecamp adapt`), SR-IOV virtualization with hot-plug notifications
+//     (internal/condrust), the ML-model entry point (internal/onnxlite),
+//     the MLIR dialect stack (internal/mlir, internal/mlir/dialects),
+//     custom number formats (internal/base2), HLS scheduling
+//     (internal/hls), Olympus system generation (internal/olympus), and
+//     the closed compile loop (internal/variants) that turns any of those
+//     sources into a bitstream plus derived cpu1/cpu16/fpga operating
+//     points — nothing on the accelerated path carries a hand-declared
+//     latency;
+//   - the virtualized runtime environment, three serving tiers deep:
+//     the concurrent multi-tenant engine with adaptive variant-aware
+//     placement (internal/runtime, fronted by internal/sdk.Server), the
+//     federation tier routing workflows across engine sites with bounded
+//     LRU bitstream caches and deploy pricing (internal/fleet, fronted by
+//     sdk.FleetServer), and the streaming tier serving long-lived
+//     windowed pipelines with shed-or-block backpressure and kernels
+//     resident in FPGA partial-reconfiguration regions (internal/stream,
+//     fronted by sdk.StreamServer) — all over the platform models
+//     (internal/platform, internal/netsim), SR-IOV virtualization
 //     (internal/virt), and the mARGOt autotuner (internal/autotuner);
 //   - the anomaly detection service (internal/anomaly) with TPE AutoML.
 //
-// The four driving use cases are implemented as workloads: WRF-style
+// The four driving use cases are implemented as workloads — WRF-style
 // weather simulation (internal/wrf), renewable-energy prediction
 // (internal/energy), air-quality monitoring (internal/airquality), and
-// traffic modeling (internal/traffic).
+// traffic modeling (internal/traffic) — and registered as multi-stage
+// DAG applications with compiled per-stage bitstreams (internal/apps),
+// served through the fleet tier as the mixed E-apps suite and through
+// the streaming tier as the million-event E-stream feed.
 //
-// Entry points: the basecamp CLI (cmd/basecamp), the experiment harness
-// (cmd/everest-bench), and the runnable examples under examples/.
+// Everything runs in modelled time: deterministic across GOMAXPROCS
+// (byte-identical trace streams, enforced under -race), allocation-free
+// on the per-event hot paths (enforced by testing.AllocsPerRun budgets),
+// and fast enough to sweep million-event scenarios in seconds. CI gates
+// the headline metrics of every tier against committed BENCH_*.json
+// baselines via cmd/benchgate.
+//
+// Entry points: the basecamp CLI (cmd/basecamp — compile, deploy,
+// serve [-sites N | -stream], adapt, anomaly, bench), the experiment
+// and serving harnesses (cmd/everest-bench — E1-E14 tables, -saturate,
+// -stream), the bench-regression gate (cmd/benchgate), and the runnable
+// examples under examples/.
 package everest

@@ -40,6 +40,12 @@ type App struct {
 	Title   string
 	Kernels []StageKernel
 
+	// BatchEvents is how many stream events one workflow instance's batch
+	// stands for (GPS points, forecast-horizon meter readings, atmospheric
+	// columns). The streaming tier divides the app's batch stage costs by
+	// it to derive per-event operator costs.
+	BatchEvents int
+
 	// build constructs the i-th workflow instance. Implementations vary
 	// software-stage weights with i so a stream of submissions resembles
 	// mixed traffic, and must be deterministic in i.

@@ -86,6 +86,9 @@ func buildEnergy(opt variants.Options) (*App, error) {
 	a := &App{
 		Name:  "energy",
 		Title: "wind-power prediction (KRR + ONNX dense net) with anomaly check",
+		// One workflow instance digests the rolling history window; as a
+		// stream, each of its samples (one SCADA reading) is one event.
+		BatchEvents: len(ds.Samples),
 		Kernels: []StageKernel{
 			{Stage: "krr", Compiled: krr},
 			{Stage: "infer", Compiled: mlp},

@@ -47,8 +47,9 @@ func buildTraffic(opt variants.Options) (*App, error) {
 	}
 
 	a := &App{
-		Name:  "traffic",
-		Title: "Fig. 4 map-matching dataflow with FPGA-offloaded projection",
+		Name:        "traffic",
+		Title:       "Fig. 4 map-matching dataflow with FPGA-offloaded projection",
+		BatchEvents: trafficBatch,
 	}
 	// Stage identity comes from the graph: every offloaded actor carries
 	// the compiled kernel.

@@ -31,8 +31,9 @@ func buildWeather(opt variants.Options) (*App, error) {
 		return nil, fmt.Errorf("apps: weather radiation kernel: %w", err)
 	}
 	a := &App{
-		Name:  "weather",
-		Title: "WRF ensemble forecast with FPGA-offloaded RRTMG radiation",
+		Name:        "weather",
+		Title:       "WRF ensemble forecast with FPGA-offloaded RRTMG radiation",
+		BatchEvents: weatherMembers * weatherColumns,
 	}
 	for m := 0; m < weatherMembers; m++ {
 		a.Kernels = append(a.Kernels, StageKernel{Stage: fmt.Sprintf("rad%d", m), Compiled: c})

@@ -5,18 +5,36 @@ import "everest/internal/platform"
 // bitstreamCache is one site's bounded set of resident bitstreams. Each
 // entry records the device slot holding the deployed artifact; capacity is
 // the number of bitstreams the site may keep resident at once, so filling
-// it forces a genuine eviction — the victim's device is unprogrammed and a
+// it forces a genuine eviction — the victim's slot is unprogrammed and a
 // later request for it pays a full redeploy. Eviction order is LRU over a
 // monotonic use sequence, which makes the victim deterministic (no two
 // entries share a sequence number).
 //
+// A slot is either a whole device (region < 0, the classic path: the
+// victim's device is unprogrammed outright) or one partial-reconfiguration
+// region of a device (region >= 0, Config.PartialReconfig: several slots
+// share a card and evicting one clears only that region). occupied() is
+// what keeps the two granularities from clobbering each other: a
+// whole-device entry blocks every region of its card and vice versa.
+//
 // The cache itself is not synchronized; the owning site's mutex guards it
 // (the site worker mutates, the router peeks).
 type cacheSlot struct {
-	id   string
-	node *platform.Node
-	dev  int
-	use  int64 // last-touch sequence
+	id     string
+	node   *platform.Node
+	dev    int
+	region int   // PR region slot, or -1 for a whole-device program
+	use    int64 // last-touch sequence
+}
+
+// unprogram frees the slot's fabric share: the whole device for a classic
+// slot, just the region for a per-region one.
+func (s *cacheSlot) unprogram() {
+	if s.region < 0 {
+		_, _ = s.node.Unprogram(s.dev)
+		return
+	}
+	_, _ = s.node.UnprogramRegion(s.dev, s.region)
 }
 
 type bitstreamCache struct {
@@ -53,19 +71,19 @@ func (c *bitstreamCache) peek(id string) (*cacheSlot, bool) {
 
 // add records a freshly deployed bitstream as most recently used. An id
 // that is already resident refreshes in place: when the new deployment
-// landed on a different device slot, the stale device is unprogrammed
-// first — otherwise it would stay programmed with no cache entry pointing
-// at it while occupied() kept reporting the dead slot forever.
-func (c *bitstreamCache) add(id string, node *platform.Node, dev int) {
+// landed on a different slot, the stale slot is unprogrammed first —
+// otherwise it would stay programmed with no cache entry pointing at it
+// while occupied() kept reporting the dead slot forever.
+func (c *bitstreamCache) add(id string, node *platform.Node, dev, region int) {
 	c.seq++
 	if s, ok := c.m[id]; ok {
-		if s.node != node || s.dev != dev {
-			_, _ = s.node.Unprogram(s.dev)
+		if s.node != node || s.dev != dev || s.region != region {
+			s.unprogram()
 		}
-		s.node, s.dev, s.use = node, dev, c.seq
+		s.node, s.dev, s.region, s.use = node, dev, region, c.seq
 		return
 	}
-	c.m[id] = &cacheSlot{id: id, node: node, dev: dev, use: c.seq}
+	c.m[id] = &cacheSlot{id: id, node: node, dev: dev, region: region, use: c.seq}
 }
 
 func (c *bitstreamCache) remove(id string) { delete(c.m, id) }
@@ -81,11 +99,16 @@ func (c *bitstreamCache) lru() *cacheSlot {
 	return victim
 }
 
-// occupied reports whether some cached bitstream resides on (node, dev) —
-// programming over it would silently clobber a resident entry.
-func (c *bitstreamCache) occupied(node *platform.Node, dev int) bool {
+// occupied reports whether programming (node, dev, region) would clobber a
+// resident entry. A whole-device candidate (region < 0) conflicts with any
+// entry on the device; a region candidate conflicts with a whole-device
+// entry on the device or an entry in the same region.
+func (c *bitstreamCache) occupied(node *platform.Node, dev, region int) bool {
 	for _, s := range c.m {
-		if s.node == node && s.dev == dev {
+		if s.node != node || s.dev != dev {
+			continue
+		}
+		if region < 0 || s.region < 0 || s.region == region {
 			return true
 		}
 	}

@@ -111,9 +111,16 @@ type Config struct {
 	// cluster exclusively).
 	NewCluster func(site int) *platform.Cluster
 	// CacheSlots bounds how many bitstreams a site keeps resident
-	// (default 1). Filling it evicts LRU — the victim's device is
+	// (default 1). Filling it evicts LRU — the victim's slot is
 	// unprogrammed, so returning work pays a redeploy.
 	CacheSlots int
+	// PartialReconfig deploys bitstreams into per-device PR region slots
+	// instead of programming whole devices: one card hosts up to
+	// Device.Regions() kernels at once, deploys transfer and reconfigure
+	// only a region-sized image slice, and evictions clear a single region.
+	// Kernels too large for a region fall back to whole-device programming
+	// on a card with no resident regions.
+	PartialReconfig bool
 	// Policy selects each engine's placement strategy.
 	Policy runtime.Policy
 	// Adaptive enables variant-aware scheduling per site engine.
@@ -587,20 +594,32 @@ func (f *Fleet) estimateDeploy(s *site, id string, at float64) (float64, bool) {
 	if err != nil {
 		return 0, false
 	}
-	n, dev := s.deployTarget(bs, at, nil)
+	n, dev, region := s.deployTarget(bs, at, f.cfg.PartialReconfig, nil)
 	if n == nil {
 		return 0, false
 	}
-	d := n.Devices[dev]
-	return f.cfg.RegistryNet.SendSeconds(bitstreamBytes(d)) + d.ReconfigSeconds(), true
+	return deployCost(f.cfg.RegistryNet, n.Devices[dev], region), true
 }
 
-// deployTarget returns the first alive node and online device (at modelled
-// time at) that fits the bitstream, skipping device slots the occupied
-// predicate claims. nil predicate skips nothing (estimates ignore cache
+// deployCost prices staging one configuration image onto a device slot:
+// the registry transfer of the image plus the reconfiguration latency,
+// both region-sized when the slot is a PR region (region >= 0).
+func deployCost(net *netsim.Stack, d *platform.Device, region int) float64 {
+	if region >= 0 {
+		return net.SendSeconds(d.RegionConfigBytes()) + d.RegionReconfigSeconds()
+	}
+	return net.SendSeconds(d.ConfigBytes()) + d.ReconfigSeconds()
+}
+
+// deployTarget returns the first alive node, online device (at modelled
+// time at), and slot that fits the bitstream, skipping slots the occupied
+// predicate claims. With partial set, PR region slots (region >= 0) are
+// tried on each device first and a kernel too large for a region falls
+// back to the whole device (region -1); without it every candidate is
+// whole-device. nil predicate skips nothing (estimates ignore cache
 // occupancy: an occupied slot only means an eviction, already priced by
 // the cache bound).
-func (s *site) deployTarget(bs platform.Bitstream, at float64, occupied func(*platform.Node, int) bool) (*platform.Node, int) {
+func (s *site) deployTarget(bs platform.Bitstream, at float64, partial bool, occupied func(*platform.Node, int, int) bool) (*platform.Node, int, int) {
 	need := bs.TotalResources()
 	for _, n := range s.cluster.Nodes {
 		if _, failed := n.FailedAt(); failed {
@@ -610,24 +629,26 @@ func (s *site) deployTarget(bs platform.Bitstream, at float64, occupied func(*pl
 			if !n.DeviceOnlineAt(idx, at) {
 				continue
 			}
-			if !need.FitsIn(n.Devices[idx].Capacity) {
+			d := n.Devices[idx]
+			if !need.FitsIn(d.Capacity) {
 				continue
 			}
-			if occupied != nil && occupied(n, idx) {
+			if partial && need.FitsIn(d.RegionCapacity()) {
+				for r := 0; r < d.Regions(); r++ {
+					if occupied != nil && occupied(n, idx, r) {
+						continue
+					}
+					return n, idx, r
+				}
 				continue
 			}
-			return n, idx
+			if occupied != nil && occupied(n, idx, -1) {
+				continue
+			}
+			return n, idx, -1
 		}
 	}
-	return nil, -1
-}
-
-// bitstreamBytes models the configuration image size for a device: the
-// frame count scales with fabric size (~16 bytes of configuration per
-// LUT), which puts an Alveo xclbin in the tens of megabytes and a
-// cloudFPGA partial image a quarter of that.
-func bitstreamBytes(d *platform.Device) int64 {
-	return int64(d.Capacity.LUT) * 16
+	return nil, -1, -1
 }
 
 // bitstreamNeeds lists the distinct bitstream IDs a workflow's FPGA tasks
@@ -774,7 +795,7 @@ func (f *Fleet) deployNeeds(s *site, w work, at float64) float64 {
 		if hit {
 			// Resident, but the hosting device is offline now (unplug
 			// churn): drop the stale entry and redeploy elsewhere.
-			_, _ = slot.node.Unprogram(slot.dev)
+			slot.unprogram()
 			s.cache.remove(id)
 			s.stats.Evictions++
 			if evs != nil {
@@ -813,10 +834,10 @@ func (f *Fleet) deployOne(s *site, w work, id string, at float64, evs *[]Event) 
 		return 0
 	}
 	var node *platform.Node
-	dev := -1
+	dev, region := -1, -1
 	for {
 		if s.cache.len() < f.cfg.CacheSlots {
-			node, dev = s.deployTarget(bs, at, s.cache.occupied)
+			node, dev, region = s.deployTarget(bs, at, f.cfg.PartialReconfig, s.cache.occupied)
 			if node != nil {
 				break
 			}
@@ -832,15 +853,20 @@ func (f *Fleet) deployOne(s *site, w work, id string, at float64, evs *[]Event) 
 			}
 			return 0
 		}
-		_, _ = victim.node.Unprogram(victim.dev)
+		victim.unprogram()
 		s.cache.remove(victim.id)
 		s.stats.Evictions++
 		if evs != nil {
 			*evs = append(*evs, Event{Kind: EventEvict, Site: s.name, Bitstream: victim.id,
-				Time: at, Detail: fmt.Sprintf("lru from %s/dev%d", victim.node.Name, victim.dev)})
+				Time: at, Detail: fmt.Sprintf("lru from %s/%s", victim.node.Name, slotName(victim.dev, victim.region))})
 		}
 	}
-	dt, err := node.Program(dev, bs)
+	var dt float64
+	if region >= 0 {
+		dt, err = node.ProgramRegion(dev, region, bs)
+	} else {
+		dt, err = node.Program(dev, bs)
+	}
 	if err != nil {
 		s.stats.FallbackDeploys++
 		if evs != nil {
@@ -849,8 +875,13 @@ func (f *Fleet) deployOne(s *site, w work, id string, at float64, evs *[]Event) 
 		}
 		return 0
 	}
-	xfer := f.cfg.RegistryNet.SendSeconds(bitstreamBytes(node.Devices[dev]))
-	s.cache.add(id, node, dev)
+	d := node.Devices[dev]
+	img := d.ConfigBytes()
+	if region >= 0 {
+		img = d.RegionConfigBytes()
+	}
+	xfer := f.cfg.RegistryNet.SendSeconds(img)
+	s.cache.add(id, node, dev, region)
 	kind := EventDeploy
 	if s.everDeployed[id] {
 		s.stats.Redeploys++
@@ -860,9 +891,18 @@ func (f *Fleet) deployOne(s *site, w work, id string, at float64, evs *[]Event) 
 	if evs != nil {
 		*evs = append(*evs, Event{Kind: kind, Site: s.name, Tenant: w.t.Tenant,
 			Workflow: w.t.Name, Bitstream: id, Time: at,
-			Detail: fmt.Sprintf("%s/dev%d xfer=%.4gs reconfig=%.3gs", node.Name, dev, xfer, dt)})
+			Detail: fmt.Sprintf("%s/%s xfer=%.4gs reconfig=%.3gs", node.Name, slotName(dev, region), xfer, dt)})
 	}
 	return xfer + dt
+}
+
+// slotName renders a device slot for trace details: "dev0" whole-device,
+// "dev0.r2" for PR region 2.
+func slotName(dev, region int) string {
+	if region >= 0 {
+		return fmt.Sprintf("dev%d.r%d", dev, region)
+	}
+	return fmt.Sprintf("dev%d", dev)
 }
 
 // trace emits events in order under the trace mutex.

@@ -84,8 +84,8 @@ func newTestFleet(t *testing.T, reg *platform.Registry, cfg Config) *Fleet {
 func TestCacheLRUOrderAndOccupancy(t *testing.T) {
 	c := newBitstreamCache(2)
 	n := platform.NewNode("n", platform.XeonModel(), platform.AlveoU55C(), platform.AlveoU55C())
-	c.add("a", n, 0)
-	c.add("b", n, 1)
+	c.add("a", n, 0, -1)
+	c.add("b", n, 1, -1)
 	if got := c.lru(); got == nil || got.id != "a" {
 		t.Fatalf("lru = %+v, want a", got)
 	}
@@ -101,11 +101,11 @@ func TestCacheLRUOrderAndOccupancy(t *testing.T) {
 	if got := c.lru(); got == nil || got.id != "b" {
 		t.Fatalf("peek must not refresh recency; lru = %+v, want b", got)
 	}
-	if !c.occupied(n, 0) || !c.occupied(n, 1) {
+	if !c.occupied(n, 0, -1) || !c.occupied(n, 1, -1) {
 		t.Fatal("both device slots should be occupied")
 	}
 	c.remove("b")
-	if c.occupied(n, 1) {
+	if c.occupied(n, 1, -1) {
 		t.Fatal("slot 1 should be free after remove")
 	}
 	if c.len() != 1 {
@@ -125,18 +125,18 @@ func TestCacheAddRefreshInPlace(t *testing.T) {
 	if _, err := n.Program(0, bs); err != nil {
 		t.Fatal(err)
 	}
-	c.add("a", n, 0)
+	c.add("a", n, 0, -1)
 	if _, err := n.Program(1, bs); err != nil {
 		t.Fatal(err)
 	}
-	c.add("a", n, 1) // same id lands on a different device
+	c.add("a", n, 1, -1) // same id lands on a different device
 	if c.len() != 1 {
 		t.Fatalf("len = %d, want 1", c.len())
 	}
-	if c.occupied(n, 0) {
+	if c.occupied(n, 0, -1) {
 		t.Fatal("stale slot (n, 0) still reported occupied")
 	}
-	if !c.occupied(n, 1) {
+	if !c.occupied(n, 1, -1) {
 		t.Fatal("fresh slot (n, 1) not reported occupied")
 	}
 	if _, loaded := n.Programmed(0); loaded {
@@ -147,7 +147,7 @@ func TestCacheAddRefreshInPlace(t *testing.T) {
 		t.Fatalf("slot = %+v, want dev 1", slot)
 	}
 	// Refreshing the same (node, dev) must not unprogram the live device.
-	c.add("a", n, 1)
+	c.add("a", n, 1, -1)
 	if _, loaded := n.Programmed(1); !loaded {
 		t.Fatal("refresh on the same slot unprogrammed the live device")
 	}
@@ -155,8 +155,8 @@ func TestCacheAddRefreshInPlace(t *testing.T) {
 	if _, err := n.Program(0, testBitstream("b")); err != nil {
 		t.Fatal(err)
 	}
-	c.add("b", n, 0)
-	c.add("a", n, 1)
+	c.add("b", n, 0, -1)
+	c.add("a", n, 1, -1)
 	if got := c.lru(); got == nil || got.id != "b" {
 		t.Fatalf("lru = %+v, want b (refresh must update recency)", got)
 	}
@@ -537,5 +537,80 @@ func TestEngineTraceMergeAndServeError(t *testing.T) {
 	st := f.Stats()
 	if st.Sites[0].Failed != 1 {
 		t.Fatalf("site failed count = %d, want 1", st.Sites[0].Failed)
+	}
+}
+
+func TestPartialReconfigSharesOneDevice(t *testing.T) {
+	// Two distinct kernels on a one-device site: with partial
+	// reconfiguration and a two-slot cache they land in two PR regions of
+	// the same card — the alternating stream pays two cold region deploys
+	// and then runs eviction-free, where whole-device programming churns.
+	reg := platform.NewRegistry()
+	bs1, bs2 := testBitstream("bs-pr-a"), testBitstream("bs-pr-b")
+	for _, bs := range []platform.Bitstream{bs1, bs2} {
+		if err := reg.Put(bs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	serve := func(partial bool) ([]float64, Stats) {
+		var events []Event
+		f := newTestFleet(t, reg, Config{
+			Sites: 1, CacheSlots: 2, PartialReconfig: partial,
+			NewCluster: testCluster(1),
+			Trace:      func(ev Event) { events = append(events, ev) },
+		})
+		defer f.Shutdown()
+		var deploys []float64
+		arrival := 0.0
+		for _, id := range []string{"bs-pr-a", "bs-pr-b", "bs-pr-a", "bs-pr-b"} {
+			tk, err := f.Submit(Request{Tenant: "t0", Workflow: fpgaWorkflow(id), Arrival: arrival})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := tk.Wait()
+			if err != nil {
+				t.Fatal(err)
+			}
+			deploys = append(deploys, res.Deploy)
+			arrival = res.Completion
+		}
+		if partial {
+			found := false
+			for _, ev := range events {
+				if ev.Kind == EventDeploy && strings.Contains(ev.Detail, ".r") {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("partial deploys should target region slots, trace: %+v", events)
+			}
+		}
+		return deploys, f.Stats()
+	}
+
+	prDeploys, prStats := serve(true)
+	wholeDeploys, wholeStats := serve(false)
+
+	// Partial: two cold region deploys, then both kernels stay resident.
+	if prDeploys[0] <= 0 || prDeploys[1] <= 0 {
+		t.Fatalf("partial cold deploys = %v, want both paid", prDeploys)
+	}
+	if prDeploys[2] != 0 || prDeploys[3] != 0 {
+		t.Fatalf("partial revisits = %v, want free (both kernels resident)", prDeploys[2:])
+	}
+	if prStats.Evictions() != 0 || prStats.CacheHits() != 2 {
+		t.Fatalf("partial evictions/hits = %d/%d, want 0/2", prStats.Evictions(), prStats.CacheHits())
+	}
+	// Whole-device: the single card holds one image at a time, so every
+	// alternation evicts and redeploys despite the two-slot cache.
+	if wholeStats.Evictions() == 0 || wholeStats.Redeploys() == 0 {
+		t.Fatalf("whole-device churn = evict %d redeploy %d, want > 0",
+			wholeStats.Evictions(), wholeStats.Redeploys())
+	}
+	// Region images are a quarter of the card: cold partial deploys must
+	// be cheaper than whole-device ones.
+	if prDeploys[0] >= wholeDeploys[0] {
+		t.Fatalf("region deploy %g should undercut whole-device deploy %g",
+			prDeploys[0], wholeDeploys[0])
 	}
 }

@@ -76,6 +76,13 @@ type Device struct {
 	Memory     MemorySpec
 	Host       LinkSpec // PCIe link (PCIeAttached) or network link (NetworkAttached)
 	FabricMHz  float64  // achievable fabric clock ceiling
+	// PRRegions is the number of partial-reconfiguration region slots the
+	// shell floorplan exposes (0 or 1 means whole-device configuration
+	// only). Each region holds one kernel bitstream and reconfigures
+	// independently of its neighbours, which is what lets one card keep
+	// several streaming kernels resident and swap only the one that
+	// changes.
+	PRRegions int
 }
 
 func (d *Device) String() string {
@@ -94,6 +101,50 @@ func (d *Device) ReconfigSeconds() float64 {
 	return 0.120
 }
 
+// Regions returns the number of usable PR region slots (at least 1: a
+// device without a PR floorplan is one whole-device "region").
+func (d *Device) Regions() int {
+	if d.PRRegions < 2 {
+		return 1
+	}
+	return d.PRRegions
+}
+
+// RegionCapacity returns the resource budget of one PR region: the fabric
+// divided evenly across the floorplanned regions. A kernel that does not
+// fit a region can still be deployed whole-device (displacing every
+// resident region).
+func (d *Device) RegionCapacity() hls.Resources {
+	r := d.Regions()
+	return hls.Resources{
+		LUT: d.Capacity.LUT / r, FF: d.Capacity.FF / r,
+		DSP: d.Capacity.DSP / r, BRAM: d.Capacity.BRAM / r,
+	}
+}
+
+// RegionReconfigSeconds is the modelled configuration latency of a single
+// PR region: reconfiguration streams configuration frames, so the latency
+// scales with the region's share of the fabric.
+func (d *Device) RegionReconfigSeconds() float64 {
+	return d.ReconfigSeconds() / float64(d.Regions())
+}
+
+// ConfigBytes models the whole-device configuration image size: the frame
+// count scales with fabric size (~16 bytes of configuration per LUT),
+// which puts an Alveo xclbin in the tens of megabytes and a cloudFPGA
+// partial image a quarter of that. Deployment tiers price registry
+// transfers with it.
+func (d *Device) ConfigBytes() int64 {
+	return int64(d.Capacity.LUT) * 16
+}
+
+// RegionConfigBytes is the configuration image size of one PR region — the
+// region's share of the whole-device image. Per-region deploys transfer
+// and reconfigure only this slice.
+func (d *Device) RegionConfigBytes() int64 {
+	return d.ConfigBytes() / int64(d.Regions())
+}
+
 // AlveoU55C returns the model of an AMD Alveo U55C: HBM2 card used by the
 // paper's PTDR and map-matching deployments (§VIII).
 func AlveoU55C() *Device {
@@ -107,6 +158,7 @@ func AlveoU55C() *Device {
 		},
 		Host:      LinkSpec{Kind: "pcie3x16", BandwidthGBs: 12, LatencyUs: 5},
 		FabricMHz: 450,
+		PRRegions: 4,
 	}
 }
 
@@ -122,6 +174,7 @@ func AlveoU280() *Device {
 		},
 		Host:      LinkSpec{Kind: "pcie4x8", BandwidthGBs: 14, LatencyUs: 4},
 		FabricMHz: 450,
+		PRRegions: 4,
 	}
 }
 
@@ -139,6 +192,7 @@ func CloudFPGA() *Device {
 		},
 		Host:      LinkSpec{Kind: "tcp10g", BandwidthGBs: 1.1, LatencyUs: 25},
 		FabricMHz: 322,
+		PRRegions: 2,
 	}
 }
 

@@ -47,8 +47,9 @@ type Node struct {
 	Devices []*Device
 
 	mu         sync.Mutex
-	programmed map[int]Bitstream // device index -> loaded bitstream
-	busyUntil  map[int]float64   // device index -> modelled time it frees up
+	programmed map[int]Bitstream    // device index -> loaded whole-device bitstream
+	regions    map[[2]int]Bitstream // (device index, PR region) -> loaded kernel
+	busyUntil  map[int]float64      // device index -> modelled time it frees up
 	failed     bool
 	failedAt   float64
 	// Condition faults are timelines in modelled time, not booleans: a
@@ -71,6 +72,7 @@ func NewNode(name string, cpu CPUModel, devices ...*Device) *Node {
 	return &Node{
 		Name: name, CPU: cpu, Devices: devices,
 		programmed: make(map[int]Bitstream),
+		regions:    make(map[[2]int]Bitstream),
 		busyUntil:  make(map[int]float64),
 		devHist:    make(map[int][]condChange),
 	}
@@ -116,7 +118,87 @@ func (n *Node) Program(idx int, bs Bitstream) (float64, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.programmed[idx] = bs
+	// A whole-device image rewrites the entire fabric, displacing every
+	// kernel resident in a PR region.
+	n.clearRegionsLocked(idx)
 	return n.Devices[idx].ReconfigSeconds(), nil
+}
+
+// clearRegionsLocked drops every PR-region entry of device idx (n.mu held).
+func (n *Node) clearRegionsLocked(idx int) {
+	for r := 0; r < n.Devices[idx].Regions(); r++ {
+		delete(n.regions, [2]int{idx, r})
+	}
+}
+
+// ProgramRegion loads a kernel bitstream into one partial-reconfiguration
+// region of device idx, leaving every other region resident — the streaming
+// and fleet tiers use this so one card hosts several kernels and a stage
+// change swaps only the region that changes. The kernel must fit the
+// region's share of the fabric; the modelled latency returned is the
+// region-sized reconfiguration time. A previously loaded whole-device image
+// is displaced (its static shell is what the regions plug into).
+func (n *Node) ProgramRegion(idx, region int, bs Bitstream) (float64, error) {
+	if idx < 0 || idx >= len(n.Devices) {
+		return 0, fmt.Errorf("platform: node %s has no device %d", n.Name, idx)
+	}
+	d := n.Devices[idx]
+	if region < 0 || region >= d.Regions() {
+		return 0, fmt.Errorf("platform: %s device %d has no PR region %d (regions: %d)",
+			n.Name, idx, region, d.Regions())
+	}
+	if !bs.TotalResources().FitsIn(d.RegionCapacity()) {
+		return 0, fmt.Errorf("platform: bitstream %q does not fit a PR region of %s (1/%d of the fabric)",
+			bs.ID, d.Name, d.Regions())
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.programmed, idx)
+	n.regions[[2]int{idx, region}] = bs
+	return d.RegionReconfigSeconds(), nil
+}
+
+// UnprogramRegion clears one PR region of device idx, returning whether a
+// kernel was resident there. Per-region cache evictions use this so the
+// victim region frees without disturbing its neighbours.
+func (n *Node) UnprogramRegion(idx, region int) (bool, error) {
+	if idx < 0 || idx >= len(n.Devices) {
+		return false, fmt.Errorf("platform: node %s has no device %d", n.Name, idx)
+	}
+	if region < 0 || region >= n.Devices[idx].Regions() {
+		return false, fmt.Errorf("platform: %s device %d has no PR region %d", n.Name, idx, region)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, loaded := n.regions[[2]int{idx, region}]
+	delete(n.regions, [2]int{idx, region})
+	return loaded, nil
+}
+
+// RegionProgrammed returns the kernel resident in one PR region of device
+// idx.
+func (n *Node) RegionProgrammed(idx, region int) (Bitstream, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	bs, ok := n.regions[[2]int{idx, region}]
+	return bs, ok
+}
+
+// ProgrammedRegions counts the kernels resident across device idx's PR
+// regions.
+func (n *Node) ProgrammedRegions(idx int) int {
+	if idx < 0 || idx >= len(n.Devices) {
+		return 0
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	count := 0
+	for r := 0; r < n.Devices[idx].Regions(); r++ {
+		if _, ok := n.regions[[2]int{idx, r}]; ok {
+			count++
+		}
+	}
+	return count
 }
 
 // Unprogram clears the bitstream loaded on device idx, returning whether
@@ -133,6 +215,8 @@ func (n *Node) Unprogram(idx int) (bool, error) {
 	defer n.mu.Unlock()
 	_, loaded := n.programmed[idx]
 	delete(n.programmed, idx)
+	// Freeing the device clears PR regions too: the whole fabric is blank.
+	n.clearRegionsLocked(idx)
 	return loaded, nil
 }
 

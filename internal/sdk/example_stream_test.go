@@ -1,0 +1,38 @@
+package sdk_test
+
+import (
+	"fmt"
+
+	"everest/internal/sdk"
+)
+
+// ExampleStreamServer serves a scaled-down E-stream feed: the traffic and
+// energy applications as long-lived windowed pipelines, kernels resident
+// in FPGA partial-reconfiguration regions. Modelled-time serving makes
+// every counter exactly reproducible, which is what lets an Example
+// assert the output verbatim.
+func ExampleStreamServer() {
+	sc := sdk.DefaultStreamScenario()
+	sc.Events = 5000 // per pipeline; the default scenario serves 250000
+	srv, err := sdk.NewStreamServer(sc)
+	if err != nil {
+		panic(err)
+	}
+	st, err := srv.Run()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("served %d/%d events, shed %d, kernel swaps %d\n",
+		st.Done, st.Events, st.Shed, st.Swaps)
+	fmt.Printf("p99 within the %.2fs SLO: %v\n", sc.SLO, st.P99 <= sc.SLO)
+	for _, p := range st.Pipelines {
+		fmt.Printf("  %s (%s): %d done\n", p.Name, p.Tenant, p.Done)
+	}
+	// Output:
+	// served 20000/20000 events, shed 0, kernel swaps 0
+	// p99 within the 0.25s SLO: true
+	//   energy00 (guaranteed): 5000 done
+	//   traffic01 (besteffort): 5000 done
+	//   energy02 (guaranteed): 5000 done
+	//   traffic03 (besteffort): 5000 done
+}

@@ -27,6 +27,10 @@ type FleetConfig struct {
 	NodesPerSite int
 	// CacheSlots bounds each site's resident bitstreams (default 1).
 	CacheSlots int
+	// PartialReconfig deploys kernels into per-region FPGA slots (region-
+	// sized image transfers and reconfiguration) instead of whole devices;
+	// kernels too large for a region fall back to whole-device programming.
+	PartialReconfig bool
 	// Policy selects each site engine's placement strategy.
 	Policy runtime.Policy
 	// Adaptive enables variant-aware scheduling per site.
@@ -89,6 +93,7 @@ func NewFleetServer(cfg FleetConfig) (*FleetServer, error) {
 		Sites:           cfg.Sites,
 		NewCluster:      func(int) *platform.Cluster { return DefaultCluster(cfg.NodesPerSite) },
 		CacheSlots:      cfg.CacheSlots,
+		PartialReconfig: cfg.PartialReconfig,
 		Policy:          cfg.Policy,
 		Adaptive:        cfg.Adaptive,
 		MaxQueueSeconds: cfg.MaxQueueSeconds,
@@ -185,8 +190,11 @@ type FleetScenario struct {
 	Sites        int
 	NodesPerSite int
 	CacheSlots   int
-	Tenants      int
-	Workflows    int
+	// PartialReconfig deploys kernels into per-region FPGA slots
+	// (FleetConfig semantics).
+	PartialReconfig bool
+	Tenants         int
+	Workflows       int
 	// ArrivalGap is the open-mode interarrival (modelled seconds); in
 	// closed mode it staggers the clients' initial arrivals instead.
 	ArrivalGap float64
@@ -383,7 +391,8 @@ func (sc FleetScenario) run(bitstreams []platform.Bitstream, wf func(i int) *run
 	}
 	srv, err := NewFleetServer(FleetConfig{
 		Sites: sc.Sites, NodesPerSite: sc.NodesPerSite, CacheSlots: sc.CacheSlots,
-		Policy: sc.Policy, Adaptive: sc.Adaptive,
+		PartialReconfig: sc.PartialReconfig,
+		Policy:          sc.Policy, Adaptive: sc.Adaptive,
 		MaxQueueSeconds: sc.MaxQueueSeconds,
 		Net:             sc.Net, RegistryNet: sc.RegistryNet,
 		SiteEvents: events, Trace: sc.Trace, EngineTrace: sc.EngineTrace,

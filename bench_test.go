@@ -303,6 +303,44 @@ func BenchmarkAppSuite(b *testing.B) {
 	}
 }
 
+// BenchmarkGuaranteedServing exercises the proven-bound admission class
+// (E-wcet): the E-fleet mix driven toward best-effort saturation with
+// every 4th submission requesting a guaranteed 4s deadline, while site 0
+// loses an accelerator and suffers a 3x CPU slowdown mid-run. Reported:
+// guaranteed_admit_rate (admissions / guaranteed requests — refusals
+// degrade to best-effort), bound_violations (admitted completions past
+// their proven bound; pinned EXACTLY at zero by BENCH_8.json — the
+// admission math is either sound or broken), and bound_tightness (worst
+// observed latency/bound ratio — how sharp the proof is; must stay in
+// (0, 1]). Modelled-time metrics: exactly deterministic across
+// GOMAXPROCS.
+func BenchmarkGuaranteedServing(b *testing.B) {
+	sc := sdk.DefaultGuaranteedScenario()
+	c, err := sc.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var admit, tight []float64
+	violations := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sc.RunWith(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.GuaranteedAdmitted == 0 {
+			b.Fatal("no guaranteed admissions: the bench proves nothing")
+		}
+		admit = append(admit, res.GuaranteedAdmitRate)
+		tight = append(tight, res.BoundTightness)
+		violations += float64(res.BoundViolations)
+	}
+	b.ReportMetric(median(admit), "guaranteed_admit_rate")
+	b.ReportMetric(median(tight), "bound_tightness")
+	// Violations are summed, not medianed: one bad run must not hide.
+	b.ReportMetric(violations, "bound_violations")
+}
+
 // BenchmarkStreamThroughput exercises the streaming tier (E-stream): the
 // million-event sensor feed — four traffic/energy pipelines of 250k
 // events each, alternating guaranteed and best-effort tenants — is swept

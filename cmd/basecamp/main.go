@@ -316,6 +316,8 @@ func cmdServe(args []string) error {
 	registryNet := fs.String("registry-net", "tcp10g", "registry->site deploy fabric (fleet mode): tcp10g, udp10g, or eth100g")
 	gap := fs.Float64("gap", 0.05, "modelled interarrival seconds between submissions (fleet mode)")
 	unplugAt := fs.Float64("unplug-at", 0.5, "modelled time site 0's first accelerator detaches (fleet mode; 0 = no fault)")
+	guaranteed := fs.Bool("guaranteed", false, "submit every 4th workflow through the proven-bound admission class (fleet mode)")
+	deadline := fs.Float64("deadline", 4, "relative latency bound guaranteed submissions must provably meet, modelled seconds (fleet mode)")
 	suite := fs.Bool("suite", false, "serve the EVEREST application suite from the workload registry (fleet mode)")
 	appList := fs.String("apps", "", "comma-separated registry applications to serve (fleet mode; implies -suite)")
 	streamMode := fs.Bool("stream", false, "serve long-lived streaming pipelines (windowed operators over the app suite)")
@@ -357,7 +359,8 @@ func cmdServe(args []string) error {
 		case !*streamMode && *sites > 1 && (fl.Name == "concurrency" || fl.Name == "fail"):
 			incompatible = append(incompatible, "-"+fl.Name)
 		case !*streamMode && *sites == 1 && (fl.Name == "cache-slots" || fl.Name == "registry-net" ||
-			fl.Name == "gap" || fl.Name == "unplug-at" || fl.Name == "suite" || fl.Name == "apps"):
+			fl.Name == "gap" || fl.Name == "unplug-at" || fl.Name == "suite" || fl.Name == "apps" ||
+			fl.Name == "guaranteed" || fl.Name == "deadline"):
 			incompatible = append(incompatible, "-"+fl.Name)
 		}
 	})
@@ -384,8 +387,12 @@ func cmdServe(args []string) error {
 		if *appList != "" {
 			*suite = true
 		}
+		gDeadline := 0.0
+		if *guaranteed {
+			gDeadline = *deadline
+		}
 		return serveFleet(*sites, *nodes, *cacheSlots, *workflows, *tenants,
-			policy, *adaptive, *netName, *registryNet, *gap, *unplugAt, *trace, *suite, *appList)
+			policy, *adaptive, *netName, *registryNet, *gap, *unplugAt, gDeadline, *trace, *suite, *appList)
 	}
 	var stack *netsim.Stack
 	if *netName != "" {
@@ -495,8 +502,10 @@ func cmdServe(args []string) error {
 // served through the federation tier — N independent engine sites behind
 // the fleet router, with bounded per-site bitstream caches and deploys
 // priced over the registry fabric. With suite set, the served stream is
-// the EVEREST application suite from the workload registry.
-func serveFleet(sites, nodes, cacheSlots, workflows, tenants int, policy runtime.Policy, adaptive bool, netName, registryNet string, gap, unplugAt float64, trace, suite bool, appList string) error {
+// the EVEREST application suite from the workload registry. A positive
+// gDeadline submits every 4th workflow through the proven-bound admission
+// class against that deadline (refusals degrade to best-effort).
+func serveFleet(sites, nodes, cacheSlots, workflows, tenants int, policy runtime.Policy, adaptive bool, netName, registryNet string, gap, unplugAt, gDeadline float64, trace, suite bool, appList string) error {
 	if workflows < 1 || tenants < 1 || nodes < 1 {
 		return fmt.Errorf("serve: workflows, tenants and nodes must be positive")
 	}
@@ -507,6 +516,10 @@ func serveFleet(sites, nodes, cacheSlots, workflows, tenants int, policy runtime
 		Net:      netName, RegistryNet: registryNet,
 		Policy: policy, Adaptive: adaptive,
 		SLO: 1.75,
+	}
+	if gDeadline > 0 {
+		sc.GuaranteedEvery = 4
+		sc.GuaranteedDeadline = gDeadline
 	}
 	if suite {
 		sc.SLO = sdk.DefaultSuiteScenario().SLO
@@ -545,6 +558,13 @@ func serveFleet(sites, nodes, cacheSlots, workflows, tenants int, policy runtime
 	fmt.Printf("throughput : %.4g workflows/s modelled\n", res.Throughput)
 	fmt.Printf("latency    : p50 %.4gs, p95 %.4gs, max %.4gs (SLO %.3gs met: %v)\n",
 		res.P50, res.P95, res.Max, sc.SLO, res.SLOMet)
+	if gDeadline > 0 {
+		fmt.Printf("guaranteed : %d admitted / %d requested (rate %.2f) at deadline %.3gs; %d degraded to best-effort\n",
+			res.GuaranteedAdmitted, res.GuaranteedAdmitted+res.GuaranteedRefused,
+			res.GuaranteedAdmitRate, gDeadline, res.GuaranteedRefused)
+		fmt.Printf("bounds     : %d violations, worst tightness %.3g (latency/bound; sound iff 0 violations)\n",
+			res.BoundViolations, res.BoundTightness)
+	}
 	var appNames []string
 	for name := range res.Apps {
 		appNames = append(appNames, name)

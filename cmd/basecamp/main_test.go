@@ -9,16 +9,16 @@ import (
 )
 
 func TestServeFleetSmoke(t *testing.T) {
-	if err := serveFleet(2, 2, 1, 8, 4, runtime.PolicyHEFT, true, "", "eth100g", 0.05, 0.2, false, false, ""); err != nil {
+	if err := serveFleet(2, 2, 1, 8, 4, runtime.PolicyHEFT, true, "", "eth100g", 0.05, 0.2, 0, false, false, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestServeFleetValidation(t *testing.T) {
-	if err := serveFleet(2, 2, 1, 0, 4, runtime.PolicyHEFT, false, "", "tcp10g", 0.05, 0, false, false, ""); err == nil {
+	if err := serveFleet(2, 2, 1, 0, 4, runtime.PolicyHEFT, false, "", "tcp10g", 0.05, 0, 0, false, false, ""); err == nil {
 		t.Fatal("zero workflows accepted")
 	}
-	if err := serveFleet(2, 2, 1, 8, 4, runtime.PolicyFIFO, false, "bogus", "tcp10g", 0.05, 0, false, false, ""); err == nil {
+	if err := serveFleet(2, 2, 1, 8, 4, runtime.PolicyFIFO, false, "bogus", "tcp10g", 0.05, 0, 0, false, false, ""); err == nil {
 		t.Fatal("bogus net accepted")
 	}
 }
@@ -114,6 +114,10 @@ func TestServeRejectsStreamIncompatibleFlags(t *testing.T) {
 		{"-stream", "-policy", "fifo"},
 		{"-stream", "-cache-slots", "2"},
 		{"-stream", "-suite"},
+		{"-guaranteed"},                  // proven-bound class exists in fleet mode only
+		{"-deadline", "2"},               // likewise its deadline knob
+		{"-stream", "-guaranteed"},       // and the stream tier has its own QoS story
+		{"-stream", "-deadline", "0.25"}, // (stream guarantees are per-event, not per-workflow)
 	} {
 		if err := cmdServe(args); err == nil {
 			t.Fatalf("conflicting flags %v accepted", args)
@@ -122,13 +126,13 @@ func TestServeRejectsStreamIncompatibleFlags(t *testing.T) {
 }
 
 func TestServeFleetSuiteSmoke(t *testing.T) {
-	if err := serveFleet(2, 2, 2, 6, 3, runtime.PolicyHEFT, true, "", "eth100g", 0.05, 0.2, false, true, ""); err != nil {
+	if err := serveFleet(2, 2, 2, 6, 3, runtime.PolicyHEFT, true, "", "eth100g", 0.05, 0.2, 0, false, true, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestServeFleetSuiteRejectsUnknownApp(t *testing.T) {
-	if err := serveFleet(2, 2, 2, 6, 3, runtime.PolicyHEFT, true, "", "eth100g", 0.05, 0, false, true, "nope"); err == nil {
+	if err := serveFleet(2, 2, 2, 6, 3, runtime.PolicyHEFT, true, "", "eth100g", 0.05, 0, 0, false, true, "nope"); err == nil {
 		t.Fatal("unknown app accepted")
 	}
 }

@@ -47,6 +47,13 @@ type Reference struct {
 	Metric         string  `json:"metric"`
 	HigherIsBetter bool    `json:"higher_is_better"`
 	Value          float64 `json:"value"`
+	// Exact gates the metric at equality with Value, ignoring the
+	// tolerance: any deviation in either direction fails. It pins
+	// correctness counters (e.g. guaranteed-class bound violations, which
+	// must be exactly zero — "only a few violations" is not a property),
+	// and -update refuses to move an exact value, so a refresh can never
+	// silently launder a broken invariant into a new baseline.
+	Exact bool `json:"exact,omitempty"`
 }
 
 // benchName strips the optional "@alias" suffix off a baseline key.
@@ -123,7 +130,9 @@ func check(base Baseline, observed map[string]map[string]float64) (lines []strin
 		if ref.Value != 0 {
 			change = (got - ref.Value) / ref.Value
 		}
-		if ref.HigherIsBetter {
+		if ref.Exact {
+			regressed = got != ref.Value
+		} else if ref.HigherIsBetter {
 			regressed = got < ref.Value*(1-tol)
 		} else {
 			regressed = got > ref.Value*(1+tol)
@@ -133,19 +142,33 @@ func check(base Baseline, observed map[string]map[string]float64) (lines []strin
 			verdict = "FAIL"
 			ok = false
 		}
-		lines = append(lines, fmt.Sprintf("%s %s: %s = %.4g (baseline %.4g, %+.1f%%, tolerance %.0f%%)",
-			verdict, key, ref.Metric, got, ref.Value, change*100, tol*100))
+		if ref.Exact {
+			lines = append(lines, fmt.Sprintf("%s %s: %s = %.4g (exact baseline %.4g)",
+				verdict, key, ref.Metric, got, ref.Value))
+		} else {
+			lines = append(lines, fmt.Sprintf("%s %s: %s = %.4g (baseline %.4g, %+.1f%%, tolerance %.0f%%)",
+				verdict, key, ref.Metric, got, ref.Value, change*100, tol*100))
+		}
 	}
 	return lines, ok
 }
 
 // update rewrites the baseline's values from the observed metrics,
-// keeping metric names, directions, and tolerance.
+// keeping metric names, directions, and tolerance. Exact references are
+// verified, never rewritten: a run that deviates from an exact pin fails
+// the update rather than re-baselining the invariant.
 func update(base Baseline, observed map[string]map[string]float64) (Baseline, error) {
 	for key, ref := range base.Benchmarks {
 		got, found := observed[benchName(key)][ref.Metric]
 		if !found {
 			return base, fmt.Errorf("benchgate: metric %q of %s missing from bench output", ref.Metric, key)
+		}
+		if ref.Exact {
+			if got != ref.Value {
+				return base, fmt.Errorf("benchgate: exact metric %q of %s is %.4g, pinned at %.4g — fix the regression, don't re-baseline it",
+					ref.Metric, key, got, ref.Value)
+			}
+			continue
 		}
 		ref.Value = got
 		base.Benchmarks[key] = ref

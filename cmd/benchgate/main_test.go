@@ -351,3 +351,112 @@ func TestDirUpdateIsAtomic(t *testing.T) {
 		t.Fatalf("BENCH_1.json was rewritten (value %g) despite the failed refresh", v)
 	}
 }
+
+// exactBench renders a guaranteed-serving result line with the given
+// violation count (the correctness counter BENCH_8 pins at zero).
+func exactBench(violations float64) string {
+	return "BenchmarkGuaranteedServing \t 10\t 98765 ns/op\t " +
+		strconvF(0.8125) + " guaranteed_admit_rate\t " +
+		strconvF(violations) + " bound_violations\n"
+}
+
+func exactBaseline() Baseline {
+	return Baseline{
+		Tolerance: 0.25,
+		Benchmarks: map[string]Reference{
+			"BenchmarkGuaranteedServing": {
+				Metric: "guaranteed_admit_rate", HigherIsBetter: true, Value: 0.8125,
+			},
+			"BenchmarkGuaranteedServing@bound_violations": {
+				Metric: "bound_violations", HigherIsBetter: false, Value: 0, Exact: true,
+			},
+		},
+	}
+}
+
+// TestExactReferenceGatesAtEquality: an exact reference ignores the
+// tolerance entirely — one bound violation against a pinned zero fails
+// even though 1 vs 0 is within any relative tolerance semantics, while the
+// non-exact metric of the same baseline still tolerates drift.
+func TestExactReferenceGatesAtEquality(t *testing.T) {
+	observed, err := parseBench(strings.NewReader(exactBench(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines, ok := check(exactBaseline(), observed); !ok {
+		t.Errorf("zero violations must pass the exact gate:\n%s", strings.Join(lines, "\n"))
+	}
+	observed, err = parseBench(strings.NewReader(exactBench(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines, ok := check(exactBaseline(), observed)
+	if ok {
+		t.Error("one violation against an exact zero pin must fail")
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "FAIL BenchmarkGuaranteedServing@bound_violations") {
+		t.Errorf("exact failure not attributed to the violation key:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+// TestUpdateRefusesToMoveExactPin: -update must rewrite the drifting
+// non-exact value but refuse — atomically, leaving the file untouched —
+// when the run deviates from an exact pin: re-baselining a correctness
+// counter is never a refresh.
+func TestUpdateRefusesToMoveExactPin(t *testing.T) {
+	dir := t.TempDir()
+	baselinePath := filepath.Join(dir, "BENCH.json")
+	inputPath := filepath.Join(dir, "bench.out")
+	write := func(content []byte) {
+		if err := os.WriteFile(inputPath, content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := exactBaseline()
+	base.Benchmarks["BenchmarkGuaranteedServing"] = Reference{
+		Metric: "guaranteed_admit_rate", HigherIsBetter: true, Value: 0.5, // stale
+	}
+	raw, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(baselinePath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean run: the stale admit rate refreshes, the exact pin survives
+	// verbatim (still exact, still zero).
+	write([]byte(exactBench(0)))
+	var sink strings.Builder
+	if err := run("", baselinePath, inputPath, true, &sink); err != nil {
+		t.Fatal(err)
+	}
+	raw, err = os.ReadFile(baselinePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var updated Baseline
+	if err := json.Unmarshal(raw, &updated); err != nil {
+		t.Fatal(err)
+	}
+	if v := updated.Benchmarks["BenchmarkGuaranteedServing"].Value; v != 0.8125 {
+		t.Errorf("non-exact value not refreshed: %g", v)
+	}
+	pin := updated.Benchmarks["BenchmarkGuaranteedServing@bound_violations"]
+	if !pin.Exact || pin.Value != 0 {
+		t.Errorf("exact pin mutated across -update: %+v", pin)
+	}
+
+	// Violating run: the refresh must fail and leave the file as-is.
+	write([]byte(exactBench(2)))
+	if err := run("", baselinePath, inputPath, true, &sink); err == nil {
+		t.Fatal("-update against a violated exact pin must fail")
+	}
+	raw2, err := os.ReadFile(baselinePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw2) != string(raw) {
+		t.Error("baseline rewritten despite the failed exact refresh")
+	}
+}

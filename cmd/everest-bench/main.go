@@ -18,6 +18,11 @@
 //	                          # sweep the streaming tier's offered event rate,
 //	                          # report sustained events/sec at the p99 SLO and
 //	                          # the partial-reconfiguration swap win
+//	everest-bench -wcet [-deadlines 0.5,1,2,4,8,16]
+//	                          # sweep the guaranteed-class deadline ladder at
+//	                          # best-effort saturation (unplug+slowdown faults)
+//	                          # and report admit rate, bound violations (must
+//	                          # be zero), and proof tightness per rung
 package main
 
 import (
@@ -64,6 +69,8 @@ func benchMain() int {
 	arrival := flag.String("arrival", "poisson", "arrival process for -stream: poisson, bursty, or diurnal")
 	partial := flag.Bool("partial", true, "keep kernels resident in FPGA partial-reconfiguration regions (-stream)")
 	streamSLO := flag.Float64("stream-slo", 0.25, "p99 end-to-end event latency SLO in modelled seconds (-stream)")
+	wcet := flag.Bool("wcet", false, "run the guaranteed-class deadline ladder (proven WCET admission) instead of the experiment tables")
+	deadlines := flag.String("deadlines", "", "comma-separated deadline rungs in modelled seconds for -wcet (default ladder)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (pprof format)")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file (pprof format)")
 	flag.Parse()
@@ -87,6 +94,17 @@ func benchMain() int {
 
 	if *appList != "" && !*streamMode {
 		*suite = true
+	}
+	if *wcet {
+		if *saturate || *streamMode {
+			fmt.Fprintln(os.Stderr, "everest-bench: -wcet, -saturate and -stream are separate harnesses; pick one")
+			return 2
+		}
+		if err := runWCET(*deadlines); err != nil {
+			fmt.Fprintf(os.Stderr, "everest-bench: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 	if *streamMode {
 		if *saturate {
@@ -298,6 +316,55 @@ func runSaturation(sites, nodes, tenants, workflows, cacheSlots int, mode string
 // over a ladder, reports the sustained events/sec at the highest rung
 // that met the p99 SLO, and closes with the partial-reconfiguration
 // swap-win comparison at the scenario's configured rate.
+// runWCET is `everest-bench -wcet`: the guaranteed-class admission ladder.
+// The E-wcet scenario (E-fleet mix at best-effort saturation, unplug and
+// 3x slowdown faults on site 0) is re-served once per deadline rung; each
+// rung reports how much guaranteed work the fleet could prove a bound for,
+// whether any admitted workflow missed its bound (the run fails if one
+// did), and how tight the worst proof was.
+func runWCET(deadlineList string) error {
+	ladder := []float64{0.5, 1, 2, 4, 8, 16}
+	if deadlineList != "" {
+		ladder = nil
+		for _, s := range strings.Split(deadlineList, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil || v <= 0 {
+				return fmt.Errorf("bad -deadlines entry %q", s)
+			}
+			ladder = append(ladder, v)
+		}
+	}
+	sc := sdk.DefaultGuaranteedScenario()
+	c, err := sc.Compile()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fleet      : %d sites x (%d compute nodes + cloudfpga0), every %dth workflow guaranteed\n",
+		sc.Sites, sc.NodesPerSite, sc.GuaranteedEvery)
+	fmt.Printf("faults     : unplug@%.3gs + %gx slowdown@%.3gs on site 0 (cap honours the SlowdownCap contract)\n",
+		sc.UnplugAt, sc.SlowdownFactor, sc.SlowdownAt)
+	fmt.Printf("%10s %10s %10s %10s %12s %10s %10s\n",
+		"deadline_s", "requested", "admitted", "admit_rate", "violations", "tightness", "p95_s")
+	violations := 0
+	for _, dl := range ladder {
+		rung := sc
+		rung.GuaranteedDeadline = dl
+		res, err := rung.RunWith(c)
+		if err != nil {
+			return err
+		}
+		violations += res.BoundViolations
+		fmt.Printf("%10.3g %10d %10d %10.2f %12d %10.3g %10.4g\n",
+			dl, res.GuaranteedAdmitted+res.GuaranteedRefused, res.GuaranteedAdmitted,
+			res.GuaranteedAdmitRate, res.BoundViolations, res.BoundTightness, res.P95)
+	}
+	if violations > 0 {
+		return fmt.Errorf("%d guaranteed completions missed their proven bound — the admission math is broken", violations)
+	}
+	fmt.Println("bounds     : every admitted guarantee held (0 violations)")
+	return nil
+}
+
 func runStream(nodes int, appList string, pipelines, events int, arrival string, partial bool, slo float64, rateList string) error {
 	sc := sdk.DefaultStreamScenario()
 	sc.Nodes = nodes // 0 → scenario default

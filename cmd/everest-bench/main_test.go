@@ -52,6 +52,21 @@ func TestRunSaturationSuiteRejectsUnknownApp(t *testing.T) {
 	}
 }
 
+func TestRunWCETSmoke(t *testing.T) {
+	if err := runWCET("2,4"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWCETRejectsBadDeadlines(t *testing.T) {
+	if err := runWCET("not-a-number"); err == nil {
+		t.Fatal("malformed -deadlines accepted")
+	}
+	if err := runWCET("0"); err == nil {
+		t.Fatal("non-positive deadline accepted")
+	}
+}
+
 func TestRunStreamSmoke(t *testing.T) {
 	if err := runStream(0, "", 0, 20000, "poisson", true, 0.25, "2000,4000"); err != nil {
 		t.Fatal(err)

@@ -15,6 +15,12 @@ const KnobImpl = "impl"
 type Variant struct {
 	Name       string
 	ExpectedMs float64
+	// BoundMs, when positive, is the variant's proven worst-case latency
+	// (schedule-derived WCET priced through the device model; summed across
+	// DAG stages by variants.MergeVariants). 0 means no proven bound. The
+	// tuner tracks ExpectedMs from observations but never moves BoundMs —
+	// bounds are compile-time facts, not estimates.
+	BoundMs float64
 }
 
 // Tuner is the concurrency-safe mARGOt instance the adaptive engine embeds
@@ -69,6 +75,10 @@ func NewTuner(variants []Variant) (*Tuner, error) {
 	for _, v := range variants {
 		if v.Name == "" || v.ExpectedMs <= 0 {
 			return nil, fmt.Errorf("autotuner: variant needs a name and positive expected latency")
+		}
+		if v.BoundMs < 0 || (v.BoundMs > 0 && v.BoundMs < v.ExpectedMs) {
+			return nil, fmt.Errorf("autotuner: variant %q bound %.4gms must be absent (0) or >= expected %.4gms",
+				v.Name, v.BoundMs, v.ExpectedMs)
 		}
 		if _, dup := t.index(v.Name); dup {
 			return nil, fmt.Errorf("autotuner: duplicate variant %q", v.Name)

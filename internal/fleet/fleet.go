@@ -27,6 +27,7 @@ package fleet
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"everest/internal/netsim"
@@ -129,6 +130,12 @@ type Config struct {
 	// wait exceeds it is ineligible, and when every site is, Submit
 	// rejects with ErrSaturated. 0 means unlimited.
 	MaxQueueSeconds float64
+	// SlowdownCap is the fleet's load contract: no node's CPU load factor
+	// ever exceeds it (scripted EnvSlowdown events are validated against it
+	// at New). Guaranteed-class admission multiplies software worst cases
+	// by this cap, which is what lets a proven bound survive slowdown
+	// faults. Default 4.
+	SlowdownCap float64
 	// AffinitySeconds is the routing penalty added to sites other than
 	// the tenant's previous one (default 10 ms) — it keeps a tenant's
 	// bitstreams co-located unless queueing or deployment costs say
@@ -165,6 +172,17 @@ type Request struct {
 	// Arrival is the workflow's modelled submission time; queueing delay
 	// is measured from it.
 	Arrival float64
+	// Guaranteed requests the proven-bound admission class: the request is
+	// admitted only on a site whose modelled worst case — queue frontier,
+	// estimate overhang, outstanding guaranteed debt, cold deploys, and the
+	// workflow's schedule-derived service bound — fits within Deadline.
+	// When no site can prove the deadline, Submit rejects with ErrSaturated
+	// instead of enqueueing. Best-effort traffic is unaffected.
+	Guaranteed bool
+	// Deadline is the relative latency bound (modelled seconds past
+	// Arrival) a guaranteed request must provably meet. Required (> 0)
+	// when Guaranteed is set.
+	Deadline float64
 }
 
 // Result is the fleet-level outcome of one workflow.
@@ -177,6 +195,11 @@ type Result struct {
 	Service    float64 // engine-measured service time (site makespan delta)
 	Completion float64 // modelled completion (fleet timeline)
 	Latency    float64 // Completion - Arrival
+	// Guaranteed-class fields: Bound is the admission-time worst-case
+	// latency the fleet proved (relative to Arrival, <= the request's
+	// deadline); zero for best-effort work.
+	Guaranteed bool
+	Bound      float64
 }
 
 // Ticket is the caller's handle on one routed workflow.
@@ -213,6 +236,12 @@ type SiteStats struct {
 	FallbackDeploys int // required bitstreams no online device could host
 	DeploySeconds   float64
 
+	// Guaranteed-class accounting: completions admitted on proof, and how
+	// many of them missed their promised bound (the verifier gates this at
+	// exactly zero).
+	Guaranteed      int
+	BoundViolations int
+
 	BusyUntil float64 // modelled completion frontier
 	Engine    runtime.EngineStats
 }
@@ -239,6 +268,15 @@ func (st Stats) Evictions() int { return st.sum(func(s SiteStats) int { return s
 // Redeploys sums eviction- or fault-triggered redeploys across sites.
 func (st Stats) Redeploys() int { return st.sum(func(s SiteStats) int { return s.Redeploys }) }
 
+// Guaranteed sums guaranteed-class completions across sites.
+func (st Stats) Guaranteed() int { return st.sum(func(s SiteStats) int { return s.Guaranteed }) }
+
+// BoundViolations sums guaranteed completions that missed their proven
+// bound across sites — zero whenever the admission math is sound.
+func (st Stats) BoundViolations() int {
+	return st.sum(func(s SiteStats) int { return s.BoundViolations })
+}
+
 func (st Stats) sum(f func(SiteStats) int) int {
 	n := 0
 	for _, s := range st.Sites {
@@ -260,6 +298,8 @@ type site struct {
 	busyUntil    float64 // queue-recursion frontier (modelled)
 	lastMakespan float64 // engine cumulative makespan after last workflow
 	pending      int
+	pendingG     int       // pending requests in the guaranteed class
+	boundDebt    float64   // summed worst cases of pending guaranteed work
 	stats        SiteStats // counter fields only; snapshots fill the rest
 }
 
@@ -269,6 +309,14 @@ type work struct {
 	wf      *runtime.Workflow
 	arrival float64
 	needs   []string // bitstream IDs the workflow's FPGA tasks request
+
+	// Guaranteed-class fields: the admitted deadline and proven bound
+	// (relative to arrival), and the debt claimed against the site
+	// (deploy bound + service bound, released on completion).
+	guaranteed bool
+	deadline   float64
+	bound      float64
+	debt       float64
 }
 
 // Fleet shards workflows across federated engine sites.
@@ -314,6 +362,20 @@ func New(reg *platform.Registry, cfg Config) (*Fleet, error) {
 	if cfg.RegistryNet == nil {
 		st := netsim.Eth100G()
 		cfg.RegistryNet = &st
+	}
+	if cfg.SlowdownCap <= 0 {
+		cfg.SlowdownCap = 4
+	}
+	// SlowdownCap is a contract, not a wish: refuse a configuration whose
+	// own scripted faults would break the bound the guaranteed class
+	// admits against.
+	for i, evs := range cfg.SiteEvents {
+		for _, ev := range evs {
+			if ev.Kind == runtime.EnvSlowdown && ev.Factor > cfg.SlowdownCap {
+				return nil, fmt.Errorf("fleet: site %d scripts slowdown factor %.3g beyond SlowdownCap %.3g",
+					i, ev.Factor, cfg.SlowdownCap)
+			}
+		}
 	}
 	f := &Fleet{cfg: cfg, reg: reg, lastSite: make(map[string]int)}
 	for i := 0; i < cfg.Sites; i++ {
@@ -385,6 +447,9 @@ func (f *Fleet) Submit(req Request) (*Ticket, error) {
 	if req.Workflow == nil {
 		return nil, fmt.Errorf("fleet: nil workflow")
 	}
+	if req.Guaranteed && req.Deadline <= 0 {
+		return nil, fmt.Errorf("fleet: guaranteed request needs a positive deadline, got %.3g", req.Deadline)
+	}
 	tenant := req.Tenant
 	if tenant == "" {
 		tenant = "default"
@@ -401,8 +466,17 @@ func (f *Fleet) Submit(req Request) (*Ticket, error) {
 	// Route outside the fleet lock: each candidate site is priced under its
 	// own mutex (sharded bookkeeping), and the argmin merge walks sites in
 	// index order with strict-less ties — deterministic regardless of how
-	// many submitters race, given identical per-site state.
-	idx, err := f.route(tenant, last, hasLast, needs, req.Arrival)
+	// many submitters race, given identical per-site state. Guaranteed
+	// requests instead route by proof: the admitting site's bound claim is
+	// atomic, so concurrent admissions can never over-commit a site.
+	var idx int
+	var bound, debt float64
+	var err error
+	if req.Guaranteed {
+		idx, bound, debt, err = f.routeGuaranteed(req.Workflow, needs, req.Arrival, req.Deadline)
+	} else {
+		idx, err = f.route(tenant, last, hasLast, needs, req.Arrival)
+	}
 	f.mu.Lock()
 	if err != nil {
 		f.rejected++
@@ -420,21 +494,37 @@ func (f *Fleet) Submit(req Request) (*Ticket, error) {
 	s := f.sites[idx]
 	f.mu.Unlock()
 
-	s.mu.Lock()
-	s.pending++
-	s.mu.Unlock()
+	if !req.Guaranteed {
+		// Guaranteed admissions already claimed their pending slot (and
+		// bound debt) atomically inside routeGuaranteed.
+		s.mu.Lock()
+		s.pending++
+		s.mu.Unlock()
+	}
 	if f.cfg.Trace != nil {
+		detail := fmt.Sprintf("needs=%d", len(needs))
+		if req.Guaranteed {
+			detail = fmt.Sprintf("needs=%d guaranteed bound=%.4gs deadline=%.4gs", len(needs), bound, req.Deadline)
+		}
 		f.trace(Event{Kind: EventRoute, Site: s.name, Tenant: tenant, Workflow: name,
-			Time: req.Arrival, Detail: fmt.Sprintf("needs=%d", len(needs))})
+			Time: req.Arrival, Detail: detail})
 	}
 	t := &Ticket{Site: s.name, Tenant: tenant, Name: name, done: make(chan struct{})}
-	if !s.q.push(work{t: t, wf: req.Workflow, arrival: req.Arrival, needs: needs}) {
+	if !s.q.push(work{t: t, wf: req.Workflow, arrival: req.Arrival, needs: needs,
+		guaranteed: req.Guaranteed, deadline: req.Deadline, bound: bound, debt: debt}) {
 		// A concurrent Shutdown closed the site queues between routing and
 		// enqueue. Undo the accounting and refuse — returning the ticket
 		// would leave a Wait that never resolves (no worker remains to
 		// serve it).
 		s.mu.Lock()
 		s.pending--
+		if req.Guaranteed {
+			s.pendingG--
+			s.boundDebt -= debt
+			if s.boundDebt < 0 {
+				s.boundDebt = 0
+			}
+		}
 		s.mu.Unlock()
 		f.mu.Lock()
 		f.submitted--
@@ -519,6 +609,126 @@ func (f *Fleet) route(tenant string, last int, hasLast bool, needs []string, arr
 			ErrSaturated, len(f.sites), f.cfg.MaxQueueSeconds)
 	}
 	return best, nil
+}
+
+// routeGuaranteed admits a guaranteed request by proof. Every site is
+// priced with the full admission inequality
+//
+//	wait + overhang + boundDebt + deployBound + serviceBound <= deadline
+//
+// where wait is the site's queue frontier past the arrival, overhang the
+// engine's estimate frontier beyond the last settled makespan, boundDebt
+// the summed worst cases of already-admitted guaranteed work, deployBound
+// the worst-case cold deployment of every needed bitstream, and
+// serviceBound the workflow's schedule-derived serve-alone worst case
+// (runtime.ServiceBound). Candidates are tried cheapest-bound first (site
+// order breaks ties) and the winning site's debt claim happens atomically
+// under its mutex, re-verifying the inequality — so racing admissions
+// cannot jointly over-commit a site. When no site can prove the deadline
+// the request is refused with ErrSaturated and nothing is enqueued.
+func (f *Fleet) routeGuaranteed(w *runtime.Workflow, needs []string, arrival, deadline float64) (int, float64, float64, error) {
+	type candidate struct {
+		idx   int
+		bound float64
+		debt  float64
+	}
+	var cands []candidate
+	for i, s := range f.sites {
+		svc, err := runtime.ServiceBound(w, s.cluster, f.reg, runtime.BoundOptions{
+			SlowdownCap: f.cfg.SlowdownCap, Net: f.cfg.Net,
+		})
+		if err != nil {
+			continue // the site cannot bound the workflow at all
+		}
+		debt := f.deployBound(s, needs) + svc
+		if bound, ok := f.admissionBound(s, arrival, debt, false, deadline); ok {
+			cands = append(cands, candidate{idx: i, bound: bound, debt: debt})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].bound != cands[b].bound {
+			return cands[a].bound < cands[b].bound
+		}
+		return cands[a].idx < cands[b].idx
+	})
+	for _, c := range cands {
+		if bound, ok := f.admissionBound(f.sites[c.idx], arrival, c.debt, true, deadline); ok {
+			return c.idx, bound, c.debt, nil
+		}
+	}
+	return 0, 0, 0, fmt.Errorf("%w: no site can prove a %.4gs deadline (%d sites)",
+		ErrSaturated, deadline, len(f.sites))
+}
+
+// admissionBound evaluates the guaranteed-class inequality on one site,
+// returning the proven relative bound; ok=false means the site cannot
+// admit (pending best-effort work makes it unboundable, or the bound
+// misses the deadline). With claim set, a passing evaluation atomically
+// books the debt and pending slot under the site mutex.
+func (f *Fleet) admissionBound(s *site, arrival, debt float64, claim bool, deadline float64) (float64, bool) {
+	// The engine's backlog only advances, so reading it before taking the
+	// site mutex keeps the bound conservative.
+	backlog := s.engine.Stats().Backlog
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pending-s.pendingG > 0 {
+		// Queued best-effort work carries no proven bound: nothing sound
+		// can be promised behind it.
+		return 0, false
+	}
+	wait := s.busyUntil - arrival
+	if wait < 0 {
+		wait = 0
+	}
+	// Estimate overhang: the dispatcher's placement frontier may sit past
+	// the last settled makespan (estimates only ratchet down on reports),
+	// and the next service delta is measured from the settled makespan — so
+	// the gap is time the next workflow can be billed for.
+	overhang := backlog - s.lastMakespan
+	if overhang < 0 {
+		overhang = 0
+	}
+	bound := wait + overhang + s.boundDebt + debt
+	if bound > deadline {
+		return 0, false
+	}
+	if claim {
+		s.pending++
+		s.pendingG++
+		s.boundDebt += debt
+	}
+	return bound, true
+}
+
+// deployBound prices the worst-case cold deployment of every bitstream the
+// workflow needs: per bitstream, the costliest whole-device staging
+// (registry transfer of the full configuration image plus full
+// reconfiguration) across the devices that can host it — which dominates
+// every path deployOne can take, including the region-sized partial
+// images. A bitstream no device fits costs nothing here: the deploy path
+// falls back to software, which the service bound already covers.
+func (f *Fleet) deployBound(s *site, needs []string) float64 {
+	total := 0.0
+	for _, id := range needs {
+		bs, err := f.reg.Get(id)
+		if err != nil {
+			continue
+		}
+		need := bs.TotalResources()
+		worst := 0.0
+		for _, n := range s.cluster.Nodes {
+			for _, d := range n.Devices {
+				if !need.FitsIn(d.Capacity) {
+					continue
+				}
+				if c := deployCost(f.cfg.RegistryNet, d, -1); c > worst {
+					worst = c
+				}
+			}
+		}
+		total += worst
+	}
+	return total
 }
 
 // siteCost prices routing a workflow to one site; ok=false means the site
@@ -708,9 +918,24 @@ func (f *Fleet) serve(s *site, w work) {
 
 	s.mu.Lock()
 	s.pending--
+	if w.guaranteed {
+		// Settle the admission claim: the worst case this request booked is
+		// no longer owed, whatever actually happened.
+		s.pendingG--
+		s.boundDebt -= w.debt
+		if s.boundDebt < 0 {
+			s.boundDebt = 0
+		}
+		s.stats.Guaranteed++
+	}
 	if err != nil {
 		s.stats.Failed++
 		s.stats.DeploySeconds += deploy
+		if w.guaranteed {
+			// A failed guaranteed workflow never completed within its
+			// deadline: the promise is broken by definition.
+			s.stats.BoundViolations++
+		}
 		// The deployment stall was paid and the workflow may have partially
 		// executed before failing; advance the site timeline accordingly so
 		// the engine's clock progress is not misattributed to the NEXT
@@ -746,12 +971,16 @@ func (f *Fleet) serve(s *site, w work) {
 	s.busyUntil = completion
 	s.stats.Served++
 	s.stats.DeploySeconds += deploy
+	if w.guaranteed && completion-w.arrival > w.deadline {
+		s.stats.BoundViolations++
+	}
 	s.mu.Unlock()
 
 	t.res = Result{
 		Sched: sched, Site: s.name, Arrival: w.arrival,
 		Wait: start - w.arrival, Deploy: deploy, Service: service,
 		Completion: completion, Latency: completion - w.arrival,
+		Guaranteed: w.guaranteed, Bound: w.bound,
 	}
 	// Trace before resolving the ticket (see the error path above).
 	if f.cfg.Trace != nil {

@@ -1,0 +1,187 @@
+package fleet
+
+import (
+	"errors"
+	"testing"
+
+	"everest/internal/platform"
+	"everest/internal/runtime"
+)
+
+func TestGuaranteedNeedsDeadline(t *testing.T) {
+	reg := platform.NewRegistry()
+	f := newTestFleet(t, reg, Config{Sites: 1})
+	defer f.Shutdown()
+	if _, err := f.Submit(Request{Workflow: cpuWorkflow(), Guaranteed: true}); err == nil {
+		t.Fatal("guaranteed request without a deadline must be refused")
+	}
+}
+
+func TestNewRejectsSlowdownBeyondCap(t *testing.T) {
+	_, err := New(platform.NewRegistry(), Config{
+		Sites: 1, NewCluster: testCluster(1), SlowdownCap: 2,
+		SiteEvents: [][]runtime.EnvEvent{{
+			{Kind: runtime.EnvSlowdown, Node: "node00", Factor: 3, At: 0},
+		}},
+	})
+	if err == nil {
+		t.Fatal("scripted slowdown beyond SlowdownCap must fail New")
+	}
+}
+
+// TestGuaranteedAdmitAndSettle admits one guaranteed FPGA workflow on an
+// idle fleet: the result must carry the proven bound, the modelled latency
+// must respect it, and the admission claim (pending slot + bound debt)
+// must be fully settled afterwards so the next admission starts clean.
+func TestGuaranteedAdmitAndSettle(t *testing.T) {
+	reg := platform.NewRegistry()
+	if err := reg.Put(testBitstream("bs-g")); err != nil {
+		t.Fatal(err)
+	}
+	f := newTestFleet(t, reg, Config{Sites: 2})
+	defer f.Shutdown()
+
+	tk, err := f.Submit(Request{Tenant: "g", Workflow: fpgaWorkflow("bs-g"),
+		Arrival: 0, Guaranteed: true, Deadline: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tk.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Guaranteed {
+		t.Fatal("result must be flagged guaranteed")
+	}
+	if res.Bound <= 0 || res.Bound > 60 {
+		t.Fatalf("proven bound %g must be in (0, deadline]", res.Bound)
+	}
+	if res.Latency > res.Bound {
+		t.Fatalf("latency %g exceeds proven bound %g", res.Latency, res.Bound)
+	}
+	st := f.Stats()
+	if st.Guaranteed() != 1 || st.BoundViolations() != 0 {
+		t.Fatalf("guaranteed/violations = %d/%d, want 1/0", st.Guaranteed(), st.BoundViolations())
+	}
+	for _, s := range f.sites {
+		s.mu.Lock()
+		if s.pendingG != 0 || s.boundDebt != 0 {
+			t.Errorf("site %s claim not settled: pendingG=%d debt=%g", s.name, s.pendingG, s.boundDebt)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// TestGuaranteedRefusesImpossibleDeadline asks for a bound no site can
+// prove: Submit must refuse with ErrSaturated and enqueue nothing.
+func TestGuaranteedRefusesImpossibleDeadline(t *testing.T) {
+	reg := platform.NewRegistry()
+	f := newTestFleet(t, reg, Config{Sites: 2})
+	defer f.Shutdown()
+
+	_, err := f.Submit(Request{Workflow: cpuWorkflow(), Guaranteed: true, Deadline: 1e-12})
+	if !errors.Is(err, ErrSaturated) {
+		t.Fatalf("expected ErrSaturated, got %v", err)
+	}
+	st := f.Stats()
+	if st.Rejected != 1 || st.Submitted != 0 {
+		t.Fatalf("rejected/submitted = %d/%d, want 1/0", st.Rejected, st.Submitted)
+	}
+}
+
+// TestAdmissionBoundRefusesBehindBestEffort checks the eligibility rule
+// directly: a site holding queued best-effort work (no proven bound on
+// anything ahead of us) can never admit a guaranteed request, while the
+// same site with only guaranteed debt pending still can.
+func TestAdmissionBoundRefusesBehindBestEffort(t *testing.T) {
+	reg := platform.NewRegistry()
+	f := newTestFleet(t, reg, Config{Sites: 1})
+	defer f.Shutdown()
+	s := f.sites[0]
+
+	s.mu.Lock()
+	s.pending = 1 // one best-effort workflow routed but unserved
+	s.mu.Unlock()
+	if _, ok := f.admissionBound(s, 0, 1, false, 1e9); ok {
+		t.Fatal("site with pending best-effort work must refuse guaranteed admission")
+	}
+
+	s.mu.Lock()
+	s.pendingG = 1 // the pending workflow is itself guaranteed, debt booked
+	s.boundDebt = 2.5
+	s.mu.Unlock()
+	bound, ok := f.admissionBound(s, 0, 1, false, 1e9)
+	if !ok {
+		t.Fatal("site with only guaranteed debt must stay admissible")
+	}
+	if bound < 3.5 {
+		t.Fatalf("bound %g must include the booked debt 2.5 plus our own 1", bound)
+	}
+
+	s.mu.Lock()
+	s.pending, s.pendingG, s.boundDebt = 0, 0, 0
+	s.mu.Unlock()
+}
+
+// TestAdmissionBoundClaimIsAtomic verifies the claim path books the debt
+// under the site mutex and a follow-up admission sees it.
+func TestAdmissionBoundClaimIsAtomic(t *testing.T) {
+	reg := platform.NewRegistry()
+	f := newTestFleet(t, reg, Config{Sites: 1})
+	defer f.Shutdown()
+	s := f.sites[0]
+
+	if _, ok := f.admissionBound(s, 0, 3, true, 10); !ok {
+		t.Fatal("first claim must pass on an idle site")
+	}
+	// 3s of debt booked: a second request with 8s of its own debt can no
+	// longer prove a 10s deadline.
+	if _, ok := f.admissionBound(s, 0, 8, true, 10); ok {
+		t.Fatal("second claim must see the booked debt and refuse")
+	}
+	bound, ok := f.admissionBound(s, 0, 6, false, 10)
+	if !ok || bound != 9 {
+		t.Fatalf("bound = %g ok=%v, want 9 true (3 booked + 6 own)", bound, ok)
+	}
+
+	s.mu.Lock()
+	s.pending, s.pendingG, s.boundDebt = 0, 0, 0
+	s.mu.Unlock()
+}
+
+// TestGuaranteedRoutesCheapestBound: with one site held busy, the
+// guaranteed router must pick the idle site even when best-effort
+// affinity would have preferred the busy one.
+func TestGuaranteedRoutesCheapestBound(t *testing.T) {
+	reg := platform.NewRegistry()
+	f := newTestFleet(t, reg, Config{Sites: 2})
+	defer f.Shutdown()
+
+	// Load site00 via a best-effort tenant, waited to completion so its
+	// busy frontier advances deterministically.
+	tk, err := f.Submit(Request{Tenant: "t", Workflow: cpuWorkflow(), Arrival: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tk.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Site != "site00" {
+		t.Fatalf("warmup routed to %s, want site00", res.Site)
+	}
+	// A guaranteed arrival at time 0 pays the full wait on site00 but
+	// nothing on site01: the proof-cheapest site must win.
+	tk2, err := f.Submit(Request{Tenant: "t", Workflow: cpuWorkflow(),
+		Arrival: 0, Guaranteed: true, Deadline: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := tk2.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Site != "site01" {
+		t.Fatalf("guaranteed routed to %s, want idle site01", res2.Site)
+	}
+}

@@ -128,16 +128,27 @@ type Report struct {
 	Kernel       string
 	Backend      string
 	LatencyCycle int64 // total kernel latency in cycles
-	II           int   // achieved initiation interval (0 if not pipelined)
-	IterLatency  int   // latency of one iteration (pipeline depth)
-	Resources    Resources
-	ClockMHz     float64
-	Directives   Directives
+	// WCETCycle is the proven worst-case execution time of the schedule in
+	// cycles: the pipelined latency with zero overlap across outer-loop
+	// boundaries plus one control cycle per boundary (JUNIPER-style
+	// schedule-derived bound). Invariant: LatencyCycle <= WCETCycle.
+	WCETCycle   int64
+	II          int // achieved initiation interval (0 if not pipelined)
+	IterLatency int // latency of one iteration (pipeline depth)
+	Resources   Resources
+	ClockMHz    float64
+	Directives  Directives
 }
 
 // TimeSeconds converts the cycle latency to seconds at the achieved clock.
 func (r Report) TimeSeconds() float64 {
 	return float64(r.LatencyCycle) / (r.ClockMHz * 1e6)
+}
+
+// WCETSeconds converts the worst-case cycle bound to seconds at the
+// achieved clock.
+func (r Report) WCETSeconds() float64 {
+	return float64(r.WCETCycle) / (r.ClockMHz * 1e6)
 }
 
 func (r Report) String() string {

@@ -50,15 +50,20 @@ func Schedule(k Kernel, d Directives, b Backend) (Report, error) {
 	mix := k.Nest.Body
 	depth := iterationDepth(mix, k, b)
 
-	// Effective per-iteration work after unrolling: U iterations issue at
-	// once; trip count shrinks by U (ceil for remainder).
+	// Effective per-iteration work after unrolling: U iterations of the
+	// innermost loop issue at once, so the innermost trip count shrinks by U
+	// (ceil for the remainder) on EVERY outer iteration — the remainder
+	// cannot amortize across the nest, since each outer iteration restarts
+	// the innermost loop and pays its own partial group.
 	trips := k.Nest.Trips()
-	effTrips := (trips + int64(unroll) - 1) / int64(unroll)
+	outer := trips / int64(inner)
+	effInner := int64(ceilDiv(inner, unroll))
+	effTrips := outer * effInner
 
 	accesses := (mix.Loads + mix.Stores + 2*mix.Gathers) * unroll
 	memII := ceilDiv(accesses, memPorts)
 
-	var latency int64
+	var latency, wcet int64
 	ii := 0
 	if d.PipelineEnabled {
 		recII := 1
@@ -71,10 +76,21 @@ func Schedule(k Kernel, d Directives, b Backend) (Report, error) {
 			ii = d.TargetII
 		}
 		latency = (effTrips-1)*int64(ii) + int64(depth)
+		// Worst case: the pipeline cannot overlap across outer-loop
+		// boundaries (each outer iteration drains before the next fills) and
+		// every boundary costs one control cycle. When II exceeds depth+1
+		// the flush model would undercut the steady-state expression, so the
+		// bound is floored at the achieved latency.
+		wcet = outer*((effInner-1)*int64(ii)+int64(depth)) + (outer - 1)
+		if wcet < latency {
+			wcet = latency
+		}
 	} else {
 		// Sequential: every iteration pays the full depth plus one cycle of
-		// loop control.
+		// loop control; there is no overlap to lose, so the schedule is its
+		// own worst case.
 		latency = effTrips * int64(depth+1)
+		wcet = latency
 	}
 
 	res := datapathResources(mix, k, b).Scale(unroll)
@@ -86,6 +102,7 @@ func Schedule(k Kernel, d Directives, b Backend) (Report, error) {
 		Kernel:       k.Name,
 		Backend:      b.Name(),
 		LatencyCycle: latency,
+		WCETCycle:    wcet,
 		II:           ii,
 		IterLatency:  depth,
 		Resources:    res,

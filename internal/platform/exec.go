@@ -43,6 +43,27 @@ func (t Timeline) String() string {
 //     transfers but are otherwise identical, exposing the compute/byte
 //     crossover of E9.
 func Execute(dev *Device, bs Bitstream, wl Workload) (Timeline, error) {
+	return executeCycles(dev, bs, wl, bs.Report.LatencyCycle)
+}
+
+// ExecuteBound is Execute priced at the schedule's proven worst case: the
+// kernel spends max(WCETCycle, LatencyCycle) cycles instead of the achieved
+// latency. The timeline model is monotone in compute cycles, so the
+// returned Total dominates Execute's for the same workload — the per-task
+// device bound guaranteed-class admission sums (hand-declared bitstreams
+// without a derived WCET degrade to the achieved latency, which Execute
+// then matches exactly).
+func ExecuteBound(dev *Device, bs Bitstream, wl Workload) (Timeline, error) {
+	cycles := bs.Report.WCETCycle
+	if bs.Report.LatencyCycle > cycles {
+		cycles = bs.Report.LatencyCycle
+	}
+	return executeCycles(dev, bs, wl, cycles)
+}
+
+// executeCycles is the shared timeline model, parameterized on the kernel
+// cycle count (achieved latency for Execute, worst case for ExecuteBound).
+func executeCycles(dev *Device, bs Bitstream, wl Workload, cycles int64) (Timeline, error) {
 	if err := bs.Config.Validate(); err != nil {
 		return Timeline{}, err
 	}
@@ -64,7 +85,7 @@ func Execute(dev *Device, bs Bitstream, wl Workload) (Timeline, error) {
 	// Pure compute: the HLS latency covers the whole iteration space once;
 	// replicas split it. Parallelism beyond the lane count still computes
 	// but waits on data, handled through the bandwidth bound below.
-	computePure := float64(bs.Report.LatencyCycle) / clockHz / float64(cfg.Replicas)
+	computePure := float64(cycles) / clockHz / float64(cfg.Replicas)
 
 	// Memory bound: bytes touched per run = in + out (PLM-resident
 	// intermediates excluded). The usable bandwidth scales with beat

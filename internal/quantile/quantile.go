@@ -1,0 +1,35 @@
+// Package quantile holds the one shared nearest-rank computation every
+// percentile reporter in the repo uses — the sorted-sample path
+// (sdk.Percentile) and the histogram path (the stream tier) must agree on
+// rank semantics or their SLO numbers drift apart on exact boundaries.
+package quantile
+
+import "math"
+
+// eps is the float64 machine epsilon (2^-52).
+const eps = 0x1p-52
+
+// NearestRank returns ceil(q·n), the 1-based nearest rank, clamped to
+// [1, n]. q usually arrives as the closest float64 to an intended rational
+// (0.95, i/n), so q·n can land a few ulps to either side of the intended
+// integer; a raw Ceil would then bump a full rank (0.95×20 →
+// 19.000000000000004 → rank 20). Products within relative rounding error
+// of an integer snap to it before the ceiling is taken.
+func NearestRank(q float64, n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	r := q * float64(n)
+	if nearest := math.Round(r); nearest != r && math.Abs(r-nearest) <= 4*math.Abs(r)*eps {
+		r = nearest
+	} else {
+		r = math.Ceil(r)
+	}
+	if r < 1 {
+		return 1
+	}
+	if r > float64(n) {
+		return n
+	}
+	return int64(r)
+}

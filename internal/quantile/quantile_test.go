@@ -1,0 +1,46 @@
+package quantile
+
+import "testing"
+
+// TestNearestRankUlpSnap pins the cases where a raw Ceil(q·n) inflates the
+// rank by one: q·n lands a few ulps above the intended integer.
+func TestNearestRankUlpSnap(t *testing.T) {
+	cases := []struct {
+		q    float64
+		n    int64
+		want int64
+	}{
+		{0.95, 20, 19}, // 0.95*20 = 19.000000000000004
+		{0.95, 40, 38},
+		{0.99, 100, 99},
+		{0.5, 10, 5},
+		{0.51, 10, 6},
+		{0.949, 20, 19},
+		{0.951, 20, 20},
+		{1, 7, 7},
+		{0, 5, 1},    // clamp low
+		{-0.5, 5, 1}, // clamp low
+		{1.5, 5, 5},  // clamp high
+		{0.5, 0, 0},  // empty
+		{0.01, 3, 1}, // ceil(0.03) = 1
+		{2.0 / 3, 3, 2},
+	}
+	for _, c := range cases {
+		if got := NearestRank(c.q, c.n); got != c.want {
+			t.Errorf("NearestRank(%v, %d) = %d, want %d", c.q, c.n, got, c.want)
+		}
+	}
+}
+
+// TestNearestRankExactBoundaries: q = i/n must select rank i for every i,
+// across sizes where i/n is not exactly representable.
+func TestNearestRankExactBoundaries(t *testing.T) {
+	for _, n := range []int64{3, 7, 10, 20, 33, 100, 1000} {
+		for i := int64(1); i <= n; i++ {
+			q := float64(i) / float64(n)
+			if got := NearestRank(q, n); got != i {
+				t.Errorf("NearestRank(%d/%d) = %d, want %d", i, n, got, i)
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package sdk
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -123,7 +124,21 @@ func (fs *FleetServer) Start() error { return fs.fl.Start() }
 // returned ticket resolves when the chosen site drains to it; admission
 // rejections return fleet.ErrSaturated.
 func (fs *FleetServer) SubmitAt(tenant, name string, w *runtime.Workflow, arrival float64) (*fleet.Ticket, error) {
-	t, err := fs.fl.Submit(fleet.Request{Tenant: tenant, Name: name, Workflow: w, Arrival: arrival})
+	return fs.submit(fleet.Request{Tenant: tenant, Name: name, Workflow: w, Arrival: arrival})
+}
+
+// SubmitGuaranteedAt routes one workflow through the proven-bound
+// admission class: it is accepted only on a site whose modelled worst case
+// fits within deadline seconds of the arrival, and refused with
+// fleet.ErrSaturated otherwise (nothing is enqueued on refusal — callers
+// typically degrade to SubmitAt).
+func (fs *FleetServer) SubmitGuaranteedAt(tenant, name string, w *runtime.Workflow, arrival, deadline float64) (*fleet.Ticket, error) {
+	return fs.submit(fleet.Request{Tenant: tenant, Name: name, Workflow: w, Arrival: arrival,
+		Guaranteed: true, Deadline: deadline})
+}
+
+func (fs *FleetServer) submit(req fleet.Request) (*fleet.Ticket, error) {
+	t, err := fs.fl.Submit(req)
 	if err != nil {
 		return nil, err
 	}
@@ -204,6 +219,21 @@ type FleetScenario struct {
 	// UnplugAt > 0 detaches site 0's first accelerator at that modelled
 	// time (cache churn: its resident bitstream goes stale).
 	UnplugAt float64
+	// SlowdownAt > 0 scripts a CPU slowdown fault of SlowdownFactor on
+	// site 0's first node at that modelled time. The factor must respect
+	// the fleet's SlowdownCap contract (default cap 4) or NewFleetServer
+	// fails — that validation is exactly what keeps guaranteed bounds
+	// sound under the fault.
+	SlowdownAt     float64
+	SlowdownFactor float64
+	// GuaranteedEvery > 0 submits every GuaranteedEvery-th workflow (index
+	// 0, GuaranteedEvery, ...) through the proven-bound admission class
+	// with GuaranteedDeadline as its relative latency bound. A refusal
+	// (fleet.ErrSaturated: no site can prove the deadline) is counted and
+	// the workflow degrades to best-effort, so the served stream is
+	// identical either way.
+	GuaranteedEvery    int
+	GuaranteedDeadline float64
 	// Net / RegistryNet name the transfer stacks (FleetConfig semantics).
 	Net         string
 	RegistryNet string
@@ -247,6 +277,24 @@ func DefaultFleetScenario() FleetScenario {
 	}
 }
 
+// DefaultGuaranteedScenario is the E-wcet configuration: the E-fleet mix
+// driven toward best-effort saturation (tighter arrivals), with every 4th
+// submission requesting the proven-bound admission class, site 0 losing
+// an accelerator AND suffering a 3x CPU slowdown mid-run (both within the
+// SlowdownCap contract). The verifier gates BoundViolations at exactly
+// zero on this scenario: admitted guarantees must hold through the faults
+// at saturation, refusals must degrade cleanly to best-effort.
+func DefaultGuaranteedScenario() FleetScenario {
+	sc := DefaultFleetScenario()
+	sc.ArrivalGap = 0.02 // push the best-effort tier toward saturation
+	sc.SlowdownAt = 0.4
+	sc.SlowdownFactor = 3
+	sc.GuaranteedEvery = 4
+	sc.GuaranteedDeadline = 4
+	sc.SLO = 0 // saturation mode: p95 is reported, not gated
+	return sc
+}
+
 // Compile builds the scenario's compiled kernel (shared across runs: the
 // saturation ladder re-serves the same compilation at every rate).
 func (sc FleetScenario) Compile() (*variants.Compiled, error) {
@@ -282,6 +330,17 @@ type FleetResult struct {
 	P95        float64
 	Max        float64
 	SLOMet     bool
+	// Guaranteed-class accounting (GuaranteedEvery > 0): how many
+	// guaranteed submissions were admitted on proof vs refused (and
+	// degraded to best-effort), how many admitted completions missed
+	// their proven bound — the verifier gates that at exactly zero — and
+	// the worst observed latency/bound tightness ratio (<= 1 when the
+	// bounds hold; near 1 means the proof is sharp, near 0 conservative).
+	GuaranteedAdmitted  int
+	GuaranteedRefused   int
+	GuaranteedAdmitRate float64 // admitted / (admitted + refused)
+	BoundViolations     int
+	BoundTightness      float64
 	// Apps holds the per-application latency distributions when the run
 	// served the mixed suite (nil otherwise).
 	Apps map[string]TenantLatency
@@ -383,11 +442,20 @@ func (sc FleetScenario) run(bitstreams []platform.Bitstream, wf func(i int) *run
 	if sc.Sites < 1 || sc.Tenants < 1 || sc.Workflows < 1 {
 		return FleetResult{}, fmt.Errorf("sdk: bad fleet scenario %+v", sc)
 	}
-	var events [][]runtime.EnvEvent
+	var site0 []runtime.EnvEvent
 	if sc.UnplugAt > 0 {
-		events = [][]runtime.EnvEvent{{
-			{Kind: runtime.EnvUnplug, Node: "node00", Device: 0, At: sc.UnplugAt},
-		}}
+		site0 = append(site0, runtime.EnvEvent{Kind: runtime.EnvUnplug, Node: "node00", Device: 0, At: sc.UnplugAt})
+	}
+	if sc.SlowdownAt > 0 {
+		factor := sc.SlowdownFactor
+		if factor <= 0 {
+			factor = 2
+		}
+		site0 = append(site0, runtime.EnvEvent{Kind: runtime.EnvSlowdown, Node: "node00", Factor: factor, At: sc.SlowdownAt})
+	}
+	var events [][]runtime.EnvEvent
+	if len(site0) > 0 {
+		events = [][]runtime.EnvEvent{site0}
 	}
 	srv, err := NewFleetServer(FleetConfig{
 		Sites: sc.Sites, NodesPerSite: sc.NodesPerSite, CacheSlots: sc.CacheSlots,
@@ -410,11 +478,35 @@ func (sc FleetScenario) run(bitstreams []platform.Bitstream, wf func(i int) *run
 	}
 
 	rejected := 0
+	gAdmitted, gRefused := 0, 0
+	tightness := 0.0
 	byApp := make(map[string][]float64)
-	record := func(i int, latency float64) {
+	record := func(i int, res fleet.Result) {
 		if appOf != nil {
-			byApp[appOf(i)] = append(byApp[appOf(i)], latency)
+			byApp[appOf(i)] = append(byApp[appOf(i)], res.Latency)
 		}
+		if res.Guaranteed && res.Bound > 0 {
+			if r := res.Latency / res.Bound; r > tightness {
+				tightness = r
+			}
+		}
+	}
+	// submit routes workflow i: through the proven-bound class when the
+	// scenario marks it guaranteed (degrading to best-effort when no site
+	// can prove the deadline), plainly otherwise.
+	submit := func(i int, tenant string, w *runtime.Workflow, arrival float64) (*fleet.Ticket, error) {
+		if sc.GuaranteedEvery > 0 && i%sc.GuaranteedEvery == 0 {
+			t, err := srv.SubmitGuaranteedAt(tenant, "", w, arrival, sc.GuaranteedDeadline)
+			if err == nil {
+				gAdmitted++
+				return t, nil
+			}
+			if !errors.Is(err, fleet.ErrSaturated) {
+				return nil, err
+			}
+			gRefused++ // no provable site: degrade to best-effort
+		}
+		return srv.SubmitAt(tenant, "", w, arrival)
 	}
 	// Tenant names are computed once: the per-submission Sprintf showed up
 	// in serving profiles.
@@ -436,7 +528,7 @@ func (sc FleetScenario) run(bitstreams []platform.Bitstream, wf func(i int) *run
 		for i := 0; i < sc.Workflows; i++ {
 			turn := next.PopMin()
 			client, arrival := turn.Seq, turn.Time
-			t, err := srv.SubmitAt(tenants[client], "", wf(i), arrival)
+			t, err := submit(i, tenants[client], wf(i), arrival)
 			if err != nil {
 				// Rejected: the client backs off and retries the same
 				// workflow at a later arrival (i is not consumed). Arrivals
@@ -456,12 +548,12 @@ func (sc FleetScenario) run(bitstreams []platform.Bitstream, wf func(i int) *run
 				srv.Shutdown()
 				return FleetResult{}, fmt.Errorf("sdk: fleet scenario workflow %d: %w", i, err)
 			}
-			record(i, res.Latency)
+			record(i, res)
 			next.Push(runtime.TimeItem{Time: res.Completion, Seq: client})
 		}
 	} else {
 		for i := 0; i < sc.Workflows; i++ {
-			t, err := srv.SubmitAt(tenantName(i), "", wf(i), float64(i)*sc.ArrivalGap)
+			t, err := submit(i, tenantName(i), wf(i), float64(i)*sc.ArrivalGap)
 			if err != nil {
 				rejected++
 				continue
@@ -471,7 +563,7 @@ func (sc FleetScenario) run(bitstreams []platform.Bitstream, wf func(i int) *run
 				srv.Shutdown()
 				return FleetResult{}, fmt.Errorf("sdk: fleet scenario workflow %d: %w", i, err)
 			}
-			record(i, res.Latency)
+			record(i, res)
 		}
 	}
 
@@ -484,6 +576,14 @@ func (sc FleetScenario) run(bitstreams []platform.Bitstream, wf func(i int) *run
 		P50:       Percentile(stats.Latencies, 0.50),
 		P95:       Percentile(stats.Latencies, 0.95),
 		Max:       Percentile(stats.Latencies, 1.0),
+
+		GuaranteedAdmitted: gAdmitted,
+		GuaranteedRefused:  gRefused,
+		BoundViolations:    stats.Fleet.BoundViolations(),
+		BoundTightness:     tightness,
+	}
+	if gAdmitted+gRefused > 0 {
+		out.GuaranteedAdmitRate = float64(gAdmitted) / float64(gAdmitted+gRefused)
 	}
 	if appOf != nil {
 		out.Apps = make(map[string]TenantLatency, len(byApp))

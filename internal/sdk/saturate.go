@@ -2,10 +2,10 @@ package sdk
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
 	"everest/internal/apps"
+	"everest/internal/quantile"
 	"everest/internal/variants"
 )
 
@@ -30,31 +30,8 @@ func Percentile(xs []float64, q float64) float64 {
 	if q >= 1 {
 		return s[len(s)-1]
 	}
-	rank := int(nearestRank(q, len(s))) - 1
-	if rank < 0 {
-		rank = 0
-	}
-	if rank >= len(s) {
-		rank = len(s) - 1
-	}
-	return s[rank]
+	return s[quantile.NearestRank(q, int64(len(s)))-1]
 }
-
-// nearestRank returns ceil(q·n), the 1-based nearest rank. q usually
-// arrives as the closest float64 to an intended rational (0.95, i/n), so
-// q·n can land a few ulps to either side of the intended integer; a raw
-// Ceil would then bump a full rank. Products within relative rounding
-// error of an integer snap to it before the ceiling is taken.
-func nearestRank(q float64, n int) float64 {
-	r := q * float64(n)
-	if nearest := math.Round(r); nearest != r && math.Abs(r-nearest) <= 4*math.Abs(r)*eps {
-		return nearest
-	}
-	return math.Ceil(r)
-}
-
-// eps is the float64 machine epsilon (2^-52).
-const eps = 0x1p-52
 
 // SaturationPoint is one rung of the arrival-rate ladder.
 type SaturationPoint struct {

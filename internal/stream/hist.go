@@ -1,6 +1,10 @@
 package stream
 
-import "math"
+import (
+	"math"
+
+	"everest/internal/quantile"
+)
 
 // Latency histogram used on the steady-state per-event path: log-spaced
 // buckets (8 linear sub-buckets per power-of-two octave above a 1 µs
@@ -80,10 +84,9 @@ func (h *hist) percentile(q float64) float64 {
 	if h.count == 0 {
 		return 0
 	}
-	rank := int64(math.Ceil(q * float64(h.count)))
-	if rank < 1 {
-		rank = 1
-	}
+	// quantile.NearestRank snaps q·count back onto intended integer ranks
+	// (0.95×20 would otherwise ceil to 21st-rank semantics one rank high).
+	rank := quantile.NearestRank(q, h.count)
 	var seen int64
 	for i := range h.buckets {
 		seen += h.buckets[i]

@@ -1,0 +1,66 @@
+package stream
+
+import (
+	"sort"
+	"testing"
+
+	"everest/internal/quantile"
+)
+
+// TestPercentileRankNotInflated is the regression test for the nearest-rank
+// ulp bug: 0.95×20 evaluates to 19.000000000000004 in float64, and the old
+// raw Ceil bumped the rank to 20 — reporting the max instead of the 19th
+// value. 20 samples in strictly distinct buckets make the off-by-one-rank
+// visible as a whole-bucket jump.
+func TestPercentileRankNotInflated(t *testing.T) {
+	var h hist
+	lats := make([]float64, 20)
+	for i := range lats {
+		lats[i] = histMin * float64(int64(1)<<i) // one sample per octave
+		h.add(lats[i])
+	}
+	want := bucketUpper(bucketOf(lats[18])) // 19th-ranked sample's bucket
+	if got := h.percentile(0.95); got != want {
+		t.Errorf("percentile(0.95) = %g, want 19th-rank bucket upper %g (rank inflated to 20?)", got, want)
+	}
+	// And the exact-boundary grid: q = i/n must select the i-th sample's
+	// bucket for every i, not the (i+1)-th.
+	for i := 1; i <= len(lats); i++ {
+		q := float64(i) / float64(len(lats))
+		want := bucketUpper(bucketOf(lats[i-1]))
+		if want > h.max {
+			want = h.max
+		}
+		if got := h.percentile(q); got != want {
+			t.Errorf("percentile(%d/20) = %g, want %g", i, got, want)
+		}
+	}
+}
+
+// TestHistAgreesWithNearestRank cross-tests the histogram percentile
+// against the shared nearest-rank semantics (the same quantile.NearestRank
+// that sdk.Percentile uses): for any recorded multiset, the histogram must
+// report the bucket holding the rank'th smallest sample.
+func TestHistAgreesWithNearestRank(t *testing.T) {
+	var h hist
+	// A lumpy multiset: duplicates, sub-floor values, octave gaps.
+	lats := []float64{
+		0, 5e-7, 2e-6, 2e-6, 3e-6, 9e-6, 1.1e-5, 1.1e-5, 1.1e-5,
+		6e-5, 1e-4, 2.5e-4, 1e-3, 1e-3, 7e-3, 0.1, 0.1, 1.5, 30, 30,
+	}
+	for _, l := range lats {
+		h.add(l)
+	}
+	sorted := append([]float64(nil), lats...)
+	sort.Float64s(sorted)
+	for _, q := range []float64{0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1} {
+		rank := quantile.NearestRank(q, int64(len(sorted)))
+		want := bucketUpper(bucketOf(sorted[rank-1]))
+		if want > h.max {
+			want = h.max
+		}
+		if got := h.percentile(q); got != want {
+			t.Errorf("percentile(%g) = %g, want rank-%d bucket %g", q, got, rank, want)
+		}
+	}
+}

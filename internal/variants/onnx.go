@@ -218,8 +218,15 @@ func sanitizeEKLName(name string) string {
 // one kernel derived an fpga point; stages whose kernel has none simply
 // never offer fpga placements (their TaskSpec requests a bitstream the
 // scheduler cannot find), so the merged seed stays honest.
+//
+// Bounds compose differently from expectations: the DAG's stages execute
+// in sequence, so the merged BoundMs is the SUM of the per-stage bounds —
+// a proven worst case for one pass over the whole DAG on that variant.
+// One stage without a proven bound (BoundMs 0) voids the merged bound.
 func MergeVariants(cs ...*Compiled) []autotuner.Variant {
 	sums := make(map[string]float64)
+	bounds := make(map[string]float64)
+	unbounded := make(map[string]bool)
 	counts := make(map[string]int)
 	var order []string
 	for _, c := range cs {
@@ -232,11 +239,21 @@ func MergeVariants(cs ...*Compiled) []autotuner.Variant {
 			}
 			sums[v.Name] += v.ExpectedMs
 			counts[v.Name]++
+			if v.BoundMs > 0 {
+				bounds[v.Name] += v.BoundMs
+			} else {
+				unbounded[v.Name] = true
+			}
 		}
 	}
 	out := make([]autotuner.Variant, 0, len(order))
 	for _, name := range order {
-		out = append(out, autotuner.Variant{Name: name, ExpectedMs: sums[name] / float64(counts[name])})
+		bound := bounds[name]
+		mean := sums[name] / float64(counts[name])
+		if unbounded[name] || bound < mean {
+			bound = 0
+		}
+		out = append(out, autotuner.Variant{Name: name, ExpectedMs: mean, BoundMs: bound})
 	}
 	return out
 }

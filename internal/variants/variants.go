@@ -68,7 +68,13 @@ func (o Options) normalize() (hls.Backend, base2.Format, *platform.Device, platf
 type OperatingPoint struct {
 	Variant        string  // runtime.VariantCPU1 / VariantCPU16 / VariantFPGA
 	LatencySeconds float64 // expected execution latency of one kernel run
-	Cores          int     // software parallelism (cpu variants)
+	// BoundSeconds is the variant's proven worst-case latency under nominal
+	// load: the schedule-derived WCET priced through the device timeline for
+	// the fpga variant, the deterministic cost model itself for software
+	// (load factors are applied by admission, not here). Invariant:
+	// LatencySeconds <= BoundSeconds.
+	BoundSeconds float64
+	Cores        int // software parallelism (cpu variants)
 	// FPGA-only fields.
 	Resources   hls.Resources // post-Olympus footprint of the bitstream
 	DeviceClass string        // device the bitstream targets
@@ -106,7 +112,7 @@ func (c *Compiled) Point(variant string) (OperatingPoint, bool) {
 }
 
 // Variants converts the operating points into autotuner seeds (expected
-// latency in ms), ready for runtime.Workflow.SetVariants.
+// and worst-case latency in ms), ready for runtime.Workflow.SetVariants.
 func (c *Compiled) Variants() []autotuner.Variant {
 	out := make([]autotuner.Variant, 0, len(c.Points))
 	for _, p := range c.Points {
@@ -114,7 +120,11 @@ func (c *Compiled) Variants() []autotuner.Variant {
 		if ms <= 0 {
 			ms = 1e-6
 		}
-		out = append(out, autotuner.Variant{Name: p.Variant, ExpectedMs: ms})
+		boundMs := p.BoundSeconds * 1000
+		if boundMs < ms {
+			boundMs = ms
+		}
+		out = append(out, autotuner.Variant{Name: p.Variant, ExpectedMs: ms, BoundMs: boundMs})
 	}
 	return out
 }
@@ -237,22 +247,30 @@ func CompileEKL(src string, binding ekl.Binding, opt Options) (*Compiled, error)
 // the live cost agree when the environment is nominal.
 func DerivePoints(design *olympus.Design, dev *platform.Device, cpu platform.CPUModel, flops float64, inBytes, outBytes int64) ([]OperatingPoint, error) {
 	bytes := inBytes + outBytes
+	cpu1 := cpu.TimeSeconds(flops, bytes, 1)
+	cpu16 := cpu.TimeSeconds(flops, bytes, 16)
 	points := []OperatingPoint{
-		{Variant: runtime.VariantCPU1, LatencySeconds: cpu.TimeSeconds(flops, bytes, 1), Cores: 1},
-		{Variant: runtime.VariantCPU16, LatencySeconds: cpu.TimeSeconds(flops, bytes, 16), Cores: 16},
+		{Variant: runtime.VariantCPU1, LatencySeconds: cpu1, BoundSeconds: cpu1, Cores: 1},
+		{Variant: runtime.VariantCPU16, LatencySeconds: cpu16, BoundSeconds: cpu16, Cores: 16},
 	}
-	tl, err := platform.Execute(dev, design.Bitstream, platform.Workload{
-		BytesIn: inBytes, BytesOut: outBytes, Batches: 4,
-	})
+	wl := platform.Workload{BytesIn: inBytes, BytesOut: outBytes, Batches: 4}
+	tl, err := platform.Execute(dev, design.Bitstream, wl)
 	if err != nil {
 		// A design that does not execute on the device class (e.g. it no
 		// longer fits) simply yields no fpga variant; the software points
 		// still stand.
 		return points, nil //nolint:nilerr
 	}
+	// The fpga bound re-prices the same timeline at the schedule's WCET —
+	// derived from the same Report the bitstream carries, never declared.
+	bound, err := platform.ExecuteBound(dev, design.Bitstream, wl)
+	if err != nil {
+		return nil, err // Execute succeeded, so this can only be a model bug
+	}
 	points = append(points, OperatingPoint{
 		Variant:        runtime.VariantFPGA,
 		LatencySeconds: tl.Total,
+		BoundSeconds:   bound.Total,
 		Resources:      design.Bitstream.TotalResources(),
 		DeviceClass:    design.Bitstream.Target,
 	})

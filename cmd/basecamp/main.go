@@ -11,6 +11,7 @@
 //	basecamp serve    -sites N -cache-slots K [-registry-net tcp10g|udp10g|eth100g] [-gap S]  # federated fleet serving
 //	basecamp serve    -sites N -suite [-apps energy,traffic,weather]  # serve the EVEREST application suite (workload registry)
 //	basecamp serve    -stream [-rate R] [-events N] [-arrival poisson|bursty|diurnal] [-partial=false]  # streaming pipelines with resident kernels
+//	basecamp serve    -regions N [-prefetch=false] [-autoscale] [-wan wan10g|wan1g]  # hierarchical multi-region federation with predictive prefetch
 //	basecamp adapt    -workflows N [-compiled]  # adaptive vs static placement under injected faults
 //	basecamp dialects              # list the registered MLIR dialects (Fig. 5)
 //	basecamp anomaly  -trials N    # AutoML model selection on a synthetic stream
@@ -36,6 +37,7 @@ import (
 	"everest/internal/mlir/dialects"
 	"everest/internal/netsim"
 	"everest/internal/olympus"
+	"everest/internal/region"
 	"everest/internal/runtime"
 	"everest/internal/sdk"
 	"everest/internal/stream"
@@ -326,6 +328,10 @@ func cmdServe(args []string) error {
 	pipelines := fs.Int("pipelines", 0, "concurrent pipelines (stream mode; 0 = 2x apps)")
 	arrival := fs.String("arrival", "poisson", "arrival process (stream mode): poisson, bursty, or diurnal")
 	partial := fs.Bool("partial", true, "keep kernels resident in FPGA partial-reconfiguration regions (stream mode)")
+	regions := fs.Int("regions", 0, "serve through the hierarchical multi-region federation (> 0 regions; its own scenario)")
+	prefetch := fs.Bool("prefetch", true, "forecast-driven bitstream prefetch (region mode)")
+	autoscale := fs.Bool("autoscale", false, "let regions grow and shrink their active site count (region mode)")
+	wan := fs.String("wan", "", "inter-region fabric (region mode): wan10g or wan1g (default: scenario's)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -347,11 +353,22 @@ func cmdServe(args []string) error {
 		"rate": true, "events": true, "pipelines": true, "arrival": true, "partial": true,
 	}
 	streamOK := map[string]bool{"stream": true, "nodes": true, "trace": true, "apps": true}
+	regionMode := *regions > 0
+	regionOnly := map[string]bool{"prefetch": true, "autoscale": true, "wan": true}
+	regionOK := map[string]bool{"regions": true, "workflows": true, "gap": true, "trace": true}
 	var incompatible []string
-	nodesSet := false
+	nodesSet, workflowsSet, gapSet := false, false, false
 	fs.Visit(func(fl *flag.Flag) {
 		nodesSet = nodesSet || fl.Name == "nodes"
+		workflowsSet = workflowsSet || fl.Name == "workflows"
+		gapSet = gapSet || fl.Name == "gap"
 		switch {
+		case regionMode && !regionOnly[fl.Name] && !regionOK[fl.Name]:
+			incompatible = append(incompatible, "-"+fl.Name)
+		case regionMode:
+			// an allowed region-mode flag
+		case regionOnly[fl.Name]:
+			incompatible = append(incompatible, "-"+fl.Name)
 		case *streamMode && !streamOnly[fl.Name] && !streamOK[fl.Name]:
 			incompatible = append(incompatible, "-"+fl.Name)
 		case !*streamMode && streamOnly[fl.Name]:
@@ -367,6 +384,8 @@ func cmdServe(args []string) error {
 	if len(incompatible) > 0 {
 		mode := "-sites > 1"
 		switch {
+		case regionMode:
+			mode = "-regions"
 		case *streamMode:
 			mode = "-stream"
 		case *sites == 1:
@@ -374,6 +393,17 @@ func cmdServe(args []string) error {
 		}
 		return fmt.Errorf("serve: %s not supported with %s",
 			strings.Join(incompatible, ", "), mode)
+	}
+	if regionMode {
+		regionWorkflows, regionGap := 0, 0.0 // 0 → scenario defaults
+		if workflowsSet {
+			regionWorkflows = *workflows
+		}
+		if gapSet {
+			regionGap = *gap
+		}
+		return serveRegions(*regions, regionWorkflows, regionGap,
+			*prefetch, *autoscale, *wan, *trace)
 	}
 	if *streamMode {
 		streamNodes := 0 // scenario default (1 compute node + cloudfpga0)
@@ -579,6 +609,70 @@ func serveFleet(sites, nodes, cacheSlots, workflows, tenants int, policy runtime
 		fmt.Printf("  %-7s : %3d served, cache %d hit / %d miss, %d evict, %d redeploy, %d fallback, %.3gs deploying\n",
 			s.Name, s.Served, s.CacheHits, s.CacheMisses, s.Evictions, s.Redeploys,
 			s.FallbackDeploys, s.DeploySeconds)
+	}
+	return nil
+}
+
+// serveRegions is `basecamp serve -regions`: the app suite served
+// through the hierarchical multi-region federation — a traffic wave
+// rotating across geo-distributed regions over a modelled WAN, with
+// background batch churn, proven-bound guaranteed admissions, and
+// (unless -prefetch=false) forecast-driven bitstream prefetch staging
+// each region's artifact store before the wave arrives.
+func serveRegions(regions, workflows int, gap float64, prefetch, autoscale bool, wan string, trace bool) error {
+	sc := sdk.DefaultRegionScenario()
+	if regions > 0 {
+		sc.Regions = regions
+	}
+	if workflows > 0 {
+		sc.Workflows = workflows
+	}
+	if gap > 0 {
+		sc.ArrivalGap = gap
+	}
+	sc.Prefetch = prefetch
+	sc.Autoscale = autoscale
+	if wan != "" {
+		sc.WAN = wan
+	}
+	if trace {
+		sc.Trace = func(ev region.Event) {
+			fmt.Printf("  [%8.4fs] %-10s region=%-9s tenant=%-9s wf=%-14s app=%-8s %s\n",
+				ev.Time, ev.Kind, ev.Region, ev.Tenant, ev.Workflow, ev.App, ev.Detail)
+		}
+	}
+	res, err := sc.Run()
+	if err != nil {
+		return err
+	}
+	wanName := sc.WAN
+	if wanName == "" {
+		wanName = "wan10g"
+	}
+	pf := "prefetch on"
+	if !prefetch {
+		pf = "prefetch off"
+	}
+	fmt.Printf("federation : %d regions x %d sites x (%d nodes + cloudfpga0), store %d slot(s)/region, %s over %s\n",
+		sc.Regions, sc.SitesPerRegion, sc.NodesPerSite, sc.StoreSlots, pf, wanName)
+	fmt.Printf("workflows  : %d app-suite [%s], wave blocks of %d every %.3gs modelled, batch every %d\n",
+		sc.Workflows, strings.Join(sc.Apps, " "), sc.BlockSize, sc.ArrivalGap, sc.BatchEvery)
+	fmt.Printf("completed  : %d (%d rejected), makespan %.4gs modelled\n",
+		res.Completed, res.Rejected, res.Makespan)
+	fmt.Printf("throughput : %.4g workflows/s modelled\n", res.Throughput)
+	fmt.Printf("latency    : p50 %.4gs, p95 %.4gs, max %.4gs; tail p99 %.4gs, cold-start overhead p99 %.4gs\n",
+		res.P50, res.P95, res.Max, res.TailP99, res.TailColdStartP99)
+	fmt.Printf("guaranteed : %d admitted / %d requested (rate %.2f) at deadline %.3gs; %d degraded to best-effort\n",
+		res.GuaranteedAdmitted, res.GuaranteedAdmitted+res.GuaranteedRefused,
+		res.GuaranteedAdmitRate, sc.GuaranteedDeadline, res.GuaranteedRefused)
+	fmt.Printf("bounds     : %d violations (sound iff 0)\n", res.BoundViolations)
+	fmt.Printf("wan        : %d handoffs, %d cold serves, %d prefetch stages, %d warms, %d preemptions\n",
+		res.Handoffs, res.ColdServes, res.PrefetchFetches, res.Warms, res.Preemptions)
+	for _, r := range res.Stats.Regions {
+		fmt.Printf("  %-9s : %3d served (%d guaranteed, %d batch), %d cold, %d fetch %.3gs wan, %d prefetch %.3gs, %d evict, %d sites active\n",
+			r.Name, r.Served, r.Guaranteed, r.Batch, r.ColdServes,
+			r.WANFetches, r.WANFetchSeconds, r.PrefetchFetches, r.PrefetchSeconds,
+			r.StoreEvictions, r.ActiveSites)
 	}
 	return nil
 }

@@ -125,6 +125,38 @@ func TestServeRejectsStreamIncompatibleFlags(t *testing.T) {
 	}
 }
 
+func TestServeRegionsSmoke(t *testing.T) {
+	if err := serveRegions(0, 60, 0, true, false, "", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeRegionsRejectsBadWAN(t *testing.T) {
+	if err := serveRegions(0, 60, 0, true, false, "no-such-fabric", false); err == nil {
+		t.Fatal("bogus WAN accepted")
+	}
+}
+
+func TestServeRejectsRegionIncompatibleFlags(t *testing.T) {
+	// The region tier is its own scenario: fleet/stream workload knobs
+	// inside -regions, and region-only knobs outside it, are conflicts.
+	for _, args := range [][]string{
+		{"-regions", "3", "-sites", "2"},
+		{"-regions", "3", "-stream"},
+		{"-regions", "3", "-suite"},
+		{"-regions", "3", "-guaranteed"},
+		{"-regions", "3", "-nodes", "4"},
+		{"-regions", "3", "-cache-slots", "2"},
+		{"-prefetch=false"},
+		{"-autoscale"},
+		{"-wan", "wan1g"},
+	} {
+		if err := cmdServe(args); err == nil {
+			t.Fatalf("conflicting flags %v accepted", args)
+		}
+	}
+}
+
 func TestServeFleetSuiteSmoke(t *testing.T) {
 	if err := serveFleet(2, 2, 2, 6, 3, runtime.PolicyHEFT, true, "", "eth100g", 0.05, 0.2, 0, false, true, ""); err != nil {
 		t.Fatal(err)

@@ -23,6 +23,11 @@
 //	                          # best-effort saturation (unplug+slowdown faults)
 //	                          # and report admit rate, bound violations (must
 //	                          # be zero), and proof tightness per rung
+//	everest-bench -regions [-workflows N]
+//	                          # serve the hierarchical E-region scenario twice
+//	                          # (predictive bitstream prefetch on and off) and
+//	                          # report the tail cold-start overhead contrast,
+//	                          # handoffs, and guaranteed-class accounting
 package main
 
 import (
@@ -71,6 +76,7 @@ func benchMain() int {
 	streamSLO := flag.Float64("stream-slo", 0.25, "p99 end-to-end event latency SLO in modelled seconds (-stream)")
 	wcet := flag.Bool("wcet", false, "run the guaranteed-class deadline ladder (proven WCET admission) instead of the experiment tables")
 	deadlines := flag.String("deadlines", "", "comma-separated deadline rungs in modelled seconds for -wcet (default ladder)")
+	regions := flag.Bool("regions", false, "run the hierarchical multi-region harness (prefetch on/off contrast) instead of the experiment tables")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (pprof format)")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file (pprof format)")
 	flag.Parse()
@@ -94,6 +100,25 @@ func benchMain() int {
 
 	if *appList != "" && !*streamMode {
 		*suite = true
+	}
+	if *regions {
+		if *saturate || *streamMode || *wcet {
+			fmt.Fprintln(os.Stderr, "everest-bench: -regions, -wcet, -saturate and -stream are separate harnesses; pick one")
+			return 2
+		}
+		// Honor -workflows only when set explicitly: the fleet-tier default
+		// of 64 is too short for the region forecaster's warmup.
+		regionWorkflows := 0
+		flag.Visit(func(fl *flag.Flag) {
+			if fl.Name == "workflows" {
+				regionWorkflows = *workflows
+			}
+		})
+		if err := runRegions(regionWorkflows); err != nil {
+			fmt.Fprintf(os.Stderr, "everest-bench: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 	if *wcet {
 		if *saturate || *streamMode {
@@ -358,6 +383,62 @@ func runWCET(deadlineList string) error {
 			dl, res.GuaranteedAdmitted+res.GuaranteedRefused, res.GuaranteedAdmitted,
 			res.GuaranteedAdmitRate, res.BoundViolations, res.BoundTightness, res.P95)
 	}
+	if violations > 0 {
+		return fmt.Errorf("%d guaranteed completions missed their proven bound — the admission math is broken", violations)
+	}
+	fmt.Println("bounds     : every admitted guarantee held (0 violations)")
+	return nil
+}
+
+// runRegions is `everest-bench -regions`: the hierarchical federation
+// harness. The default E-region scenario — a traffic wave traveling
+// across three geo-distributed regions over the 1 Gb/s WAN with batch
+// churn and guaranteed-class admissions — is served twice over the same
+// compiled suite, once with predictive bitstream prefetch and once
+// without, and the tail cold-start overhead contrast is reported. The
+// run fails if any admitted guarantee missed its proven bound.
+func runRegions(workflows int) error {
+	sc := sdk.DefaultRegionScenario()
+	if workflows > 0 {
+		sc.Workflows = workflows
+	}
+	s, err := sc.BuildSuite()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("federation : %d regions x %d sites x (%d compute nodes + cloudfpga0), WAN %s\n",
+		sc.Regions, sc.SitesPerRegion, sc.NodesPerSite, sc.WAN)
+	fmt.Printf("workload   : %d workflows, wave period %.3gs, batch every %d, guaranteed every %dth wave arrival (deadline %.3gs)\n",
+		sc.Workflows, float64(sc.Regions*sc.BlockSize)*sc.ArrivalGap, sc.BatchEvery,
+		sc.GuaranteedEvery, sc.GuaranteedDeadline)
+	fmt.Printf("%-12s %6s %9s %12s %10s %9s %9s %9s %11s\n",
+		"prefetch", "done", "tail_p99", "coldstart_99", "tail_cold", "handoffs", "staged", "admitted", "violations")
+	arms := map[bool]sdk.RegionResult{}
+	violations := 0
+	for _, pf := range []bool{false, true} {
+		run := sc
+		run.Prefetch = pf
+		res, err := run.RunSuite(s)
+		if err != nil {
+			return err
+		}
+		arms[pf] = res
+		violations += res.BoundViolations
+		label := "off"
+		if pf {
+			label = "on"
+		}
+		fmt.Printf("%-12s %6d %8.4gs %11.4gs %10d %9d %9d %5d/%-3d %11d\n",
+			label, res.Completed, res.TailP99, res.TailColdStartP99, res.TailCold,
+			res.Handoffs, res.PrefetchFetches, res.GuaranteedAdmitted,
+			res.GuaranteedAdmitted+res.GuaranteedRefused, res.BoundViolations)
+	}
+	on, off := arms[true], arms[false]
+	if on.TailColdStartP99 <= 0 {
+		return fmt.Errorf("prefetch-on arm has no tail overhead to compare (%.4g)", on.TailColdStartP99)
+	}
+	fmt.Printf("coldstart_p99_speedup: %.4gx (off %.4gs / on %.4gs)\n",
+		off.TailColdStartP99/on.TailColdStartP99, off.TailColdStartP99, on.TailColdStartP99)
 	if violations > 0 {
 		return fmt.Errorf("%d guaranteed completions missed their proven bound — the admission math is broken", violations)
 	}

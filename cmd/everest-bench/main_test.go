@@ -86,6 +86,15 @@ func TestRunStreamRejectsBadFlags(t *testing.T) {
 	}
 }
 
+// TestRunRegionsSmoke runs the full E-region contrast (both prefetch
+// arms over the shared suite); runRegions itself errors on any
+// guaranteed-bound violation or a degenerate prefetch-on arm.
+func TestRunRegionsSmoke(t *testing.T) {
+	if err := runRegions(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestProfileHelpers covers the -cpuprofile/-memprofile plumbing: both
 // helpers must produce non-empty pprof files and surface unwritable paths
 // as errors instead of exiting mid-profile.

@@ -65,6 +65,12 @@ const (
 	EventFallback
 	// EventDone fires when a workflow's fleet-level completion is known.
 	EventDone
+	// EventWarm fires when a prefetch warms a bitstream into a site cache.
+	EventWarm
+	// EventSiteJoin fires when a site is activated (scale-up).
+	EventSiteJoin
+	// EventSiteLeave fires when a site is deactivated (scale-down).
+	EventSiteLeave
 )
 
 func (k EventKind) String() string {
@@ -87,6 +93,12 @@ func (k EventKind) String() string {
 		return "fallback"
 	case EventDone:
 		return "done"
+	case EventWarm:
+		return "warm"
+	case EventSiteJoin:
+		return "site-join"
+	case EventSiteLeave:
+		return "site-leave"
 	}
 	return "unknown"
 }
@@ -126,6 +138,10 @@ type Config struct {
 	Policy runtime.Policy
 	// Adaptive enables variant-aware scheduling per site engine.
 	Adaptive bool
+	// InitialActiveSites caps how many sites serve at Start; the rest are
+	// scaled down until SetSiteActive brings them in (per-region
+	// autoscaling drives this). 0 means all sites start active.
+	InitialActiveSites int
 	// MaxQueueSeconds is the admission bound: a site whose modelled queue
 	// wait exceeds it is ineligible, and when every site is, Submit
 	// rejects with ErrSaturated. 0 means unlimited.
@@ -236,6 +252,15 @@ type SiteStats struct {
 	FallbackDeploys int // required bitstreams no online device could host
 	DeploySeconds   float64
 
+	// Prefetch accounting: bitstreams staged by Warm (control-plane
+	// deploys that stalled no workflow) and their modelled staging time.
+	WarmDeploys int
+	WarmSeconds float64
+
+	// Active reports whether the site is serving (autoscaling may have
+	// scaled it down, or it may still be booting at snapshot time).
+	Active bool
+
 	// Guaranteed-class accounting: completions admitted on proof, and how
 	// many of them missed their promised bound (the verifier gates this at
 	// exactly zero).
@@ -277,6 +302,20 @@ func (st Stats) BoundViolations() int {
 	return st.sum(func(s SiteStats) int { return s.BoundViolations })
 }
 
+// WarmDeploys sums prefetch-staged bitstream deploys across sites.
+func (st Stats) WarmDeploys() int { return st.sum(func(s SiteStats) int { return s.WarmDeploys }) }
+
+// ActiveSites counts sites currently serving (autoscaling state).
+func (st Stats) ActiveSites() int {
+	n := 0
+	for _, s := range st.Sites {
+		if s.Active {
+			n++
+		}
+	}
+	return n
+}
+
 func (st Stats) sum(f func(SiteStats) int) int {
 	n := 0
 	for _, s := range st.Sites {
@@ -295,6 +334,8 @@ type site struct {
 	mu           sync.Mutex
 	cache        *bitstreamCache
 	everDeployed map[string]bool
+	active       bool    // serving: the router may choose it
+	activeFrom   float64 // modelled time the site became eligible (boot done)
 	busyUntil    float64 // queue-recursion frontier (modelled)
 	lastMakespan float64 // engine cumulative makespan after last workflow
 	pending      int
@@ -366,6 +407,10 @@ func New(reg *platform.Registry, cfg Config) (*Fleet, error) {
 	if cfg.SlowdownCap <= 0 {
 		cfg.SlowdownCap = 4
 	}
+	if cfg.InitialActiveSites < 0 || cfg.InitialActiveSites > cfg.Sites {
+		return nil, fmt.Errorf("fleet: InitialActiveSites %d outside [0, %d]",
+			cfg.InitialActiveSites, cfg.Sites)
+	}
 	// SlowdownCap is a contract, not a wish: refuse a configuration whose
 	// own scripted faults would break the bound the guaranteed class
 	// admits against.
@@ -406,6 +451,7 @@ func New(reg *platform.Registry, cfg Config) (*Fleet, error) {
 			}),
 			cache:        newBitstreamCache(cfg.CacheSlots),
 			everDeployed: make(map[string]bool),
+			active:       cfg.InitialActiveSites == 0 || i < cfg.InitialActiveSites,
 		}
 		s.stats.Name = s.name
 		f.sites = append(f.sites, s)
@@ -418,6 +464,127 @@ func (f *Fleet) Sites() int { return len(f.sites) }
 
 // Cluster exposes site i's cluster (tests and CLIs inspect device state).
 func (f *Fleet) Cluster(i int) *platform.Cluster { return f.sites[i].cluster }
+
+// activeAt reports whether the site may serve work arriving at the given
+// modelled time. Called with s.mu held.
+func (s *site) activeAt(at float64) bool { return s.active && s.activeFrom <= at }
+
+// SetSiteActive scales site i in or out at modelled time at. Activation
+// takes effect at `at` (callers model boot delay by passing a future
+// time); deactivation refuses while the site still holds routed work, so
+// autoscalers drain before they shrink. The site's cache survives a
+// scale-down — bitstreams are still resident if it returns.
+func (f *Fleet) SetSiteActive(i int, active bool, at float64) error {
+	if i < 0 || i >= len(f.sites) {
+		return fmt.Errorf("fleet: site %d outside [0, %d)", i, len(f.sites))
+	}
+	s := f.sites[i]
+	s.mu.Lock()
+	if !active && s.pending > 0 {
+		pending := s.pending
+		s.mu.Unlock()
+		return fmt.Errorf("fleet: %s still holds %d routed workflows", s.name, pending)
+	}
+	s.active = active
+	if active {
+		s.activeFrom = at
+	}
+	s.mu.Unlock()
+	kind := EventSiteLeave
+	if active {
+		kind = EventSiteJoin
+	}
+	f.trace(Event{Kind: kind, Site: s.name, Time: at})
+	return nil
+}
+
+// QueueWait returns the modelled queue delay a workflow arriving at the
+// given time would see on the least-loaded site. ok=false means no site
+// is active at that time (all scaled down or still booting). The region
+// tier prices inter-region handoff against this.
+func (f *Fleet) QueueWait(arrival float64) (float64, bool) {
+	best, ok := 0.0, false
+	for _, s := range f.sites {
+		s.mu.Lock()
+		act := s.activeAt(arrival)
+		wait := s.busyUntil - arrival
+		s.mu.Unlock()
+		if !act {
+			continue
+		}
+		if wait < 0 {
+			wait = 0
+		}
+		if !ok || wait < best {
+			best, ok = wait, true
+		}
+	}
+	return best, ok
+}
+
+// Warm pre-stages bitstream id into the least-busy active site's cache at
+// modelled time at, without occupying the serving queue: staging runs on
+// the deployment control plane concurrently with serving, so it steals no
+// service time from workflows — which is what makes speculative prefetch
+// pay. An already-resident bitstream is a free no-op. Returns the chosen
+// site index and the modelled staging seconds; an error means the
+// registry lacks the bitstream, no site is active, or no online device
+// fits it.
+func (f *Fleet) Warm(id string, at float64) (int, float64, error) {
+	if _, err := f.reg.Get(id); err != nil {
+		return -1, 0, fmt.Errorf("fleet: warm: %w", err)
+	}
+	best, bestBusy := -1, 0.0
+	for i, s := range f.sites {
+		s.mu.Lock()
+		act := s.activeAt(at)
+		resident := false
+		if act {
+			if slot, ok := s.cache.peek(id); ok && slot.node.DeviceOnlineAt(slot.dev, at) {
+				resident = true
+			}
+		}
+		busy := s.busyUntil
+		s.mu.Unlock()
+		if !act {
+			continue
+		}
+		if resident {
+			return i, 0, nil
+		}
+		if best < 0 || busy < bestBusy {
+			best, bestBusy = i, busy
+		}
+	}
+	if best < 0 {
+		return -1, 0, fmt.Errorf("fleet: warm %s: no active site", id)
+	}
+	s := f.sites[best]
+	var evs *[]Event
+	if f.cfg.Trace != nil {
+		evs = evPool.Get().(*[]Event)
+		defer func() {
+			*evs = (*evs)[:0]
+			evPool.Put(evs)
+		}()
+	}
+	s.mu.Lock()
+	dt := f.deployOne(s, "prefetch", "warm:"+id, id, at, evs)
+	if dt > 0 {
+		s.stats.WarmDeploys++
+		s.stats.WarmSeconds += dt
+	}
+	s.mu.Unlock()
+	if evs != nil {
+		f.trace(*evs...)
+	}
+	if dt == 0 {
+		return best, 0, fmt.Errorf("fleet: warm %s: no online device fits on %s", id, s.name)
+	}
+	f.trace(Event{Kind: EventWarm, Site: s.name, Tenant: "prefetch", Bitstream: id,
+		Time: at, Detail: fmt.Sprintf("staged in %.4gs", dt)})
+	return best, dt, nil
+}
 
 // Start brings every site engine up and spawns one serial worker per site.
 func (f *Fleet) Start() error {
@@ -570,6 +737,7 @@ func (f *Fleet) Stats() Stats {
 		ss := s.stats
 		ss.Pending = s.pending
 		ss.BusyUntil = s.busyUntil
+		ss.Active = s.active
 		s.mu.Unlock()
 		ss.Engine = s.engine.Stats()
 		out.Completed += ss.Served
@@ -671,6 +839,9 @@ func (f *Fleet) admissionBound(s *site, arrival, debt float64, claim bool, deadl
 	backlog := s.engine.Stats().Backlog
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if !s.activeAt(arrival) {
+		return 0, false
+	}
 	if s.pending-s.pendingG > 0 {
 		// Queued best-effort work carries no proven bound: nothing sound
 		// can be promised behind it.
@@ -735,6 +906,11 @@ func (f *Fleet) deployBound(s *site, needs []string) float64 {
 // is saturated past the admission bound.
 func (f *Fleet) siteCost(idx int, s *site, last int, hasLast bool, needs []string, arrival float64) (float64, bool) {
 	s.mu.Lock()
+	if !s.activeAt(arrival) {
+		// Scaled out, or still booting at this arrival: not a candidate.
+		s.mu.Unlock()
+		return 0, false
+	}
 	busy := s.busyUntil
 	inFlight := s.pending
 	var cachedBuf [8]bool // workflows need a handful of bitstreams; avoid the alloc
@@ -860,6 +1036,11 @@ func (s *site) deployTarget(bs platform.Bitstream, at float64, partial bool, occ
 	}
 	return nil, -1, -1
 }
+
+// BitstreamNeeds lists the distinct bitstream IDs a workflow's FPGA
+// tasks request, in first-use order. The region tier prices WAN catalog
+// fetches and drives prefetch warming off this set.
+func BitstreamNeeds(w *runtime.Workflow) []string { return bitstreamNeeds(w) }
 
 // bitstreamNeeds lists the distinct bitstream IDs a workflow's FPGA tasks
 // request, in first-use order. Deduplication is a linear scan over the
@@ -1037,7 +1218,7 @@ func (f *Fleet) deployNeeds(s *site, w work, at float64) float64 {
 			*evs = append(*evs, Event{Kind: EventCacheMiss, Site: s.name, Tenant: w.t.Tenant,
 				Workflow: w.t.Name, Bitstream: id, Time: at + total})
 		}
-		dt := f.deployOne(s, w, id, at+total, evs)
+		dt := f.deployOne(s, w.t.Tenant, w.t.Name, id, at+total, evs)
 		s.mu.Unlock()
 		total += dt
 		if evs != nil {
@@ -1052,13 +1233,13 @@ func (f *Fleet) deployNeeds(s *site, w work, at float64) float64 {
 // at capacity or no un-occupied device slot remains. Returns the modelled
 // stall (0 on software fallback). Called with s.mu held; trace events are
 // appended to evs when non-nil (tracing on).
-func (f *Fleet) deployOne(s *site, w work, id string, at float64, evs *[]Event) float64 {
+func (f *Fleet) deployOne(s *site, tenant, wfName, id string, at float64, evs *[]Event) float64 {
 	bs, err := f.reg.Get(id)
 	if err != nil {
 		s.stats.FallbackDeploys++
 		if evs != nil {
-			*evs = append(*evs, Event{Kind: EventFallback, Site: s.name, Tenant: w.t.Tenant,
-				Workflow: w.t.Name, Bitstream: id, Time: at, Detail: err.Error()})
+			*evs = append(*evs, Event{Kind: EventFallback, Site: s.name, Tenant: tenant,
+				Workflow: wfName, Bitstream: id, Time: at, Detail: err.Error()})
 		}
 		return 0
 	}
@@ -1077,8 +1258,8 @@ func (f *Fleet) deployOne(s *site, w work, id string, at float64, evs *[]Event) 
 			// site's accelerators are offline, too small, or gone.
 			s.stats.FallbackDeploys++
 			if evs != nil {
-				*evs = append(*evs, Event{Kind: EventFallback, Site: s.name, Tenant: w.t.Tenant,
-					Workflow: w.t.Name, Bitstream: id, Time: at, Detail: "no online device fits"})
+				*evs = append(*evs, Event{Kind: EventFallback, Site: s.name, Tenant: tenant,
+					Workflow: wfName, Bitstream: id, Time: at, Detail: "no online device fits"})
 			}
 			return 0
 		}
@@ -1099,8 +1280,8 @@ func (f *Fleet) deployOne(s *site, w work, id string, at float64, evs *[]Event) 
 	if err != nil {
 		s.stats.FallbackDeploys++
 		if evs != nil {
-			*evs = append(*evs, Event{Kind: EventFallback, Site: s.name, Tenant: w.t.Tenant,
-				Workflow: w.t.Name, Bitstream: id, Time: at, Detail: err.Error()})
+			*evs = append(*evs, Event{Kind: EventFallback, Site: s.name, Tenant: tenant,
+				Workflow: wfName, Bitstream: id, Time: at, Detail: err.Error()})
 		}
 		return 0
 	}
@@ -1118,8 +1299,8 @@ func (f *Fleet) deployOne(s *site, w work, id string, at float64, evs *[]Event) 
 	}
 	s.everDeployed[id] = true
 	if evs != nil {
-		*evs = append(*evs, Event{Kind: kind, Site: s.name, Tenant: w.t.Tenant,
-			Workflow: w.t.Name, Bitstream: id, Time: at,
+		*evs = append(*evs, Event{Kind: kind, Site: s.name, Tenant: tenant,
+			Workflow: wfName, Bitstream: id, Time: at,
 			Detail: fmt.Sprintf("%s/%s xfer=%.4gs reconfig=%.3gs", node.Name, slotName(dev, region), xfer, dt)})
 	}
 	return xfer + dt

@@ -1,0 +1,209 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+
+	"everest/internal/platform"
+	"everest/internal/runtime"
+)
+
+func TestWarmStagesAndIsIdempotent(t *testing.T) {
+	reg := platform.NewRegistry()
+	reg.Put(testBitstream("bs-w"))
+	f := newTestFleet(t, reg, Config{Sites: 2, CacheSlots: 2})
+	defer f.Shutdown()
+
+	site, dt, err := f.Warm("bs-w", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt <= 0 {
+		t.Fatalf("first warm must pay transfer+reconfig, got %g", dt)
+	}
+	// Second warm finds the bitstream resident: free no-op.
+	site2, dt2, err := f.Warm("bs-w", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if site2 != site || dt2 != 0 {
+		t.Fatalf("re-warm = (site %d, %g), want resident no-op on site %d", site2, dt2, site)
+	}
+	st := f.Stats()
+	if st.WarmDeploys() != 1 {
+		t.Fatalf("WarmDeploys = %d, want 1", st.WarmDeploys())
+	}
+	if st.Sites[site].WarmSeconds != dt {
+		t.Fatalf("WarmSeconds = %g, want %g", st.Sites[site].WarmSeconds, dt)
+	}
+
+	// A warmed bitstream makes the first real serve a cache hit: no
+	// deployment stall on the workflow's critical path.
+	tk, err := f.Submit(Request{Tenant: "t", Name: "wf", Workflow: fpgaWorkflow("bs-w"), Arrival: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tk.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deploy != 0 {
+		t.Fatalf("serve after warm paid deploy stall %g, want 0", res.Deploy)
+	}
+}
+
+func TestWarmErrors(t *testing.T) {
+	reg := platform.NewRegistry()
+	reg.Put(testBitstream("bs-w"))
+	f := newTestFleet(t, reg, Config{Sites: 1})
+	defer f.Shutdown()
+	if _, _, err := f.Warm("missing", 0); err == nil {
+		t.Fatal("warming an unregistered bitstream must fail")
+	}
+	// Deactivate the only site: nothing can host the warm.
+	if err := f.SetSiteActive(0, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.Warm("bs-w", 0); err == nil || !strings.Contains(err.Error(), "no active site") {
+		t.Fatalf("warm with no active site = %v, want refusal", err)
+	}
+}
+
+func TestSetSiteActiveGatesRouting(t *testing.T) {
+	reg := platform.NewRegistry()
+	reg.Put(testBitstream("bs-a"))
+	f := newTestFleet(t, reg, Config{Sites: 2, InitialActiveSites: 1})
+	defer f.Shutdown()
+
+	if got := f.Stats().ActiveSites(); got != 1 {
+		t.Fatalf("ActiveSites = %d, want 1", got)
+	}
+	// All work lands on the lone active site.
+	for i := 0; i < 3; i++ {
+		tk, err := f.Submit(Request{Workflow: cpuWorkflow(), Arrival: float64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := tk.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Site != "site00" {
+			t.Fatalf("workflow %d served by %s, want site00", i, res.Site)
+		}
+	}
+	// Site 1 joins with a boot delay: arrivals before activeFrom still
+	// cannot use it, arrivals after can.
+	if err := f.SetSiteActive(1, true, 100); err != nil {
+		t.Fatal(err)
+	}
+	tk, err := f.Submit(Request{Workflow: cpuWorkflow(), Arrival: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := tk.Wait(); err != nil || res.Site != "site00" {
+		t.Fatalf("pre-boot arrival served by %s (%v), want site00", res.Site, err)
+	}
+	// Back site00 up past t=200 so the joined site is the cheaper choice
+	// once its boot completes.
+	heavy := runtime.NewWorkflow()
+	if err := heavy.Submit(runtime.TaskSpec{Name: "only", Flops: 5e13, OutputBytes: 1 << 18}); err != nil {
+		t.Fatal(err)
+	}
+	tk, err = f.Submit(Request{Workflow: heavy, Arrival: 199})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tk.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Site != "site00" || res.Completion <= 200 {
+		t.Fatalf("heavy workflow: site %s completion %g, want site00 past 200", res.Site, res.Completion)
+	}
+	tk, err = f.Submit(Request{Workflow: cpuWorkflow(), Arrival: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := tk.Wait(); err != nil || res.Site != "site01" {
+		t.Fatalf("post-boot arrival served by %s (%v), want idle site01", res.Site, err)
+	}
+	if got := f.Stats().ActiveSites(); got != 2 {
+		t.Fatalf("ActiveSites = %d, want 2", got)
+	}
+	if err := f.SetSiteActive(5, true, 0); err == nil {
+		t.Fatal("out-of-range site index must fail")
+	}
+}
+
+func TestSetSiteActiveRefusesWithPendingWork(t *testing.T) {
+	reg := platform.NewRegistry()
+	f := newTestFleet(t, reg, Config{Sites: 1})
+	defer f.Shutdown()
+	tk, err := f.Submit(Request{Workflow: cpuWorkflow(), Arrival: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The workflow may already be served by the time we try; only assert
+	// the refusal when work was still routed there.
+	errDeact := f.SetSiteActive(0, false, 0)
+	if _, err := tk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if errDeact == nil {
+		// Drained before the call — deactivation after the drain must work.
+		if err := f.SetSiteActive(0, false, 0); err != nil {
+			t.Fatal(err)
+		}
+	} else if !strings.Contains(errDeact.Error(), "routed workflows") {
+		t.Fatalf("unexpected deactivation error: %v", errDeact)
+	}
+}
+
+func TestQueueWait(t *testing.T) {
+	reg := platform.NewRegistry()
+	f := newTestFleet(t, reg, Config{Sites: 2, InitialActiveSites: 1})
+	defer f.Shutdown()
+	if w, ok := f.QueueWait(0); !ok || w != 0 {
+		t.Fatalf("idle fleet QueueWait = (%g, %v), want (0, true)", w, ok)
+	}
+	tk, err := f.Submit(Request{Workflow: cpuWorkflow(), Arrival: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tk.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An arrival before the frontier waits for it; one after waits 0.
+	if w, ok := f.QueueWait(0); !ok || w != res.Completion {
+		t.Fatalf("QueueWait(0) = (%g, %v), want (%g, true)", w, ok, res.Completion)
+	}
+	if w, ok := f.QueueWait(res.Completion + 1); !ok || w != 0 {
+		t.Fatalf("QueueWait past frontier = (%g, %v), want (0, true)", w, ok)
+	}
+	if err := f.SetSiteActive(0, false, res.Completion); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.QueueWait(res.Completion + 1); ok {
+		t.Fatal("QueueWait with every site inactive must report ok=false")
+	}
+}
+
+func TestInitialActiveSitesValidated(t *testing.T) {
+	reg := platform.NewRegistry()
+	if _, err := New(reg, Config{Sites: 2, NewCluster: testCluster(1), InitialActiveSites: 3}); err == nil {
+		t.Fatal("InitialActiveSites > Sites must fail")
+	}
+}
+
+func TestBitstreamNeedsExported(t *testing.T) {
+	w := fpgaWorkflow("bs-x")
+	needs := BitstreamNeeds(w)
+	if len(needs) != 1 || needs[0] != "bs-x" {
+		t.Fatalf("BitstreamNeeds = %v, want [bs-x]", needs)
+	}
+	if got := BitstreamNeeds(cpuWorkflow()); len(got) != 0 {
+		t.Fatalf("pure-software workflow needs = %v, want none", got)
+	}
+}

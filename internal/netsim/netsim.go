@@ -44,7 +44,26 @@ func Eth100G() Stack {
 	return Stack{Name: "eth100g", LineRateGbps: 100, MTU: 4096, FrameOverhead: 58, LatencyUs: 3, AckFactor: 1.0}
 }
 
-// StackByName resolves "tcp10g", "udp10g", or "eth100g".
+// WAN10G returns the metro-scale inter-region fabric: a leased 10G wave
+// between data centers in the same metropolitan area. Bandwidth matches
+// the intra-site cloudFPGA stacks but the propagation latency is three
+// orders of magnitude higher, so handing a workflow (or a bitstream
+// image) across regions is latency-priced, not bandwidth-priced, for
+// anything small.
+func WAN10G() Stack {
+	return Stack{Name: "wan10g", LineRateGbps: 10, MTU: 1460, FrameOverhead: 78, LatencyUs: 5000, AckFactor: 0.95}
+}
+
+// WAN1G returns the geo-scale inter-region fabric: a shared 1G VPN link
+// between continents. Both the wire time of a multi-megabyte
+// configuration image and the 40 ms propagation latency are significant,
+// which is what makes cold inter-region bitstream fetches dominate
+// cold-start latency — and speculative prefetch worth building.
+func WAN1G() Stack {
+	return Stack{Name: "wan1g", LineRateGbps: 1, MTU: 1460, FrameOverhead: 78, LatencyUs: 40000, AckFactor: 0.9}
+}
+
+// StackByName resolves "tcp10g", "udp10g", "eth100g", "wan10g", or "wan1g".
 func StackByName(name string) (Stack, error) {
 	switch name {
 	case "tcp10g":
@@ -53,8 +72,12 @@ func StackByName(name string) (Stack, error) {
 		return UDP10G(), nil
 	case "eth100g":
 		return Eth100G(), nil
+	case "wan10g":
+		return WAN10G(), nil
+	case "wan1g":
+		return WAN1G(), nil
 	default:
-		return Stack{}, fmt.Errorf("netsim: unknown stack %q (want tcp10g, udp10g, or eth100g)", name)
+		return Stack{}, fmt.Errorf("netsim: unknown stack %q (want tcp10g, udp10g, eth100g, wan10g, or wan1g)", name)
 	}
 }
 

@@ -91,6 +91,44 @@ func TestCollectives(t *testing.T) {
 	}
 }
 
+func TestWANStacks(t *testing.T) {
+	metro, err := StackByName("wan10g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo, err := StackByName("wan1g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	intra := Eth100G()
+	// An Alveo-class configuration image (~20 MB). The WAN fetch must be
+	// the dominant cold-start cost: slower than the intra-region registry
+	// fabric by a wide margin, and the geo link slower than the metro one.
+	const image = 20 << 20
+	if metro.SendSeconds(image) <= 10*intra.SendSeconds(image) {
+		t.Fatalf("wan10g image fetch %gs should dwarf eth100g %gs",
+			metro.SendSeconds(image), intra.SendSeconds(image))
+	}
+	if geo.SendSeconds(image) <= metro.SendSeconds(image) {
+		t.Fatalf("wan1g image fetch %gs should exceed wan10g %gs",
+			geo.SendSeconds(image), metro.SendSeconds(image))
+	}
+	// Propagation latency floors: even an empty control message pays the
+	// one-way WAN latency, which is what the region router prices against
+	// local queue wait.
+	if metro.SendSeconds(0) < metro.LatencyUs*1e-6 || geo.SendSeconds(0) < geo.LatencyUs*1e-6 {
+		t.Fatal("WAN sends cannot beat propagation latency")
+	}
+	if geo.LatencyUs <= metro.LatencyUs {
+		t.Fatal("geo WAN latency must exceed metro WAN latency")
+	}
+	for _, s := range []Stack{metro, geo} {
+		if g := s.GoodputGBs(); g <= 0 || g >= s.LineRateGbps/8 {
+			t.Errorf("%s goodput %g must be positive and below line rate", s.Name, g)
+		}
+	}
+}
+
 func TestAllReduceScalesGentlyWithRanks(t *testing.T) {
 	n := int64(1 << 26)
 	w2, _ := NewWorld(2, UDP10G())

@@ -99,6 +99,15 @@ func (r *Registry) Get(id string) (Bitstream, error) {
 	return b, nil
 }
 
+// Delete removes a bitstream by ID (missing IDs are a no-op). Bounded
+// region stores evict idle artifacts through this; the federation-wide
+// catalog retains the authoritative copy.
+func (r *Registry) Delete(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.m, id)
+}
+
 // IDs returns all stored bitstream IDs, sorted.
 func (r *Registry) IDs() []string {
 	r.mu.RLock()

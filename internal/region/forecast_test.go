@@ -1,0 +1,86 @@
+package region
+
+import (
+	"math"
+	"testing"
+)
+
+func TestForecasterDefaultsAndRolls(t *testing.T) {
+	f := NewForecaster(0, 0, 0)
+	if f.Window() != 0.25 {
+		t.Fatalf("default window = %g, want 0.25", f.Window())
+	}
+	f = NewForecaster(1, 0.5, 4)
+	f.Observe("a", 0.1)
+	f.Observe("a", 0.2)
+	if got := f.Predict("a"); got != 0 {
+		t.Fatalf("prediction before any closed window = %g, want 0", got)
+	}
+	// Rolling past t=1 closes window 0 with count 2: EWMA = 0.5*2 = 1.
+	f.RollTo(1.5)
+	if got := f.Predict("a"); got != 1 {
+		t.Fatalf("EWMA after one window of 2 = %g, want 1", got)
+	}
+	// Two empty windows decay it: absence is signal.
+	f.RollTo(3.5)
+	if got := f.Predict("a"); got != 0.25 {
+		t.Fatalf("EWMA after two empty windows = %g, want 0.25", got)
+	}
+	if apps := f.Apps(); len(apps) != 1 || apps[0] != "a" {
+		t.Fatalf("Apps = %v, want [a]", apps)
+	}
+	if got := f.Predict("never-seen"); got != 0 {
+		t.Fatalf("prediction for unseen app = %g, want 0", got)
+	}
+}
+
+// TestForecasterPredictsPeriodicReturn is the case EWMA cannot handle:
+// a traffic wave visiting the region every 4 windows. During the silent
+// windows the EWMA decays toward zero, but the KRR autoregression — fed
+// lag windows covering a full period — sees the wave coming back.
+func TestForecasterPredictsPeriodicReturn(t *testing.T) {
+	f := NewForecaster(1, 0.5, 4)
+	// 10 periods of [4, 0, 0, 0]: bursts of 4 arrivals at t = 4k.
+	for k := 0; k < 10; k++ {
+		base := float64(4 * k)
+		for j := 0; j < 4; j++ {
+			f.Observe("wave", base+0.1)
+		}
+	}
+	// Close everything through t=40: history ends [..., 4, 0, 0, 0] — the
+	// next window is a burst window.
+	f.RollTo(40)
+	ewma := 0.0
+	for i := 0; i < len(f.hist["wave"]); i++ {
+		c := f.hist["wave"][i]
+		ewma = 0.5*c + 0.5*ewma
+	}
+	if ewma >= 1 {
+		t.Fatalf("EWMA baseline %g should have decayed below 1 during the silent windows", ewma)
+	}
+	pred := f.Predict("wave")
+	if pred < 2 {
+		t.Fatalf("periodic-return prediction = %g, want the KRR to see the burst coming (>= 2)", pred)
+	}
+	// One window into the silence the same machinery must NOT fire: the
+	// lag features [0, 0, 0, 4] map to a quiet window.
+	f.RollTo(41)
+	if quiet := f.Predict("wave"); quiet >= pred/2 {
+		t.Fatalf("post-burst prediction %g not clearly below return prediction %g", quiet, pred)
+	}
+}
+
+func TestForecasterPredictionNeverNegative(t *testing.T) {
+	f := NewForecaster(1, 0.5, 2)
+	for i := 0; i < 12; i++ {
+		if i%2 == 0 {
+			f.Observe("x", float64(i)+0.5)
+		} else {
+			f.RollTo(float64(i + 1))
+		}
+	}
+	f.RollTo(20)
+	if got := f.Predict("x"); got < 0 || math.IsNaN(got) {
+		t.Fatalf("prediction = %g, want clamped >= 0 and finite", got)
+	}
+}

@@ -1,0 +1,1164 @@
+// Package region is the fleet-of-fleets tier of the EVEREST runtime: a
+// hierarchical federation where each region is a complete fleet (its own
+// sites, its own bitstream registry, its own Eth100G deployment fabric)
+// and regions are joined by a much slower WAN. The paper frames EVEREST
+// as orchestrating big-data pipelines across heterogeneous
+// *infrastructures*, not just nodes (§II, §VI); this package adds that
+// top level:
+//
+//   - a top-level router that prices serving a workflow away from its
+//     home region (WAN payload transfer + missing-artifact fetches +
+//     remote queue wait) against waiting out the home queue;
+//   - two-level bitstream distribution: a federation-wide catalog holds
+//     every artifact, each region keeps a bounded store fetched over the
+//     WAN on demand, and each site caches deployments as before — so a
+//     cold serve can stack WAN fetch + registry transfer + reconfig;
+//   - tenant SLO classes (guaranteed > interactive > batch): guaranteed
+//     work rides the fleet's proven-bound admission, interactive work is
+//     served on arrival, and batch work is parked in a modelled-time
+//     hold queue that priority arrivals preempt (push back, with a
+//     restart penalty) — so batch absorbs slack without ever standing in
+//     front of the classes above it;
+//   - per-region autoscaling: sites join (after a boot delay) when the
+//     queue wait crosses a threshold and leave after idle windows;
+//   - predictive bitstream prefetch (see Forecaster): at every window
+//     roll a region forecasts next-window demand per app and stages the
+//     app's bitstreams — WAN fetch into the region store, cache warm
+//     into the least-busy site — before the traffic arrives.
+//
+// Time discipline matches the fleet tier: everything is modelled
+// seconds, arrivals must be submitted in non-decreasing order, and the
+// single-driver submit protocol makes every number — including the trace
+// stream — deterministic across GOMAXPROCS.
+package region
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"everest/internal/fleet"
+	"everest/internal/netsim"
+	"everest/internal/platform"
+	"everest/internal/runtime"
+)
+
+// Class is a tenant SLO class.
+type Class int
+
+// SLO classes, weakest first.
+const (
+	// Batch is deferrable best-effort work: it may be held and preempted.
+	Batch Class = iota
+	// Interactive is served on arrival, best effort.
+	Interactive
+	// Guaranteed rides the fleet's proven-bound admission class.
+	Guaranteed
+)
+
+func (c Class) String() string {
+	switch c {
+	case Batch:
+		return "batch"
+	case Interactive:
+		return "interactive"
+	case Guaranteed:
+		return "guaranteed"
+	}
+	return "unknown"
+}
+
+// EventKind classifies region trace events.
+type EventKind int
+
+// Region trace event kinds.
+const (
+	// EventRoute fires when the top-level router picks a serving region.
+	EventRoute EventKind = iota
+	// EventHandoff fires when a workflow is served away from its home.
+	EventHandoff
+	// EventFetch fires when a missing artifact is WAN-fetched on the
+	// serving path (the workflow pays the stall).
+	EventFetch
+	// EventPrefetch fires when the forecaster WAN-fetches an artifact
+	// ahead of demand (off the critical path).
+	EventPrefetch
+	// EventHold fires when batch work is parked in the hold queue.
+	EventHold
+	// EventRelease fires when held batch work is finally served.
+	EventRelease
+	// EventPreempt fires when a priority arrival pushes held batch back.
+	EventPreempt
+	// EventScaleUp fires when autoscaling activates a site.
+	EventScaleUp
+	// EventScaleDown fires when autoscaling deactivates a site.
+	EventScaleDown
+	// EventEvictStore fires when a bounded region store drops an artifact.
+	EventEvictStore
+	// EventReject fires when no region can serve (or prove) a request.
+	EventReject
+	// EventDone fires when a workflow's region-level completion is known.
+	EventDone
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventRoute:
+		return "route"
+	case EventHandoff:
+		return "handoff"
+	case EventFetch:
+		return "fetch"
+	case EventPrefetch:
+		return "prefetch"
+	case EventHold:
+		return "hold"
+	case EventRelease:
+		return "release"
+	case EventPreempt:
+		return "preempt"
+	case EventScaleUp:
+		return "scale-up"
+	case EventScaleDown:
+		return "scale-down"
+	case EventEvictStore:
+		return "evict-store"
+	case EventReject:
+		return "reject"
+	case EventDone:
+		return "done"
+	}
+	return "unknown"
+}
+
+// Event is one region trace record, serialized by the federation.
+type Event struct {
+	Kind      EventKind
+	Region    string
+	Tenant    string
+	Workflow  string
+	App       string
+	Bitstream string
+	Time      float64 // modelled seconds
+	Detail    string
+}
+
+// Partition makes one region unreachable over the WAN during [From,
+// Until): no handoffs in or out, no artifact fetches. The region keeps
+// serving its own traffic from whatever its store already holds.
+type Partition struct {
+	Region      int
+	From, Until float64
+}
+
+// Config configures a Federation.
+type Config struct {
+	// Regions is the number of federated regions (>= 1).
+	Regions int
+	// SitesPerRegion is each region's fleet size (>= 1).
+	SitesPerRegion int
+	// InitialSitesPerRegion caps how many sites per region serve at
+	// Start; autoscaling (or SetSiteActive) brings in the rest. 0 = all.
+	InitialSitesPerRegion int
+	// NewCluster builds region r, site s's cluster (required).
+	NewCluster func(region, site int) *platform.Cluster
+	// CacheSlots, PartialReconfig, Policy, Adaptive, SlowdownCap, Net and
+	// RegistryNet configure each region's fleet (fleet.Config semantics).
+	CacheSlots      int
+	PartialReconfig bool
+	Policy          runtime.Policy
+	Adaptive        bool
+	SlowdownCap     float64
+	Net             *netsim.Stack
+	RegistryNet     *netsim.Stack
+	// WAN prices inter-region transfers: workflow handoff payloads and
+	// catalog→region artifact fetches (default the wan10g metro fabric).
+	WAN *netsim.Stack
+	// HandoffPenalty is the flat routing bias added to non-home regions
+	// on top of the modelled WAN transfer (default 10 ms) — the price of
+	// leaving the tenant's data locality.
+	HandoffPenalty float64
+	// FallbackSeconds is the routing penalty per artifact a region cannot
+	// obtain (partitioned WAN, missing from the catalog): the cost of
+	// degrading that work to software (default 250 ms).
+	FallbackSeconds float64
+	// StoreSlots bounds each region's artifact store; filling it evicts
+	// the least-recently-used bitstream (the catalog keeps the
+	// authoritative copy, so eviction means a future WAN refetch).
+	// 0 = unbounded.
+	StoreSlots int
+	// PreemptPenalty is the modelled restart cost a held batch workflow
+	// pays every time a priority arrival pushes it back (default 50 ms).
+	PreemptPenalty float64
+	// Autoscale lets regions activate sites (after SiteBootSeconds) when
+	// the queue wait at a window roll exceeds ScaleUpWait, and deactivate
+	// one after ScaleDownIdleWindows consecutive idle rolls.
+	Autoscale            bool
+	ScaleUpWait          float64 // default 0.5
+	ScaleDownIdleWindows int     // default 4
+	SiteBootSeconds      float64 // default 2
+	// Prefetch turns on the forecast-driven warming loop.
+	Prefetch bool
+	// WindowSeconds is the forecast window (default 0.25).
+	WindowSeconds float64
+	// WarmThreshold is the predicted next-window arrival count at which a
+	// region stages an app's bitstreams (default 0.5).
+	WarmThreshold float64
+	// ForecastLag is the KRR autoregression depth in windows (default 16;
+	// it must cover a full period of any pattern worth anticipating).
+	ForecastLag int
+	// Partitions scripts WAN reachability faults.
+	Partitions []Partition
+	// Trace, when set, receives every region event (serialized).
+	Trace func(Event)
+	// FleetTrace, when set, receives every regional fleet's events tagged
+	// with the region name, serialized with the region's own events.
+	FleetTrace func(region string, ev fleet.Event)
+	// EngineTrace, when set, receives every site engine's events tagged
+	// with region and site, serialized likewise.
+	EngineTrace func(region, site string, ev runtime.Event)
+}
+
+// Request is one workflow submission to the federation.
+type Request struct {
+	Tenant string
+	Name   string
+	// App labels the workflow for the demand forecaster; workflows of the
+	// same app share bitstreams, and prefetch warms per app.
+	App      string
+	Workflow *runtime.Workflow
+	// Home is the gateway region the request arrived at (its demand is
+	// observed there; serving elsewhere pays the WAN handoff).
+	Home int
+	// Arrival is the modelled submission time. Arrivals must be submitted
+	// in non-decreasing order — the federation is a modelled-time event
+	// loop, and prefetch, autoscaling, and hold releases all fire between
+	// arrivals.
+	Arrival float64
+	// Class is the SLO class; Guaranteed requires a Deadline (relative
+	// latency bound in modelled seconds, fleet semantics).
+	Class    Class
+	Deadline float64
+	// InputBytes is the payload that must cross the WAN if the workflow
+	// is served away from its home region.
+	InputBytes int64
+}
+
+// Result is the region-level outcome of one workflow.
+type Result struct {
+	Region string
+	Site   string
+	Class  Class
+
+	Arrival float64
+	Handoff float64 // WAN payload transfer stall (served away from home)
+	Fetch   float64 // WAN artifact fetch stall on the serving path
+	Hold    float64 // modelled time parked in the batch hold queue
+	Wait    float64 // fleet queue delay
+	Deploy  float64 // bitstream deployment stall
+	Service float64 // engine-measured service time
+
+	Completion float64
+	Latency    float64 // Completion - Arrival, all stalls included
+
+	// Cold marks a serve that paid distribution costs (WAN fetch or site
+	// deploy) on its critical path — the metric prefetch attacks.
+	Cold bool
+
+	// Guaranteed-class fields: the proven bound relative to Arrival.
+	Guaranteed bool
+	Bound      float64
+
+	// Preemptions counts how many times this workflow was pushed back
+	// while held (batch only).
+	Preemptions int
+}
+
+// Handle is the caller's handle on one submitted workflow. Interactive
+// and guaranteed work completes during SubmitAt; batch work may stay
+// held until later arrivals (or Drain) release it, so Wait on a batch
+// handle only after Drain or Shutdown.
+type Handle struct {
+	done chan struct{}
+	res  Result
+	err  error
+	held *held // non-nil while parked in the hold queue
+}
+
+// Wait blocks until the workflow completes and returns its result.
+func (h *Handle) Wait() (Result, error) {
+	<-h.done
+	return h.res, h.err
+}
+
+// Done returns a channel closed when the workflow has completed.
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+// held is one deferred batch workflow.
+type held struct {
+	h       *Handle
+	req     Request
+	release float64
+	seq     int // FIFO tie-break
+	pushes  int // preemption count
+}
+
+// RegionStats snapshots one region.
+type RegionStats struct {
+	Name   string
+	Served int
+	Failed int
+
+	Guaranteed  int
+	Interactive int
+	Batch       int
+
+	Handoffs  int // served here for another region's gateway
+	HandedOff int // gateway arrivals this region shipped elsewhere
+
+	ColdServes  int
+	Preemptions int
+	Holds       int
+
+	WANFetches      int
+	WANFetchSeconds float64
+	PrefetchFetches int
+	PrefetchSeconds float64
+	Warms           int
+	StoreEvictions  int
+	PartitionSkips  int
+
+	ScaleUps    int
+	ScaleDowns  int
+	ActiveSites int
+
+	Fleet fleet.Stats
+}
+
+// Stats aggregates the federation.
+type Stats struct {
+	Submitted int
+	Completed int
+	Failed    int
+	Rejected  int
+
+	ColdServes      int
+	Preemptions     int
+	Handoffs        int
+	WANFetches      int
+	PrefetchFetches int
+	Warms           int
+
+	Guaranteed      int
+	BoundViolations int
+
+	Makespan float64
+	Regions  []RegionStats
+}
+
+// region is one member fleet plus its region-level serving state.
+type region struct {
+	idx  int
+	name string
+	reg  *platform.Registry // region artifact store (the fleet deploys from it)
+	fl   *fleet.Fleet
+	fc   *Forecaster
+
+	held        []*held
+	gFrontier   float64 // latest guaranteed completion (batch holds behind it)
+	nextRoll    float64
+	active      int // sites currently activated by the region
+	idleWindows int
+
+	storeSeq int64
+	storeUse map[string]int64 // artifact id -> last-use seq (LRU)
+
+	stats RegionStats
+}
+
+// Federation is the top-level router over regional fleets.
+type Federation struct {
+	cfg     Config
+	catalog *platform.Registry
+	wan     netsim.Stack
+	regions []*region
+
+	traceMu sync.Mutex
+
+	mu        sync.Mutex
+	started   bool
+	closed    bool
+	frontier  float64 // latest processed modelled time
+	submitted int
+	rejected  int
+	heldSeq   int
+
+	appNeeds map[string][]string // app -> bitstream IDs (learned at first serve)
+	appOrder []string
+}
+
+// New builds a federation over a shared artifact catalog. Each region
+// gets its own fleet on its own (initially empty) registry; artifacts
+// reach a region by WAN fetch from the catalog — on demand, or ahead of
+// demand when prefetch is on.
+func New(catalog *platform.Registry, cfg Config) (*Federation, error) {
+	if catalog == nil {
+		return nil, fmt.Errorf("region: nil catalog")
+	}
+	if cfg.Regions < 1 {
+		return nil, fmt.Errorf("region: need >= 1 region, got %d", cfg.Regions)
+	}
+	if cfg.SitesPerRegion < 1 {
+		return nil, fmt.Errorf("region: need >= 1 site per region, got %d", cfg.SitesPerRegion)
+	}
+	if cfg.NewCluster == nil {
+		return nil, fmt.Errorf("region: NewCluster builder is required")
+	}
+	if cfg.InitialSitesPerRegion < 0 || cfg.InitialSitesPerRegion > cfg.SitesPerRegion {
+		return nil, fmt.Errorf("region: InitialSitesPerRegion %d outside [0, %d]",
+			cfg.InitialSitesPerRegion, cfg.SitesPerRegion)
+	}
+	if cfg.WAN == nil {
+		st := netsim.WAN10G()
+		cfg.WAN = &st
+	}
+	if cfg.HandoffPenalty == 0 {
+		cfg.HandoffPenalty = 0.010
+	}
+	if cfg.FallbackSeconds == 0 {
+		cfg.FallbackSeconds = 0.250
+	}
+	if cfg.PreemptPenalty == 0 {
+		cfg.PreemptPenalty = 0.050
+	}
+	if cfg.ScaleUpWait <= 0 {
+		cfg.ScaleUpWait = 0.5
+	}
+	if cfg.ScaleDownIdleWindows <= 0 {
+		cfg.ScaleDownIdleWindows = 4
+	}
+	if cfg.SiteBootSeconds <= 0 {
+		cfg.SiteBootSeconds = 2
+	}
+	if cfg.WindowSeconds <= 0 {
+		cfg.WindowSeconds = 0.25
+	}
+	if cfg.WarmThreshold <= 0 {
+		cfg.WarmThreshold = 0.5
+	}
+	for _, p := range cfg.Partitions {
+		if p.Region < 0 || p.Region >= cfg.Regions {
+			return nil, fmt.Errorf("region: partition targets region %d outside [0, %d)", p.Region, cfg.Regions)
+		}
+		if p.Until <= p.From {
+			return nil, fmt.Errorf("region: partition of region %d has empty interval [%g, %g)", p.Region, p.From, p.Until)
+		}
+	}
+	f := &Federation{cfg: cfg, catalog: catalog, wan: *cfg.WAN, appNeeds: make(map[string][]string)}
+	for i := 0; i < cfg.Regions; i++ {
+		i := i
+		name := fmt.Sprintf("region%02d", i)
+		reg := platform.NewRegistry()
+		var ftrace func(fleet.Event)
+		if cfg.FleetTrace != nil {
+			ftrace = func(ev fleet.Event) { f.cfg.FleetTrace(name, ev) }
+		}
+		var etrace func(string, runtime.Event)
+		if cfg.EngineTrace != nil {
+			etrace = func(site string, ev runtime.Event) { f.cfg.EngineTrace(name, site, ev) }
+		}
+		fl, err := fleet.New(reg, fleet.Config{
+			Sites:              cfg.SitesPerRegion,
+			NewCluster:         func(site int) *platform.Cluster { return cfg.NewCluster(i, site) },
+			CacheSlots:         cfg.CacheSlots,
+			PartialReconfig:    cfg.PartialReconfig,
+			Policy:             cfg.Policy,
+			Adaptive:           cfg.Adaptive,
+			SlowdownCap:        cfg.SlowdownCap,
+			InitialActiveSites: cfg.InitialSitesPerRegion,
+			Net:                cfg.Net,
+			RegistryNet:        cfg.RegistryNet,
+			Trace:              ftrace,
+			EngineTrace:        etrace,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("region: %s: %w", name, err)
+		}
+		active := cfg.SitesPerRegion
+		if cfg.InitialSitesPerRegion > 0 {
+			active = cfg.InitialSitesPerRegion
+		}
+		f.regions = append(f.regions, &region{
+			idx: i, name: name, reg: reg, fl: fl,
+			fc:       NewForecaster(cfg.WindowSeconds, 0.5, cfg.ForecastLag),
+			nextRoll: cfg.WindowSeconds,
+			active:   active,
+			storeUse: make(map[string]int64),
+		})
+		f.regions[i].stats.Name = name
+	}
+	return f, nil
+}
+
+// Regions returns the number of federated regions.
+func (f *Federation) Regions() int { return len(f.regions) }
+
+// Fleet exposes region r's fleet (tests and CLIs inspect it).
+func (f *Federation) Fleet(r int) *fleet.Fleet { return f.regions[r].fl }
+
+// Store exposes region r's artifact registry.
+func (f *Federation) Store(r int) *platform.Registry { return f.regions[r].reg }
+
+// Start brings every regional fleet up.
+func (f *Federation) Start() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.started {
+		return fmt.Errorf("region: already started")
+	}
+	for _, r := range f.regions {
+		if err := r.fl.Start(); err != nil {
+			return fmt.Errorf("region: %s: %w", r.name, err)
+		}
+	}
+	f.started = true
+	return nil
+}
+
+// partitioned reports whether region r is WAN-unreachable at modelled
+// time t.
+func (f *Federation) partitioned(r int, t float64) bool {
+	for _, p := range f.cfg.Partitions {
+		if p.Region == r && t >= p.From && t < p.Until {
+			return true
+		}
+	}
+	return false
+}
+
+// SubmitAt routes one workflow. Interactive and guaranteed work is
+// served to completion inside the call (modelled time; the handle is
+// already resolved on return). Batch work may be parked in the hold
+// queue and served by a later SubmitAt or Drain. An error means the
+// request was rejected (guaranteed proof impossible, no active site, or
+// invalid request); nothing was enqueued.
+func (f *Federation) SubmitAt(req Request) (*Handle, error) {
+	if req.Workflow == nil {
+		return nil, fmt.Errorf("region: nil workflow")
+	}
+	if req.Home < 0 || req.Home >= len(f.regions) {
+		return nil, fmt.Errorf("region: home region %d outside [0, %d)", req.Home, len(f.regions))
+	}
+	if req.Class == Guaranteed && req.Deadline <= 0 {
+		return nil, fmt.Errorf("region: guaranteed request needs a positive deadline, got %.3g", req.Deadline)
+	}
+	if req.Tenant == "" {
+		req.Tenant = "default"
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.started || f.closed {
+		return nil, fmt.Errorf("region: not serving (started=%v closed=%v)", f.started, f.closed)
+	}
+	if req.Arrival < f.frontier {
+		return nil, fmt.Errorf("region: arrival %.6g before frontier %.6g (arrivals must be non-decreasing)",
+			req.Arrival, f.frontier)
+	}
+	f.frontier = req.Arrival
+	// Batch arrivals flush due held work first (FIFO among batch);
+	// priority arrivals do not — they preempt it instead, below.
+	f.advance(req.Arrival, req.Class == Batch)
+
+	f.submitted++
+	if req.Name == "" {
+		req.Name = fmt.Sprintf("%s/wf%d", req.Tenant, f.submitted)
+	}
+	home := f.regions[req.Home]
+	home.fc.Observe(req.App, req.Arrival)
+
+	if req.Class == Batch {
+		release := req.Arrival
+		if home.gFrontier > release {
+			release = home.gFrontier
+		}
+		if release > req.Arrival {
+			// The guaranteed class owns the near frontier: park the batch
+			// work behind it.
+			h := &Handle{done: make(chan struct{})}
+			f.heldSeq++
+			hw := &held{h: h, req: req, release: release, seq: f.heldSeq}
+			h.held = hw
+			home.held = append(home.held, hw)
+			home.stats.Holds++
+			f.trace(Event{Kind: EventHold, Region: home.name, Tenant: req.Tenant,
+				Workflow: req.Name, App: req.App, Time: req.Arrival,
+				Detail: fmt.Sprintf("release=%.4gs", release)})
+			return h, nil
+		}
+		h := &Handle{done: make(chan struct{})}
+		f.serveNow(home, req, req.Arrival, 0, h)
+		return h, h.err
+	}
+
+	h := &Handle{done: make(chan struct{})}
+	if err := f.route(req, h); err != nil {
+		f.submitted--
+		f.rejected++
+		f.trace(Event{Kind: EventReject, Region: home.name, Tenant: req.Tenant,
+			Workflow: req.Name, App: req.App, Time: req.Arrival, Detail: err.Error()})
+		return nil, err
+	}
+	// Priority work completed: push back any held batch that was due —
+	// in a preemptive system the batch must not have occupied the
+	// frontier the priority work just used.
+	f.preemptDue(req.Arrival, h.res.Completion)
+	return h, nil
+}
+
+// route picks the serving region for interactive and guaranteed work and
+// serves inline. Candidates are priced as
+//
+//	queueWait + handoff(WAN payload + penalty, non-home) + fetch estimate
+//
+// with the home region winning ties. A WAN partition (of home or of the
+// candidate) removes every non-home candidate. Guaranteed requests try
+// candidates cheapest-first until one region's fleet proves the
+// (stall-shrunk) deadline; when none can, the request is rejected.
+func (f *Federation) route(req Request, h *Handle) error {
+	home := req.Home
+	needs := fleet.BitstreamNeeds(req.Workflow)
+	var cands []routeCand
+	for _, r := range f.regions {
+		if r.idx != home && (f.partitioned(home, req.Arrival) || f.partitioned(r.idx, req.Arrival)) {
+			continue
+		}
+		handoff := 0.0
+		if r.idx != home {
+			handoff = f.wan.SendSeconds(req.InputBytes) + f.cfg.HandoffPenalty
+		}
+		eff := req.Arrival + handoff
+		wait, ok := r.fl.QueueWait(eff)
+		if !ok {
+			continue // no active site
+		}
+		cost := handoff + wait + f.fetchEstimate(r, needs, eff)
+		cands = append(cands, routeCand{idx: r.idx, cost: cost})
+	}
+	if len(cands) == 0 {
+		return fmt.Errorf("region: no region can serve %s (all partitioned or scaled down)", req.Name)
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].less(cands[b], home) })
+	if req.Class != Guaranteed {
+		r := f.regions[cands[0].idx]
+		f.trace(Event{Kind: EventRoute, Region: r.name, Tenant: req.Tenant,
+			Workflow: req.Name, App: req.App, Time: req.Arrival,
+			Detail: fmt.Sprintf("cost=%.4gs of %d candidate(s)", cands[0].cost, len(cands))})
+		f.serveNow(r, req, req.Arrival, 0, h)
+		return h.err
+	}
+	var lastErr error
+	for _, c := range cands {
+		r := f.regions[c.idx]
+		if err := f.tryGuaranteed(r, req, h); err != nil {
+			lastErr = err
+			continue
+		}
+		f.trace(Event{Kind: EventRoute, Region: r.name, Tenant: req.Tenant,
+			Workflow: req.Name, App: req.App, Time: req.Arrival,
+			Detail: fmt.Sprintf("guaranteed cost=%.4gs of %d candidate(s)", c.cost, len(cands))})
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("%w: no region can prove a %.4gs deadline", fleet.ErrSaturated, req.Deadline)
+	}
+	return lastErr
+}
+
+// routeCand is one candidate serving region; ordering is cheapest-first
+// with the home region winning ties, then index order — deterministic.
+type routeCand struct {
+	idx  int
+	cost float64
+}
+
+func (a routeCand) less(b routeCand, home int) bool {
+	if a.cost != b.cost {
+		return a.cost < b.cost
+	}
+	if (a.idx == home) != (b.idx == home) {
+		return a.idx == home
+	}
+	return a.idx < b.idx
+}
+
+// tryGuaranteed serves a guaranteed request at region r: stalls (WAN
+// handoff, artifact fetches) are charged first and shrink the deadline
+// the fleet must prove.
+func (f *Federation) tryGuaranteed(r *region, req Request, h *Handle) error {
+	handoff := 0.0
+	if r.idx != req.Home {
+		handoff = f.wan.SendSeconds(req.InputBytes)
+	}
+	needs := fleet.BitstreamNeeds(req.Workflow)
+	fetch := f.ensureArtifacts(r, needs, req.Arrival+handoff)
+	stall := handoff + fetch
+	if req.Deadline <= stall {
+		return fmt.Errorf("%w: %s: stalls %.4gs consume the %.4gs deadline",
+			fleet.ErrSaturated, r.name, stall, req.Deadline)
+	}
+	tk, err := r.fl.Submit(fleet.Request{
+		Tenant: req.Tenant, Name: req.Name, Workflow: req.Workflow,
+		Arrival: req.Arrival + stall, Guaranteed: true, Deadline: req.Deadline - stall,
+	})
+	if err != nil {
+		return err
+	}
+	f.finish(r, req, tk, handoff, fetch, 0, 0, h)
+	return nil
+}
+
+// serveNow serves one request at region r with the given serving-path
+// arrival (the hold release for batch work), resolving h.
+func (f *Federation) serveNow(r *region, req Request, at float64, pushes int, h *Handle) {
+	handoff := 0.0
+	if r.idx != req.Home {
+		handoff = f.wan.SendSeconds(req.InputBytes)
+	}
+	needs := fleet.BitstreamNeeds(req.Workflow)
+	fetch := f.ensureArtifacts(r, needs, at+handoff)
+	tk, err := r.fl.Submit(fleet.Request{
+		Tenant: req.Tenant, Name: req.Name, Workflow: req.Workflow,
+		Arrival: at + handoff + fetch,
+	})
+	if err != nil {
+		r.stats.Failed++
+		h.err = fmt.Errorf("region: %s: %w", r.name, err)
+		h.held = nil
+		close(h.done)
+		return
+	}
+	f.finish(r, req, tk, handoff, fetch, at-req.Arrival, pushes, h)
+}
+
+// finish waits out the fleet serve and fills the handle's result.
+func (f *Federation) finish(r *region, req Request, tk *fleet.Ticket, handoff, fetch, hold float64, pushes int, h *Handle) {
+	res, err := tk.Wait()
+	h.held = nil
+	if err != nil {
+		r.stats.Failed++
+		h.err = fmt.Errorf("region: %s: %w", r.name, err)
+		close(h.done)
+		return
+	}
+	if req.App != "" {
+		if _, ok := f.appNeeds[req.App]; !ok {
+			f.appNeeds[req.App] = fleet.BitstreamNeeds(req.Workflow)
+			f.appOrder = append(f.appOrder, req.App)
+		}
+	}
+	cold := fetch > 0 || res.Deploy > 0
+	out := Result{
+		Region: r.name, Site: res.Site, Class: req.Class,
+		Arrival: req.Arrival, Handoff: handoff, Fetch: fetch, Hold: hold,
+		Wait: res.Wait, Deploy: res.Deploy, Service: res.Service,
+		Completion: res.Completion, Latency: res.Completion - req.Arrival,
+		Cold: cold, Guaranteed: res.Guaranteed, Preemptions: pushes,
+	}
+	if res.Guaranteed {
+		out.Bound = handoff + fetch + res.Bound
+		r.gFrontier = math.Max(r.gFrontier, res.Completion)
+		r.stats.Guaranteed++
+	} else if req.Class == Interactive {
+		r.stats.Interactive++
+	} else {
+		r.stats.Batch++
+	}
+	r.stats.Served++
+	if cold {
+		r.stats.ColdServes++
+	}
+	if r.idx != req.Home {
+		r.stats.Handoffs++
+		f.regions[req.Home].stats.HandedOff++
+		f.trace(Event{Kind: EventHandoff, Region: r.name, Tenant: req.Tenant,
+			Workflow: req.Name, App: req.App, Time: req.Arrival,
+			Detail: fmt.Sprintf("home=%s xfer=%.4gs", f.regions[req.Home].name, handoff)})
+	}
+	h.res = out
+	f.trace(Event{Kind: EventDone, Region: r.name, Tenant: req.Tenant,
+		Workflow: req.Name, App: req.App, Time: res.Completion,
+		Detail: fmt.Sprintf("class=%s latency=%.4gs cold=%v", req.Class, out.Latency, cold)})
+	close(h.done)
+}
+
+// fetchEstimate prices the WAN fetches a serve at region r would pay.
+func (f *Federation) fetchEstimate(r *region, needs []string, at float64) float64 {
+	total := 0.0
+	for _, id := range needs {
+		if _, err := r.reg.Get(id); err == nil {
+			continue
+		}
+		if f.partitioned(r.idx, at) {
+			total += f.cfg.FallbackSeconds
+			continue
+		}
+		bs, err := f.catalog.Get(id)
+		if err != nil {
+			total += f.cfg.FallbackSeconds
+			continue
+		}
+		total += f.wan.SendSeconds(f.imageBytes(r, bs))
+	}
+	return total
+}
+
+// ensureArtifacts makes every needed bitstream resident in region r's
+// store, WAN-fetching the missing ones serially, and returns the total
+// modelled stall. Artifacts that cannot be obtained (partitioned WAN,
+// absent from the catalog) are skipped — the fleet degrades those tasks
+// to software, which is the modelled behaviour of a region cut off from
+// the catalog.
+func (f *Federation) ensureArtifacts(r *region, needs []string, at float64) float64 {
+	total := 0.0
+	for _, id := range needs {
+		dt, err := f.ensureStored(r, id, at+total, false)
+		if err != nil {
+			continue
+		}
+		total += dt
+	}
+	return total
+}
+
+// ensureStored fetches one artifact into region r's store if absent,
+// returning the modelled fetch seconds (0 when already resident).
+// Prefetch fetches are accounted separately — they run on the control
+// plane, off any workflow's critical path.
+func (f *Federation) ensureStored(r *region, id string, at float64, prefetch bool) (float64, error) {
+	if _, err := r.reg.Get(id); err == nil {
+		r.storeSeq++
+		r.storeUse[id] = r.storeSeq
+		return 0, nil
+	}
+	if f.partitioned(r.idx, at) {
+		r.stats.PartitionSkips++
+		return 0, fmt.Errorf("region: %s partitioned at %.4gs", r.name, at)
+	}
+	bs, err := f.catalog.Get(id)
+	if err != nil {
+		return 0, err
+	}
+	dt := f.wan.SendSeconds(f.imageBytes(r, bs))
+	if err := r.reg.Put(bs); err != nil {
+		return 0, err
+	}
+	r.storeSeq++
+	r.storeUse[id] = r.storeSeq
+	f.evictStore(r, at)
+	kind := EventFetch
+	if prefetch {
+		kind = EventPrefetch
+		r.stats.PrefetchFetches++
+		r.stats.PrefetchSeconds += dt
+	} else {
+		r.stats.WANFetches++
+		r.stats.WANFetchSeconds += dt
+	}
+	f.trace(Event{Kind: kind, Region: r.name, Bitstream: id, Time: at,
+		Detail: fmt.Sprintf("wan=%.4gs", dt)})
+	return dt, nil
+}
+
+// evictStore enforces the bounded region store: LRU artifacts (never the
+// one just touched) are dropped until the store fits.
+func (f *Federation) evictStore(r *region, at float64) {
+	if f.cfg.StoreSlots <= 0 {
+		return
+	}
+	for len(r.storeUse) > f.cfg.StoreSlots {
+		victim, vseq := "", int64(math.MaxInt64)
+		for id, seq := range r.storeUse {
+			if seq < vseq {
+				victim, vseq = id, seq
+			}
+		}
+		delete(r.storeUse, victim)
+		r.reg.Delete(victim)
+		r.stats.StoreEvictions++
+		f.trace(Event{Kind: EventEvictStore, Region: r.name, Bitstream: victim, Time: at})
+	}
+}
+
+// imageBytes is the configuration image a WAN fetch of bs into region r
+// ships: the largest image among the region's devices that can host it
+// (0 — a free fetch — only when no device fits, in which case the fleet
+// will degrade to software anyway).
+func (f *Federation) imageBytes(r *region, bs platform.Bitstream) int64 {
+	need := bs.TotalResources()
+	var best int64
+	for si := 0; si < r.fl.Sites(); si++ {
+		for _, n := range r.fl.Cluster(si).Nodes {
+			for _, d := range n.Devices {
+				if need.FitsIn(d.Capacity) && d.ConfigBytes() > best {
+					best = d.ConfigBytes()
+				}
+			}
+		}
+	}
+	return best
+}
+
+// preemptDue pushes every held batch workflow that was due by the
+// priority arrival at t past the priority work's completion, plus the
+// restart penalty.
+func (f *Federation) preemptDue(t, completion float64) {
+	for _, r := range f.regions {
+		for _, hw := range r.held {
+			if hw.release > t {
+				continue
+			}
+			hw.release = math.Max(completion, t) + f.cfg.PreemptPenalty
+			hw.pushes++
+			r.stats.Preemptions++
+			f.trace(Event{Kind: EventPreempt, Region: r.name, Tenant: hw.req.Tenant,
+				Workflow: hw.req.Name, App: hw.req.App, Time: t,
+				Detail: fmt.Sprintf("pushed to %.4gs (%d)", hw.release, hw.pushes)})
+		}
+	}
+}
+
+// Preempt manually pushes a held batch workflow back by the restart
+// penalty. Preempting work that already completed (or was never held) is
+// an error — there is nothing left to push.
+func (f *Federation) Preempt(h *Handle) error {
+	if h == nil {
+		return fmt.Errorf("region: nil handle")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	hw := h.held
+	if hw == nil {
+		return fmt.Errorf("region: workflow already completed; cannot preempt")
+	}
+	hw.release += f.cfg.PreemptPenalty
+	hw.pushes++
+	f.regions[hw.req.Home].stats.Preemptions++
+	return nil
+}
+
+// advance processes every modelled event due by time t, in time order
+// with deterministic tie-breaks: window rolls (forecast, prefetch,
+// autoscale), and — when flushHeld is set — hold-queue releases.
+func (f *Federation) advance(t float64, flushHeld bool) {
+	for {
+		bestT := math.Inf(1)
+		kind := -1 // 0 = roll, 1 = release
+		var br *region
+		var bh *held
+		for _, r := range f.regions {
+			if r.nextRoll <= t && r.nextRoll < bestT {
+				bestT, kind, br = r.nextRoll, 0, r
+			}
+		}
+		if flushHeld {
+			for _, r := range f.regions {
+				for _, hw := range r.held {
+					if hw.release > t {
+						continue
+					}
+					if hw.release < bestT || (hw.release == bestT && kind == 1 && hw.seq < bh.seq) {
+						bestT, kind, br, bh = hw.release, 1, r, hw
+					}
+				}
+			}
+		}
+		if kind < 0 {
+			return
+		}
+		if kind == 0 {
+			f.roll(br, br.nextRoll)
+			br.nextRoll += f.cfg.WindowSeconds
+			continue
+		}
+		f.release(br, bh)
+	}
+}
+
+// release serves one held batch workflow at its release time.
+func (f *Federation) release(r *region, hw *held) {
+	for i, x := range r.held {
+		if x == hw {
+			r.held = append(r.held[:i], r.held[i+1:]...)
+			break
+		}
+	}
+	f.trace(Event{Kind: EventRelease, Region: r.name, Tenant: hw.req.Tenant,
+		Workflow: hw.req.Name, App: hw.req.App, Time: hw.release,
+		Detail: fmt.Sprintf("held %.4gs pushes=%d", hw.release-hw.req.Arrival, hw.pushes)})
+	f.serveNow(r, hw.req, hw.release, hw.pushes, hw.h)
+}
+
+// roll processes one region's window boundary: close forecast windows,
+// stage predicted demand (prefetch), and autoscale.
+func (f *Federation) roll(r *region, at float64) {
+	r.fc.RollTo(at)
+	if f.cfg.Prefetch {
+		f.prefetch(r, at)
+	}
+	if f.cfg.Autoscale {
+		f.autoscale(r, at)
+	}
+}
+
+// prefetch stages the bitstreams of every app whose forecast demand for
+// the next window crosses the threshold: WAN fetch into the region store
+// if absent, cache warm into the least-busy site. All off the serving
+// path — the modelled fetch and staging seconds are accounted, and the
+// WAN occupancy is control-plane traffic. Apps are staged in ascending
+// predicted demand (first-seen order breaks ties), so when the bounded
+// store or site caches cannot hold every staged artifact, the hottest
+// apps' bitstreams land last — most-recently-used — and survive the LRU.
+func (f *Federation) prefetch(r *region, at float64) {
+	type stage struct {
+		app  string
+		pred float64
+	}
+	var due []stage
+	for _, app := range r.fc.Apps() {
+		if _, ok := f.appNeeds[app]; !ok {
+			continue // never served anywhere yet: nothing to stage
+		}
+		if pred := r.fc.Predict(app); pred >= f.cfg.WarmThreshold {
+			due = append(due, stage{app, pred})
+		}
+	}
+	sort.SliceStable(due, func(a, b int) bool { return due[a].pred < due[b].pred })
+	for _, st := range due {
+		for _, id := range f.appNeeds[st.app] {
+			if _, err := f.ensureStored(r, id, at, true); err != nil {
+				continue
+			}
+			if _, dt, err := r.fl.Warm(id, at); err == nil && dt > 0 {
+				r.stats.Warms++
+			}
+		}
+	}
+}
+
+// autoscale reacts to the queue state at a window roll: a wait past
+// ScaleUpWait activates the next site (serving from at+SiteBootSeconds);
+// ScaleDownIdleWindows consecutive idle rolls deactivate the last one
+// (never below one site, never a site still holding work).
+func (f *Federation) autoscale(r *region, at float64) {
+	wait, ok := r.fl.QueueWait(at)
+	switch {
+	case ok && wait > f.cfg.ScaleUpWait && r.active < f.cfg.SitesPerRegion:
+		if err := r.fl.SetSiteActive(r.active, true, at+f.cfg.SiteBootSeconds); err == nil {
+			r.active++
+			r.idleWindows = 0
+			r.stats.ScaleUps++
+			f.trace(Event{Kind: EventScaleUp, Region: r.name, Time: at,
+				Detail: fmt.Sprintf("wait=%.4gs sites=%d (boot %.3gs)", wait, r.active, f.cfg.SiteBootSeconds)})
+		}
+	case ok && wait == 0 && r.active > 1:
+		r.idleWindows++
+		if r.idleWindows >= f.cfg.ScaleDownIdleWindows {
+			if err := r.fl.SetSiteActive(r.active-1, false, at); err == nil {
+				r.active--
+				r.stats.ScaleDowns++
+				f.trace(Event{Kind: EventScaleDown, Region: r.name, Time: at,
+					Detail: fmt.Sprintf("sites=%d", r.active)})
+			}
+			r.idleWindows = 0
+		}
+	default:
+		r.idleWindows = 0
+	}
+}
+
+// Drain advances modelled time to at and serves every held batch
+// workflow (in release order), whatever its release time. Call it after
+// the last arrival and before waiting on batch handles.
+func (f *Federation) Drain(at float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if at > f.frontier {
+		f.frontier = at
+	}
+	f.advance(f.frontier, true)
+	for {
+		var br *region
+		var bh *held
+		for _, r := range f.regions {
+			for _, hw := range r.held {
+				if bh == nil || hw.release < bh.release || (hw.release == bh.release && hw.seq < bh.seq) {
+					br, bh = r, hw
+				}
+			}
+		}
+		if bh == nil {
+			return
+		}
+		f.release(br, bh)
+	}
+}
+
+// Shutdown drains held work, stops every regional fleet, and returns the
+// final stats.
+func (f *Federation) Shutdown() Stats {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return f.Stats()
+	}
+	f.mu.Unlock()
+	f.Drain(0)
+	f.mu.Lock()
+	f.closed = true
+	started := f.started
+	f.mu.Unlock()
+	if started {
+		for _, r := range f.regions {
+			r.fl.Shutdown()
+		}
+	}
+	return f.Stats()
+}
+
+// Stats snapshots the federation.
+func (f *Federation) Stats() Stats {
+	f.mu.Lock()
+	out := Stats{Submitted: f.submitted, Rejected: f.rejected}
+	for _, r := range f.regions {
+		rs := r.stats
+		rs.Fleet = r.fl.Stats()
+		rs.ActiveSites = rs.Fleet.ActiveSites()
+		out.Completed += rs.Served
+		out.Failed += rs.Failed
+		out.ColdServes += rs.ColdServes
+		out.Preemptions += rs.Preemptions
+		out.Handoffs += rs.Handoffs
+		out.WANFetches += rs.WANFetches
+		out.PrefetchFetches += rs.PrefetchFetches
+		out.Warms += rs.Warms
+		out.Guaranteed += rs.Guaranteed
+		out.BoundViolations += rs.Fleet.BoundViolations()
+		if rs.Fleet.Makespan > out.Makespan {
+			out.Makespan = rs.Fleet.Makespan
+		}
+		out.Regions = append(out.Regions, rs)
+	}
+	f.mu.Unlock()
+	return out
+}
+
+// trace emits one region event under the trace mutex.
+func (f *Federation) trace(ev Event) {
+	if f.cfg.Trace == nil {
+		return
+	}
+	f.traceMu.Lock()
+	f.cfg.Trace(ev)
+	f.traceMu.Unlock()
+}

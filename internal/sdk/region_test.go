@@ -1,0 +1,261 @@
+package sdk
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"everest/internal/apps"
+	"everest/internal/fleet"
+	"everest/internal/region"
+	rt "everest/internal/runtime"
+)
+
+func TestRegionServerValidates(t *testing.T) {
+	if _, err := NewRegionServer(RegionConfig{}); err == nil {
+		t.Fatal("zero regions accepted")
+	}
+	for _, cfg := range []RegionConfig{
+		{Regions: 2, WAN: "no-such-fabric"},
+		{Regions: 2, Net: "no-such-fabric"},
+		{Regions: 2, RegistryNet: "no-such-fabric"},
+	} {
+		if _, err := NewRegionServer(cfg); err == nil {
+			t.Fatalf("bad fabric name accepted: %+v", cfg)
+		}
+	}
+}
+
+// TestRegionServerServes drives the server directly: publish into the
+// catalog, serve across regions, and read the final accounting.
+func TestRegionServerServes(t *testing.T) {
+	srv, err := NewRegionServer(RegionConfig{Regions: 2, SitesPerRegion: 1, NodesPerSite: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := ScenarioBitstream()
+	if err := srv.Publish(bs); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Federation().Regions(); got != 2 {
+		t.Fatalf("Regions() = %d, want 2", got)
+	}
+	for i := 0; i < 4; i++ {
+		h, err := srv.SubmitAt(region.Request{
+			Tenant: "t", App: "app", Workflow: AdaptiveWorkflow(i, bs.ID),
+			Home: i % 2, Arrival: float64(i), Class: region.Interactive,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := srv.Shutdown()
+	if st.Federation.Completed != 4 || len(st.Results) != 4 {
+		t.Fatalf("completed %d results %d, want 4/4", st.Federation.Completed, len(st.Results))
+	}
+	for i, res := range st.Results {
+		if res.Arrival != float64(i) {
+			t.Fatalf("result %d arrival %.3f: Results not in submission order", i, res.Arrival)
+		}
+	}
+}
+
+func TestRegionScenarioValidates(t *testing.T) {
+	sc := DefaultRegionScenario()
+	if _, err := sc.RunSuite(nil); err == nil {
+		t.Fatal("nil suite accepted")
+	}
+	s, err := sc.BuildSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []func(*RegionScenario){
+		func(sc *RegionScenario) { sc.Regions = 0 },
+		func(sc *RegionScenario) { sc.Workflows = 0 },
+		func(sc *RegionScenario) { sc.ArrivalGap = 0 },
+		func(sc *RegionScenario) { sc.BlockSize = 0 },
+	} {
+		run := sc
+		bad(&run)
+		if _, err := run.RunSuite(s); err == nil {
+			t.Fatalf("bad scenario accepted: %+v", run)
+		}
+	}
+	run := sc
+	run.WAN = "no-such-fabric"
+	if _, err := run.RunSuite(s); err == nil {
+		t.Fatal("bad WAN name accepted")
+	}
+	run = sc
+	run.Apps = []string{"no-such-app"}
+	if _, err := run.Run(); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+// TestRegionScenarioPrefetchContrast mirrors the PR-9 bench gate: served
+// over the same suite, the default E-region scenario with predictive
+// prefetch must beat the prefetch-off arm on tail cold-start overhead by
+// at least the gated 1.5x, with zero guaranteed-bound violations on
+// either arm. Off the serving path, that is the whole point of the
+// forecaster: the off arm pays wan1g refetches when the wave returns
+// after batch churn, the on arm restages the store at window rolls.
+func TestRegionScenarioPrefetchContrast(t *testing.T) {
+	sc := DefaultRegionScenario()
+	s, err := sc.BuildSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	arms := map[bool]RegionResult{}
+	for _, pf := range []bool{true, false} {
+		run := sc
+		run.Prefetch = pf
+		res, err := run.RunSuite(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Completed != sc.Workflows {
+			t.Fatalf("prefetch=%v completed %d/%d", pf, res.Completed, sc.Workflows)
+		}
+		if res.BoundViolations != 0 {
+			t.Fatalf("prefetch=%v: %d guaranteed-bound violations", pf, res.BoundViolations)
+		}
+		if res.GuaranteedAdmitted == 0 {
+			t.Fatalf("prefetch=%v: no guaranteed admissions", pf)
+		}
+		arms[pf] = res
+	}
+	on, off := arms[true], arms[false]
+	prefetchSeconds := 0.0
+	for _, r := range on.Stats.Regions {
+		prefetchSeconds += r.PrefetchSeconds
+	}
+	if on.PrefetchFetches == 0 || prefetchSeconds <= 0 {
+		t.Fatalf("prefetch on: no prefetch fetches recorded (%+v)", on.Stats)
+	}
+	if off.PrefetchFetches != 0 {
+		t.Fatalf("prefetch off: %d prefetch fetches recorded", off.PrefetchFetches)
+	}
+	if on.TailColdStartP99 <= 0 || off.TailColdStartP99 <= 0 {
+		t.Fatalf("degenerate tail overhead: on=%.4f off=%.4f", on.TailColdStartP99, off.TailColdStartP99)
+	}
+	if ratio := off.TailColdStartP99 / on.TailColdStartP99; ratio < 1.5 {
+		t.Fatalf("prefetch speedup %.2fx < 1.5x (on=%.4fs off=%.4fs)",
+			ratio, on.TailColdStartP99, off.TailColdStartP99)
+	}
+	if on.TailCold >= off.TailCold {
+		t.Fatalf("tail cold serves: on=%d off=%d, want prefetch to reduce them", on.TailCold, off.TailCold)
+	}
+}
+
+// TestRegionScenarioPartition exercises the WAN-fault path end to end: a
+// region partitioned for a stretch must keep serving locally (degrading
+// artifact fetches), and the run must still complete every workflow.
+func TestRegionScenarioPartition(t *testing.T) {
+	sc := DefaultRegionScenario()
+	sc.Workflows = 60
+	sc.Partitions = []region.Partition{{Region: 0, From: 5, Until: 20}}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != sc.Workflows {
+		t.Fatalf("completed %d/%d under partition", res.Completed, sc.Workflows)
+	}
+	skips := 0
+	for _, r := range res.Stats.Regions {
+		skips += r.PartitionSkips
+	}
+	if skips == 0 {
+		t.Fatal("partition never forced a local degrade")
+	}
+}
+
+func TestRegionScenarioSaturate(t *testing.T) {
+	sc := DefaultRegionScenario()
+	sc.Workflows = 40
+	sc.SLO = 30
+	s, err := sc.BuildSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, best, err := sc.Saturate(s, []float64{0.5, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points, want 2", len(points))
+	}
+	if best.Gap == 0 || !best.SLOMet {
+		t.Fatalf("no SLO-meeting rung selected: %+v", best)
+	}
+	if _, _, err := sc.Saturate(s, []float64{0.5, 0.5}); err == nil {
+		t.Fatal("duplicate gap accepted")
+	}
+	if _, _, err := sc.Saturate(s, []float64{-1}); err == nil {
+		t.Fatal("negative gap accepted")
+	}
+}
+
+// renderRegionTraces runs the scenario with all three trace tiers —
+// region events, per-region fleet events, per-site engine events —
+// rendered into one byte stream.
+func renderRegionTraces(t *testing.T, sc RegionScenario, s *apps.Suite) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	sc.Trace = func(ev region.Event) {
+		fmt.Fprintf(&buf, "R %d %s %s %s %s %s %.9f %s\n",
+			ev.Kind, ev.Region, ev.Tenant, ev.Workflow, ev.App, ev.Bitstream, ev.Time, ev.Detail)
+	}
+	sc.FleetTrace = func(regionName string, ev fleet.Event) {
+		fmt.Fprintf(&buf, "F %s %d %s %s %s %s %.9f %s\n",
+			regionName, ev.Kind, ev.Site, ev.Tenant, ev.Workflow, ev.Bitstream, ev.Time, ev.Detail)
+	}
+	sc.EngineTrace = func(regionName, site string, ev rt.Event) {
+		fmt.Fprintf(&buf, "E %s %s %d %s %s %s %s %.9f %s\n",
+			regionName, site, ev.Kind, ev.Workflow, ev.Tenant, ev.Task, ev.Node, ev.Time, ev.Detail)
+	}
+	res, err := sc.RunSuite(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 {
+		t.Fatal("scenario completed no workflows; trace proves nothing")
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no trace events captured")
+	}
+	return buf.Bytes()
+}
+
+// TestRegionScenarioDeterministicTrace extends the PR-6 determinism
+// contract one tier up: the merged region+fleet+engine trace of the
+// E-region scenario — router decisions, WAN fetches, prefetch stages,
+// holds and preemptions included — must be byte-identical across
+// scheduler widths. CI runs this under -race.
+func TestRegionScenarioDeterministicTrace(t *testing.T) {
+	sc := DefaultRegionScenario()
+	sc.Workflows = 60 // enough for holds, prefetch and wave returns; keeps -race runtime sane
+	s, err := sc.BuildSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := atGOMAXPROCS(1, func() []byte { return renderRegionTraces(t, sc, s) })
+	for _, kind := range []string{"R ", "F ", "E "} {
+		if !strings.Contains(string(ref), "\n"+kind) && !strings.HasPrefix(string(ref), kind) {
+			t.Fatalf("trace stream has no %q events", kind)
+		}
+	}
+	got := atGOMAXPROCS(8, func() []byte { return renderRegionTraces(t, sc, s) })
+	if !bytes.Equal(ref, got) {
+		t.Fatalf("region trace diverged across GOMAXPROCS (%d vs %d bytes):\n%s",
+			len(ref), len(got), firstDiff(ref, got))
+	}
+}

@@ -443,6 +443,57 @@ func BenchmarkRegionServing(b *testing.B) {
 	b.ReportMetric(violations, "region_bound_violations")
 }
 
+// BenchmarkDatasetLocality exercises the named data plane (E-data): the
+// FPGA map-reduce k-means workload — point partitions scattered across a
+// 4-site federation on a 1 Gb/s WAN, three rounds of compiled map shards
+// folding their partition into per-cluster partials plus a reduce
+// combining them — served twice, with placement-aware routing on and
+// off. With locality pricing the router moves each map shard to the site
+// holding its partition and only the tiny partials cross the fabric;
+// blind, the same workload is placed by queue balance alone and the
+// partitions themselves get shipped. The gated data_locality_byte_win is
+// the ratio of the arms' shipped-bytes-per-workflow (acceptance: >=
+// 1.5x); data_shipped_bytes_per_wf is the locality arm's absolute
+// staging traffic; data_wf_per_modelled_s its serving throughput.
+// Modelled-time serving with submit-and-wait rounds: every number is
+// exactly deterministic across GOMAXPROCS; CI's consolidated benchgate
+// pins them via BENCH_10.json.
+func BenchmarkDatasetLocality(b *testing.B) {
+	var wins, shipped, tputs []float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arms := map[bool]sdk.KMeansResult{}
+		for _, blind := range []bool{false, true} {
+			sc := sdk.DefaultKMeansScenario()
+			sc.PlacementBlind = blind
+			res, err := sc.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Workflows != sc.Rounds*(sc.Config.Partitions+1) {
+				b.Fatalf("blind=%v completed %d workflows", blind, res.Workflows)
+			}
+			arms[blind] = res
+		}
+		local, blind := arms[false], arms[true]
+		if blind.ShippedBytes == 0 {
+			b.Fatal("blind arm shipped nothing; the contrast is vacuous")
+		}
+		if local.DatasetHits == 0 {
+			b.Fatal("locality arm never hit its store; the contrast is vacuous")
+		}
+		if local.BytesPerWorkflow <= 0 {
+			b.Fatal("locality arm shipped nothing at all; the ratio is degenerate")
+		}
+		wins = append(wins, blind.BytesPerWorkflow/local.BytesPerWorkflow)
+		shipped = append(shipped, local.BytesPerWorkflow)
+		tputs = append(tputs, local.Throughput)
+	}
+	b.ReportMetric(median(wins), "data_locality_byte_win")
+	b.ReportMetric(median(shipped), "data_shipped_bytes_per_wf")
+	b.ReportMetric(median(tputs), "data_wf_per_modelled_s")
+}
+
 // BenchmarkSimulatorSpeed is the event-core self-bench (E-speed): it drives
 // the full E-fleet scenario — 64 workflows from 32 tenants over 4 federated
 // sites with an accelerator unplug — and reports how fast the modelled-time

@@ -12,6 +12,7 @@
 //	basecamp serve    -sites N -suite [-apps energy,traffic,weather]  # serve the EVEREST application suite (workload registry)
 //	basecamp serve    -stream [-rate R] [-events N] [-arrival poisson|bursty|diurnal] [-partial=false]  # streaming pipelines with resident kernels
 //	basecamp serve    -regions N [-prefetch=false] [-autoscale] [-wan wan10g|wan1g]  # hierarchical multi-region federation with predictive prefetch
+//	basecamp serve    -kmeans [-partitions N] [-centroids K]  # FPGA map-reduce k-means over the named data plane
 //	basecamp adapt    -workflows N [-compiled]  # adaptive vs static placement under injected faults
 //	basecamp dialects              # list the registered MLIR dialects (Fig. 5)
 //	basecamp anomaly  -trials N    # AutoML model selection on a synthetic stream
@@ -332,6 +333,9 @@ func cmdServe(args []string) error {
 	prefetch := fs.Bool("prefetch", true, "forecast-driven bitstream prefetch (region mode)")
 	autoscale := fs.Bool("autoscale", false, "let regions grow and shrink their active site count (region mode)")
 	wan := fs.String("wan", "", "inter-region fabric (region mode): wan10g or wan1g (default: scenario's)")
+	kmeans := fs.Bool("kmeans", false, "serve the FPGA map-reduce k-means over the named data plane (its own scenario)")
+	partitions := fs.Int("partitions", 0, "point partitions scattered across the sites (kmeans mode; 0 = scenario default)")
+	centroids := fs.Int("centroids", 0, "cluster count (kmeans mode; 0 = scenario default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -356,18 +360,28 @@ func cmdServe(args []string) error {
 	regionMode := *regions > 0
 	regionOnly := map[string]bool{"prefetch": true, "autoscale": true, "wan": true}
 	regionOK := map[string]bool{"regions": true, "workflows": true, "gap": true, "trace": true}
+	kmeansMode := *kmeans
+	kmeansOnly := map[string]bool{"partitions": true, "centroids": true}
+	kmeansOK := map[string]bool{"kmeans": true, "sites": true, "registry-net": true, "trace": true}
 	var incompatible []string
 	nodesSet, workflowsSet, gapSet := false, false, false
+	sitesSet, registryNetSet := false, false
 	fs.Visit(func(fl *flag.Flag) {
 		nodesSet = nodesSet || fl.Name == "nodes"
 		workflowsSet = workflowsSet || fl.Name == "workflows"
 		gapSet = gapSet || fl.Name == "gap"
+		sitesSet = sitesSet || fl.Name == "sites"
+		registryNetSet = registryNetSet || fl.Name == "registry-net"
 		switch {
 		case regionMode && !regionOnly[fl.Name] && !regionOK[fl.Name]:
 			incompatible = append(incompatible, "-"+fl.Name)
 		case regionMode:
 			// an allowed region-mode flag
-		case regionOnly[fl.Name]:
+		case kmeansMode && !kmeansOnly[fl.Name] && !kmeansOK[fl.Name]:
+			incompatible = append(incompatible, "-"+fl.Name)
+		case kmeansMode:
+			// an allowed kmeans-mode flag
+		case regionOnly[fl.Name] || kmeansOnly[fl.Name]:
 			incompatible = append(incompatible, "-"+fl.Name)
 		case *streamMode && !streamOnly[fl.Name] && !streamOK[fl.Name]:
 			incompatible = append(incompatible, "-"+fl.Name)
@@ -386,6 +400,8 @@ func cmdServe(args []string) error {
 		switch {
 		case regionMode:
 			mode = "-regions"
+		case kmeansMode:
+			mode = "-kmeans"
 		case *streamMode:
 			mode = "-stream"
 		case *sites == 1:
@@ -393,6 +409,16 @@ func cmdServe(args []string) error {
 		}
 		return fmt.Errorf("serve: %s not supported with %s",
 			strings.Join(incompatible, ", "), mode)
+	}
+	if kmeansMode {
+		kmSites, kmNet := 0, "" // 0/"" → scenario defaults
+		if sitesSet {
+			kmSites = *sites
+		}
+		if registryNetSet {
+			kmNet = *registryNet
+		}
+		return serveKmeans(kmSites, *partitions, *centroids, kmNet, *trace)
 	}
 	if regionMode {
 		regionWorkflows, regionGap := 0, 0.0 // 0 → scenario defaults
@@ -673,6 +699,52 @@ func serveRegions(regions, workflows int, gap float64, prefetch, autoscale bool,
 			r.Name, r.Served, r.Guaranteed, r.Batch, r.ColdServes,
 			r.WANFetches, r.WANFetchSeconds, r.PrefetchFetches, r.PrefetchSeconds,
 			r.StoreEvictions, r.ActiveSites)
+	}
+	return nil
+}
+
+// serveKmeans is `basecamp serve -kmeans`: the FPGA map-reduce k-means
+// workload driven through the fleet's named data plane — point
+// partitions scattered across WAN-federated sites, maps routed to their
+// data by the placement-aware cost, only the per-cluster partial
+// statistics crossing the fabric to the reduce.
+func serveKmeans(sites, partitions, centroids int, registryNet string, trace bool) error {
+	sc := sdk.DefaultKMeansScenario()
+	if sites > 0 {
+		sc.Sites = sites
+	}
+	if partitions > 0 {
+		sc.Config.Partitions = partitions
+	}
+	if centroids > 0 {
+		sc.Config.Centroids = centroids
+	}
+	if registryNet != "" {
+		sc.RegistryNet = registryNet
+	}
+	if trace {
+		sc.Trace = func(ev fleet.Event) {
+			fmt.Printf("  [%8.4fs] %-10s site=%-7s tenant=%-9s wf=%-14s bs=%-12s %s\n",
+				ev.Time, ev.Kind, ev.Site, ev.Tenant, ev.Workflow, ev.Bitstream, ev.Detail)
+		}
+	}
+	res, err := sc.Run()
+	if err != nil {
+		return err
+	}
+	cfg := sc.Config
+	fmt.Printf("fleet      : %d sites over %s, dataset stores site-local, kernels pre-warmed fleet-wide\n",
+		sc.Sites, sc.RegistryNet)
+	fmt.Printf("workload   : %d rounds x (%d map shards + 1 reduce), %d points x %d dims, %d centroids\n",
+		sc.Rounds, cfg.Partitions, cfg.Points, cfg.Dims, cfg.Centroids)
+	fmt.Printf("completed  : %d workflows, makespan %.4gs modelled, %.4g workflows/s\n",
+		res.Workflows, res.Makespan, res.Throughput)
+	fmt.Printf("data plane : %d B shipped (%.4g B/workflow), %.4gs staging stall, %d store hits / %d misses\n",
+		res.ShippedBytes, res.BytesPerWorkflow, res.FetchStall, res.DatasetHits, res.DatasetMisses)
+	for _, s := range res.Stats.Fleet.Sites {
+		fmt.Printf("  %-7s : %3d served, data %d hits / %d misses, %d fetches %dB in, %d published %dB, %d evicted\n",
+			s.Name, s.Served, s.DatasetHits, s.DatasetMisses,
+			s.DatasetFetches, s.DatasetFetchedBytes, s.DatasetPublished, s.DatasetPublishedBytes, s.DatasetEvictions)
 	}
 	return nil
 }

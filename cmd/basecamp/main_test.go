@@ -168,3 +168,41 @@ func TestServeFleetSuiteRejectsUnknownApp(t *testing.T) {
 		t.Fatal("unknown app accepted")
 	}
 }
+
+func TestServeKmeansSmoke(t *testing.T) {
+	if err := serveKmeans(2, 4, 4, "", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeKmeansRejectsBadFabric(t *testing.T) {
+	if err := serveKmeans(2, 4, 4, "carrier-pigeon", false); err == nil {
+		t.Fatal("bogus registry fabric accepted")
+	}
+}
+
+func TestServeRejectsKmeansIncompatibleFlags(t *testing.T) {
+	// The k-means data-plane run is its own scenario: workload knobs from
+	// the other modes inside -kmeans, and kmeans-only knobs outside it,
+	// are conflicts, not silently ignored flags.
+	for _, args := range [][]string{
+		{"-kmeans", "-workflows", "4"},
+		{"-kmeans", "-stream"},
+		{"-kmeans", "-suite"},
+		{"-kmeans", "-guaranteed"},
+		{"-kmeans", "-nodes", "4"},
+		{"-kmeans", "-cache-slots", "2"},
+		{"-kmeans", "-gap", "0.1"},
+		{"-kmeans", "-policy", "fifo"},
+		{"-kmeans", "-prefetch=false"},
+		{"-regions", "2", "-kmeans"},
+		{"-partitions", "8"},
+		{"-centroids", "4"},
+		{"-sites", "2", "-partitions", "8"},
+		{"-stream", "-centroids", "4"},
+	} {
+		if err := cmdServe(args); err == nil {
+			t.Fatalf("conflicting flags %v accepted", args)
+		}
+	}
+}

@@ -28,6 +28,10 @@
 //	                          # (predictive bitstream prefetch on and off) and
 //	                          # report the tail cold-start overhead contrast,
 //	                          # handoffs, and guaranteed-class accounting
+//	everest-bench -data       # serve the E-data map-reduce k-means twice
+//	                          # (data-locality routing on and placement-blind)
+//	                          # and report shipped bytes, staging stalls, and
+//	                          # the bytes-per-workflow win
 package main
 
 import (
@@ -77,6 +81,7 @@ func benchMain() int {
 	wcet := flag.Bool("wcet", false, "run the guaranteed-class deadline ladder (proven WCET admission) instead of the experiment tables")
 	deadlines := flag.String("deadlines", "", "comma-separated deadline rungs in modelled seconds for -wcet (default ladder)")
 	regions := flag.Bool("regions", false, "run the hierarchical multi-region harness (prefetch on/off contrast) instead of the experiment tables")
+	data := flag.Bool("data", false, "run the named-data-plane harness (k-means locality on/off contrast) instead of the experiment tables")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (pprof format)")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file (pprof format)")
 	flag.Parse()
@@ -100,6 +105,17 @@ func benchMain() int {
 
 	if *appList != "" && !*streamMode {
 		*suite = true
+	}
+	if *data {
+		if *saturate || *streamMode || *wcet || *regions {
+			fmt.Fprintln(os.Stderr, "everest-bench: -data, -regions, -wcet, -saturate and -stream are separate harnesses; pick one")
+			return 2
+		}
+		if err := runData(); err != nil {
+			fmt.Fprintf(os.Stderr, "everest-bench: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 	if *regions {
 		if *saturate || *streamMode || *wcet {
@@ -443,6 +459,46 @@ func runRegions(workflows int) error {
 		return fmt.Errorf("%d guaranteed completions missed their proven bound — the admission math is broken", violations)
 	}
 	fmt.Println("bounds     : every admitted guarantee held (0 violations)")
+	return nil
+}
+
+// runData is the E-data contrast table: the identical map-reduce
+// k-means workload served with and without data-locality pricing in the
+// fleet router (the PlacementBlind arm), reporting shipped bytes,
+// staging stall, dataset-store hit rates, and the byte win the CI
+// benchmark gate ratchets.
+func runData() error {
+	sc := sdk.DefaultKMeansScenario()
+	cfg := sc.Config
+	fmt.Printf("fleet      : %d sites over %s, site-local dataset stores, kernels pre-warmed fleet-wide\n",
+		sc.Sites, sc.RegistryNet)
+	fmt.Printf("workload   : %d rounds x (%d map shards + 1 reduce), %d points x %d dims, %d centroids, partitions scattered\n",
+		sc.Rounds, cfg.Partitions, cfg.Points, cfg.Dims, cfg.Centroids)
+	fmt.Printf("%-10s %6s %10s %12s %12s %9s %9s %12s\n",
+		"routing", "done", "shipped", "B/workflow", "stall", "hits", "misses", "wf/s")
+	arms := map[bool]sdk.KMeansResult{}
+	for _, blind := range []bool{true, false} {
+		run := sc
+		run.PlacementBlind = blind
+		res, err := run.Run()
+		if err != nil {
+			return err
+		}
+		arms[blind] = res
+		label := "locality"
+		if blind {
+			label = "blind"
+		}
+		fmt.Printf("%-10s %6d %9dB %12.4g %11.4gs %9d %9d %12.4g\n",
+			label, res.Workflows, res.ShippedBytes, res.BytesPerWorkflow,
+			res.FetchStall, res.DatasetHits, res.DatasetMisses, res.Throughput)
+	}
+	local, blind := arms[false], arms[true]
+	if local.BytesPerWorkflow <= 0 {
+		return fmt.Errorf("locality arm shipped nothing to compare (%.4g B/workflow)", local.BytesPerWorkflow)
+	}
+	fmt.Printf("locality_byte_win: %.4gx (blind %.4g B/wf / locality %.4g B/wf)\n",
+		blind.BytesPerWorkflow/local.BytesPerWorkflow, blind.BytesPerWorkflow, local.BytesPerWorkflow)
 	return nil
 }
 

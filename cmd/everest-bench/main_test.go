@@ -129,3 +129,12 @@ func TestProfileHelpers(t *testing.T) {
 		t.Error("heap profile into a directory path must error")
 	}
 }
+
+// TestRunDataSmoke runs the full E-data contrast (both routing arms of
+// the map-reduce k-means); runData itself errors on a degenerate
+// locality arm.
+func TestRunDataSmoke(t *testing.T) {
+	if err := runData(); err != nil {
+		t.Fatal(err)
+	}
+}

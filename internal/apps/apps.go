@@ -136,6 +136,10 @@ func Build(name string, opt variants.Options) (*App, error) {
 		return buildTraffic(opt)
 	case "weather":
 		return buildWeather(opt)
+	case "kmeans":
+		// Buildable by name but not in Names(): the mixed suite's
+		// interleave stays the paper's three drivers.
+		return buildKmeans(opt)
 	}
 	return nil, fmt.Errorf("apps: unknown application %q (want one of %v)", name, Names())
 }

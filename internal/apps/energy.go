@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"everest/internal/anomaly"
+	"everest/internal/dataset"
 	"everest/internal/energy"
 	"everest/internal/onnxlite"
 	"everest/internal/runtime"
@@ -103,19 +104,39 @@ func buildEnergy(opt variants.Options) (*App, error) {
 			}
 		}
 		scale := 1 + float64(i%3)/2
+		// Stages exchange named datasets; bytes derive from the ref sizes,
+		// matching the pre-dataset constants exactly. The two inference
+		// stages read kernel-shaped *views* of the feature table (distinct
+		// names sized to the compiled input footprints — outside data from
+		// the catalog's perspective, so they price like anonymous bytes).
+		features := dataset.Single("energy/features", featBytes)
+		krrView := dataset.Single("energy/features.krr", krr.InputBytes)
+		krrPred := dataset.Single("energy/pred.krr", krr.OutputBytes)
+		mlpView := dataset.Single("energy/features.infer", mlp.InputBytes)
+		mlpPred := dataset.Single("energy/pred.infer", mlp.OutputBytes)
+		alerts := dataset.Single("energy/alerts", 1<<16)
 		// Featurization over the rolling farm history window.
-		must(runtime.TaskSpec{Name: "featurize", Flops: 4e9 * scale, OutputBytes: featBytes})
+		must(runtime.TaskSpec{Name: "featurize", Flops: 4e9 * scale,
+			Writes: []dataset.Ref{features}})
 		// The two inference stages: distinct compiled kernels, distinct
 		// bitstreams, same upstream features.
-		must(krr.Task("krr", "featurize"))
-		must(mlp.Task("infer", "featurize"))
+		krrSpec := krr.Task("krr", "featurize")
+		krrSpec.InputBytes, krrSpec.OutputBytes = 0, 0
+		krrSpec.Reads = []dataset.Ref{krrView}
+		krrSpec.Writes = []dataset.Ref{krrPred}
+		must(krrSpec)
+		mlpSpec := mlp.Task("infer", "featurize")
+		mlpSpec.InputBytes, mlpSpec.OutputBytes = 0, 0
+		mlpSpec.Reads = []dataset.Ref{mlpView}
+		mlpSpec.Writes = []dataset.Ref{mlpPred}
+		must(mlpSpec)
 		// Anomaly cross-check of the two predictors (z-score over the
 		// prediction window).
 		must(runtime.TaskSpec{Name: "detect", Deps: []string{"krr", "infer"},
-			Flops:      float64(energyBatch*dim) * 2e5 * scale,
-			InputBytes: krr.OutputBytes + mlp.OutputBytes, OutputBytes: 1 << 16})
+			Flops: float64(energyBatch*dim) * 2e5 * scale,
+			Reads: []dataset.Ref{krrPred, mlpPred}, Writes: []dataset.Ref{alerts}})
 		must(runtime.TaskSpec{Name: "publish", Deps: []string{"detect"},
-			Flops: 5e8, InputBytes: 1 << 16})
+			Flops: 5e8, Reads: []dataset.Ref{alerts}})
 		return w
 	}
 	return a, nil

@@ -1,0 +1,305 @@
+package apps
+
+import (
+	"fmt"
+
+	"everest/internal/base2"
+	"everest/internal/dataset"
+	"everest/internal/ekl"
+	"everest/internal/runtime"
+	"everest/internal/variants"
+)
+
+// The k-means workload: a map-reduce clustering iteration over a
+// partitioned point set, the data-plane driver of the dataset tier. Each
+// map shard soft-assigns one point partition to the centroids and folds
+// its own points into per-cluster partial sums (the sufficient
+// statistics), so only those tiny partials ever leave the shard; the
+// reduce stage combines the partials into the refreshed centroids. All
+// three kernels are compiled source-to-schedule through the EKL
+// pipeline, and every task names its data — point partitions, the
+// centroid model, per-shard partials — as dataset refs whose sizes the
+// compiled byte accounting decomposes exactly. Sharded across a fleet
+// with the partitions placed on different sites, the byte-optimal
+// execution moves the map compute to the data and ships only partials:
+// the locality win BenchmarkDatasetLocality measures against a
+// placement-blind router, which must stage point partitions to wherever
+// its queues happen to balance.
+//
+// EKL has sum() reductions but no argmin, so assignment is soft: each
+// point weighs every centroid by exp(-beta*d2) normalized over centroids
+// (beta sharpens toward hard assignment), and the update averages points
+// under those weights — one EM-style iteration per map-reduce round.
+
+// KMeansConfig shapes one k-means round.
+type KMeansConfig struct {
+	Partitions int // map shards, one point partition each (default 4)
+	Points     int // points per partition (default 256)
+	Centroids  int // cluster count K (default 8)
+	Dims       int // feature dimensions (default 4)
+}
+
+func (c KMeansConfig) withDefaults() KMeansConfig {
+	if c.Partitions < 1 {
+		c.Partitions = 4
+	}
+	if c.Points < 2 {
+		c.Points = 256
+	}
+	if c.Centroids < 2 {
+		c.Centroids = 8
+	}
+	if c.Dims < 2 {
+		c.Dims = 4
+	}
+	return c
+}
+
+// KMeansAssignEKL is the map kernel: soft-assign every point of one
+// partition to the centroids. The exp/divide per point-centroid pair is
+// what the FPGA datapath absorbs in pipelined special-function units
+// while a CPU core pays an iterative sequence each — the same offload
+// economics as the traffic projection.
+func KMeansAssignEKL() string {
+	return `# k-means map stage: soft assignment weights of one point partition
+kernel kmeans_assign {
+  input x : [N, D]
+  input c : [K, D]
+  param beta = 4.0
+  d2 = sum(d) pow(x[i, d] - c[k, d], 2)
+  a = exp(-beta * d2[i, k])
+  z = sum(k) a[i, k]
+  w = a[i, k] / z[i]
+  output w[i, k]
+}
+`
+}
+
+// KMeansPartialEKL is the map-side fold: collapse one partition's
+// assignment weights and points into per-cluster weighted sums and
+// weight totals — the shard's sufficient statistics. This is the kernel
+// that makes the workload map-reduce shaped: everything downstream of it
+// is K*(D+1) values per shard, regardless of partition size.
+func KMeansPartialEKL() string {
+	return `# k-means map-side fold: per-cluster sufficient statistics of one shard
+kernel kmeans_partial {
+  input w : [N, K]
+  input x : [N, D]
+  s = sum(i) w[i, k] * x[i, d]
+  n = sum(i) w[i, k]
+  output s[k, d]
+  output n[k]
+}
+`
+}
+
+// KMeansUpdateEKL is the reduce kernel: combine every shard's partial
+// sums into the refreshed centroids.
+func KMeansUpdateEKL() string {
+	return `# k-means reduce stage: combine shard partials into new centroids
+kernel kmeans_update {
+  input s : [P, K, D]
+  input n : [P, K]
+  param eps = 0.0625
+  sk = sum(p) s[p, k, d]
+  nk = sum(p) n[p, k]
+  c = sk[k, d] / (nk[k] + eps)
+  output c[k, d]
+}
+`
+}
+
+// KMeans is one compiled k-means round: the map, fold, and reduce
+// kernels plus the named datasets its tasks exchange.
+type KMeans struct {
+	Config  KMeansConfig
+	Assign  *variants.Compiled // map stage kernel (one run per partition)
+	Partial *variants.Compiled // map-side fold kernel (one run per partition)
+	Update  *variants.Compiled // reduce stage kernel (one run per round)
+
+	points    []dataset.Ref // kmeans/points, one partition per shard
+	weights   []dataset.Ref // kmeans/weights, shard-local intermediates
+	partials  []dataset.Ref // kmeans/partial, the per-shard statistics
+	centroids dataset.Ref   // kmeans/centroids, the shared model
+}
+
+// BuildKMeans compiles both stages and derives the dataset refs from the
+// compiled byte accounting: partition sizes are read off the kernels'
+// tensor footprints, so the refs sum exactly to what the compilation
+// says each stage moves.
+func BuildKMeans(opt variants.Options, cfg KMeansConfig) (*KMeans, error) {
+	cfg = cfg.withDefaults()
+	compile := func(src string, extents map[string]int) (*variants.Compiled, error) {
+		k, err := ekl.ParseKernel(src)
+		if err != nil {
+			return nil, err
+		}
+		return variants.CompileEKL(src, variants.SynthesizeBinding(k, extents), opt)
+	}
+	assign, err := compile(KMeansAssignEKL(), map[string]int{
+		"N": cfg.Points, "D": cfg.Dims, "K": cfg.Centroids,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("apps: kmeans assign kernel: %w", err)
+	}
+	partial, err := compile(KMeansPartialEKL(), map[string]int{
+		"N": cfg.Points, "D": cfg.Dims, "K": cfg.Centroids,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("apps: kmeans partial kernel: %w", err)
+	}
+	update, err := compile(KMeansUpdateEKL(), map[string]int{
+		"P": cfg.Partitions, "D": cfg.Dims, "K": cfg.Centroids,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("apps: kmeans update kernel: %w", err)
+	}
+	format := opt.Format
+	if format == nil {
+		format = base2.Float32{}
+	}
+	elem := int64((format.Bits() + 7) / 8)
+	km := &KMeans{
+		Config:    cfg,
+		Assign:    assign,
+		Partial:   partial,
+		Update:    update,
+		centroids: dataset.Single("kmeans/centroids", int64(cfg.Centroids*cfg.Dims)*elem),
+	}
+	partBytes := int64(cfg.Points*cfg.Dims) * elem
+	weightBytes := int64(cfg.Points*cfg.Centroids) * elem
+	// One shard's sufficient statistics: K weighted sums of D dims plus
+	// the K weight totals.
+	statBytes := int64(cfg.Centroids*(cfg.Dims+1)) * elem
+	for p := 0; p < cfg.Partitions; p++ {
+		km.points = append(km.points, dataset.Ref{Name: "kmeans/points", Partition: p, Bytes: partBytes})
+		km.weights = append(km.weights, dataset.Ref{Name: "kmeans/weights", Partition: p, Bytes: weightBytes})
+		km.partials = append(km.partials, dataset.Ref{Name: "kmeans/partial", Partition: p, Bytes: statBytes})
+	}
+	// The refs must decompose the compiled byte accounting exactly — a
+	// drift here would silently unmoor the data plane from the compiler.
+	if got := km.points[0].Bytes + km.centroids.Bytes; got != assign.InputBytes {
+		return nil, fmt.Errorf("apps: kmeans assign reads %dB but refs sum to %dB", assign.InputBytes, got)
+	}
+	if km.weights[0].Bytes != assign.OutputBytes {
+		return nil, fmt.Errorf("apps: kmeans assign writes %dB but weights ref is %dB", assign.OutputBytes, km.weights[0].Bytes)
+	}
+	if got := km.weights[0].Bytes + km.points[0].Bytes; got != partial.InputBytes {
+		return nil, fmt.Errorf("apps: kmeans partial reads %dB but refs sum to %dB", partial.InputBytes, got)
+	}
+	if km.partials[0].Bytes != partial.OutputBytes {
+		return nil, fmt.Errorf("apps: kmeans partial writes %dB but stats ref is %dB", partial.OutputBytes, km.partials[0].Bytes)
+	}
+	if got := dataset.Sum(km.partials); got != update.InputBytes {
+		return nil, fmt.Errorf("apps: kmeans update reads %dB but refs sum to %dB", update.InputBytes, got)
+	}
+	if km.centroids.Bytes != update.OutputBytes {
+		return nil, fmt.Errorf("apps: kmeans update writes %dB but centroids ref is %dB", update.OutputBytes, km.centroids.Bytes)
+	}
+	return km, nil
+}
+
+// PointRefs returns the point partitions (what a scenario scatters across
+// sites before serving).
+func (k *KMeans) PointRefs() []dataset.Ref { return append([]dataset.Ref(nil), k.points...) }
+
+// WeightRefs returns the per-shard assignment-weight datasets (the
+// shard-local intermediates between assign and the fold).
+func (k *KMeans) WeightRefs() []dataset.Ref { return append([]dataset.Ref(nil), k.weights...) }
+
+// PartialRefs returns the per-shard sufficient-statistics datasets — the
+// only map output that crosses sites.
+func (k *KMeans) PartialRefs() []dataset.Ref { return append([]dataset.Ref(nil), k.partials...) }
+
+// CentroidRef returns the shared centroid model dataset.
+func (k *KMeans) CentroidRef() dataset.Ref { return k.centroids }
+
+// mapTasks appends shard p's two tasks — assign reading the point
+// partition plus the centroids, and the fold collapsing the weights into
+// the shard's partial statistics — to a workflow. Bytes are derived from
+// the refs, which the builder proved equal to the compiled accounting.
+func (k *KMeans) mapTasks(w *runtime.Workflow, p int) error {
+	assign := k.Assign.Task(fmt.Sprintf("assign%d", p))
+	assign.InputBytes, assign.OutputBytes = 0, 0
+	assign.Reads = []dataset.Ref{k.points[p], k.centroids}
+	assign.Writes = []dataset.Ref{k.weights[p]}
+	if err := w.Submit(assign); err != nil {
+		return err
+	}
+	fold := k.Partial.Task(fmt.Sprintf("partial%d", p), assign.Name)
+	fold.InputBytes, fold.OutputBytes = 0, 0
+	fold.Reads = []dataset.Ref{k.weights[p], k.points[p]}
+	fold.Writes = []dataset.Ref{k.partials[p]}
+	return w.Submit(fold)
+}
+
+// MapWorkflow returns the map shard for partition p: the compiled assign
+// and fold tasks. The weights stay inside the workflow (written and read
+// by its own tasks), so the shard's external reads are exactly the point
+// partition and the centroid model, and its only published output is the
+// tiny partial — the map-reduce data shape the locality router exploits.
+func (k *KMeans) MapWorkflow(p int) *runtime.Workflow {
+	w := runtime.NewWorkflow()
+	if err := k.mapTasks(w, p); err != nil {
+		panic(fmt.Sprintf("apps: kmeans map workflow %d: %v", p, err))
+	}
+	w.SetVariants(append(k.Assign.Variants(), k.Partial.Variants()...))
+	return w
+}
+
+// ReduceWorkflow returns the reduce step: one compiled update task
+// combining every shard's partials, publishing the refreshed centroids —
+// which supersede the previous model by lineage.
+func (k *KMeans) ReduceWorkflow() *runtime.Workflow {
+	w := runtime.NewWorkflow()
+	spec := k.Update.Task("update")
+	spec.InputBytes, spec.OutputBytes = 0, 0
+	spec.Reads = append([]dataset.Ref(nil), k.partials...)
+	spec.Writes = []dataset.Ref{k.centroids}
+	if err := w.Submit(spec); err != nil {
+		panic(fmt.Sprintf("apps: kmeans reduce workflow: %v", err))
+	}
+	w.SetVariants(k.Update.Variants())
+	return w
+}
+
+// buildKmeans registers the whole round as one workflow-per-instance app
+// (map tasks fan out, the reduce joins them) so the serving tiers can
+// drive k-means through the same App interface as the paper's drivers.
+// It is built by name only — Names() keeps the suite interleave to the
+// paper's three applications.
+func buildKmeans(opt variants.Options) (*App, error) {
+	km, err := BuildKMeans(opt, KMeansConfig{})
+	if err != nil {
+		return nil, err
+	}
+	a := &App{
+		Name:        "kmeans",
+		Title:       "map-reduce k-means clustering over placed point partitions",
+		BatchEvents: km.Config.Points * km.Config.Partitions,
+		Kernels: []StageKernel{
+			{Stage: "assign", Compiled: km.Assign},
+			{Stage: "partial", Compiled: km.Partial},
+			{Stage: "update", Compiled: km.Update},
+		},
+	}
+	a.build = func(i int) *runtime.Workflow {
+		w := runtime.NewWorkflow()
+		deps := make([]string, 0, km.Config.Partitions)
+		for p := 0; p < km.Config.Partitions; p++ {
+			if err := km.mapTasks(w, p); err != nil {
+				panic(fmt.Sprintf("apps: kmeans workflow %d: %v", i, err))
+			}
+			deps = append(deps, fmt.Sprintf("partial%d", p))
+		}
+		spec := km.Update.Task("update", deps...)
+		spec.InputBytes, spec.OutputBytes = 0, 0
+		spec.Reads = append([]dataset.Ref(nil), km.partials...)
+		spec.Writes = []dataset.Ref{km.centroids}
+		if err := w.Submit(spec); err != nil {
+			panic(fmt.Sprintf("apps: kmeans workflow %d: %v", i, err))
+		}
+		return w
+	}
+	return a, nil
+}

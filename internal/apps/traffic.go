@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"everest/internal/condrust"
+	"everest/internal/dataset"
 	"everest/internal/runtime"
 	"everest/internal/traffic"
 	"everest/internal/variants"
@@ -96,18 +97,41 @@ func buildTraffic(opt variants.Options) (*App, error) {
 			}
 		}
 		scale := 1 + float64(i%3)/2
+		// Stages exchange named datasets; bytes derive from the ref sizes,
+		// matching the pre-dataset constants exactly. A stage whose read
+		// footprint differs from its producer's output (the projection's
+		// kernel-shaped input, a multi-input join's per-event window) reads
+		// a distinct *view* name — outside data from the catalog's
+		// perspective, priced like anonymous bytes.
+		window := int64(trafficBatch) * 64
 		// FCD ingest: the day's GPS batch lands on the cluster.
 		must(runtime.TaskSpec{Name: "ingest", Flops: 1e9 * scale,
-			OutputBytes: int64(trafficBatch) * 640})
+			Writes: []dataset.Ref{dataset.Single("traffic/gps", int64(trafficBatch)*640)}})
+		written := map[string]dataset.Ref{} // stage -> its output ref
 		for _, st := range stages {
 			if _, accel := a.Kernel(st.name); accel {
-				must(c.Task(st.name, st.deps...))
+				spec := c.Task(st.name, st.deps...)
+				spec.InputBytes, spec.OutputBytes = 0, 0
+				spec.Reads = []dataset.Ref{dataset.Single("traffic/"+st.name+".in", c.InputBytes)}
+				out := dataset.Single("traffic/"+st.name, c.OutputBytes)
+				spec.Writes = []dataset.Ref{out}
+				written[st.name] = out
+				must(spec)
 				continue
 			}
+			// A single software-stage producer of the same window size is
+			// read directly; anything else is a view of the joined inputs.
+			read := dataset.Single("traffic/"+st.name+".in", window)
+			if len(st.deps) == 1 {
+				if dep, ok := written[st.deps[0]]; ok && dep.Bytes == window {
+					read = dep
+				}
+			}
+			out := dataset.Single("traffic/"+st.name, window)
+			written[st.name] = out
 			must(runtime.TaskSpec{Name: st.name, Deps: st.deps,
-				Flops:       traffic.StageFlops(st.name, trafficBatch) * scale,
-				InputBytes:  int64(trafficBatch) * 64,
-				OutputBytes: int64(trafficBatch) * 64,
+				Flops: traffic.StageFlops(st.name, trafficBatch) * scale,
+				Reads: []dataset.Ref{read}, Writes: []dataset.Ref{out},
 			})
 		}
 		return w

@@ -3,6 +3,7 @@ package apps
 import (
 	"fmt"
 
+	"everest/internal/dataset"
 	"everest/internal/runtime"
 	"everest/internal/variants"
 	"everest/internal/wrf"
@@ -46,22 +47,36 @@ func buildWeather(opt variants.Options) (*App, error) {
 			}
 		}
 		scale := 1 + float64(i%3)/2 // mixed traffic: 1x, 1.5x, 2x analysis work
+		// Stages name the data they exchange as dataset refs; every byte
+		// count below is derived from the ref sizes, which match the
+		// pre-dataset constants exactly (the suite numbers must not move).
+		analysis := dataset.Single("weather/analysis", 1<<23)
 		// 3D-Var assimilation produces the shared analysis state.
-		must(runtime.TaskSpec{Name: "assim", Flops: 2e10 * scale, OutputBytes: 1 << 23})
+		must(runtime.TaskSpec{Name: "assim", Flops: 2e10 * scale,
+			Writes: []dataset.Ref{analysis}})
 		reduceDeps := make([]string, 0, weatherMembers)
+		heating := make([]dataset.Ref, 0, weatherMembers)
 		for m := 0; m < weatherMembers; m++ {
 			dyn := fmt.Sprintf("dyn%d", m)
 			radStage := fmt.Sprintf("rad%d", m)
+			state := dataset.Single(fmt.Sprintf("weather/state%d", m), c.InputBytes)
+			heat := dataset.Single(fmt.Sprintf("weather/heating%d", m), c.OutputBytes)
 			// Member dynamics: advect/diffuse the perturbed state.
 			must(runtime.TaskSpec{Name: dyn, Deps: []string{"assim"},
-				Flops: 8e9 * scale, InputBytes: 1 << 23, OutputBytes: c.InputBytes})
+				Flops: 8e9 * scale,
+				Reads: []dataset.Ref{analysis}, Writes: []dataset.Ref{state}})
 			// Radiation: the compiled Fig. 3 kernel (per-stage bitstream).
-			must(c.Task(radStage, dyn))
+			rad := c.Task(radStage, dyn)
+			rad.InputBytes, rad.OutputBytes = 0, 0
+			rad.Reads = []dataset.Ref{state}
+			rad.Writes = []dataset.Ref{heat}
+			must(rad)
 			reduceDeps = append(reduceDeps, radStage)
+			heating = append(heating, heat)
 		}
 		// Ensemble statistics over the members' heating tendencies.
 		must(runtime.TaskSpec{Name: "reduce", Deps: reduceDeps,
-			Flops: 2e9, InputBytes: int64(weatherMembers) * c.OutputBytes})
+			Flops: 2e9, Reads: heating})
 		return w
 	}
 	return a, nil

@@ -1,0 +1,278 @@
+// Package dataset names the data that workflow stages exchange. The rest
+// of the stack models *how much* data moves (anonymous InputBytes /
+// OutputBytes on a TaskSpec); this package models *which* data it is —
+// a named dataset split into partitions with modelled sizes — so routing
+// tiers can price placement (a site already holding a partition charges
+// nothing to read it) and cache published intermediates across workflows
+// (ensemble members sharing assimilation output, traffic windows sharing
+// map-match state).
+//
+// Lineage follows the engine's deterministic total order: when two
+// workflows publish the same partition, the winner resolves by the
+// standard (time, workflow id, name) tie-break, so concurrent runs
+// converge on one byte-identical store state regardless of goroutine
+// interleaving.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ref names one partition of a dataset together with its modelled size.
+// A Ref is a value: two refs with the same Name and Partition denote the
+// same data wherever they appear (across tasks, workflows, and sites).
+type Ref struct {
+	Name      string // dataset name, e.g. "weather/analysis"
+	Partition int    // partition index within the dataset
+	Bytes     int64  // modelled partition size
+}
+
+// Key identifies a partition independent of its size. It is a comparable
+// struct rather than a formatted string so hot-path lookups (the fleet
+// router prices every candidate site per submission, allocation-free)
+// need no formatting.
+type Key struct {
+	Name      string
+	Partition int
+}
+
+func (k Key) String() string { return fmt.Sprintf("%s#%d", k.Name, k.Partition) }
+
+// Key returns the store key identifying this partition.
+func (r Ref) Key() Key { return Key{Name: r.Name, Partition: r.Partition} }
+
+func (r Ref) String() string {
+	return fmt.Sprintf("%s#%d(%dB)", r.Name, r.Partition, r.Bytes)
+}
+
+// Single returns the whole dataset as its only partition.
+func Single(name string, bytes int64) Ref {
+	return Ref{Name: name, Partition: 0, Bytes: bytes}
+}
+
+// Partitioned splits a dataset of total bytes into n equal partitions,
+// spreading any remainder one byte each over the first partitions so the
+// sum is exact and the split deterministic.
+func Partitioned(name string, total int64, n int) []Ref {
+	if n < 1 {
+		n = 1
+	}
+	each := total / int64(n)
+	rem := total % int64(n)
+	refs := make([]Ref, n)
+	for i := range refs {
+		b := each
+		if int64(i) < rem {
+			b++
+		}
+		refs[i] = Ref{Name: name, Partition: i, Bytes: b}
+	}
+	return refs
+}
+
+// Sum returns the total modelled bytes across refs.
+func Sum(refs []Ref) int64 {
+	var total int64
+	for _, r := range refs {
+		total += r.Bytes
+	}
+	return total
+}
+
+// Version is one published instance of a partition: the lineage record a
+// store keeps alongside the bytes. Publishing the same partition again
+// replaces the version only if the newcomer supersedes the resident one
+// (see Supersedes).
+type Version struct {
+	Ref      Ref
+	Time     float64 // modelled publish time
+	Workflow string  // publishing workflow id
+	Task     string  // producing task (informational)
+}
+
+// Supersedes reports whether version a replaces version b for the same
+// partition, by the standard (time, workflow id, name) tie-break: the
+// later publish wins; equal times resolve to the lexicographically
+// greater workflow id, then the greater producing task name. The order is
+// total, so concurrent publishers converge on the same winner no matter
+// the arrival interleaving.
+func Supersedes(a, b Version) bool {
+	if a.Time != b.Time {
+		return a.Time > b.Time
+	}
+	if a.Workflow != b.Workflow {
+		return a.Workflow > b.Workflow
+	}
+	return a.Task > b.Task
+}
+
+// StoreStats counts store activity (modelled run totals).
+type StoreStats struct {
+	Hits           int   // Contains/MissingBytes probes that found a partition
+	Misses         int   // probes that did not
+	Published      int   // publishes accepted (new or superseding)
+	Superseded     int   // publishes that replaced a resident version
+	Rejected       int   // publishes dropped by the lineage tie-break
+	Evictions      int   // partitions evicted by the byte bound
+	PublishedBytes int64 // bytes accepted into the store
+	EvictedBytes   int64 // bytes evicted by the byte bound
+}
+
+type entry struct {
+	ver Version
+	use int64 // LRU clock at last touch
+}
+
+// Store is a bytes-bounded LRU of dataset partitions — the site-local
+// dataset cache (fleet tier) and the regional artifact-store extension
+// (region tier) both embed one. The zero capacity means unbounded. A
+// Store is not safe for concurrent use; callers hold their own site or
+// region lock, matching the bitstream cache it sits beside.
+type Store struct {
+	capacity int64 // max resident bytes; 0 = unbounded
+	resident map[Key]*entry
+	bytes    int64
+	seq      int64
+	stats    StoreStats
+}
+
+// NewStore returns an empty store bounded to capacity bytes (0 = unbounded).
+func NewStore(capacity int64) *Store {
+	return &Store{capacity: capacity, resident: make(map[Key]*entry)}
+}
+
+// Capacity returns the byte bound (0 = unbounded).
+func (s *Store) Capacity() int64 { return s.capacity }
+
+// Resident returns the bytes currently held.
+func (s *Store) Resident() int64 { return s.bytes }
+
+// Len returns the number of resident partitions.
+func (s *Store) Len() int { return len(s.resident) }
+
+// Stats returns a copy of the activity counters.
+func (s *Store) Stats() StoreStats { return s.stats }
+
+// Contains reports whether the partition is resident, counting the probe
+// and refreshing its LRU position on a hit.
+func (s *Store) Contains(r Ref) bool {
+	e, ok := s.resident[r.Key()]
+	if ok {
+		s.seq++
+		e.use = s.seq
+		s.stats.Hits++
+	} else {
+		s.stats.Misses++
+	}
+	return ok
+}
+
+// Holds reports residency without touching LRU order or counters — the
+// pure read routing estimates use, so pricing candidate sites does not
+// perturb the store state the chosen site will see.
+func (s *Store) Holds(r Ref) bool {
+	_, ok := s.resident[r.Key()]
+	return ok
+}
+
+// MissingBytes sums the bytes of refs not resident, without touching LRU
+// order or counters (an estimate over candidate sites must not perturb
+// the store). Resident partitions contribute zero: the site already
+// holds them.
+func (s *Store) MissingBytes(refs []Ref) int64 {
+	var missing int64
+	for _, r := range refs {
+		if _, ok := s.resident[r.Key()]; !ok {
+			missing += r.Bytes
+		}
+	}
+	return missing
+}
+
+// Version returns the lineage record of a resident partition.
+func (s *Store) Version(r Ref) (Version, bool) {
+	e, ok := s.resident[r.Key()]
+	if !ok {
+		return Version{}, false
+	}
+	return e.ver, true
+}
+
+// Publish admits a version, evicting least-recently-used partitions if
+// the byte bound requires it, and returns the evicted versions (oldest
+// first). A version already resident is replaced only when the newcomer
+// supersedes it per the (time, workflow id, name) tie-break; a rejected
+// publish still refreshes the winner's LRU position (the data was just
+// produced again, so it is hot either way).
+func (s *Store) Publish(v Version) []Version {
+	key := v.Ref.Key()
+	s.seq++
+	if e, ok := s.resident[key]; ok {
+		e.use = s.seq
+		if !Supersedes(v, e.ver) {
+			s.stats.Rejected++
+			return nil
+		}
+		s.bytes += v.Ref.Bytes - e.ver.Ref.Bytes
+		e.ver = v
+		s.stats.Published++
+		s.stats.Superseded++
+		s.stats.PublishedBytes += v.Ref.Bytes
+		return s.enforce(key)
+	}
+	if s.capacity > 0 && v.Ref.Bytes > s.capacity {
+		// Larger than the whole store: never resident, count as rejected
+		// so the caller sees the publish went nowhere.
+		s.stats.Rejected++
+		return nil
+	}
+	s.resident[key] = &entry{ver: v, use: s.seq}
+	s.bytes += v.Ref.Bytes
+	s.stats.Published++
+	s.stats.PublishedBytes += v.Ref.Bytes
+	return s.enforce(key)
+}
+
+// enforce evicts least-recently-used partitions until the byte bound
+// holds, never evicting the just-published key. Ties on the LRU clock are
+// impossible (the clock is strictly monotonic), so eviction order is
+// deterministic.
+func (s *Store) enforce(keep Key) []Version {
+	if s.capacity <= 0 || s.bytes <= s.capacity {
+		return nil
+	}
+	var evicted []Version
+	for s.bytes > s.capacity {
+		var oldestKey Key
+		var oldest *entry
+		for k, e := range s.resident {
+			if k == keep {
+				continue
+			}
+			if oldest == nil || e.use < oldest.use {
+				oldestKey, oldest = k, e
+			}
+		}
+		if oldest == nil {
+			break // only the protected key remains
+		}
+		delete(s.resident, oldestKey)
+		s.bytes -= oldest.ver.Ref.Bytes
+		s.stats.Evictions++
+		s.stats.EvictedBytes += oldest.ver.Ref.Bytes
+		evicted = append(evicted, oldest.ver)
+	}
+	return evicted
+}
+
+// Keys returns the resident partition keys rendered in sorted order
+// (tests and state digests).
+func (s *Store) Keys() []string {
+	keys := make([]string, 0, len(s.resident))
+	for k := range s.resident {
+		keys = append(keys, k.String())
+	}
+	sort.Strings(keys)
+	return keys
+}

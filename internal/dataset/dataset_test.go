@@ -1,0 +1,237 @@
+package dataset
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestPartitioned(t *testing.T) {
+	refs := Partitioned("pts", 10, 3)
+	if len(refs) != 3 {
+		t.Fatalf("got %d partitions, want 3", len(refs))
+	}
+	// 10 bytes over 3 partitions: the remainder spreads over the first.
+	want := []int64{4, 3, 3}
+	for i, r := range refs {
+		if r.Name != "pts" || r.Partition != i {
+			t.Errorf("partition %d: got %v", i, r)
+		}
+		if r.Bytes != want[i] {
+			t.Errorf("partition %d: %d bytes, want %d", i, r.Bytes, want[i])
+		}
+	}
+	if Sum(refs) != 10 {
+		t.Errorf("Sum = %d, want 10", Sum(refs))
+	}
+	if got := Partitioned("x", 5, 0); len(got) != 1 || got[0].Bytes != 5 {
+		t.Errorf("Partitioned with 0 shards = %v, want one whole ref", got)
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	k := Key{Name: "pts", Partition: 2}
+	if k.String() != "pts#2" {
+		t.Errorf("Key.String() = %q", k.String())
+	}
+	r := Ref{Name: "pts", Partition: 2, Bytes: 8}
+	if r.Key() != k {
+		t.Errorf("Ref.Key() = %v, want %v", r.Key(), k)
+	}
+}
+
+func TestStoreLRUEviction(t *testing.T) {
+	s := NewStore(100)
+	if s.Capacity() != 100 {
+		t.Fatalf("Capacity = %d", s.Capacity())
+	}
+	a := Ref{Name: "a", Bytes: 40}
+	b := Ref{Name: "b", Bytes: 40}
+	c := Ref{Name: "c", Bytes: 40}
+	for i, r := range []Ref{a, b, c} {
+		s.Publish(Version{Ref: r, Time: float64(i)})
+	}
+	// c's publish must evict a (the oldest) and keep b and c.
+	if s.Holds(a) {
+		t.Error("a survived eviction")
+	}
+	if !s.Holds(b) || !s.Holds(c) {
+		t.Error("b or c missing after eviction")
+	}
+	if s.Resident() != 80 || s.Len() != 2 {
+		t.Errorf("Resident=%d Len=%d, want 80/2", s.Resident(), s.Len())
+	}
+	// Touching b (Contains counts as use) protects it from the next evict.
+	if !s.Contains(b) {
+		t.Fatal("b not contained")
+	}
+	d := Ref{Name: "d", Bytes: 40}
+	evicted := s.Publish(Version{Ref: d, Time: 3})
+	if len(evicted) != 1 || evicted[0].Ref.Name != "c" {
+		t.Errorf("evicted %v, want c", evicted)
+	}
+	st := s.Stats()
+	if st.Evictions != 2 || st.Published != 4 {
+		t.Errorf("stats %+v, want 2 evictions, 4 publishes", st)
+	}
+}
+
+func TestStoreOversizedRejected(t *testing.T) {
+	s := NewStore(10)
+	huge := Ref{Name: "huge", Bytes: 11}
+	if ev := s.Publish(Version{Ref: huge, Time: 1}); len(ev) != 0 {
+		t.Errorf("oversized publish evicted %v", ev)
+	}
+	if s.Holds(huge) || s.Len() != 0 {
+		t.Error("oversized ref was admitted")
+	}
+	if s.Stats().Rejected != 1 {
+		t.Errorf("Rejected = %d, want 1", s.Stats().Rejected)
+	}
+}
+
+func TestStoreUnbounded(t *testing.T) {
+	s := NewStore(0)
+	for i := 0; i < 64; i++ {
+		s.Publish(Version{Ref: Ref{Name: "r", Partition: i, Bytes: 1 << 20}, Time: float64(i)})
+	}
+	if s.Len() != 64 || s.Stats().Evictions != 0 {
+		t.Errorf("unbounded store evicted: len=%d stats=%+v", s.Len(), s.Stats())
+	}
+}
+
+func TestStoreMissingBytes(t *testing.T) {
+	s := NewStore(0)
+	a := Ref{Name: "a", Bytes: 30}
+	b := Ref{Name: "b", Bytes: 50}
+	s.Publish(Version{Ref: a, Time: 1})
+	if got := s.MissingBytes([]Ref{a, b}); got != 50 {
+		t.Errorf("MissingBytes = %d, want 50", got)
+	}
+	if got := s.MissingBytes(nil); got != 0 {
+		t.Errorf("MissingBytes(nil) = %d", got)
+	}
+}
+
+func TestStoreLineageTieBreak(t *testing.T) {
+	s := NewStore(0)
+	r := Ref{Name: "model", Bytes: 8}
+	s.Publish(Version{Ref: r, Time: 2, Workflow: "wfB", Task: "t"})
+	// An older publish must not supersede the resident version.
+	s.Publish(Version{Ref: r, Time: 1, Workflow: "wfZ", Task: "t"})
+	if v, ok := s.Version(r); !ok || v.Workflow != "wfB" {
+		t.Errorf("older publish superseded: %+v", v)
+	}
+	// Same time: the higher workflow id wins, deterministically.
+	s.Publish(Version{Ref: r, Time: 2, Workflow: "wfC", Task: "t"})
+	if v, _ := s.Version(r); v.Workflow != "wfC" {
+		t.Errorf("tie-break ignored workflow id: %+v", v)
+	}
+	s.Publish(Version{Ref: r, Time: 2, Workflow: "wfA", Task: "t"})
+	if v, _ := s.Version(r); v.Workflow != "wfC" {
+		t.Errorf("lower workflow id superseded: %+v", v)
+	}
+	if sup := s.Stats().Superseded; sup != 1 {
+		t.Errorf("Superseded = %d, want 1", sup)
+	}
+}
+
+func TestSupersedes(t *testing.T) {
+	base := Version{Time: 1, Workflow: "b", Task: "m"}
+	cases := []struct {
+		a    Version
+		want bool
+	}{
+		{Version{Time: 2, Workflow: "a", Task: "a"}, true},
+		{Version{Time: 0.5, Workflow: "z", Task: "z"}, false},
+		{Version{Time: 1, Workflow: "c", Task: "a"}, true},
+		{Version{Time: 1, Workflow: "a", Task: "z"}, false},
+		{Version{Time: 1, Workflow: "b", Task: "n"}, true},
+		{Version{Time: 1, Workflow: "b", Task: "a"}, false},
+	}
+	for i, c := range cases {
+		if got := Supersedes(c.a, base); got != c.want {
+			t.Errorf("case %d: Supersedes(%+v) = %v, want %v", i, c.a, got, c.want)
+		}
+	}
+}
+
+func TestStoreKeysSorted(t *testing.T) {
+	s := NewStore(0)
+	for _, n := range []string{"c", "a", "b"} {
+		for p := 1; p >= 0; p-- {
+			s.Publish(Version{Ref: Ref{Name: n, Partition: p, Bytes: 1}, Time: 1})
+		}
+	}
+	keys := s.Keys()
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("Keys() not sorted: %v before %v", keys[i-1], keys[i])
+		}
+	}
+	if len(keys) != 6 {
+		t.Fatalf("len(Keys()) = %d, want 6", len(keys))
+	}
+}
+
+// TestStoreRejectedPublishStillTouches pins the LRU refresh on a
+// same-version republish: re-publishing resident data marks it used even
+// though the version does not supersede.
+func TestStoreRejectedPublishStillTouches(t *testing.T) {
+	s := NewStore(100)
+	a := Ref{Name: "a", Bytes: 40}
+	b := Ref{Name: "b", Bytes: 40}
+	s.Publish(Version{Ref: a, Time: 1})
+	s.Publish(Version{Ref: b, Time: 2})
+	// Republish a with an older version: rejected, but it refreshes a's
+	// recency, so the next eviction takes b.
+	s.Publish(Version{Ref: a, Time: 0.5})
+	ev := s.Publish(Version{Ref: Ref{Name: "c", Bytes: 40}, Time: 3})
+	if len(ev) != 1 || ev[0].Ref.Name != "b" {
+		t.Errorf("evicted %v, want b (a was refreshed)", ev)
+	}
+}
+
+func TestHoldsDoesNotPerturbLRU(t *testing.T) {
+	s := NewStore(100)
+	a := Ref{Name: "a", Bytes: 40}
+	b := Ref{Name: "b", Bytes: 40}
+	s.Publish(Version{Ref: a, Time: 1})
+	s.Publish(Version{Ref: b, Time: 2})
+	// Pure reads must not count as use: a stays oldest.
+	for i := 0; i < 4; i++ {
+		if !s.Holds(a) {
+			t.Fatal("a not held")
+		}
+	}
+	ev := s.Publish(Version{Ref: Ref{Name: "c", Bytes: 40}, Time: 3})
+	if len(ev) != 1 || ev[0].Ref.Name != "a" {
+		t.Errorf("evicted %v, want a (Holds must not refresh)", ev)
+	}
+	// And Holds must not touch the hit/miss counters either.
+	if st := s.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("Holds moved counters: %+v", st)
+	}
+}
+
+// TestHoldsByKey pins the identity model: partitions are identified by
+// (name, partition) alone; Bytes is the declared size, not part of the
+// key, so a reader quoting a different size still hits the resident copy.
+func TestHoldsByKey(t *testing.T) {
+	s := NewStore(0)
+	s.Publish(Version{Ref: Ref{Name: "a", Bytes: 40}, Time: 1})
+	if !s.Holds(Ref{Name: "a", Bytes: 39}) {
+		t.Error("Holds keyed on bytes; identity is (name, partition)")
+	}
+	if s.Holds(Ref{Name: "a", Partition: 1, Bytes: 40}) {
+		t.Error("Holds ignored the partition index")
+	}
+}
+
+func ExampleStore() {
+	s := NewStore(128)
+	for p, r := range Partitioned("points", 96, 3) {
+		s.Publish(Version{Ref: r, Time: float64(p), Workflow: "ingest"})
+	}
+	fmt.Println(s.Len(), s.Resident(), s.MissingBytes([]Ref{{Name: "points", Partition: 1, Bytes: 32}}))
+	// Output: 3 96 0
+}

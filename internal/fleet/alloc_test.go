@@ -3,6 +3,7 @@ package fleet
 import (
 	"testing"
 
+	"everest/internal/dataset"
 	"everest/internal/platform"
 )
 
@@ -24,15 +25,21 @@ func TestRouteAllocFree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	refs := dataset.Partitioned("points", 1<<24, 2)
+	if err := f.PlaceDataset(0, 0, refs...); err != nil {
+		t.Fatal(err)
+	}
 	for _, tc := range []struct {
 		what  string
 		needs []string
+		reads []dataset.Ref
 	}{
-		{"route (software-only)", nil},
-		{"route (cold bitstreams)", []string{"bs0", "bs1"}},
+		{"route (software-only)", nil, nil},
+		{"route (cold bitstreams)", []string{"bs0", "bs1"}, nil},
+		{"route (dataset locality)", []string{"bs0"}, refs},
 	} {
 		if got := testing.AllocsPerRun(200, func() {
-			if _, err := f.route("tenant00", 1, true, tc.needs, 0.5); err != nil {
+			if _, err := f.route("tenant00", 1, true, tc.needs, tc.reads, 0.5); err != nil {
 				t.Fatal(err)
 			}
 		}); got > 0 {

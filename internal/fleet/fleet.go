@@ -30,6 +30,7 @@ import (
 	"sort"
 	"sync"
 
+	"everest/internal/dataset"
 	"everest/internal/netsim"
 	"everest/internal/platform"
 	"everest/internal/runtime"
@@ -71,6 +72,15 @@ const (
 	EventSiteJoin
 	// EventSiteLeave fires when a site is deactivated (scale-down).
 	EventSiteLeave
+	// EventDataFetch fires when a missing dataset partition is shipped to
+	// the serving site over the registry fabric.
+	EventDataFetch
+	// EventDataPublish fires when a completed workflow publishes an output
+	// partition to the site's dataset store.
+	EventDataPublish
+	// EventDataEvict fires when the bounded dataset store evicts a
+	// partition to admit another.
+	EventDataEvict
 )
 
 func (k EventKind) String() string {
@@ -99,6 +109,12 @@ func (k EventKind) String() string {
 		return "site-join"
 	case EventSiteLeave:
 		return "site-leave"
+	case EventDataFetch:
+		return "data-fetch"
+	case EventDataPublish:
+		return "data-publish"
+	case EventDataEvict:
+		return "data-evict"
 	}
 	return "unknown"
 }
@@ -164,9 +180,20 @@ type Config struct {
 	// Net prices intra-site transfers (per-engine semantics; nil = flat
 	// cluster fabric).
 	Net *netsim.Stack
-	// RegistryNet prices registry→site bitstream transfers on deploys
-	// (default the eth100g data-center fabric).
+	// RegistryNet prices registry→site bitstream transfers on deploys and
+	// dataset-partition fetches (default the eth100g data-center fabric).
 	RegistryNet *netsim.Stack
+	// DatasetStoreBytes bounds each site's dataset store — the LRU of
+	// named partitions it holds next to its bitstream cache. Filling it
+	// evicts least-recently-used partitions, so returning readers pay a
+	// refetch. Default 256 MiB; negative means unbounded.
+	DatasetStoreBytes int64
+	// PlacementBlind disables data-locality pricing in the router: every
+	// site looks equally distant from every dataset, so workflows land by
+	// queue/cache/affinity alone and missing partitions are shipped at
+	// serve time. This is the contrast arm of the locality benchmark — the
+	// fetch traffic is still paid, just never avoided.
+	PlacementBlind bool
 	// SiteEvents scripts per-site modelled-time environment faults
 	// (index = site; engine EngineConfig.Events semantics).
 	SiteEvents [][]runtime.EnvEvent
@@ -208,9 +235,14 @@ type Result struct {
 	Arrival    float64
 	Wait       float64 // modelled queueing delay before the site picked it up
 	Deploy     float64 // modelled bitstream deployment stall it paid
+	Fetch      float64 // modelled dataset staging stall it paid
 	Service    float64 // engine-measured service time (site makespan delta)
 	Completion float64 // modelled completion (fleet timeline)
 	Latency    float64 // Completion - Arrival
+	// FetchedBytes counts the dataset bytes shipped over the registry
+	// fabric to stage this workflow's inputs; zero when every known
+	// partition was already resident (the locality win).
+	FetchedBytes int64
 	// Guaranteed-class fields: Bound is the admission-time worst-case
 	// latency the fleet proved (relative to Arrival, <= the request's
 	// deadline); zero for best-effort work.
@@ -256,6 +288,18 @@ type SiteStats struct {
 	// deploys that stalled no workflow) and their modelled staging time.
 	WarmDeploys int
 	WarmSeconds float64
+
+	// Dataset-store accounting: serve-time locality probes over known
+	// partitions (hits read in place, misses ship), fetch traffic, publish
+	// volume, and LRU evictions.
+	DatasetHits           int
+	DatasetMisses         int
+	DatasetFetches        int
+	DatasetFetchedBytes   int64
+	DatasetFetchSeconds   float64
+	DatasetPublished      int
+	DatasetPublishedBytes int64
+	DatasetEvictions      int
 
 	// Active reports whether the site is serving (autoscaling may have
 	// scaled it down, or it may still be booting at snapshot time).
@@ -305,6 +349,34 @@ func (st Stats) BoundViolations() int {
 // WarmDeploys sums prefetch-staged bitstream deploys across sites.
 func (st Stats) WarmDeploys() int { return st.sum(func(s SiteStats) int { return s.WarmDeploys }) }
 
+// DatasetHits sums serve-time dataset residency hits across sites.
+func (st Stats) DatasetHits() int { return st.sum(func(s SiteStats) int { return s.DatasetHits }) }
+
+// DatasetFetches sums dataset-partition fetches across sites.
+func (st Stats) DatasetFetches() int {
+	return st.sum(func(s SiteStats) int { return s.DatasetFetches })
+}
+
+// DatasetFetchedBytes sums the dataset bytes shipped between sites — the
+// traffic data-locality routing exists to avoid.
+func (st Stats) DatasetFetchedBytes() int64 {
+	var n int64
+	for _, s := range st.Sites {
+		n += s.DatasetFetchedBytes
+	}
+	return n
+}
+
+// DatasetPublished sums partitions published to site stores across sites.
+func (st Stats) DatasetPublished() int {
+	return st.sum(func(s SiteStats) int { return s.DatasetPublished })
+}
+
+// DatasetEvictions sums dataset-store LRU evictions across sites.
+func (st Stats) DatasetEvictions() int {
+	return st.sum(func(s SiteStats) int { return s.DatasetEvictions })
+}
+
 // ActiveSites counts sites currently serving (autoscaling state).
 func (st Stats) ActiveSites() int {
 	n := 0
@@ -333,6 +405,7 @@ type site struct {
 
 	mu           sync.Mutex
 	cache        *bitstreamCache
+	dstore       *dataset.Store // named-partition LRU beside the bitstream cache
 	everDeployed map[string]bool
 	active       bool    // serving: the router may choose it
 	activeFrom   float64 // modelled time the site became eligible (boot done)
@@ -349,7 +422,8 @@ type work struct {
 	t       *Ticket
 	wf      *runtime.Workflow
 	arrival float64
-	needs   []string // bitstream IDs the workflow's FPGA tasks request
+	needs   []string      // bitstream IDs the workflow's FPGA tasks request
+	reads   []dataset.Ref // external dataset partitions the workflow reads
 
 	// Guaranteed-class fields: the admitted deadline and proven bound
 	// (relative to arrival), and the debt claimed against the site
@@ -374,6 +448,13 @@ type Fleet struct {
 	lastSite  map[string]int // tenant -> previous site (affinity)
 	submitted int
 	rejected  int
+
+	// catalog records every partition placed or published anywhere in the
+	// federation: the set data-locality pricing and serve-time fetches are
+	// scoped to (unknown refs are outside sources, equidistant from every
+	// site). Guarded by its own lock — routing reads it without f.mu.
+	catMu   sync.RWMutex
+	catalog map[dataset.Key]bool
 
 	workers sync.WaitGroup
 }
@@ -407,6 +488,12 @@ func New(reg *platform.Registry, cfg Config) (*Fleet, error) {
 	if cfg.SlowdownCap <= 0 {
 		cfg.SlowdownCap = 4
 	}
+	switch {
+	case cfg.DatasetStoreBytes == 0:
+		cfg.DatasetStoreBytes = 256 << 20
+	case cfg.DatasetStoreBytes < 0:
+		cfg.DatasetStoreBytes = 0 // dataset.Store treats 0 as unbounded
+	}
 	if cfg.InitialActiveSites < 0 || cfg.InitialActiveSites > cfg.Sites {
 		return nil, fmt.Errorf("fleet: InitialActiveSites %d outside [0, %d]",
 			cfg.InitialActiveSites, cfg.Sites)
@@ -422,7 +509,8 @@ func New(reg *platform.Registry, cfg Config) (*Fleet, error) {
 			}
 		}
 	}
-	f := &Fleet{cfg: cfg, reg: reg, lastSite: make(map[string]int)}
+	f := &Fleet{cfg: cfg, reg: reg, lastSite: make(map[string]int),
+		catalog: make(map[dataset.Key]bool)}
 	for i := 0; i < cfg.Sites; i++ {
 		c := cfg.NewCluster(i)
 		if c == nil || len(c.Nodes) == 0 {
@@ -450,6 +538,7 @@ func New(reg *platform.Registry, cfg Config) (*Fleet, error) {
 				Events: events, Net: cfg.Net, Trace: engTrace,
 			}),
 			cache:        newBitstreamCache(cfg.CacheSlots),
+			dstore:       dataset.NewStore(cfg.DatasetStoreBytes),
 			everDeployed: make(map[string]bool),
 			active:       cfg.InitialActiveSites == 0 || i < cfg.InitialActiveSites,
 		}
@@ -586,6 +675,55 @@ func (f *Fleet) Warm(id string, at float64) (int, float64, error) {
 	return best, dt, nil
 }
 
+// WarmAll pre-stages bitstream id into every active site's cache at
+// modelled time at — the fleet-wide analogue of Warm for models every
+// site is about to serve (a scattered map-reduce workload, a federation-
+// wide rollout). Staging runs on the deployment control plane, so it
+// stalls no workflow; already-resident sites are free no-ops. Returns the
+// summed staging seconds. An error means the registry lacks the
+// bitstream; sites where no online device fits it are skipped.
+func (f *Fleet) WarmAll(id string, at float64) (float64, error) {
+	if _, err := f.reg.Get(id); err != nil {
+		return 0, fmt.Errorf("fleet: warm-all: %w", err)
+	}
+	var evs *[]Event
+	if f.cfg.Trace != nil {
+		evs = evPool.Get().(*[]Event)
+		defer func() {
+			*evs = (*evs)[:0]
+			evPool.Put(evs)
+		}()
+	}
+	total := 0.0
+	for _, s := range f.sites {
+		s.mu.Lock()
+		if !s.activeAt(at) {
+			s.mu.Unlock()
+			continue
+		}
+		if slot, ok := s.cache.peek(id); ok && slot.node.DeviceOnlineAt(slot.dev, at) {
+			s.mu.Unlock()
+			continue
+		}
+		dt := f.deployOne(s, "prefetch", "warm:"+id, id, at, evs)
+		if dt > 0 {
+			s.stats.WarmDeploys++
+			s.stats.WarmSeconds += dt
+		}
+		s.mu.Unlock()
+		if evs != nil {
+			f.trace(*evs...)
+			*evs = (*evs)[:0]
+		}
+		if dt > 0 {
+			total += dt
+			f.trace(Event{Kind: EventWarm, Site: s.name, Tenant: "prefetch", Bitstream: id,
+				Time: at, Detail: fmt.Sprintf("staged in %.4gs", dt)})
+		}
+	}
+	return total, nil
+}
+
 // Start brings every site engine up and spawns one serial worker per site.
 func (f *Fleet) Start() error {
 	f.mu.Lock()
@@ -622,6 +760,8 @@ func (f *Fleet) Submit(req Request) (*Ticket, error) {
 		tenant = "default"
 	}
 	needs := bitstreamNeeds(req.Workflow)
+	reads := datasetReads(req.Workflow)
+	known := f.knownReads(reads)
 	f.mu.Lock()
 	if !f.started || f.closed {
 		f.mu.Unlock()
@@ -640,9 +780,9 @@ func (f *Fleet) Submit(req Request) (*Ticket, error) {
 	var bound, debt float64
 	var err error
 	if req.Guaranteed {
-		idx, bound, debt, err = f.routeGuaranteed(req.Workflow, needs, req.Arrival, req.Deadline)
+		idx, bound, debt, err = f.routeGuaranteed(req.Workflow, needs, known, req.Arrival, req.Deadline)
 	} else {
-		idx, err = f.route(tenant, last, hasLast, needs, req.Arrival)
+		idx, err = f.route(tenant, last, hasLast, needs, known, req.Arrival)
 	}
 	f.mu.Lock()
 	if err != nil {
@@ -677,7 +817,7 @@ func (f *Fleet) Submit(req Request) (*Ticket, error) {
 			Time: req.Arrival, Detail: detail})
 	}
 	t := &Ticket{Site: s.name, Tenant: tenant, Name: name, done: make(chan struct{})}
-	if !s.q.push(work{t: t, wf: req.Workflow, arrival: req.Arrival, needs: needs,
+	if !s.q.push(work{t: t, wf: req.Workflow, arrival: req.Arrival, needs: needs, reads: known,
 		guaranteed: req.Guaranteed, deadline: req.Deadline, bound: bound, debt: debt}) {
 		// A concurrent Shutdown closed the site queues between routing and
 		// enqueue. Undo the accounting and refuse — returning the ticket
@@ -758,13 +898,16 @@ func (f *Fleet) Stats() Stats {
 // the estimated deployment stall for bitstreams the site's cache does not
 // hold (registry transfer + reconfiguration; a cache hit is free), the
 // software-fallback penalty for bitstreams the site cannot host at all,
-// and the tenant-affinity penalty for leaving the tenant's previous site.
-// Ties break on site order, so routing is deterministic. Runs without the
-// fleet lock — per-site state is read under each site's own mutex.
-func (f *Fleet) route(tenant string, last int, hasLast bool, needs []string, arrival float64) (int, error) {
+// the tenant-affinity penalty for leaving the tenant's previous site, and
+// the data-locality fetch of federation-known input partitions the site
+// does not hold (a site holding the data charges zero — compute moves to
+// the data). Ties break on site order, so routing is deterministic. Runs
+// without the fleet lock — per-site state is read under each site's own
+// mutex.
+func (f *Fleet) route(tenant string, last int, hasLast bool, needs []string, reads []dataset.Ref, arrival float64) (int, error) {
 	best, bestCost := -1, 0.0
 	for i, s := range f.sites {
-		cost, ok := f.siteCost(i, s, last, hasLast, needs, arrival)
+		cost, ok := f.siteCost(i, s, last, hasLast, needs, reads, arrival)
 		if !ok {
 			continue
 		}
@@ -782,19 +925,20 @@ func (f *Fleet) route(tenant string, last int, hasLast bool, needs []string, arr
 // routeGuaranteed admits a guaranteed request by proof. Every site is
 // priced with the full admission inequality
 //
-//	wait + overhang + boundDebt + deployBound + serviceBound <= deadline
+//	wait + overhang + boundDebt + deployBound + fetchBound + serviceBound <= deadline
 //
 // where wait is the site's queue frontier past the arrival, overhang the
 // engine's estimate frontier beyond the last settled makespan, boundDebt
 // the summed worst cases of already-admitted guaranteed work, deployBound
-// the worst-case cold deployment of every needed bitstream, and
+// the worst-case cold deployment of every needed bitstream, fetchBound
+// the worst-case staging of every external dataset partition, and
 // serviceBound the workflow's schedule-derived serve-alone worst case
 // (runtime.ServiceBound). Candidates are tried cheapest-bound first (site
 // order breaks ties) and the winning site's debt claim happens atomically
 // under its mutex, re-verifying the inequality — so racing admissions
 // cannot jointly over-commit a site. When no site can prove the deadline
 // the request is refused with ErrSaturated and nothing is enqueued.
-func (f *Fleet) routeGuaranteed(w *runtime.Workflow, needs []string, arrival, deadline float64) (int, float64, float64, error) {
+func (f *Fleet) routeGuaranteed(w *runtime.Workflow, needs []string, reads []dataset.Ref, arrival, deadline float64) (int, float64, float64, error) {
 	type candidate struct {
 		idx   int
 		bound float64
@@ -808,7 +952,7 @@ func (f *Fleet) routeGuaranteed(w *runtime.Workflow, needs []string, arrival, de
 		if err != nil {
 			continue // the site cannot bound the workflow at all
 		}
-		debt := f.deployBound(s, needs) + svc
+		debt := f.deployBound(s, needs) + f.fetchBound(reads) + svc
 		if bound, ok := f.admissionBound(s, arrival, debt, false, deadline); ok {
 			cands = append(cands, candidate{idx: i, bound: bound, debt: debt})
 		}
@@ -904,7 +1048,7 @@ func (f *Fleet) deployBound(s *site, needs []string) float64 {
 
 // siteCost prices routing a workflow to one site; ok=false means the site
 // is saturated past the admission bound.
-func (f *Fleet) siteCost(idx int, s *site, last int, hasLast bool, needs []string, arrival float64) (float64, bool) {
+func (f *Fleet) siteCost(idx int, s *site, last int, hasLast bool, needs []string, reads []dataset.Ref, arrival float64) (float64, bool) {
 	s.mu.Lock()
 	if !s.activeAt(arrival) {
 		// Scaled out, or still booting at this arrival: not a candidate.
@@ -913,6 +1057,7 @@ func (f *Fleet) siteCost(idx int, s *site, last int, hasLast bool, needs []strin
 	}
 	busy := s.busyUntil
 	inFlight := s.pending
+	missing := s.dstore.MissingBytes(reads)
 	var cachedBuf [8]bool // workflows need a handful of bitstreams; avoid the alloc
 	cachedAt := cachedBuf[:len(cachedBuf):len(cachedBuf)]
 	if len(needs) > len(cachedBuf) {
@@ -969,6 +1114,13 @@ func (f *Fleet) siteCost(idx int, s *site, last int, hasLast bool, needs []strin
 	}
 	if !hasLast || last != idx {
 		cost += f.cfg.AffinitySeconds
+	}
+	// Data locality: partitions the site does not hold must cross the
+	// registry fabric before the workflow can run. PlacementBlind prices
+	// every site as if the data were local (the contrast arm the data
+	// benchmarks measure against).
+	if missing > 0 && !f.cfg.PlacementBlind {
+		cost += f.cfg.RegistryNet.SendSeconds(missing)
 	}
 	return cost, true
 }
@@ -1090,6 +1242,7 @@ func (f *Fleet) serve(s *site, w work) {
 	}
 	s.mu.Unlock()
 	deploy := f.deployNeeds(s, w, start)
+	fetch, fetchedBytes := f.fetchData(s, w, start+deploy)
 
 	fut, err := s.engine.Submit(w.wf, runtime.SubmitOptions{Name: t.Name, Tenant: t.Tenant})
 	var sched *runtime.Schedule
@@ -1129,7 +1282,7 @@ func (f *Fleet) serve(s *site, w work) {
 		if frontier > s.lastMakespan {
 			s.lastMakespan = frontier
 		}
-		s.busyUntil = start + deploy + partial
+		s.busyUntil = start + deploy + fetch + partial
 		s.mu.Unlock()
 		t.err = fmt.Errorf("fleet: %s: %w", s.name, err)
 		// Trace before resolving the ticket: once Wait returns, every
@@ -1148,7 +1301,7 @@ func (f *Fleet) serve(s *site, w work) {
 	if sched.Makespan > s.lastMakespan {
 		s.lastMakespan = sched.Makespan
 	}
-	completion := start + deploy + service
+	completion := start + deploy + fetch + service
 	s.busyUntil = completion
 	s.stats.Served++
 	s.stats.DeploySeconds += deploy
@@ -1156,11 +1309,13 @@ func (f *Fleet) serve(s *site, w work) {
 		s.stats.BoundViolations++
 	}
 	s.mu.Unlock()
+	f.publishOutputs(s, w, completion)
 
 	t.res = Result{
 		Sched: sched, Site: s.name, Arrival: w.arrival,
-		Wait: start - w.arrival, Deploy: deploy, Service: service,
-		Completion: completion, Latency: completion - w.arrival,
+		Wait: start - w.arrival, Deploy: deploy, Fetch: fetch, Service: service,
+		FetchedBytes: fetchedBytes,
+		Completion:   completion, Latency: completion - w.arrival,
 		Guaranteed: w.guaranteed, Bound: w.bound,
 	}
 	// Trace before resolving the ticket (see the error path above).

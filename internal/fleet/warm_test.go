@@ -207,3 +207,54 @@ func TestBitstreamNeedsExported(t *testing.T) {
 		t.Fatalf("pure-software workflow needs = %v, want none", got)
 	}
 }
+
+// TestWarmAllStagesEverySite: one call leaves the bitstream resident at
+// every active site (each first serve is deploy-free wherever it lands),
+// a second call is a fleet-wide free no-op, and inactive sites are
+// skipped rather than staged.
+func TestWarmAllStagesEverySite(t *testing.T) {
+	reg := platform.NewRegistry()
+	reg.Put(testBitstream("bs-w"))
+	f := newTestFleet(t, reg, Config{Sites: 3, InitialActiveSites: 2})
+	defer f.Shutdown()
+
+	dt, err := f.WarmAll("bs-w", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt <= 0 {
+		t.Fatalf("first warm-all staged nothing (dt=%g)", dt)
+	}
+	st := f.Stats()
+	for i := 0; i < 2; i++ {
+		if st.Sites[i].WarmDeploys != 1 {
+			t.Fatalf("site %d WarmDeploys = %d, want 1", i, st.Sites[i].WarmDeploys)
+		}
+	}
+	if st.Sites[2].WarmDeploys != 0 {
+		t.Fatal("warm-all staged an inactive site")
+	}
+	// Everything resident: re-warming the fleet is free.
+	if dt2, err := f.WarmAll("bs-w", 1); err != nil || dt2 != 0 {
+		t.Fatalf("second warm-all = (%g, %v), want a free no-op", dt2, err)
+	}
+	// Different tenants spread over both active sites; neither serve pays
+	// a deploy stall.
+	for i, tenant := range []string{"a", "b"} {
+		tk, err := f.Submit(Request{Tenant: tenant, Name: tenant,
+			Workflow: fpgaWorkflow("bs-w"), Arrival: 2 + float64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := tk.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Deploy != 0 {
+			t.Fatalf("tenant %s paid deploy stall %g after warm-all", tenant, res.Deploy)
+		}
+	}
+	if _, err := f.WarmAll("missing", 0); err == nil {
+		t.Fatal("warm-all of an unregistered bitstream must fail")
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"sort"
 	"sync"
 
+	"everest/internal/dataset"
 	"everest/internal/fleet"
 	"everest/internal/netsim"
 	"everest/internal/platform"
@@ -96,6 +97,12 @@ const (
 	EventScaleDown
 	// EventEvictStore fires when a bounded region store drops an artifact.
 	EventEvictStore
+	// EventDataFetch fires when a missing dataset partition is WAN-staged
+	// on the serving path (the workflow pays the stall).
+	EventDataFetch
+	// EventDataPrefetch fires when the forecaster WAN-stages a partition
+	// ahead of demand (off the critical path).
+	EventDataPrefetch
 	// EventReject fires when no region can serve (or prove) a request.
 	EventReject
 	// EventDone fires when a workflow's region-level completion is known.
@@ -124,6 +131,10 @@ func (k EventKind) String() string {
 		return "scale-down"
 	case EventEvictStore:
 		return "evict-store"
+	case EventDataFetch:
+		return "data-fetch"
+	case EventDataPrefetch:
+		return "data-prefetch"
 	case EventReject:
 		return "reject"
 	case EventDone:
@@ -188,6 +199,13 @@ type Config struct {
 	// authoritative copy, so eviction means a future WAN refetch).
 	// 0 = unbounded.
 	StoreSlots int
+	// DatasetStoreBytes bounds the dataset half of each region's artifact
+	// store — published partitions cached next to the bitstream images,
+	// WAN-fetched on demand and eligible for prefetch like any other
+	// artifact. 0 = the 1 GiB default; negative = unbounded. Each region's
+	// fleet sites keep their own (fleet.Config.DatasetStoreBytes) stores
+	// below this one.
+	DatasetStoreBytes int64
 	// PreemptPenalty is the modelled restart cost a held batch workflow
 	// pays every time a priority arrival pushes it back (default 50 ms).
 	PreemptPenalty float64
@@ -251,13 +269,14 @@ type Result struct {
 	Site   string
 	Class  Class
 
-	Arrival float64
-	Handoff float64 // WAN payload transfer stall (served away from home)
-	Fetch   float64 // WAN artifact fetch stall on the serving path
-	Hold    float64 // modelled time parked in the batch hold queue
-	Wait    float64 // fleet queue delay
-	Deploy  float64 // bitstream deployment stall
-	Service float64 // engine-measured service time
+	Arrival   float64
+	Handoff   float64 // WAN payload transfer stall (served away from home)
+	Fetch     float64 // WAN artifact fetch stall on the serving path
+	DataFetch float64 // WAN dataset staging stall on the serving path
+	Hold      float64 // modelled time parked in the batch hold queue
+	Wait      float64 // fleet queue delay
+	Deploy    float64 // bitstream deployment stall
+	Service   float64 // engine-measured service time
 
 	Completion float64
 	Latency    float64 // Completion - Arrival, all stalls included
@@ -329,6 +348,13 @@ type RegionStats struct {
 	StoreEvictions  int
 	PartitionSkips  int
 
+	DataFetches      int     // dataset partitions WAN-staged on serve paths
+	DataFetchSeconds float64 // modelled stall those fetches cost
+	DataFetchedBytes int64   // dataset bytes shipped over the WAN
+	DataPrefetches   int     // partitions staged ahead of demand
+	DataPublished    int     // partitions published into the region store
+	DataEvictions    int     // partitions the byte bound evicted
+
 	ScaleUps    int
 	ScaleDowns  int
 	ActiveSites int
@@ -349,6 +375,8 @@ type Stats struct {
 	WANFetches      int
 	PrefetchFetches int
 	Warms           int
+	DataFetches     int
+	DataPrefetches  int
 
 	Guaranteed      int
 	BoundViolations int
@@ -374,6 +402,12 @@ type region struct {
 	storeSeq int64
 	storeUse map[string]int64 // artifact id -> last-use seq (LRU)
 
+	// dstore is the dataset half of the region artifact store: published
+	// partitions cached next to the bitstream images, WAN-fetched from the
+	// federation on demand and prefetch-eligible. Guarded by the
+	// federation mutex like the rest of the region state.
+	dstore *dataset.Store
+
 	stats RegionStats
 }
 
@@ -396,6 +430,15 @@ type Federation struct {
 
 	appNeeds map[string][]string // app -> bitstream IDs (learned at first serve)
 	appOrder []string
+
+	// dataCat is the federation dataset catalog: partitions placed or
+	// published somewhere, keyed for the locality/fetch pricing that
+	// mirrors the bitstream catalog. Guarded by mu.
+	dataCat map[dataset.Key]dataset.Ref
+	// appReads remembers each app's external dataset reads (learned at
+	// first serve, like appNeeds) so prefetch can stage data ahead of
+	// demand alongside the app's bitstreams.
+	appReads map[string][]dataset.Ref
 }
 
 // New builds a federation over a shared artifact catalog. Each region
@@ -455,7 +498,16 @@ func New(catalog *platform.Registry, cfg Config) (*Federation, error) {
 			return nil, fmt.Errorf("region: partition of region %d has empty interval [%g, %g)", p.Region, p.From, p.Until)
 		}
 	}
-	f := &Federation{cfg: cfg, catalog: catalog, wan: *cfg.WAN, appNeeds: make(map[string][]string)}
+	switch {
+	case cfg.DatasetStoreBytes == 0:
+		cfg.DatasetStoreBytes = 1 << 30
+	case cfg.DatasetStoreBytes < 0:
+		cfg.DatasetStoreBytes = 0 // dataset.Store: 0 = unbounded
+	}
+	f := &Federation{cfg: cfg, catalog: catalog, wan: *cfg.WAN,
+		appNeeds: make(map[string][]string),
+		dataCat:  make(map[dataset.Key]dataset.Ref),
+		appReads: make(map[string][]dataset.Ref)}
 	for i := 0; i < cfg.Regions; i++ {
 		i := i
 		name := fmt.Sprintf("region%02d", i)
@@ -495,6 +547,7 @@ func New(catalog *platform.Registry, cfg Config) (*Federation, error) {
 			nextRoll: cfg.WindowSeconds,
 			active:   active,
 			storeUse: make(map[string]int64),
+			dstore:   dataset.NewStore(cfg.DatasetStoreBytes),
 		})
 		f.regions[i].stats.Name = name
 	}
@@ -619,7 +672,8 @@ func (f *Federation) SubmitAt(req Request) (*Handle, error) {
 // route picks the serving region for interactive and guaranteed work and
 // serves inline. Candidates are priced as
 //
-//	queueWait + handoff(WAN payload + penalty, non-home) + fetch estimate
+//	queueWait + handoff(WAN payload + penalty, non-home)
+//	          + fetch estimate + data estimate
 //
 // with the home region winning ties. A WAN partition (of home or of the
 // candidate) removes every non-home candidate. Guaranteed requests try
@@ -628,6 +682,7 @@ func (f *Federation) SubmitAt(req Request) (*Handle, error) {
 func (f *Federation) route(req Request, h *Handle) error {
 	home := req.Home
 	needs := fleet.BitstreamNeeds(req.Workflow)
+	known := f.knownReads(fleet.DatasetReads(req.Workflow))
 	var cands []routeCand
 	for _, r := range f.regions {
 		if r.idx != home && (f.partitioned(home, req.Arrival) || f.partitioned(r.idx, req.Arrival)) {
@@ -642,7 +697,7 @@ func (f *Federation) route(req Request, h *Handle) error {
 		if !ok {
 			continue // no active site
 		}
-		cost := handoff + wait + f.fetchEstimate(r, needs, eff)
+		cost := handoff + wait + f.fetchEstimate(r, needs, eff) + f.dataEstimate(r, known, eff)
 		cands = append(cands, routeCand{idx: r.idx, cost: cost})
 	}
 	if len(cands) == 0 {
@@ -693,8 +748,8 @@ func (a routeCand) less(b routeCand, home int) bool {
 }
 
 // tryGuaranteed serves a guaranteed request at region r: stalls (WAN
-// handoff, artifact fetches) are charged first and shrink the deadline
-// the fleet must prove.
+// handoff, artifact fetches, dataset staging) are charged first and
+// shrink the deadline the fleet must prove.
 func (f *Federation) tryGuaranteed(r *region, req Request, h *Handle) error {
 	handoff := 0.0
 	if r.idx != req.Home {
@@ -702,7 +757,9 @@ func (f *Federation) tryGuaranteed(r *region, req Request, h *Handle) error {
 	}
 	needs := fleet.BitstreamNeeds(req.Workflow)
 	fetch := f.ensureArtifacts(r, needs, req.Arrival+handoff)
-	stall := handoff + fetch
+	known := f.knownReads(fleet.DatasetReads(req.Workflow))
+	dfetch := f.ensureData(r, known, req.Arrival+handoff+fetch, false)
+	stall := handoff + fetch + dfetch
 	if req.Deadline <= stall {
 		return fmt.Errorf("%w: %s: stalls %.4gs consume the %.4gs deadline",
 			fleet.ErrSaturated, r.name, stall, req.Deadline)
@@ -714,7 +771,7 @@ func (f *Federation) tryGuaranteed(r *region, req Request, h *Handle) error {
 	if err != nil {
 		return err
 	}
-	f.finish(r, req, tk, handoff, fetch, 0, 0, h)
+	f.finish(r, req, tk, handoff, fetch, dfetch, 0, 0, h)
 	return nil
 }
 
@@ -727,9 +784,11 @@ func (f *Federation) serveNow(r *region, req Request, at float64, pushes int, h 
 	}
 	needs := fleet.BitstreamNeeds(req.Workflow)
 	fetch := f.ensureArtifacts(r, needs, at+handoff)
+	known := f.knownReads(fleet.DatasetReads(req.Workflow))
+	dfetch := f.ensureData(r, known, at+handoff+fetch, false)
 	tk, err := r.fl.Submit(fleet.Request{
 		Tenant: req.Tenant, Name: req.Name, Workflow: req.Workflow,
-		Arrival: at + handoff + fetch,
+		Arrival: at + handoff + fetch + dfetch,
 	})
 	if err != nil {
 		r.stats.Failed++
@@ -738,11 +797,11 @@ func (f *Federation) serveNow(r *region, req Request, at float64, pushes int, h 
 		close(h.done)
 		return
 	}
-	f.finish(r, req, tk, handoff, fetch, at-req.Arrival, pushes, h)
+	f.finish(r, req, tk, handoff, fetch, dfetch, at-req.Arrival, pushes, h)
 }
 
 // finish waits out the fleet serve and fills the handle's result.
-func (f *Federation) finish(r *region, req Request, tk *fleet.Ticket, handoff, fetch, hold float64, pushes int, h *Handle) {
+func (f *Federation) finish(r *region, req Request, tk *fleet.Ticket, handoff, fetch, dfetch, hold float64, pushes int, h *Handle) {
 	res, err := tk.Wait()
 	h.held = nil
 	if err != nil {
@@ -757,16 +816,18 @@ func (f *Federation) finish(r *region, req Request, tk *fleet.Ticket, handoff, f
 			f.appOrder = append(f.appOrder, req.App)
 		}
 	}
-	cold := fetch > 0 || res.Deploy > 0
+	f.learnAppReads(req.App, req.Workflow)
+	f.publishData(r, req.Workflow, req.Name, res.Completion)
+	cold := fetch > 0 || dfetch > 0 || res.Deploy > 0
 	out := Result{
 		Region: r.name, Site: res.Site, Class: req.Class,
-		Arrival: req.Arrival, Handoff: handoff, Fetch: fetch, Hold: hold,
+		Arrival: req.Arrival, Handoff: handoff, Fetch: fetch, DataFetch: dfetch, Hold: hold,
 		Wait: res.Wait, Deploy: res.Deploy, Service: res.Service,
 		Completion: res.Completion, Latency: res.Completion - req.Arrival,
 		Cold: cold, Guaranteed: res.Guaranteed, Preemptions: pushes,
 	}
 	if res.Guaranteed {
-		out.Bound = handoff + fetch + res.Bound
+		out.Bound = handoff + fetch + dfetch + res.Bound
 		r.gFrontier = math.Max(r.gFrontier, res.Completion)
 		r.stats.Guaranteed++
 	} else if req.Class == Interactive {
@@ -1043,6 +1104,12 @@ func (f *Federation) prefetch(r *region, at float64) {
 				r.stats.Warms++
 			}
 		}
+		// Datasets are prefetch-eligible like bitstreams: stage the app's
+		// known external partitions into the region store ahead of the
+		// demand, so the arriving workflows find them resident.
+		if known := f.knownReads(f.appReads[st.app]); len(known) > 0 {
+			f.ensureData(r, known, at, true)
+		}
 	}
 }
 
@@ -1142,6 +1209,8 @@ func (f *Federation) Stats() Stats {
 		out.WANFetches += rs.WANFetches
 		out.PrefetchFetches += rs.PrefetchFetches
 		out.Warms += rs.Warms
+		out.DataFetches += rs.DataFetches
+		out.DataPrefetches += rs.DataPrefetches
 		out.Guaranteed += rs.Guaranteed
 		out.BoundViolations += rs.Fleet.BoundViolations()
 		if rs.Fleet.Makespan > out.Makespan {

@@ -77,7 +77,7 @@ func fpgaCostOn(t *TaskSpec, n *platform.Node, at float64) (cost float64, devIdx
 // the task to its as-submitted software execution (TaskSpec.Cores),
 // whichever path detects the detach.
 func costLive(t *TaskSpec, n *platform.Node, variant string, at float64) (cost, nominal float64, onFPGA bool, devIdx int, fellBack bool) {
-	bytes := t.InputBytes + t.OutputBytes
+	bytes := t.TotalBytes()
 	switch variant {
 	case VariantFPGA:
 		if c, idx, ok := fpgaCostOn(t, n, at); ok {
@@ -109,7 +109,7 @@ func costLive(t *TaskSpec, n *platform.Node, variant string, at float64) (cost, 
 // model shared by every path that detects a detach (costLive above and the
 // executor's claim-time check).
 func softwareFallback(t *TaskSpec, n *platform.Node, at float64) (cost, nominal float64) {
-	bytes := t.InputBytes + t.OutputBytes
+	bytes := t.TotalBytes()
 	return n.RunCPULiveAt(t.Flops, bytes, t.Cores, at), n.RunCPU(t.Flops, bytes, t.Cores)
 }
 
@@ -435,7 +435,7 @@ func (e *Engine) newWorkflowTuner(st *wfState) *autotuner.Tuner {
 	// not vary run to run, or seeds (and placement ties) would either.
 	for i := range st.specs {
 		t := &st.specs[i]
-		bytes := t.InputBytes + t.OutputBytes
+		bytes := t.TotalBytes()
 		cpu1 += ref.RunCPU(t.Flops, bytes, 1)
 		cpu16 += ref.RunCPU(t.Flops, bytes, cpu16Cores)
 		nTasks++

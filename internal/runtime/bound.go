@@ -98,7 +98,7 @@ func ServiceBound(w *Workflow, c *platform.Cluster, reg *platform.Registry, opt 
 // the engine can take (software on any core count under any capped load,
 // or the kernel's WCET on any device the bitstream fits) is dominated.
 func taskBound(t *TaskSpec, c *platform.Cluster, reg *platform.Registry, slowCap float64) (float64, error) {
-	bytes := t.InputBytes + t.OutputBytes
+	bytes := t.TotalBytes()
 	worst := -1.0
 	for _, n := range c.Nodes {
 		if _, failed := n.FailedAt(); failed {

@@ -1,0 +1,52 @@
+package runtime
+
+import (
+	"testing"
+
+	"everest/internal/dataset"
+)
+
+// TestTaskBytesDerivation pins the single byte-resolution rule every
+// cost model now shares through ReadBytes/WriteBytes/TotalBytes:
+// declared bytes win when nonzero, dataset refs fill them in otherwise,
+// and Submit normalizes the spec so downstream consumers can keep
+// reading InputBytes/OutputBytes directly.
+func TestTaskBytesDerivation(t *testing.T) {
+	reads := []dataset.Ref{{Name: "pts", Partition: 0, Bytes: 100}, {Name: "pts", Partition: 1, Bytes: 24}}
+	writes := []dataset.Ref{{Name: "out", Bytes: 40}}
+	cases := []struct {
+		name           string
+		spec           TaskSpec
+		in, out, total int64
+	}{
+		{"legacy declared bytes", TaskSpec{InputBytes: 10, OutputBytes: 3}, 10, 3, 13},
+		{"derived from refs", TaskSpec{Reads: reads, Writes: writes}, 124, 40, 164},
+		{"declared bytes win over refs", TaskSpec{InputBytes: 7, OutputBytes: 5, Reads: reads, Writes: writes}, 7, 5, 12},
+		{"mixed declaration", TaskSpec{InputBytes: 7, Writes: writes}, 7, 40, 47},
+		{"nothing declared", TaskSpec{}, 0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := c.spec.ReadBytes(); got != c.in {
+			t.Errorf("%s: ReadBytes = %d, want %d", c.name, got, c.in)
+		}
+		if got := c.spec.WriteBytes(); got != c.out {
+			t.Errorf("%s: WriteBytes = %d, want %d", c.name, got, c.out)
+		}
+		if got := c.spec.TotalBytes(); got != c.total {
+			t.Errorf("%s: TotalBytes = %d, want %d", c.name, got, c.total)
+		}
+		// Submit normalizes: the stored spec's byte fields equal the
+		// resolved sizes, and TotalBytes is stable across that rewrite.
+		w := NewWorkflow()
+		spec := c.spec
+		spec.Name = "t"
+		if err := w.Submit(spec); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		stored, _ := w.Get("t")
+		if stored.InputBytes != c.in || stored.OutputBytes != c.out || stored.TotalBytes() != c.total {
+			t.Errorf("%s: after Submit in=%d out=%d total=%d, want %d/%d/%d",
+				c.name, stored.InputBytes, stored.OutputBytes, stored.TotalBytes(), c.in, c.out, c.total)
+		}
+	}
+}

@@ -1106,7 +1106,7 @@ func (e *Engine) place(ds *dispatchState, item readyItem) {
 	}
 	ds.variantsBuf = variants
 
-	taskBytes := task.InputBytes + task.OutputBytes
+	taskBytes := task.TotalBytes()
 	bestNode, bestVariant := -1, ""
 	bestReady, bestEnd := 0.0, 0.0
 	bestBytes := int64(0)

@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"everest/internal/autotuner"
+	"everest/internal/dataset"
 	"everest/internal/platform"
 )
 
@@ -37,6 +38,15 @@ type TaskSpec struct {
 	OutputBytes int64
 	Cores       int
 
+	// Named data plane (dataset tier). Reads and Writes name the dataset
+	// partitions the task consumes and produces. On this path
+	// InputBytes/OutputBytes are derived from the refs at Submit time
+	// (declared bytes, when nonzero, win — the legacy hand-declared path
+	// keeps working unchanged); placement-aware tiers additionally use
+	// the refs to price data locality and publish outputs.
+	Reads  []dataset.Ref
+	Writes []dataset.Ref
+
 	// EVEREST extension: FPGA offload request. When BitstreamID is set and
 	// a node with a programmed device is available, the task runs there.
 	NeedsFPGA   bool
@@ -45,6 +55,30 @@ type TaskSpec struct {
 	// Knobs forwards fine-tuning parameters to the autotuner layer.
 	Knobs map[string]string
 }
+
+// ReadBytes returns the task's input size: declared InputBytes when
+// nonzero, else the sum of its Reads refs (the dataset path).
+func (t *TaskSpec) ReadBytes() int64 {
+	if t.InputBytes != 0 || len(t.Reads) == 0 {
+		return t.InputBytes
+	}
+	return dataset.Sum(t.Reads)
+}
+
+// WriteBytes returns the task's output size: declared OutputBytes when
+// nonzero, else the sum of its Writes refs.
+func (t *TaskSpec) WriteBytes() int64 {
+	if t.OutputBytes != 0 || len(t.Writes) == 0 {
+		return t.OutputBytes
+	}
+	return dataset.Sum(t.Writes)
+}
+
+// TotalBytes returns the bytes the task moves through memory (input plus
+// output) — the quantity every cost model prices. Dataset-declared specs
+// resolve through their refs, so the sum is correct before and after
+// Submit normalizes the byte fields.
+func (t *TaskSpec) TotalBytes() int64 { return t.ReadBytes() + t.WriteBytes() }
 
 // Workflow is a DAG of tasks (the Dask graph).
 type Workflow struct {
@@ -75,6 +109,11 @@ func (w *Workflow) Submit(spec TaskSpec) error {
 		}
 	}
 	cp := spec
+	// Dataset path: derive the modelled byte fields from the refs so every
+	// downstream consumer (planner transfers, engine, cost models, bounds)
+	// sees the same numbers whether bytes were declared or named.
+	cp.InputBytes = cp.ReadBytes()
+	cp.OutputBytes = cp.WriteBytes()
 	w.tasks[spec.Name] = &cp
 	w.order = append(w.order, spec.Name)
 	return nil
@@ -213,7 +252,7 @@ func costOn(t *TaskSpec, n *platform.Node) (cost float64, onFPGA bool, devIdx in
 	if c, idx, ok := fpgaCostOn(t, n, designTime); ok {
 		return c, true, idx
 	}
-	return n.RunCPU(t.Flops, t.InputBytes+t.OutputBytes, t.Cores), false, -1
+	return n.RunCPU(t.Flops, t.TotalBytes(), t.Cores), false, -1
 }
 
 // Plan schedules the workflow and returns the schedule. The plan is

@@ -44,6 +44,13 @@ type FleetConfig struct {
 	Net string
 	// RegistryNet names the registry→site deploy fabric ("" = eth100g).
 	RegistryNet string
+	// DatasetStoreBytes bounds each site's named-dataset store (fleet.Config
+	// semantics: 0 = default 256 MiB, negative = unbounded).
+	DatasetStoreBytes int64
+	// PlacementBlind disables data-locality pricing in the router; data is
+	// still fetched and cached, it just no longer steers placement (the
+	// contrast arm of the locality benchmark).
+	PlacementBlind bool
 	// SiteEvents scripts per-site modelled-time faults (index = site).
 	SiteEvents [][]runtime.EnvEvent
 	// Trace receives fleet events (routing, cache, deploys) when set.
@@ -91,18 +98,20 @@ func NewFleetServer(cfg FleetConfig) (*FleetServer, error) {
 	}
 	reg := platform.NewRegistry()
 	fl, err := fleet.New(reg, fleet.Config{
-		Sites:           cfg.Sites,
-		NewCluster:      func(int) *platform.Cluster { return DefaultCluster(cfg.NodesPerSite) },
-		CacheSlots:      cfg.CacheSlots,
-		PartialReconfig: cfg.PartialReconfig,
-		Policy:          cfg.Policy,
-		Adaptive:        cfg.Adaptive,
-		MaxQueueSeconds: cfg.MaxQueueSeconds,
-		Net:             net,
-		RegistryNet:     regNet,
-		SiteEvents:      cfg.SiteEvents,
-		Trace:           cfg.Trace,
-		EngineTrace:     cfg.EngineTrace,
+		Sites:             cfg.Sites,
+		NewCluster:        func(int) *platform.Cluster { return DefaultCluster(cfg.NodesPerSite) },
+		CacheSlots:        cfg.CacheSlots,
+		PartialReconfig:   cfg.PartialReconfig,
+		Policy:            cfg.Policy,
+		Adaptive:          cfg.Adaptive,
+		MaxQueueSeconds:   cfg.MaxQueueSeconds,
+		Net:               net,
+		RegistryNet:       regNet,
+		DatasetStoreBytes: cfg.DatasetStoreBytes,
+		PlacementBlind:    cfg.PlacementBlind,
+		SiteEvents:        cfg.SiteEvents,
+		Trace:             cfg.Trace,
+		EngineTrace:       cfg.EngineTrace,
 	})
 	if err != nil {
 		return nil, err
